@@ -1,0 +1,35 @@
+"""Shared rendering/recording helpers for the sweep-figure benchmarks."""
+
+from __future__ import annotations
+
+from repro.analysis import render_heatmap, render_series, summarize
+from repro.core.stages import FusionStage
+
+__all__ = ["record_sweep_figure", "record_heatmap_figure"]
+
+
+def record_sweep_figure(record, name: str, panels, headline_stage: FusionStage,
+                        paper_note: str) -> dict[str, float]:
+    """Render all panels + a summary of the figure's headline stage."""
+    stats = summarize(panels, headline_stage)
+    blocks = [render_series(p) for p in panels]
+    blocks.append(
+        f"stage {headline_stage.value} summary: mean {stats['mean']:+.1f}% "
+        f"max {stats['max']:+.1f}% min {stats['min']:+.1f}%"
+    )
+    blocks.append(f"paper: {paper_note}")
+    record(name, "\n\n".join(blocks))
+    return stats
+
+
+def record_heatmap_figure(record, name: str, panels, paper_note: str):
+    blocks = [render_heatmap(hm) for hm in panels]
+    mean = sum(hm.mean for hm in panels) / len(panels)
+    best = max(hm.max for hm in panels)
+    worst = min(hm.min for hm in panels)
+    blocks.append(
+        f"overall: mean {mean:+.1f}% max {best:+.1f}% min {worst:+.1f}%"
+    )
+    blocks.append(f"paper: {paper_note}")
+    record(name, "\n\n".join(blocks))
+    return mean, best, worst

@@ -1,0 +1,51 @@
+"""Ablation: the fused kernel's N-tile width vs the FFT-recompute tax.
+
+§4's fused design makes every thread block re-transform its k-slices, so
+the grid's N extent multiplies the FFT work.  A wider ``fused_n_tb``
+suppresses the recompute (fewer block columns) at the cost of occupancy —
+this sweep shows where the fusion-win/loss crossover lands for each
+choice, the mechanism behind the paper's K >= 128 degradation.
+"""
+
+from repro.core.config import FNO1DProblem, TurboFNOConfig
+from repro.core.pipeline_model import build_pipeline_1d
+from repro.core.stages import FusionStage
+from repro.gpu.timeline import speedup_percent
+
+K_VALUES = (32, 64, 96, 128, 136)
+N_TBS = (32, 64, 128)
+
+
+def _build():
+    table = {}
+    for n_tb in N_TBS:
+        cfg = TurboFNOConfig(fused_n_tb=n_tb)
+        row = []
+        for k in K_VALUES:
+            prob = FNO1DProblem.from_m_spatial(2**20, hidden=k, dim_x=128,
+                                               modes=64)
+            base = build_pipeline_1d(prob, FusionStage.FFT_OPT, cfg).total_time()
+            fused = build_pipeline_1d(prob, FusionStage.FUSED_FFT_GEMM,
+                                      cfg).total_time()
+            row.append(speedup_percent(base, fused))
+        table[n_tb] = row
+    return table
+
+
+def test_ablation_fused_n_tile(benchmark, record):
+    table = benchmark(_build)
+    lines = ["fused FFT-CGEMM gain over stage A (%) by fused_n_tb"]
+    lines.append("K:      " + "".join(f"{k:>9d}" for k in K_VALUES))
+    for n_tb, row in table.items():
+        lines.append(
+            f"n_tb={n_tb:<4d}" + "".join(f"{v:>+8.1f}%" for v in row)
+        )
+    record("ablation_fused_tiling", "\n".join(lines))
+    # A narrow N tile triggers the recompute tax earlier (smaller K).
+    def crossover(row):
+        for k, v in zip(K_VALUES, row):
+            if v < 0:
+                return k
+        return K_VALUES[-1] + 1
+
+    assert crossover(table[32]) <= crossover(table[64]) <= crossover(table[128])

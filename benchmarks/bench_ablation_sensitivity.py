@@ -1,0 +1,29 @@
+"""Ablation: model-parameter sensitivity of the paper's conclusions.
+
+A reproduction built on an analytic device model must show its headline
+conclusions are not artifacts of one calibration point.  This bench sweeps
+the model's efficiency/overhead/derate knobs and asserts the paper's three
+core qualitative results hold at every point.
+"""
+
+from repro.analysis.calibration import sensitivity_study
+
+
+def _build():
+    return sensitivity_study()
+
+
+def test_conclusions_are_model_robust(benchmark, record):
+    results = benchmark(_build)
+    lines = []
+    for conclusion, points in results.items():
+        held = sum(points.values())
+        lines.append(f"{conclusion}: held at {held}/{len(points)} points")
+        for point, ok in points.items():
+            lines.append(f"    {point:<38s} {'ok' if ok else 'VIOLATED'}")
+    record("ablation_sensitivity", "\n".join(lines))
+    for conclusion, points in results.items():
+        assert all(points.values()), (
+            f"{conclusion} violated at "
+            f"{[p for p, ok in points.items() if not ok]}"
+        )

@@ -1,0 +1,55 @@
+"""Ablation: what the Figure 7/8 swizzles are worth end to end.
+
+The paper motivates its shared-memory layouts by per-warp bank
+utilization; this ablation closes the loop by running the fully fused
+pipeline with the naive layouts' utilizations (Fig. 7b: 6.25 %, Fig. 7a /
+Fig. 8a: 25 %) plugged into the execution model, quantifying the
+end-to-end cost of skipping each swizzle.
+"""
+
+from repro.core.config import FNO1DProblem, TurboFNOConfig
+from repro.core.pipeline_model import build_pipeline_1d
+from repro.core.stages import FusionStage
+from repro.gpu.timeline import speedup_percent
+
+PROBLEM = FNO1DProblem.from_m_spatial(2**20, hidden=64, dim_x=128, modes=64)
+
+CONFIGS = {
+    "swizzled (TurboFNO)": TurboFNOConfig(),
+    "naive epilogue (Fig. 8a, 25%)": TurboFNOConfig(
+        epilogue_bank_utilization=0.25
+    ),
+    "vkfft forward (Fig. 7a, 25%)": TurboFNOConfig(
+        forward_bank_utilization=0.25
+    ),
+    "naive writeback (Fig. 7b, 6.25%)": TurboFNOConfig(
+        forward_bank_utilization=0.0625
+    ),
+    "all naive": TurboFNOConfig(
+        forward_bank_utilization=0.0625, epilogue_bank_utilization=0.25
+    ),
+}
+
+
+def _build():
+    return {
+        name: build_pipeline_1d(PROBLEM, FusionStage.FUSED_ALL, cfg).total_time()
+        for name, cfg in CONFIGS.items()
+    }
+
+
+def test_ablation_swizzle(benchmark, record):
+    times = benchmark(_build)
+    best = times["swizzled (TurboFNO)"]
+    lines = ["fused FFT-CGEMM-iFFT, 1-D reference problem (M=2^20, K=64)"]
+    for name, t in times.items():
+        lines.append(
+            f"  {name:<34s} {t * 1e3:7.3f} ms "
+            f"({speedup_percent(t, best):+6.1f}% for the swizzle)"
+        )
+    record("ablation_swizzle", "\n".join(lines))
+    # Every naive layout costs time; the 6.25 % write-back costs the most.
+    assert all(t >= best for t in times.values())
+    assert times["naive writeback (Fig. 7b, 6.25%)"] > times[
+        "vkfft forward (Fig. 7a, 25%)"
+    ]

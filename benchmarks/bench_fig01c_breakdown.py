@@ -1,0 +1,28 @@
+"""Figure 1(c): per-kernel time breakdown, PyTorch vs fused TurboFNO.
+
+Regenerates the motivating bar chart — the five-kernel PyTorch pipeline
+(FFT, truncation copy, CGEMM, padding copy, iFFT) against the single fused
+FFT-GEMM-iFFT kernel — and records both breakdowns.
+"""
+
+from repro.analysis import figures
+
+
+def _build():
+    return figures.fig01c()
+
+
+def test_fig01c_breakdown(benchmark, record):
+    result = benchmark(_build)
+    lines = [
+        result.pytorch.breakdown(),
+        result.turbo.breakdown(),
+        f"fused speedup vs PyTorch: {result.speedup_percent:+.1f}%",
+        f"kernel launches: {result.pytorch.launch_count} -> "
+        f"{result.turbo.launch_count}",
+        f"DRAM traffic: {result.pytorch.counters.global_bytes:.3e} B -> "
+        f"{result.turbo.counters.global_bytes:.3e} B",
+    ]
+    record("fig01c_breakdown", "\n".join(lines))
+    assert result.turbo.launch_count == 1
+    assert result.speedup_percent > 0

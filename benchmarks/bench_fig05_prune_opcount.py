@@ -1,0 +1,25 @@
+"""Figure 5: FFT butterfly pruning op counts.
+
+Regenerates the worked 4-point example (8 ops full; 3 ops / 37.5 % at 25 %
+truncation; 6 ops / 75 % at 50 %) and extends the census to the paper's
+evaluation FFT sizes.
+"""
+
+import pytest
+
+from repro.analysis import figures
+
+
+def _build():
+    return figures.fig05()
+
+
+def test_fig05_prune_opcounts(benchmark, record):
+    rows = benchmark(_build)
+    lines = ["n keep ops total fraction"]
+    for r in rows:
+        lines.append(f"{r.n} {r.keep} {r.ops} {r.total_ops} {r.fraction:.4f}")
+    record("fig05_prune_opcount", "\n".join(lines))
+    by_key = {(r.n, r.keep): r for r in rows}
+    assert by_key[(4, 1)].fraction == pytest.approx(0.375)
+    assert by_key[(4, 2)].fraction == pytest.approx(0.75)

@@ -1,0 +1,21 @@
+"""Figure 8: bank utilization of the CGEMM->iFFT epilogue write-back.
+
+Naive layout: threads 0/4/8/12 collide (25 %).  TurboFNO's
+``addr += threadIdx.x / 4`` offset into the sFFT buffer: 100 %.
+"""
+
+import pytest
+
+from repro.analysis import figures
+
+
+def _build():
+    return figures.fig08()
+
+
+def test_fig08_bank_utilization(benchmark, record):
+    util = benchmark(_build)
+    lines = [f"{k}: {v:.2%}" for k, v in sorted(util.items())]
+    record("fig08_smem_gemm_ifft", "\n".join(lines))
+    assert util["epilogue_naive"] == pytest.approx(0.25)
+    assert util["epilogue_swizzled"] == 1.0

@@ -1,0 +1,26 @@
+"""Figure 10: 1-D FFT pruning, truncation and zero-padding (stage A).
+
+Paper result: up to 100 % speedup over PyTorch, ~50 % average; 70-100 % at
+small K settling near 50 %; speedup grows with problem size.
+"""
+
+from _series import record_sweep_figure
+
+from repro.analysis import figures
+from repro.core.stages import FusionStage
+
+
+def _build():
+    return figures.fig10()
+
+
+def test_fig10_1d_fft_opt(benchmark, record):
+    panels = benchmark(_build)
+    stats = record_sweep_figure(
+        record, "fig10_1d_fft_opt", panels, FusionStage.FFT_OPT,
+        "avg ~50% vs PyTorch, 70-100% at small K, grows with BS",
+    )
+    k_panel = panels[0]
+    series = k_panel.series[FusionStage.FFT_OPT]
+    assert series[0] > series[-1]  # declines with K
+    assert 25.0 < stats["mean"] < 75.0

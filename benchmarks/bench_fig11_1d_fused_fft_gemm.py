@@ -1,0 +1,33 @@
+"""Figure 11: 1-D fused FFT-CGEMM (stage B vs stage A).
+
+Paper result: 50-100 % over PyTorch; only 3-5 % over the non-fused
+FFT-optimised workflow; the benefit declines as K grows and can invert for
+K >= 128.
+"""
+
+from _series import record_sweep_figure
+
+from repro.analysis import figures
+from repro.core.stages import FusionStage
+
+
+def _build():
+    return figures.fig11()
+
+
+def test_fig11_1d_fused_fft_gemm(benchmark, record):
+    panels = benchmark(_build)
+    record_sweep_figure(
+        record, "fig11_1d_fused_fft_gemm", panels, FusionStage.FUSED_FFT_GEMM,
+        "+3-5% over stage A, declining with K, negative for K >= 128",
+    )
+    k_panel = panels[0]
+    gains = [
+        b - a
+        for a, b in zip(
+            k_panel.series[FusionStage.FFT_OPT],
+            k_panel.series[FusionStage.FUSED_FFT_GEMM],
+        )
+    ]
+    assert gains[0] > 0        # fusion helps at small K
+    assert gains[-1] < gains[0]  # and declines with K

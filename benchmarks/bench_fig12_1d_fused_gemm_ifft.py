@@ -1,0 +1,27 @@
+"""Figure 12: 1-D fused CGEMM-iFFT (stage C vs stages A and B).
+
+Paper result: at least 50 % over PyTorch across the shown sizes thanks to
+the 100 % bank-conflict-free epilogue; more robust at large K than stage B.
+"""
+
+from _series import record_sweep_figure
+
+from repro.analysis import figures
+from repro.core.stages import FusionStage
+
+
+def _build():
+    return figures.fig12()
+
+
+def test_fig12_1d_fused_gemm_ifft(benchmark, record):
+    panels = benchmark(_build)
+    record_sweep_figure(
+        record, "fig12_1d_fused_gemm_ifft", panels, FusionStage.FUSED_GEMM_IFFT,
+        ">=50% vs PyTorch on the K sweep; robust at large K",
+    )
+    k_panel = panels[0]
+    c = k_panel.series[FusionStage.FUSED_GEMM_IFFT]
+    b = k_panel.series[FusionStage.FUSED_FFT_GEMM]
+    assert all(v > 25.0 for v in c)   # stays well ahead of PyTorch
+    assert c[-1] > b[-1]              # beats stage B at the largest K

@@ -1,0 +1,31 @@
+"""Figure 13: 1-D fully fused FFT-CGEMM-iFFT (stage D vs all).
+
+Paper result: up to 150 % over PyTorch, an extra 10-20 % over the partial
+fusions in the favourable regime; slight degradation vs partial fusion at
+some problem sizes (inherited from the CGEMM-iFFT epilogue).
+"""
+
+from _series import record_sweep_figure
+
+from repro.analysis import figures
+from repro.core.stages import FusionStage
+
+
+def _build():
+    return figures.fig13()
+
+
+def test_fig13_1d_full_fusion(benchmark, record):
+    panels = benchmark(_build)
+    stats = record_sweep_figure(
+        record, "fig13_1d_full_fusion", panels, FusionStage.FUSED_ALL,
+        "up to +150% vs PyTorch; +10-20% over partial fusion at K<=64",
+    )
+    k_panel = panels[0]
+    for i, k in enumerate(k_panel.x):
+        if k <= 64:
+            assert (
+                k_panel.series[FusionStage.FUSED_ALL][i]
+                > k_panel.series[FusionStage.FFT_OPT][i]
+            )
+    assert stats["max"] > 60.0

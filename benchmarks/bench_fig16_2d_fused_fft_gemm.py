@@ -1,0 +1,33 @@
+"""Figure 16: 2-D fused FFT-CGEMM.
+
+Paper result: fusion adds only ~1-2 % in 2-D — the first-stage FFT's
+global traffic dominates and masks the fusion benefit.
+"""
+
+from _series import record_sweep_figure
+
+from repro.analysis import figures
+from repro.core.stages import FusionStage
+
+
+def _build():
+    return figures.fig16()
+
+
+def test_fig16_2d_fused_fft_gemm(benchmark, record):
+    panels = benchmark(_build)
+    record_sweep_figure(
+        record, "fig16_2d_fused_fft_gemm", panels, FusionStage.FUSED_FFT_GEMM,
+        "fusion increment only ~1-2% in 2-D",
+    )
+    # The increment over stage A is small everywhere on the K sweep —
+    # visibly smaller than the 1-D increments.
+    k_panel = panels[0]
+    gains = [
+        b - a
+        for a, b in zip(
+            k_panel.series[FusionStage.FFT_OPT],
+            k_panel.series[FusionStage.FUSED_FFT_GEMM],
+        )
+    ]
+    assert max(gains) < 25.0

@@ -1,0 +1,30 @@
+"""Figure 17: 2-D fused CGEMM-iFFT.
+
+Paper result: maintains 50-100 % over PyTorch; adds ~1-3 % over the
+FFT-only optimisation on the batch sweeps.
+"""
+
+from _series import record_sweep_figure
+
+from repro.analysis import figures
+from repro.core.stages import FusionStage
+
+
+def _build():
+    return figures.fig17()
+
+
+def test_fig17_2d_fused_gemm_ifft(benchmark, record):
+    panels = benchmark(_build)
+    stats = record_sweep_figure(
+        record, "fig17_2d_fused_gemm_ifft", panels,
+        FusionStage.FUSED_GEMM_IFFT,
+        "50-100% vs PyTorch, +1-3% over FFT-only on BS sweeps",
+    )
+    assert stats["mean"] > 50.0
+    for panel in panels[1:]:  # BS sweeps
+        for a, c in zip(
+            panel.series[FusionStage.FFT_OPT],
+            panel.series[FusionStage.FUSED_GEMM_IFFT],
+        ):
+            assert c >= a - 1e-9  # consistent (small) improvement

@@ -1,0 +1,30 @@
+"""Figure 18: 2-D fully fused FFT-CGEMM-iFFT.
+
+Paper result: 50-105 % over PyTorch; consistently 2-3 % over the partial
+fusions thanks to the 100 %-bank-utilization shared-memory design.
+"""
+
+from _series import record_sweep_figure
+
+from repro.analysis import figures
+from repro.core.stages import FusionStage
+
+
+def _build():
+    return figures.fig18()
+
+
+def test_fig18_2d_full_fusion(benchmark, record):
+    panels = benchmark(_build)
+    stats = record_sweep_figure(
+        record, "fig18_2d_full_fusion", panels, FusionStage.FUSED_ALL,
+        "+50-105% vs PyTorch, +2-3% over partial fusion",
+    )
+    assert stats["mean"] > 50.0
+    k_panel = panels[0]
+    for i, k in enumerate(k_panel.x):
+        if k <= 96:
+            assert (
+                k_panel.series[FusionStage.FUSED_ALL][i]
+                >= k_panel.series[FusionStage.FUSED_FFT_GEMM][i] - 1e-9
+            )

@@ -1,0 +1,28 @@
+"""Figure 19: 2-D TurboFNO (best of all stages) vs PyTorch heatmaps.
+
+Four panels over K x batch size: grids 256x128 and 256x256, filter
+N = 64/128.  Paper result: average +67 %, maximum +150 %, and far fewer
+slowdown cells than the 1-D case.
+"""
+
+import numpy as np
+
+from _series import record_heatmap_figure
+
+from repro.analysis import figures
+
+
+def _build():
+    return figures.fig19()
+
+
+def test_fig19_2d_heatmap(benchmark, record):
+    panels = benchmark(_build)
+    mean, best, worst = record_heatmap_figure(
+        record, "fig19_2d_heatmap", panels,
+        "average +67%, max +150%",
+    )
+    assert 40.0 < mean < 170.0
+    assert best > 100.0
+    neg_2d = float(np.mean([p.negative_fraction() for p in panels]))
+    assert neg_2d < 0.25  # 2-D is markedly more robust than 1-D

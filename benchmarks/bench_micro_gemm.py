@@ -1,0 +1,33 @@
+"""Microbenchmarks: blocked CGEMM against the BLAS-backed ``@``.
+
+The blocked kernel walks the Table 1 hierarchy in Python, so it cannot
+beat BLAS on wall clock; what matters is that it is numerically identical
+(asserted) and that its overhead stays within an interpreter factor on the
+paper's tall-and-skinny shape.
+"""
+
+import numpy as np
+
+from repro.gemm.blocked import blocked_cgemm
+from repro.gemm.params import SECT31_CGEMM, TABLE1_CGEMM
+
+rng = np.random.default_rng(1)
+M, K, N = 2048, 64, 64
+A = (rng.standard_normal((M, K)) + 1j * rng.standard_normal((M, K))
+     ).astype(np.complex64)
+B = (rng.standard_normal((K, N)) + 1j * rng.standard_normal((K, N))
+     ).astype(np.complex64)
+
+
+def test_blocked_cgemm_table1(benchmark):
+    out = benchmark(blocked_cgemm, A, B, TABLE1_CGEMM)
+    assert np.allclose(out, A @ B, atol=1e-2)
+
+
+def test_blocked_cgemm_sect31(benchmark):
+    out = benchmark(blocked_cgemm, A, B, SECT31_CGEMM)
+    assert np.allclose(out, A @ B, atol=1e-2)
+
+
+def test_blas_matmul_reference(benchmark):
+    benchmark(lambda: A @ B)

@@ -1,0 +1,44 @@
+"""Table 1: CGEMM and FFT kernel parameter setup.
+
+Validates that the paper's published kernel configurations are coherent
+(warp tiling = 32 threads, shared memory within the A100 budget, FFT batch
+size bs matching CGEMM's k_tb) and records the derived geometry.
+"""
+
+from repro.core.config import TurboFNOConfig
+from repro.fft.plan import FFTPlan
+from repro.gemm.params import TABLE1_CGEMM
+from repro.gpu.device import A100_SPEC, Occupancy
+
+
+def _build():
+    cfg = TurboFNOConfig()
+    gemm = TABLE1_CGEMM
+    fft_n1 = FFTPlan(n=128, batch=1024, per_thread=8,
+                     signals_per_block=cfg.signals_per_block)
+    fft_n2 = FFTPlan(n=256, batch=1024, per_thread=16,
+                     signals_per_block=cfg.signals_per_block)
+    occ = Occupancy.compute(
+        A100_SPEC, blocks=1024, threads_per_block=gemm.threads_per_block,
+        smem_per_block_bytes=gemm.smem_bytes(),
+    )
+    return cfg, gemm, fft_n1, fft_n2, occ
+
+
+def test_table1_parameters(benchmark, record):
+    cfg, gemm, fft_n1, fft_n2, occ = benchmark(_build)
+    lines = [
+        gemm.describe(),
+        f"CGEMM smem (double-buffered): {gemm.smem_bytes()} B",
+        f"CGEMM occupancy on A100: {occ.blocks_per_sm} blocks/SM",
+        f"FFT N1=128 n1=8: {fft_n1.threads_per_block} threads/block, "
+        f"smem {fft_n1.smem_bytes_per_block} B",
+        f"FFT N2=256 n2=16: {fft_n2.threads_per_block} threads/block, "
+        f"smem {fft_n2.smem_bytes_per_block} B",
+        f"FFT bs = {cfg.signals_per_block} == CGEMM k_tb = {gemm.k_tb}",
+    ]
+    record("table1_kernel_params", "\n".join(lines))
+    # Table 1's alignment claim: FFT batch-per-block equals CGEMM k_tb.
+    assert cfg.signals_per_block == gemm.k_tb
+    assert gemm.smem_bytes() <= A100_SPEC.smem_per_sm_bytes
+    assert occ.blocks_per_sm >= 1

@@ -1,0 +1,35 @@
+"""Shared helpers for the figure-regeneration benchmark harness.
+
+Every ``bench_figNN_*`` module regenerates one paper artifact on the
+execution model, times the regeneration with pytest-benchmark, and records
+the rendered series under ``benchmarks/results/`` so EXPERIMENTS.md can be
+cross-checked against a fresh run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record(results_dir):
+    """Write one artifact's rendered output to results/<name>.txt."""
+
+    def _write(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        # Also echo a compact header so `pytest -s` shows progress.
+        first = text.splitlines()[0] if text else ""
+        print(f"[{name}] {first}")
+
+    return _write

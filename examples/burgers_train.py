@@ -1,0 +1,58 @@
+"""Train a 1-D FNO on viscous Burgers — the workload that motivates FNO.
+
+Generates ``(u(x, 0), u(x, 1))`` pairs with the pseudo-spectral Burgers
+solver (initial conditions drawn from the FNO paper's Gaussian random
+field), trains a small FNO1d with the hand-written backward passes, and
+reports train/test relative-L2 error.  The input gets the usual coordinate
+channel.
+
+Run:  python examples/burgers_train.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.nn import Adam, FNO1d, train
+from repro.nn.trainer import evaluate
+from repro.pde import burgers_dataset
+
+
+def add_coordinate_channel(u: np.ndarray) -> np.ndarray:
+    """Stack the grid coordinate as a second input channel."""
+    n_samples, n = u.shape
+    grid = np.tile(np.linspace(0.0, 1.0, n, endpoint=False), (n_samples, 1))
+    return np.stack([u, grid], axis=1)  # (n_samples, 2, n)
+
+
+def main() -> None:
+    n_train, n_test, n = 96, 24, 64
+    print(f"generating {n_train + n_test} Burgers trajectories (n={n}) ...")
+    u0, ut = burgers_dataset(n_train + n_test, n=n, t_final=0.5, nu=0.02,
+                             seed=7, n_steps=256)
+    x = add_coordinate_channel(u0)
+    y = ut[:, None, :]
+    x_train, y_train = x[:n_train], y[:n_train]
+    x_test, y_test = x[n_train:], y[n_train:]
+
+    model = FNO1d(in_channels=2, out_channels=1, width=20, modes=12,
+                  depth=3, proj_width=32, seed=0)
+    print(f"FNO1d with {model.num_parameters()} parameters")
+    opt = Adam(list(model.parameters()), lr=2e-3)
+
+    t0 = time.time()
+    history = train(model, opt, x_train, y_train, epochs=25, batch_size=16,
+                    x_test=x_test, y_test=y_test, verbose=True)
+    print(f"trained in {time.time() - t0:.1f}s")
+
+    test_err = evaluate(model, x_test, y_test)
+    print(f"final train rel-L2: {history.final_train:.4f}")
+    print(f"final  test rel-L2: {test_err:.4f}")
+    if test_err < 0.25:
+        print("OK: the operator u0 -> u(T) is learned to <25% relative error")
+    else:
+        print("WARNING: error above the expected band; try more epochs")
+
+
+if __name__ == "__main__":
+    main()

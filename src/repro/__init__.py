@@ -1,0 +1,59 @@
+"""TurboFNO reproduction.
+
+A from-scratch Python reproduction of *TurboFNO: High-Performance Fourier
+Neural Operator with Fused FFT-GEMM-iFFT on GPU* (Wu et al., SC 2025,
+arXiv:2504.11681), built on an analytic A100 execution model in place of
+the paper's CUDA kernels (see DESIGN.md for the substitution argument).
+
+Layout
+------
+``repro.gpu``
+    A100 execution model: occupancy, shared-memory bank conflicts,
+    roofline kernel timing, pipelines.
+``repro.fft``
+    Stockham FFT, pruned (truncated / zero-padded) transforms, exact
+    butterfly op census.
+``repro.gemm``
+    Blocked complex GEMM with the paper's Table 1 tiling.
+``repro.baselines``
+    cuFFT / cuBLAS / memcpy library models and the PyTorch-style staged
+    spectral convolution.
+``repro.core``
+    The paper's contribution: fused FFT-CGEMM-iFFT operators (numerically
+    exact) and the stage A-E pipeline cost models that regenerate every
+    figure.
+``repro.nn`` / ``repro.pde``
+    A trainable FNO (hand-written backward passes) and the PDE workload
+    generators (Burgers, Darcy, Navier-Stokes) the paper's introduction
+    motivates.
+``repro.analysis``
+    Parameter sweeps and per-figure series builders.
+"""
+
+from repro.core import (
+    FNO1DProblem,
+    FNO2DProblem,
+    FusionStage,
+    TurboFNOConfig,
+    build_pipeline_1d,
+    build_pipeline_2d,
+    spectral_conv_1d,
+    spectral_conv_2d,
+)
+from repro.gpu import A100_SPEC, DeviceSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FNO1DProblem",
+    "FNO2DProblem",
+    "FusionStage",
+    "TurboFNOConfig",
+    "build_pipeline_1d",
+    "build_pipeline_2d",
+    "spectral_conv_1d",
+    "spectral_conv_2d",
+    "A100_SPEC",
+    "DeviceSpec",
+    "__version__",
+]

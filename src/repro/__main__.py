@@ -1,0 +1,116 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figures [--dense] [--out DIR]``
+    Regenerate every paper figure/table and write rendered reports.
+``ladder [--dim {1,2}] [--k K] [--batch BS]``
+    Print the Table 2 stage ladder for one problem.
+``claims``
+    Print the exact-arithmetic paper claims (Figs. 5/7/8) and their
+    reproduced values.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+import numpy as np
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.analysis import figures, render_heatmap, render_series
+
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    sweeps = {
+        "fig10": figures.fig10, "fig11": figures.fig11,
+        "fig12": figures.fig12, "fig13": figures.fig13,
+        "fig15": figures.fig15, "fig16": figures.fig16,
+        "fig17": figures.fig17, "fig18": figures.fig18,
+    }
+    for name, builder in sweeps.items():
+        panels = builder(dense=args.dense)
+        (out / f"{name}.txt").write_text(
+            "\n\n".join(render_series(p) for p in panels) + "\n"
+        )
+        print(f"wrote {out / name}.txt")
+    for name, builder in {"fig14": figures.fig14, "fig19": figures.fig19}.items():
+        panels = builder(dense=args.dense)
+        (out / f"{name}.txt").write_text(
+            "\n\n".join(render_heatmap(h) for h in panels) + "\n"
+        )
+        print(f"wrote {out / name}.txt")
+    return 0
+
+
+def _cmd_ladder(args: argparse.Namespace) -> int:
+    from repro.core.config import FNO1DProblem, FNO2DProblem
+    from repro.core.pipeline_model import build_pipeline_1d, build_pipeline_2d
+    from repro.core.stages import FusionStage
+    from repro.gpu.timeline import speedup_percent
+
+    if args.dim == 1:
+        prob = FNO1DProblem(batch=args.batch, hidden=args.k, dim_x=args.fft,
+                            modes=args.modes)
+        build = build_pipeline_1d
+    else:
+        prob = FNO2DProblem(batch=args.batch, hidden=args.k, dim_x=256,
+                            dim_y=args.fft, modes_x=args.modes,
+                            modes_y=args.modes)
+        build = build_pipeline_2d
+    base = build(prob, FusionStage.PYTORCH).report()
+    print(base.breakdown())
+    for stage in FusionStage.ladder():
+        rep = build(prob, stage).report()
+        print(
+            f"stage {stage.value}: {rep.total_time * 1e3:8.4f} ms "
+            f"({rep.launch_count} kernels) "
+            f"speedup {speedup_percent(base.total_time, rep.total_time):+6.1f}%"
+        )
+    return 0
+
+
+def _cmd_claims(args: argparse.Namespace) -> int:
+    from repro.analysis import figures
+
+    rows = figures.fig05(())
+    print("Figure 5 (butterfly pruning, 4-pt FFT):")
+    for r in rows:
+        print(f"  keep {r.keep}/4: {r.ops}/{r.total_ops} ops = {r.fraction:.1%}"
+              "  (paper: 37.5% / 75%)" if r.keep == 1 else
+              f"  keep {r.keep}/4: {r.ops}/{r.total_ops} ops = {r.fraction:.1%}")
+    print("Figure 7/8 (shared-memory bank utilization):")
+    for k, v in {**figures.fig07(), **figures.fig08()}.items():
+        print(f"  {k:<26s} {v:>7.2%}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figures", help="regenerate all paper figures")
+    p_fig.add_argument("--dense", action="store_true")
+    p_fig.add_argument("--out", default="paper_report")
+    p_fig.set_defaults(func=_cmd_figures)
+
+    p_lad = sub.add_parser("ladder", help="stage ladder for one problem")
+    p_lad.add_argument("--dim", type=int, choices=(1, 2), default=1)
+    p_lad.add_argument("--k", type=int, default=64)
+    p_lad.add_argument("--batch", type=int, default=8192)
+    p_lad.add_argument("--fft", type=int, default=128)
+    p_lad.add_argument("--modes", type=int, default=64)
+    p_lad.set_defaults(func=_cmd_ladder)
+
+    p_cl = sub.add_parser("claims", help="exact paper claims")
+    p_cl.set_defaults(func=_cmd_claims)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Figure and table regeneration.
+
+* :mod:`repro.analysis.sweeps` — result containers and sweep drivers over
+  the execution model.
+* :mod:`repro.analysis.figures` — one builder per paper artifact
+  (``fig01c`` through ``fig19``), each returning the series/heatmap the
+  corresponding benchmark prints.
+* :mod:`repro.analysis.report` — ASCII rendering of series tables and
+  heatmaps plus summary statistics.
+"""
+
+from repro.analysis.sweeps import HeatmapResult, SweepSeries
+from repro.analysis import figures
+from repro.analysis.report import render_heatmap, render_series, summarize
+from repro.analysis.roofline import pipeline_roofline, ridge_point
+
+__all__ = [
+    "SweepSeries",
+    "HeatmapResult",
+    "figures",
+    "render_series",
+    "render_heatmap",
+    "summarize",
+    "pipeline_roofline",
+    "ridge_point",
+]

@@ -1,0 +1,98 @@
+"""Sensitivity analysis: are the paper's conclusions model-robust?
+
+The execution model has a handful of calibrated parameters (efficiencies,
+launch overhead, the k-loop locality derate).  A reproduction built on a
+model is only credible if its *conclusions* — fusion wins at the reference
+size, the B-vs-A crossover exists, the blue region sits at small batch —
+survive perturbing those parameters.  :func:`sensitivity_study` sweeps each
+knob over a band and reports whether each qualitative conclusion holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.core.config import FNO1DProblem, TurboFNOConfig
+from repro.core.pipeline_model import build_pipeline_1d
+from repro.core.stages import FusionStage
+from repro.gpu.device import A100_SPEC, DeviceSpec
+
+__all__ = ["Conclusion", "CONCLUSIONS", "sensitivity_study"]
+
+_REFERENCE = FNO1DProblem.from_m_spatial(2**20, hidden=64, dim_x=128, modes=64)
+_LARGE_K = FNO1DProblem.from_m_spatial(2**20, hidden=136, dim_x=128, modes=64)
+_SMALL_BATCH = FNO1DProblem(batch=2, hidden=104, dim_x=128, modes=64)
+
+
+def _time(problem: FNO1DProblem, stage: FusionStage, device: DeviceSpec,
+          cfg: TurboFNOConfig) -> float:
+    return build_pipeline_1d(problem, stage, cfg).total_time(device)
+
+
+@dataclass(frozen=True)
+class Conclusion:
+    """One qualitative paper claim, evaluable under any device model."""
+
+    name: str
+    check: Callable[[DeviceSpec, TurboFNOConfig], bool]
+
+
+def _fusion_wins(device: DeviceSpec, cfg: TurboFNOConfig) -> bool:
+    base = _time(_REFERENCE, FusionStage.PYTORCH, device, cfg)
+    fused = _time(_REFERENCE, FusionStage.FUSED_ALL, device, cfg)
+    return fused < base
+
+
+def _crossover_exists(device: DeviceSpec, cfg: TurboFNOConfig) -> bool:
+    a = _time(_LARGE_K, FusionStage.FFT_OPT, device, cfg)
+    b = _time(_LARGE_K, FusionStage.FUSED_FFT_GEMM, device, cfg)
+    return b > a  # forward fusion loses at K = 136
+
+
+def _blue_region(device: DeviceSpec, cfg: TurboFNOConfig) -> bool:
+    base = _time(_SMALL_BATCH, FusionStage.PYTORCH, device, cfg)
+    best = min(
+        _time(_SMALL_BATCH, s, device, cfg) for s in FusionStage.ladder()
+    )
+    return best > base  # TurboFNO loses at tiny batch x large K
+
+
+CONCLUSIONS = (
+    Conclusion("fusion_wins_at_reference_size", _fusion_wins),
+    Conclusion("forward_fusion_crossover_at_large_k", _crossover_exists),
+    Conclusion("blue_region_at_small_batch", _blue_region),
+)
+
+#: Parameter bands swept by the study: (attribute, values).
+_DEVICE_BANDS = {
+    "dram_efficiency": (0.7, 0.85, 0.95),
+    "flop_efficiency": (0.6, 0.8, 0.95),
+    "kernel_launch_overhead_s": (2e-6, 4e-6, 8e-6),
+    "l2_bandwidth_ratio": (2.0, 4.0, 8.0),
+    "single_block_sm_efficiency": (0.5, 0.7, 0.9),
+}
+_CONFIG_BANDS = {
+    "kloop_memory_derate": (1.0, 1.1, 1.25),
+}
+
+
+def sensitivity_study() -> dict[str, dict[str, bool]]:
+    """Evaluate every conclusion across every parameter band.
+
+    Returns ``{conclusion: {"param=value": held?}}``.  The benchmark
+    harness asserts that the headline conclusions hold at *every* point.
+    """
+    results: dict[str, dict[str, bool]] = {c.name: {} for c in CONCLUSIONS}
+    base_cfg = TurboFNOConfig()
+    for attr, values in _DEVICE_BANDS.items():
+        for v in values:
+            device = A100_SPEC.with_(**{attr: v})
+            for c in CONCLUSIONS:
+                results[c.name][f"{attr}={v}"] = c.check(device, base_cfg)
+    for attr, values in _CONFIG_BANDS.items():
+        for v in values:
+            cfg = replace(base_cfg, **{attr: v})
+            for c in CONCLUSIONS:
+                results[c.name][f"{attr}={v}"] = c.check(A100_SPEC, cfg)
+    return results

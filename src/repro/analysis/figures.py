@@ -1,0 +1,328 @@
+"""One builder per paper artifact.
+
+Each ``figNN`` function regenerates the data behind the corresponding
+figure of the paper on the execution model, using the same parameter grids
+the paper sweeps (Table 2 maps figures to stages).  The benchmark harness
+in ``benchmarks/`` calls these and prints/records the series.
+
+Paper grids:
+
+* 1-D K sweeps: K = 16..136 step 8 at M = 2^20 (Figs. 10-13a).
+* 1-D BS sweeps: BS = 64, 256, 1024, 4096 at K = 32/64/128 (Figs. 10-13b-d).
+* Fig. 14 heatmaps: K = 8..120 step 16, log2(M) = 7..20, FFT size
+  128/256, filter N = 64/128.
+* 2-D K sweeps: K = 16..136 step 8 at BS = 8 (Figs. 15-18a) on a 256x128
+  grid with a 64x64 filter.
+* 2-D BS sweeps: BS = 48..144 step 16 at K = 32/64/128 (Figs. 15-18b-d).
+* Fig. 19 heatmaps: K = 8..120 step 16, BS = 1..128, grids 256x128 and
+  256x256, filter N = 64/128.
+
+The default sweeps below thin the densest grids (every other K, coarser
+heatmaps) to keep a full-figure regeneration interactive; pass
+``dense=True`` for the paper's full resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.sweeps import (
+    HeatmapResult,
+    SweepSeries,
+    heatmap_1d,
+    heatmap_2d,
+    sweep_1d,
+    sweep_2d,
+)
+from repro.core.config import FNO1DProblem, FNO2DProblem, TurboFNOConfig
+from repro.core.pipeline_model import build_pipeline_1d, build_pipeline_2d
+from repro.core.stages import FusionStage
+from repro.fft.opcount import butterfly_ops, census
+from repro.gpu.swizzle import (
+    analyze_fft_to_gemm_forward,
+    analyze_fft_writeback,
+    analyze_gemm_to_ifft_epilogue,
+)
+from repro.gpu.timeline import PipelineReport
+
+__all__ = [
+    "fig01c",
+    "fig05",
+    "fig07",
+    "fig08",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "STAGES_BY_FIGURE",
+]
+
+#: Table 2: which stages each figure compares (beyond the baseline).
+STAGES_BY_FIGURE = {
+    10: (FusionStage.FFT_OPT,),
+    11: (FusionStage.FFT_OPT, FusionStage.FUSED_FFT_GEMM),
+    12: (
+        FusionStage.FFT_OPT,
+        FusionStage.FUSED_FFT_GEMM,
+        FusionStage.FUSED_GEMM_IFFT,
+    ),
+    13: (
+        FusionStage.FFT_OPT,
+        FusionStage.FUSED_FFT_GEMM,
+        FusionStage.FUSED_GEMM_IFFT,
+        FusionStage.FUSED_ALL,
+    ),
+}
+STAGES_BY_FIGURE[15] = STAGES_BY_FIGURE[10]
+STAGES_BY_FIGURE[16] = STAGES_BY_FIGURE[11]
+STAGES_BY_FIGURE[17] = STAGES_BY_FIGURE[12]
+STAGES_BY_FIGURE[18] = STAGES_BY_FIGURE[13]
+
+
+def _k_values(dense: bool) -> list[int]:
+    return list(range(16, 137, 8)) if dense else list(range(16, 137, 16))
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1(c): fusion time breakdown
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BreakdownResult:
+    """PyTorch per-kernel breakdown vs the single fused kernel."""
+
+    pytorch: PipelineReport
+    turbo: PipelineReport
+
+    @property
+    def speedup_percent(self) -> float:
+        return (self.pytorch.total_time / self.turbo.total_time - 1.0) * 100.0
+
+
+def fig01c(
+    problem: FNO1DProblem | None = None, cfg: TurboFNOConfig | None = None
+) -> BreakdownResult:
+    """The motivating bar chart: 5 separate kernels vs 1 fused kernel."""
+    problem = problem or FNO1DProblem.from_m_spatial(
+        2**20, hidden=64, dim_x=128, modes=64
+    )
+    base = build_pipeline_1d(problem, FusionStage.PYTORCH, cfg).report()
+    turbo = build_pipeline_1d(problem, FusionStage.FUSED_ALL, cfg).report()
+    return BreakdownResult(base, turbo)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5: FFT pruning op counts
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PruneRow:
+    n: int
+    keep: int
+    ops: int
+    total_ops: int
+
+    @property
+    def fraction(self) -> float:
+        return self.ops / self.total_ops
+
+
+def fig05(extra_sizes: tuple[int, ...] = (128, 256)) -> list[PruneRow]:
+    """The 4-point example of Figure 5 plus the paper's eval FFT sizes."""
+    rows = []
+    for n in (4, *extra_sizes):
+        for ratio in (4, 2):  # 25 % and 50 % truncation
+            keep = max(1, n // ratio)
+            c = census(n, keep_out=keep)
+            rows.append(PruneRow(n, keep, c.ops, butterfly_ops(n)))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figs. 7 / 8: shared-memory bank utilization
+# ---------------------------------------------------------------------------
+
+def fig07() -> dict[str, float]:
+    """Bank utilization of the FFT->CGEMM layouts and butterfly swizzles."""
+    return {
+        "forward_vkfft": analyze_fft_to_gemm_forward("vkfft").utilization,
+        "forward_turbofno": analyze_fft_to_gemm_forward("turbofno").utilization,
+        "writeback_16pt_naive": analyze_fft_writeback("16pt", False).utilization,
+        "writeback_16pt_swizzled": analyze_fft_writeback("16pt", True).utilization,
+        "writeback_8pt_naive": analyze_fft_writeback("8pt", False).utilization,
+        "writeback_8pt_swizzled": analyze_fft_writeback("8pt", True).utilization,
+    }
+
+
+def fig08() -> dict[str, float]:
+    """Bank utilization of the CGEMM->iFFT epilogue write (Fig. 8a vs 8b)."""
+    return {
+        "epilogue_naive": analyze_gemm_to_ifft_epilogue(False).utilization,
+        "epilogue_swizzled": analyze_gemm_to_ifft_epilogue(True).utilization,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figs. 10-13: 1-D sweeps
+# ---------------------------------------------------------------------------
+
+def _fig_1d(
+    fig: int,
+    dense: bool,
+    cfg: TurboFNOConfig | None,
+    dim_x: int = 128,
+    modes: int = 64,
+) -> list[SweepSeries]:
+    stages = STAGES_BY_FIGURE[fig]
+    panels = [
+        sweep_1d(
+            f"fig{fig}(a) K sweep, M=2^20, {dim_x}-pt FFT, N={modes}",
+            "K",
+            [
+                (k, FNO1DProblem.from_m_spatial(2**20, k, dim_x, modes))
+                for k in _k_values(dense)
+            ],
+            stages,
+            cfg,
+        )
+    ]
+    bs_values = [64, 256, 1024, 4096] if fig > 10 else [
+        64, 256, 1024, 4096, 16384, 65536, 262144
+    ]
+    for panel, k in zip("bcd", (32, 64, 128)):
+        panels.append(
+            sweep_1d(
+                f"fig{fig}({panel}) BS sweep, K={k}, {dim_x}-pt FFT, N={modes}",
+                "BS",
+                [
+                    (bs, FNO1DProblem(batch=bs, hidden=k, dim_x=dim_x, modes=modes))
+                    for bs in bs_values
+                ],
+                stages,
+                cfg,
+            )
+        )
+    return panels
+
+
+def fig10(dense: bool = False, cfg: TurboFNOConfig | None = None) -> list[SweepSeries]:
+    """1-D FFT pruning/truncation/zero-padding (stage A)."""
+    return _fig_1d(10, dense, cfg)
+
+
+def fig11(dense: bool = False, cfg: TurboFNOConfig | None = None) -> list[SweepSeries]:
+    """1-D fused FFT-CGEMM (stage B vs A)."""
+    return _fig_1d(11, dense, cfg)
+
+
+def fig12(dense: bool = False, cfg: TurboFNOConfig | None = None) -> list[SweepSeries]:
+    """1-D fused CGEMM-iFFT (stage C vs A, B)."""
+    return _fig_1d(12, dense, cfg)
+
+
+def fig13(dense: bool = False, cfg: TurboFNOConfig | None = None) -> list[SweepSeries]:
+    """1-D fully fused FFT-CGEMM-iFFT (stage D vs all)."""
+    return _fig_1d(13, dense, cfg)
+
+
+def fig14(dense: bool = False, cfg: TurboFNOConfig | None = None) -> list[HeatmapResult]:
+    """1-D best-of heatmaps over K x log2(M), four (FFT size, N) panels."""
+    ks = list(range(8, 121, 16)) if dense else list(range(8, 121, 32))
+    log2_ms = list(range(7, 21, 1 if dense else 2))
+    panels = []
+    for dim_x in (128, 256):
+        for modes in (64, 128):
+            panels.append(
+                heatmap_1d(
+                    f"fig14 {dim_x}-pt FFT, N={modes}",
+                    dim_x, modes, ks, log2_ms, cfg,
+                )
+            )
+    return panels
+
+
+# ---------------------------------------------------------------------------
+# Figs. 15-18: 2-D sweeps
+# ---------------------------------------------------------------------------
+
+def _fig_2d(
+    fig: int,
+    dense: bool,
+    cfg: TurboFNOConfig | None,
+    dim_x: int = 256,
+    dim_y: int = 128,
+    modes: int = 64,
+) -> list[SweepSeries]:
+    stages = STAGES_BY_FIGURE[fig]
+
+    def prob(bs: int, k: int) -> FNO2DProblem:
+        return FNO2DProblem(batch=bs, hidden=k, dim_x=dim_x, dim_y=dim_y,
+                            modes_x=modes, modes_y=modes)
+
+    panels = [
+        sweep_2d(
+            f"fig{fig}(a) K sweep, BS=8, {dim_x}x{dim_y} FFT, N={modes}",
+            "K",
+            [(k, prob(8, k)) for k in _k_values(dense)],
+            stages,
+            cfg,
+        )
+    ]
+    bs_values = list(range(48, 145, 16)) if fig == 15 else [48, 64, 80, 96]
+    for panel, k in zip("bcd", (32, 64, 128)):
+        panels.append(
+            sweep_2d(
+                f"fig{fig}({panel}) BS sweep, K={k}, {dim_x}x{dim_y} FFT, N={modes}",
+                "BS",
+                [(bs, prob(bs, k)) for bs in bs_values],
+                stages,
+                cfg,
+            )
+        )
+    return panels
+
+
+def fig15(dense: bool = False, cfg: TurboFNOConfig | None = None) -> list[SweepSeries]:
+    """2-D FFT pruning/truncation/zero-padding (stage A)."""
+    return _fig_2d(15, dense, cfg)
+
+
+def fig16(dense: bool = False, cfg: TurboFNOConfig | None = None) -> list[SweepSeries]:
+    """2-D fused FFT-CGEMM (stage B vs A)."""
+    return _fig_2d(16, dense, cfg)
+
+
+def fig17(dense: bool = False, cfg: TurboFNOConfig | None = None) -> list[SweepSeries]:
+    """2-D fused CGEMM-iFFT (stage C vs A, B)."""
+    return _fig_2d(17, dense, cfg)
+
+
+def fig18(dense: bool = False, cfg: TurboFNOConfig | None = None) -> list[SweepSeries]:
+    """2-D fully fused FFT-CGEMM-iFFT (stage D vs all)."""
+    return _fig_2d(18, dense, cfg)
+
+
+def fig19(dense: bool = False, cfg: TurboFNOConfig | None = None) -> list[HeatmapResult]:
+    """2-D best-of heatmaps over K x batch, four (grid, N) panels."""
+    ks = list(range(8, 121, 16)) if dense else list(range(8, 121, 32))
+    batches = (
+        [1, 16, 32, 48, 64, 80, 96, 112, 128]
+        if dense
+        else [1, 32, 64, 128]
+    )
+    panels = []
+    for dim_y in (128, 256):
+        for modes in (64, 128):
+            panels.append(
+                heatmap_2d(
+                    f"fig19 256x{dim_y} 2DFFT, N={modes}",
+                    256, dim_y, modes, ks, batches, cfg,
+                )
+            )
+    return panels

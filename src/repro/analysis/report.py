@@ -1,0 +1,49 @@
+"""ASCII rendering of sweep series and heatmaps."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.sweeps import HeatmapResult, SweepSeries
+from repro.core.stages import FusionStage
+
+__all__ = ["render_series", "render_heatmap", "summarize"]
+
+
+def render_series(sweep: SweepSeries) -> str:
+    """Tabulate one sweep panel: x values down, stages across."""
+    stages = list(sweep.series.keys())
+    header = [f"{sweep.x_label:>8s}"] + [f"{s.value:>9s}" for s in stages]
+    lines = [sweep.title, " ".join(header)]
+    for i, x in enumerate(sweep.x):
+        row = [f"{x:>8.0f}"] + [
+            f"{sweep.series[s][i]:>+8.1f}%" for s in stages
+        ]
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def render_heatmap(hm: HeatmapResult, cell_width: int = 6) -> str:
+    """Render a heatmap as a signed-percent grid (negative = blue region)."""
+    lines = [hm.title, f"rows: {hm.row_label}, cols: {hm.col_label}"]
+    header = " " * 8 + "".join(f"{c:>{cell_width}.0f}" for c in hm.cols)
+    lines.append(header)
+    for r, row in zip(hm.rows, hm.values):
+        cells = "".join(f"{v:>+{cell_width}.0f}" for v in row)
+        lines.append(f"{r:>7.0f} {cells}")
+    lines.append(
+        f"mean {hm.mean:+.1f}%  max {hm.max:+.1f}%  min {hm.min:+.1f}%  "
+        f"negative cells {hm.negative_fraction():.1%}"
+    )
+    return "\n".join(lines)
+
+
+def summarize(panels: list[SweepSeries], stage: FusionStage) -> dict[str, float]:
+    """Aggregate statistics of one stage across several panels."""
+    values = np.concatenate([np.asarray(p.series[stage]) for p in panels])
+    return {
+        "mean": float(values.mean()),
+        "max": float(values.max()),
+        "min": float(values.min()),
+        "negative_fraction": float(np.mean(values < 0.0)),
+    }

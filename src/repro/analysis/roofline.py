@@ -1,0 +1,64 @@
+"""Roofline analysis of modelled kernels.
+
+The paper's performance story is a roofline story: the Fourier layer's
+kernels sit left of the A100's ridge point (memory-bound), so eliminating
+DRAM transactions — not FLOPs — is what fusion buys.  This module computes
+per-kernel arithmetic intensity, the binding resource, and the achieved
+fraction of the binding peak, for any pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.device import A100_SPEC, DeviceSpec
+from repro.gpu.kernel import kernel_time
+from repro.gpu.timeline import Pipeline
+
+__all__ = ["KernelRoofline", "ridge_point", "pipeline_roofline"]
+
+
+@dataclass(frozen=True)
+class KernelRoofline:
+    """Roofline placement of one kernel."""
+
+    name: str
+    arithmetic_intensity: float  # flops per DRAM byte
+    bound: str                   # "compute" | "memory" | "shared-memory"
+    achieved_fraction: float     # time of binding leg / total steady time
+
+    def describe(self) -> str:
+        ai = ("inf" if self.arithmetic_intensity == float("inf")
+              else f"{self.arithmetic_intensity:6.2f}")
+        return (f"{self.name:<28s} AI={ai} flop/B  {self.bound}-bound "
+                f"({self.achieved_fraction:.0%} of steady time)")
+
+
+def ridge_point(device: DeviceSpec = A100_SPEC) -> float:
+    """Arithmetic intensity (flop/byte) where compute and DRAM balance."""
+    return device.effective_flops() / device.effective_bandwidth()
+
+
+def pipeline_roofline(
+    pipeline: Pipeline, device: DeviceSpec = A100_SPEC
+) -> list[KernelRoofline]:
+    """Classify every kernel of a pipeline on the device's roofline."""
+    out = []
+    for spec in pipeline.kernels:
+        t = kernel_time(spec, device)
+        legs = {
+            "compute": t.compute_time,
+            "memory": t.dram_time,
+            "shared-memory": t.smem_time,
+        }
+        bound = max(legs, key=legs.get)
+        steady = max(t.steady_time, 1e-30)
+        out.append(
+            KernelRoofline(
+                name=spec.name,
+                arithmetic_intensity=spec.counters.arithmetic_intensity,
+                bound=bound,
+                achieved_fraction=min(1.0, legs[bound] / steady),
+            )
+        )
+    return out

@@ -1,0 +1,195 @@
+"""Sweep drivers and result containers for figure regeneration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import FNO1DProblem, FNO2DProblem, TurboFNOConfig
+from repro.core.pipeline_model import (
+    best_stage_1d,
+    best_stage_2d,
+    build_pipeline_1d,
+    build_pipeline_2d,
+)
+from repro.core.stages import FusionStage
+from repro.gpu.device import A100_SPEC, DeviceSpec
+from repro.gpu.timeline import speedup_percent
+
+__all__ = [
+    "SweepSeries",
+    "HeatmapResult",
+    "ladder_speedups_1d",
+    "ladder_speedups_2d",
+    "sweep_1d",
+    "sweep_2d",
+    "heatmap_1d",
+    "heatmap_2d",
+]
+
+
+@dataclass
+class SweepSeries:
+    """One figure panel: speedup-vs-PyTorch series per stage.
+
+    ``series[stage]`` holds one speedup (percent, 0 = parity) per x value.
+    """
+
+    title: str
+    x_label: str
+    x: list[float]
+    series: dict[FusionStage, list[float]] = field(default_factory=dict)
+
+    def stage(self, stage: FusionStage) -> list[float]:
+        return self.series[stage]
+
+    def mean(self, stage: FusionStage) -> float:
+        return float(np.mean(self.series[stage]))
+
+    def max(self, stage: FusionStage) -> float:
+        return float(np.max(self.series[stage]))
+
+
+@dataclass
+class HeatmapResult:
+    """One heatmap panel: stage-E speedup over a (row, col) grid."""
+
+    title: str
+    row_label: str
+    col_label: str
+    rows: list[float]
+    cols: list[float]
+    values: np.ndarray  # (len(rows), len(cols)) speedup percent
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def max(self) -> float:
+        return float(np.max(self.values))
+
+    @property
+    def min(self) -> float:
+        return float(np.min(self.values))
+
+    def negative_fraction(self) -> float:
+        """Fraction of the grid where TurboFNO loses (the blue region)."""
+        return float(np.mean(self.values < 0.0))
+
+
+def ladder_speedups_1d(
+    problem: FNO1DProblem,
+    stages: Sequence[FusionStage],
+    cfg: TurboFNOConfig | None = None,
+    device: DeviceSpec = A100_SPEC,
+) -> dict[FusionStage, float]:
+    """Speedup of each requested stage over the PyTorch baseline."""
+    cfg = cfg or TurboFNOConfig()
+    base = build_pipeline_1d(problem, FusionStage.PYTORCH, cfg).total_time(device)
+    out: dict[FusionStage, float] = {}
+    for stage in stages:
+        if stage is FusionStage.BEST:
+            _, t = best_stage_1d(problem, cfg, device)
+        else:
+            t = build_pipeline_1d(problem, stage, cfg).total_time(device)
+        out[stage] = speedup_percent(base, t)
+    return out
+
+
+def ladder_speedups_2d(
+    problem: FNO2DProblem,
+    stages: Sequence[FusionStage],
+    cfg: TurboFNOConfig | None = None,
+    device: DeviceSpec = A100_SPEC,
+) -> dict[FusionStage, float]:
+    """2-D analogue of :func:`ladder_speedups_1d`."""
+    cfg = cfg or TurboFNOConfig()
+    base = build_pipeline_2d(problem, FusionStage.PYTORCH, cfg).total_time(device)
+    out: dict[FusionStage, float] = {}
+    for stage in stages:
+        if stage is FusionStage.BEST:
+            _, t = best_stage_2d(problem, cfg, device)
+        else:
+            t = build_pipeline_2d(problem, stage, cfg).total_time(device)
+        out[stage] = speedup_percent(base, t)
+    return out
+
+
+def sweep_1d(
+    title: str,
+    x_label: str,
+    problems: Sequence[tuple[float, FNO1DProblem]],
+    stages: Sequence[FusionStage],
+    cfg: TurboFNOConfig | None = None,
+) -> SweepSeries:
+    """Run the stage ladder over a sequence of (x, problem) pairs."""
+    sweep = SweepSeries(title, x_label, [x for x, _ in problems],
+                        {s: [] for s in stages})
+    for _, prob in problems:
+        speeds = ladder_speedups_1d(prob, stages, cfg)
+        for s in stages:
+            sweep.series[s].append(speeds[s])
+    return sweep
+
+
+def sweep_2d(
+    title: str,
+    x_label: str,
+    problems: Sequence[tuple[float, FNO2DProblem]],
+    stages: Sequence[FusionStage],
+    cfg: TurboFNOConfig | None = None,
+) -> SweepSeries:
+    """2-D analogue of :func:`sweep_1d`."""
+    sweep = SweepSeries(title, x_label, [x for x, _ in problems],
+                        {s: [] for s in stages})
+    for _, prob in problems:
+        speeds = ladder_speedups_2d(prob, stages, cfg)
+        for s in stages:
+            sweep.series[s].append(speeds[s])
+    return sweep
+
+
+def heatmap_1d(
+    title: str,
+    dim_x: int,
+    modes: int,
+    ks: Sequence[int],
+    log2_ms: Sequence[int],
+    cfg: TurboFNOConfig | None = None,
+) -> HeatmapResult:
+    """Fig. 14-style heatmap: stage-E speedup over K x log2(M)."""
+    values = np.zeros((len(log2_ms), len(ks)))
+    for i, lm in enumerate(log2_ms):
+        m_spatial = max(2**lm, dim_x)
+        for j, k in enumerate(ks):
+            prob = FNO1DProblem.from_m_spatial(m_spatial, k, dim_x, modes)
+            speeds = ladder_speedups_1d(prob, [FusionStage.BEST], cfg)
+            values[i, j] = speeds[FusionStage.BEST]
+    return HeatmapResult(title, "log2(M)", "K", list(map(float, log2_ms)),
+                         list(map(float, ks)), values)
+
+
+def heatmap_2d(
+    title: str,
+    dim_x: int,
+    dim_y: int,
+    modes: int,
+    ks: Sequence[int],
+    batches: Sequence[int],
+    cfg: TurboFNOConfig | None = None,
+) -> HeatmapResult:
+    """Fig. 19-style heatmap: stage-E speedup over K x batch size."""
+    values = np.zeros((len(batches), len(ks)))
+    for i, bs in enumerate(batches):
+        for j, k in enumerate(ks):
+            prob = FNO2DProblem(
+                batch=bs, hidden=k, dim_x=dim_x, dim_y=dim_y,
+                modes_x=min(modes, dim_x), modes_y=min(modes, dim_y),
+            )
+            speeds = ladder_speedups_2d(prob, [FusionStage.BEST], cfg)
+            values[i, j] = speeds[FusionStage.BEST]
+    return HeatmapResult(title, "batch", "K", list(map(float, batches)),
+                         list(map(float, ks)), values)

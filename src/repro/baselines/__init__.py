@@ -1,0 +1,34 @@
+"""Closed-library baseline models.
+
+The paper's comparison base is "the state-of-the-art Fourier neural
+operator implementation in PyTorch, which [is] implemented with NVIDIA
+closed-source library cuBLAS, cuFFT and PyTorch built-in memory kernel"
+(§5).  This package models those components with their black-box
+constraints:
+
+* :mod:`repro.baselines.cufft` — cuFFT-like batched C2C FFT kernels: full
+  length only, no truncation/padding/pruning (§1 limitation 2), always a
+  full global-memory round trip.
+* :mod:`repro.baselines.cublas` — cuBLAS-like CGEMM kernel.
+* :mod:`repro.baselines.memcpy` — the extra truncation/zero-padding memory
+  copy kernels PyTorch must launch (§1 limitation 1).
+* :mod:`repro.baselines.pytorch_fno` — a numerically executable
+  PyTorch-style spectral convolution (separate stages, materialised
+  copies) used as the correctness reference and the wall-clock baseline.
+"""
+
+from repro.baselines.cublas import cublas_cgemm_kernel
+from repro.baselines.cufft import cufft_kernel
+from repro.baselines.memcpy import memcpy_kernel
+from repro.baselines.pytorch_fno import (
+    pytorch_like_spectral_conv_1d,
+    pytorch_like_spectral_conv_2d,
+)
+
+__all__ = [
+    "cufft_kernel",
+    "cublas_cgemm_kernel",
+    "memcpy_kernel",
+    "pytorch_like_spectral_conv_1d",
+    "pytorch_like_spectral_conv_2d",
+]

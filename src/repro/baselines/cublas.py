@@ -1,0 +1,46 @@
+"""cuBLAS-like CGEMM kernel model.
+
+cuBLAS is modelled as the same blocked CGEMM TurboFNO implements (§3.1
+reports the custom kernel "achieves performance comparable to cuBLAS
+under large-batch workloads"), but as a black box: operands must come
+from and return to global memory — no operand can be forwarded through
+shared memory from a neighbouring stage.
+"""
+
+from __future__ import annotations
+
+from repro.gemm.params import GemmParams, TABLE1_CGEMM
+from repro.gemm.traffic import gemm_counters
+from repro.gpu.kernel import KernelSpec, LaunchConfig
+
+__all__ = ["cublas_cgemm_kernel"]
+
+
+def cublas_cgemm_kernel(
+    m: int,
+    n: int,
+    k: int,
+    params: GemmParams = TABLE1_CGEMM,
+    name: str = "cublas_cgemm",
+    a_l2_candidate: bool = True,
+    c_l2_candidate: bool = True,
+) -> KernelSpec:
+    """One cuBLAS-like CGEMM launch computing an ``m x n x k`` product.
+
+    In the FNO pipeline both the A operand (truncated spectrum) and the C
+    result (pre-padding product) are inter-stage intermediates, hence the
+    default L2-candidate flags.
+    """
+    counters = gemm_counters(
+        m, n, k, params=params,
+        a_l2_candidate=a_l2_candidate, c_l2_candidate=c_l2_candidate,
+    )
+    return KernelSpec(
+        name=name,
+        launch=LaunchConfig(
+            blocks=params.grid_blocks(m, n),
+            threads_per_block=params.threads_per_block,
+            smem_per_block_bytes=params.smem_bytes(double_buffered=True),
+        ),
+        counters=counters,
+    )

@@ -1,0 +1,69 @@
+"""cuFFT-like kernel model: full-length batched C2C transforms only.
+
+cuFFT is a black box: it "does not natively support frequency filtering"
+and its closed-source design forecloses custom truncation (§1).  The model
+therefore always reads and writes the *full* signal and performs the full
+``5 N log2 N`` work — exactly the waste TurboFNO's built-in
+truncation/padding/pruning removes.
+
+Thread-block geometry follows the paper's description of a typical FFT
+kernel ("a workload of size 2N x 8 per thread block", §1): a block
+processes 8 signals with one thread per ``per_thread`` elements.
+"""
+
+from __future__ import annotations
+
+from repro.fft.opcount import fft_flops
+from repro.gpu.counters import PerfCounters
+from repro.gpu.kernel import KernelSpec, LaunchConfig
+
+__all__ = ["cufft_kernel"]
+
+_COMPLEX64_BYTES = 8
+_SMEM_TRANSACTION_BYTES = 128
+
+
+def cufft_kernel(
+    n: int,
+    batch: int,
+    inverse: bool = False,
+    name: str | None = None,
+    signals_per_block: int = 8,
+    per_thread: int = 8,
+    input_intermediate: bool = False,
+    output_intermediate: bool = False,
+) -> KernelSpec:
+    """One cuFFT-like batched C2C launch of ``batch`` length-``n`` FFTs.
+
+    ``input_intermediate`` / ``output_intermediate`` mark the operand as
+    inter-stage data eligible for L2 residence (see
+    :class:`repro.gpu.counters.PerfCounters`).
+    """
+    if n <= 1 or batch <= 0:
+        raise ValueError(f"need n > 1 and batch > 0, got n={n}, batch={batch}")
+    flops = fft_flops(n, batch)
+    bytes_full = float(batch) * n * _COMPLEX64_BYTES
+    l2_candidate = bytes_full * (int(input_intermediate) + int(output_intermediate))
+    # In-kernel shuffle traffic: each element passes through shared memory
+    # once per radix pass beyond the register-resident butterflies.
+    smem_bytes = 2.0 * bytes_full
+    ideal = smem_bytes / _SMEM_TRANSACTION_BYTES
+    threads = max(32, (n // per_thread) * signals_per_block)
+    blocks = -(-batch // signals_per_block)
+    return KernelSpec(
+        name=name or ("cufft_inv" if inverse else "cufft_fwd"),
+        launch=LaunchConfig(
+            blocks=blocks,
+            threads_per_block=threads,
+            smem_per_block_bytes=signals_per_block * n * _COMPLEX64_BYTES,
+        ),
+        counters=PerfCounters(
+            flops=flops,
+            global_bytes_read=bytes_full,
+            global_bytes_written=bytes_full,
+            smem_transactions=ideal,
+            smem_ideal_transactions=ideal,
+            syncthreads=float(blocks) * max(1, (n - 1).bit_length() // 2),
+            l2_candidate_bytes=l2_candidate,
+        ),
+    )

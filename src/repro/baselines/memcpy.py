@@ -1,0 +1,46 @@
+"""Truncation / zero-padding memory-copy kernel model.
+
+Because cuFFT cannot trim or pad, PyTorch's FNO launches dedicated
+memory-copy kernels to extract the kept low frequencies after the forward
+FFT and to re-insert zero padding before the inverse FFT (§1 limitation 1,
+Figure 1a steps 2 and 4).  These kernels do no arithmetic; they are pure
+global-memory round trips plus a launch.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.counters import PerfCounters
+from repro.gpu.kernel import KernelSpec, LaunchConfig
+
+__all__ = ["memcpy_kernel"]
+
+_COMPLEX64_BYTES = 8
+_THREADS = 256
+_ELEMS_PER_THREAD = 4
+
+
+def memcpy_kernel(
+    elements_read: float,
+    elements_written: float,
+    name: str = "memcpy",
+) -> KernelSpec:
+    """A copy kernel moving complex64 elements.
+
+    For truncation, ``elements_read == elements_written`` (the kept
+    subset).  For zero-padding, ``elements_written > elements_read``
+    (zeros are written but never read).
+    """
+    if elements_read < 0 or elements_written <= 0:
+        raise ValueError("copy kernels must write something")
+    work_items = max(elements_read, elements_written)
+    blocks = max(1, int(-(-work_items // (_THREADS * _ELEMS_PER_THREAD))))
+    return KernelSpec(
+        name=name,
+        launch=LaunchConfig(blocks=blocks, threads_per_block=_THREADS),
+        counters=PerfCounters(
+            global_bytes_read=elements_read * _COMPLEX64_BYTES,
+            global_bytes_written=elements_written * _COMPLEX64_BYTES,
+            # Copies move inter-stage intermediates by definition.
+            l2_candidate_bytes=(elements_read + elements_written) * _COMPLEX64_BYTES,
+        ),
+    )

@@ -1,0 +1,41 @@
+"""TurboFNO core: the paper's contribution.
+
+* :mod:`repro.core.config` — problem descriptions (1D/2D Fourier layers)
+  and the TurboFNO configuration (truncation, kernel parameters, fusion
+  stage, model penalties).
+* :mod:`repro.core.stages` — the optimization ladder of Table 2
+  (A: FFT pruning/truncation/padding, B: +fused FFT-CGEMM, C: +fused
+  CGEMM-iFFT, D: fully fused FFT-CGEMM-iFFT, E: best-of).
+* :mod:`repro.core.fft_variant` — the k-loop FFT variant: the second FFT
+  stage re-interpreted along the hidden dimension so a thread block's
+  iteration order matches CGEMM's k-loop (Figure 6).
+* :mod:`repro.core.fused` — numerically exact fused operators (NumPy
+  execution of the single-kernel dataflow).
+* :mod:`repro.core.spectral` — the public spectral-convolution API with
+  selectable engine.
+* :mod:`repro.core.pipeline_model` — compiles every stage (and the
+  PyTorch baseline) into :class:`repro.gpu.timeline.Pipeline` kernel
+  sequences; this is what regenerates the paper's figures.
+"""
+
+from repro.core.config import FNO1DProblem, FNO2DProblem, TurboFNOConfig
+from repro.core.fused import (
+    fused_fft_gemm_ifft_1d,
+    fused_fft_gemm_ifft_2d,
+)
+from repro.core.pipeline_model import build_pipeline_1d, build_pipeline_2d
+from repro.core.spectral import spectral_conv_1d, spectral_conv_2d
+from repro.core.stages import FusionStage
+
+__all__ = [
+    "FNO1DProblem",
+    "FNO2DProblem",
+    "TurboFNOConfig",
+    "FusionStage",
+    "spectral_conv_1d",
+    "spectral_conv_2d",
+    "fused_fft_gemm_ifft_1d",
+    "fused_fft_gemm_ifft_2d",
+    "build_pipeline_1d",
+    "build_pipeline_2d",
+]

@@ -1,0 +1,192 @@
+"""Problem descriptions and the TurboFNO configuration.
+
+:class:`FNO1DProblem` / :class:`FNO2DProblem` describe one Fourier layer's
+shape in the paper's vocabulary (hidden dimension K, spatial FFT sizes,
+kept modes, batch).  :class:`TurboFNOConfig` carries the kernel parameters
+(Table 1) and the execution-model penalty knobs with their paper
+citations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fft.stockham import is_power_of_two
+from repro.gemm.params import GemmParams, TABLE1_CGEMM
+
+__all__ = ["FNO1DProblem", "FNO2DProblem", "TurboFNOConfig"]
+
+
+@dataclass(frozen=True)
+class FNO1DProblem:
+    """One 1-D Fourier-layer workload.
+
+    Parameters
+    ----------
+    batch:
+        Number of signals (the paper's BS; each signal has ``hidden``
+        channels of length ``dim_x``).
+    hidden:
+        Hidden/channel dimension K (the GEMM reduction dim).
+    dim_x:
+        Spatial length = FFT size (128 or 256 in the paper).
+    modes:
+        Kept low-frequency bins (the paper's filter size N: 64 or 128).
+    out_dim:
+        Output channels (defaults to ``hidden`` — square spectral weights).
+    """
+
+    batch: int
+    hidden: int
+    dim_x: int
+    modes: int
+    out_dim: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.batch <= 0 or self.hidden <= 0:
+            raise ValueError("batch and hidden must be positive")
+        if not is_power_of_two(self.dim_x):
+            raise ValueError(f"dim_x must be a power of two, got {self.dim_x}")
+        if not is_power_of_two(self.modes) or self.modes > self.dim_x:
+            raise ValueError(
+                f"modes must be a power of two <= dim_x, got {self.modes}"
+            )
+        if self.out_dim is not None and self.out_dim <= 0:
+            raise ValueError("out_dim must be positive")
+
+    @property
+    def n_out(self) -> int:
+        return self.out_dim if self.out_dim is not None else self.hidden
+
+    @property
+    def m_spatial(self) -> int:
+        """The paper's M = batch x dim_x (Fig. 14's y axis)."""
+        return self.batch * self.dim_x
+
+    @property
+    def gemm_m(self) -> int:
+        """GEMM row count: truncated spatial size x batch."""
+        return self.batch * self.modes
+
+    @classmethod
+    def from_m_spatial(
+        cls, m_spatial: int, hidden: int, dim_x: int, modes: int
+    ) -> "FNO1DProblem":
+        """Build a problem from the paper's M = batch * dim_x sweep value."""
+        if m_spatial % dim_x:
+            raise ValueError(f"m_spatial={m_spatial} not divisible by dim_x={dim_x}")
+        return cls(batch=m_spatial // dim_x, hidden=hidden, dim_x=dim_x, modes=modes)
+
+
+@dataclass(frozen=True)
+class FNO2DProblem:
+    """One 2-D Fourier-layer workload on a ``dim_x x dim_y`` grid."""
+
+    batch: int
+    hidden: int
+    dim_x: int
+    dim_y: int
+    modes_x: int
+    modes_y: int
+    out_dim: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.batch <= 0 or self.hidden <= 0:
+            raise ValueError("batch and hidden must be positive")
+        for n, name in ((self.dim_x, "dim_x"), (self.dim_y, "dim_y")):
+            if not is_power_of_two(n):
+                raise ValueError(f"{name} must be a power of two, got {n}")
+        if not is_power_of_two(self.modes_x) or self.modes_x > self.dim_x:
+            raise ValueError("modes_x must be a power of two <= dim_x")
+        if not is_power_of_two(self.modes_y) or self.modes_y > self.dim_y:
+            raise ValueError("modes_y must be a power of two <= dim_y")
+        if self.out_dim is not None and self.out_dim <= 0:
+            raise ValueError("out_dim must be positive")
+
+    @property
+    def n_out(self) -> int:
+        return self.out_dim if self.out_dim is not None else self.hidden
+
+    @property
+    def gemm_m(self) -> int:
+        """GEMM row count: truncated grid x batch."""
+        return self.batch * self.modes_x * self.modes_y
+
+
+@dataclass(frozen=True)
+class TurboFNOConfig:
+    """Kernel parameters and execution-model knobs.
+
+    Parameters
+    ----------
+    gemm:
+        Tiling of the standalone CGEMM (Table 1 default).
+    fused_n_tb:
+        N-tile of the fused kernels.  The fused grid's N extent governs how
+        often each thread block re-computes the forward FFT of its
+        k-slices, so the fused kernels widen the N tile (the §5.1 A.3
+        configuration uses N_tb = 128); 64 balances re-compute against
+        occupancy and puts the fusion-win/loss crossover at K > 64, where
+        the paper observes it.
+    fft_per_thread:
+        Per-thread FFT size (Table 1: 8 for N=128, 16 for N=256 — chosen
+        automatically when left at 0).
+    signals_per_block:
+        FFT signals per thread block (Table 1 ``bs`` = 8 = ``k_tb``).
+    kloop_memory_derate:
+        DRAM derate of the hidden-dim-iterating FFT variant.  §5.1 (A.1):
+        changing the access pattern from (X, Y) to (Y, HiddenDim) "reduces
+        L1 cache locality across thread blocks ... causes minor performance
+        degradation".
+    epilogue_bank_utilization / forward_bank_utilization:
+        Shared-memory bank utilization of the GEMM->iFFT and FFT->GEMM
+        hand-offs.  1.0 with TurboFNO's swizzles (Figs. 7-8); setting 0.25
+        reproduces the naive/VkFFT layouts for ablations.
+    """
+
+    gemm: GemmParams = TABLE1_CGEMM
+    fused_n_tb: int = 64
+    fft_per_thread: int = 0
+    signals_per_block: int = 8
+    kloop_memory_derate: float = 1.10
+    epilogue_bank_utilization: float = 1.0
+    forward_bank_utilization: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kloop_memory_derate < 1.0:
+            raise ValueError("kloop_memory_derate must be >= 1.0")
+        for name in ("epilogue_bank_utilization", "forward_bank_utilization"):
+            v = getattr(self, name)
+            if not (0.0 < v <= 1.0):
+                raise ValueError(f"{name} must be in (0, 1], got {v}")
+        if self.fft_per_thread and not is_power_of_two(self.fft_per_thread):
+            raise ValueError("fft_per_thread must be a power of two (or 0 = auto)")
+        if self.signals_per_block <= 0:
+            raise ValueError("signals_per_block must be positive")
+
+    def per_thread_for(self, n: int) -> int:
+        """Per-thread FFT size for a length-``n`` transform (Table 1 picks
+        8 for N=128 and 16 for N=256; auto mode scales as n/16)."""
+        if self.fft_per_thread:
+            return min(self.fft_per_thread, n)
+        return max(2, min(16, n // 16))
+
+    def fused_gemm(self, modes: int) -> GemmParams:
+        """Tiling for the fused kernels (stages B, C and D).
+
+        Two constraints raise the tile sizes above Table 1's standalone
+        kernel: the in-kernel FFT/iFFT needs every kept frequency bin of a
+        signal resident in one thread block (``m_tb >= modes``, the §5.1
+        A.3 configuration uses m_tb = 64 for N = 64), and a wide ``n_tb``
+        limits the per-block FFT recompute (see ``fused_n_tb``).
+        """
+        m_tb = max(self.gemm.m_tb, modes)
+        return GemmParams(
+            m_tb=m_tb,
+            n_tb=max(self.fused_n_tb, self.gemm.n_tb),
+            k_tb=self.gemm.k_tb,
+            m_w=self.gemm.m_w,
+            n_w=self.gemm.n_w,
+            m_t=self.gemm.m_t,
+            n_t=self.gemm.n_t,
+        )

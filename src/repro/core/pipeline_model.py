@@ -1,0 +1,523 @@
+"""Compile Fourier-layer implementations into kernel pipelines.
+
+This module is where the paper's execution strategies become concrete
+kernel sequences against :mod:`repro.gpu`:
+
+* the **PyTorch baseline**: cuFFT + truncation copy + cuBLAS + padding
+  copy + cuFFT (5 kernels in 1D, 7 in 2D);
+* **stage A** (Fig. 10/15): TurboFNO's FFT kernels with built-in
+  truncation, zero-padding and butterfly pruning — the copies disappear
+  and the FFT stages shrink;
+* **stage B** (Fig. 11/16): the forward FFT folded into the CGEMM k-loop.
+  The A operand never touches DRAM, but each (m, n) thread block
+  re-computes the FFT of its k-slices, so the FFT work and raw-input reads
+  multiply by the number of covering blocks — the mechanism behind the
+  paper's observation that fusion benefits shrink (and eventually invert)
+  as the hidden dimension K grows;
+* **stage C** (Fig. 12/17): the inverse FFT as the CGEMM epilogue.  The
+  iFFT needs every kept bin of a signal in one block, so the epilogue
+  tiling raises ``m_tb`` to the mode count (§5.1 A.3's 64x128 config);
+* **stage D** (Fig. 13/18): single fully fused FFT-CGEMM-iFFT kernel;
+* **stage E** (Fig. 14/19): per-problem best of A-D.
+
+All byte/FLOP counts are exact consequences of the layer geometry and the
+Table 1 kernel parameters; the only free knobs are the documented penalty
+terms in :class:`repro.core.config.TurboFNOConfig`.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import FNO1DProblem, FNO2DProblem, TurboFNOConfig
+from repro.core.stages import FusionStage
+from repro.baselines.cublas import cublas_cgemm_kernel
+from repro.baselines.cufft import cufft_kernel
+from repro.baselines.memcpy import memcpy_kernel
+from repro.fft.opcount import census, fft_flops
+from repro.fft.plan import FFTPlan
+from repro.gemm.params import GemmParams
+from repro.gemm.traffic import gemm_counters
+from repro.gpu.counters import PerfCounters
+from repro.gpu.device import A100_SPEC, DeviceSpec
+from repro.gpu.kernel import KernelSpec, LaunchConfig
+from repro.gpu.timeline import Pipeline
+
+__all__ = [
+    "turbo_fft_kernel",
+    "fused_kernel",
+    "build_pipeline_1d",
+    "build_pipeline_2d",
+    "best_stage_1d",
+    "best_stage_2d",
+]
+
+_C64 = 8  # bytes per complex64
+_SMEM_TXN = 128  # bytes per 32-bank shared-memory transaction
+_TRIVIAL_WEIGHT = 0.5  # cost of a copy/scale op relative to a butterfly
+
+
+def _prune_fraction(n: int, keep: int | None, live: int | None) -> float:
+    return census(
+        n,
+        keep_out=keep if keep is not None and keep < n else None,
+        nonzero_in=live if live is not None and live < n else None,
+    ).weighted_fraction(_TRIVIAL_WEIGHT)
+
+
+def turbo_fft_kernel(
+    plan: FFTPlan,
+    cfg: TurboFNOConfig,
+    name: str,
+    kloop: bool = False,
+    input_intermediate: bool = False,
+    output_intermediate: bool = False,
+) -> KernelSpec:
+    """TurboFNO's standalone FFT kernel with built-in truncation/padding.
+
+    Reads only the live inputs, writes only the kept outputs, executes only
+    the censused butterfly work.  ``kloop=True`` marks the hidden-dim
+    iterating variant (stage-2 FFT aligned with the GEMM k-loop), which
+    pays the §5.1(A.1) locality derate.  The ``*_intermediate`` flags mark
+    operands as inter-stage data eligible for L2 residence.
+    """
+    frac = _prune_fraction(plan.n, plan.keep, plan.live)
+    flops = fft_flops(plan.n, plan.batch, frac)
+    # Butterfly shuffles: every surviving element crosses shared memory
+    # roughly twice per kernel (load + swizzled store), conflict-free
+    # thanks to the Fig. 7(b/c) tid-offset swizzle.
+    smem_bytes = 2.0 * plan.batch * plan.n * frac * _C64
+    ideal = smem_bytes / _SMEM_TXN
+    reads = plan.global_bytes_read()
+    writes = plan.global_bytes_written()
+    l2_candidate = reads * int(input_intermediate) + writes * int(output_intermediate)
+    return KernelSpec(
+        name=name,
+        launch=LaunchConfig(
+            blocks=plan.blocks,
+            threads_per_block=plan.threads_per_block,
+            smem_per_block_bytes=plan.smem_bytes_per_block,
+        ),
+        counters=PerfCounters(
+            flops=flops,
+            global_bytes_read=reads,
+            global_bytes_written=writes,
+            smem_transactions=ideal,
+            smem_ideal_transactions=ideal,
+            syncthreads=float(plan.blocks) * max(1, (plan.n - 1).bit_length() // 2),
+            l2_candidate_bytes=l2_candidate,
+        ),
+        memory_derate=cfg.kloop_memory_derate if kloop else 1.0,
+    )
+
+
+def fused_kernel(
+    name: str,
+    n_signals: int,
+    hidden: int,
+    out_dim: int,
+    dim_fft: int,
+    modes: int,
+    cfg: TurboFNOConfig,
+    include_fft: bool,
+    include_ifft: bool,
+    input_intermediate: bool = False,
+    output_intermediate: bool = False,
+) -> KernelSpec:
+    """The fused FFT-CGEMM(-iFFT) kernel of §4.
+
+    ``n_signals`` is the number of spatial pencils entering the fused FFT
+    (1D: the batch; 2D: batch x kept-x-modes).  The GEMM sees
+    ``M = n_signals * modes`` rows.
+
+    Cost structure (§4.1-4.3):
+
+    * forward FFT (if fused): every thread block re-reads and re-transforms
+      the raw k-slice signals it needs — a recompute factor of
+      ``blocks_n x blocks-per-signal`` relative to a standalone FFT.  This
+      trades DRAM round trips for redundant FLOPs/reads, which pays off
+      while the grid's N extent is one block (small K) and inverts for
+      large K, exactly the trend of Figs. 11/13(b-d).
+    * CGEMM: A arrives via shared memory when the FFT is fused (no DRAM
+      leg); C never leaves shared memory when the iFFT is fused.
+    * inverse FFT (if fused): performed in-block on the C tile, so the
+      epilogue tiling must hold all ``modes`` bins of a signal
+      (``m_tb >= modes``); output written zero-padded to full length.
+    """
+    if not (include_fft or include_ifft):
+        raise ValueError("a fused kernel must fuse at least one FFT side")
+    params: GemmParams = cfg.fused_gemm(modes)
+    gemm_m = n_signals * modes
+    blocks_m = -(-gemm_m // params.m_tb)
+    blocks_n = -(-out_dim // params.n_tb)
+    blocks = blocks_m * blocks_n
+    k_iters = params.k_iterations(hidden)
+
+    phases: list[PerfCounters] = []
+
+    if include_fft:
+        # Every covering block re-reads and re-transforms its k-slice
+        # signals; with m_tb >= modes only the grid's N extent multiplies.
+        m_blocks_per_signal = -(-modes // params.m_tb)
+        recompute = blocks_n * m_blocks_per_signal
+        transforms = float(n_signals * hidden) * recompute
+        frac = _prune_fraction(dim_fft, modes, None)
+        fft_smem = 2.0 * transforms * dim_fft * frac * _C64 / _SMEM_TXN
+        fft_reads = transforms * dim_fft * _C64
+        phases.append(
+            PerfCounters(
+                flops=fft_flops(dim_fft, transforms, frac),
+                global_bytes_read=fft_reads,
+                smem_transactions=fft_smem / cfg.forward_bank_utilization,
+                smem_ideal_transactions=fft_smem,
+                # One extra barrier per k-tile: the FFT(A, As) of Fig. 9.
+                syncthreads=float(blocks * k_iters),
+                # The first pass over the input is cold unless the input is
+                # itself an inter-stage intermediate (2-D: the truncated
+                # width-FFT output); recompute re-reads are always
+                # L2-servable when the input fits.
+                l2_candidate_bytes=(
+                    fft_reads
+                    if input_intermediate
+                    else fft_reads * (recompute - 1) / recompute
+                ),
+            )
+        )
+
+    bank_util = min(
+        cfg.forward_bank_utilization if include_fft else 1.0,
+        cfg.epilogue_bank_utilization if include_ifft else 1.0,
+    )
+    phases.append(
+        gemm_counters(
+            gemm_m,
+            out_dim,
+            hidden,
+            params=params,
+            read_a_from_global=not include_fft,
+            write_c_to_global=not include_ifft,
+            bank_utilization=bank_util,
+            a_l2_candidate=not include_fft,
+            c_l2_candidate=not include_ifft,
+        )
+    )
+
+    if include_ifft:
+        transforms_out = float(n_signals * out_dim)
+        frac = _prune_fraction(dim_fft, None, modes)
+        ifft_smem = 2.0 * transforms_out * dim_fft * frac * _C64 / _SMEM_TXN
+        epi_smem = transforms_out * modes * _C64 / _SMEM_TXN  # Cres -> sFFT
+        ifft_writes = transforms_out * dim_fft * _C64
+        phases.append(
+            PerfCounters(
+                flops=fft_flops(dim_fft, transforms_out, frac),
+                global_bytes_written=ifft_writes,
+                smem_transactions=ifft_smem
+                + epi_smem / cfg.epilogue_bank_utilization,
+                smem_ideal_transactions=ifft_smem + epi_smem,
+                syncthreads=float(blocks) * (-(-out_dim // params.n_tb)),
+                l2_candidate_bytes=ifft_writes * int(output_intermediate),
+            )
+        )
+
+    totals = PerfCounters()
+    for ph in phases:
+        totals += ph
+
+    smem_per_block = (
+        # B tiles double buffered; A tile single buffered (§3.1: FFT sync
+        # already serialises the A side); sFFT staging buffer (Fig. 9).
+        2 * params.k_tb * params.n_tb * _C64
+        + params.m_tb * params.k_tb * _C64
+        + params.k_tb * dim_fft * _C64
+    )
+    return KernelSpec(
+        name=name,
+        launch=LaunchConfig(
+            blocks=blocks,
+            threads_per_block=params.threads_per_block,
+            smem_per_block_bytes=smem_per_block,
+        ),
+        counters=totals,
+        memory_derate=cfg.kloop_memory_derate if include_fft else 1.0,
+        phases=tuple(phases),
+    )
+
+
+# ---------------------------------------------------------------------------
+# 1-D pipelines
+# ---------------------------------------------------------------------------
+
+def build_pipeline_1d(
+    problem: FNO1DProblem,
+    stage: FusionStage,
+    cfg: TurboFNOConfig | None = None,
+) -> Pipeline:
+    """Kernel pipeline of one 1-D Fourier layer under ``stage``."""
+    cfg = cfg or TurboFNOConfig()
+    p = problem
+    n_out = p.n_out
+    fwd_batch = p.batch * p.hidden
+    inv_batch = p.batch * n_out
+    pt = cfg.per_thread_for(p.dim_x)
+
+    if stage is FusionStage.PYTORCH:
+        pipe = Pipeline("pytorch-1d")
+        pipe.add(
+            cufft_kernel(p.dim_x, fwd_batch, name="cufft_fwd",
+                         output_intermediate=True)
+        )
+        pipe.add(
+            memcpy_kernel(
+                fwd_batch * p.modes, fwd_batch * p.modes, name="truncate_copy"
+            )
+        )
+        pipe.add(cublas_cgemm_kernel(p.gemm_m, n_out, p.hidden, params=cfg.gemm))
+        pipe.add(
+            memcpy_kernel(
+                inv_batch * p.modes, inv_batch * p.dim_x, name="pad_copy"
+            )
+        )
+        pipe.add(
+            cufft_kernel(p.dim_x, inv_batch, inverse=True, name="cufft_inv",
+                         input_intermediate=True)
+        )
+        return pipe
+
+    if stage is FusionStage.BEST:
+        raise ValueError("use best_stage_1d() to resolve stage E")
+
+    fft_plan = FFTPlan(
+        n=p.dim_x,
+        batch=fwd_batch,
+        n_keep=p.modes,
+        per_thread=pt,
+        signals_per_block=cfg.signals_per_block,
+        kloop_hidden=p.hidden,
+    )
+    ifft_plan = FFTPlan(
+        n=p.dim_x,
+        batch=inv_batch,
+        n_live=p.modes,
+        per_thread=pt,
+        signals_per_block=cfg.signals_per_block,
+        inverse=True,
+        kloop_hidden=n_out,
+    )
+
+    if stage is FusionStage.FFT_OPT:
+        pipe = Pipeline("turbofno-1d-A")
+        pipe.add(turbo_fft_kernel(fft_plan, cfg, "turbo_fft_trunc", kloop=True,
+                                  output_intermediate=True))
+        pipe.add(cublas_cgemm_kernel(p.gemm_m, n_out, p.hidden, params=cfg.gemm,
+                                     name="turbo_cgemm"))
+        pipe.add(turbo_fft_kernel(ifft_plan, cfg, "turbo_ifft_pad", kloop=True,
+                                  input_intermediate=True))
+        return pipe
+
+    if stage is FusionStage.FUSED_FFT_GEMM:
+        pipe = Pipeline("turbofno-1d-B")
+        pipe.add(
+            fused_kernel(
+                "fused_fft_cgemm",
+                n_signals=p.batch,
+                hidden=p.hidden,
+                out_dim=n_out,
+                dim_fft=p.dim_x,
+                modes=p.modes,
+                cfg=cfg,
+                include_fft=True,
+                include_ifft=False,
+            )
+        )
+        pipe.add(turbo_fft_kernel(ifft_plan, cfg, "turbo_ifft_pad", kloop=True,
+                                  input_intermediate=True))
+        return pipe
+
+    if stage is FusionStage.FUSED_GEMM_IFFT:
+        pipe = Pipeline("turbofno-1d-C")
+        pipe.add(turbo_fft_kernel(fft_plan, cfg, "turbo_fft_trunc", kloop=True,
+                                  output_intermediate=True))
+        pipe.add(
+            fused_kernel(
+                "fused_cgemm_ifft",
+                n_signals=p.batch,
+                hidden=p.hidden,
+                out_dim=n_out,
+                dim_fft=p.dim_x,
+                modes=p.modes,
+                cfg=cfg,
+                include_fft=False,
+                include_ifft=True,
+            )
+        )
+        return pipe
+
+    if stage is FusionStage.FUSED_ALL:
+        pipe = Pipeline("turbofno-1d-D")
+        pipe.add(
+            fused_kernel(
+                "fused_fft_cgemm_ifft",
+                n_signals=p.batch,
+                hidden=p.hidden,
+                out_dim=n_out,
+                dim_fft=p.dim_x,
+                modes=p.modes,
+                cfg=cfg,
+                include_fft=True,
+                include_ifft=True,
+            )
+        )
+        return pipe
+
+    raise ValueError(f"unhandled stage {stage}")
+
+
+def best_stage_1d(
+    problem: FNO1DProblem,
+    cfg: TurboFNOConfig | None = None,
+    device: DeviceSpec = A100_SPEC,
+) -> tuple[FusionStage, float]:
+    """Stage E: the fastest of A-D for this problem (stage, model time)."""
+    cfg = cfg or TurboFNOConfig()
+    best: tuple[FusionStage, float] | None = None
+    for stage in FusionStage.ladder():
+        t = build_pipeline_1d(problem, stage, cfg).total_time(device)
+        if best is None or t < best[1]:
+            best = (stage, t)
+    assert best is not None
+    return best
+
+
+# ---------------------------------------------------------------------------
+# 2-D pipelines
+# ---------------------------------------------------------------------------
+
+def build_pipeline_2d(
+    problem: FNO2DProblem,
+    stage: FusionStage,
+    cfg: TurboFNOConfig | None = None,
+) -> Pipeline:
+    """Kernel pipeline of one 2-D Fourier layer under ``stage``.
+
+    The first FFT stage runs along the width (DimX) with built-in
+    truncation; the second stage (along DimY, re-interpreted over the
+    hidden dimension) is the one that fuses with CGEMM (§3.3, Fig. 6).
+    """
+    cfg = cfg or TurboFNOConfig()
+    p = problem
+    n_out = p.n_out
+    pt_x = cfg.per_thread_for(p.dim_x)
+    pt_y = cfg.per_thread_for(p.dim_y)
+
+    if stage is FusionStage.PYTORCH:
+        pipe = Pipeline("pytorch-2d")
+        pipe.add(cufft_kernel(p.dim_x, p.batch * p.hidden * p.dim_y, name="cufft_x",
+                              output_intermediate=True))
+        pipe.add(cufft_kernel(p.dim_y, p.batch * p.hidden * p.dim_x, name="cufft_y",
+                              input_intermediate=True, output_intermediate=True))
+        trunc_elems = p.batch * p.hidden * p.modes_x * p.modes_y
+        pipe.add(memcpy_kernel(trunc_elems, trunc_elems, name="truncate_copy"))
+        pipe.add(cublas_cgemm_kernel(p.gemm_m, n_out, p.hidden, params=cfg.gemm))
+        pad_in = p.batch * n_out * p.modes_x * p.modes_y
+        pad_out = p.batch * n_out * p.dim_x * p.dim_y
+        pipe.add(memcpy_kernel(pad_in, pad_out, name="pad_copy"))
+        pipe.add(
+            cufft_kernel(p.dim_y, p.batch * n_out * p.dim_x, inverse=True,
+                         name="cufft_inv_y",
+                         input_intermediate=True, output_intermediate=True)
+        )
+        pipe.add(
+            cufft_kernel(p.dim_x, p.batch * n_out * p.dim_y, inverse=True,
+                         name="cufft_inv_x", input_intermediate=True)
+        )
+        return pipe
+
+    if stage is FusionStage.BEST:
+        raise ValueError("use best_stage_2d() to resolve stage E")
+
+    # Outer (width) stages: always standalone TurboFNO kernels.
+    fft_x = FFTPlan(
+        n=p.dim_x, batch=p.batch * p.hidden * p.dim_y, n_keep=p.modes_x,
+        per_thread=pt_x, signals_per_block=cfg.signals_per_block,
+    )
+    ifft_x = FFTPlan(
+        n=p.dim_x, batch=p.batch * n_out * p.dim_y, n_live=p.modes_x,
+        per_thread=pt_x, signals_per_block=cfg.signals_per_block, inverse=True,
+    )
+    # Inner (height) stages on the truncated x rows only.
+    fft_y = FFTPlan(
+        n=p.dim_y, batch=p.batch * p.hidden * p.modes_x, n_keep=p.modes_y,
+        per_thread=pt_y, signals_per_block=cfg.signals_per_block,
+        kloop_hidden=p.hidden,
+    )
+    ifft_y = FFTPlan(
+        n=p.dim_y, batch=p.batch * n_out * p.modes_x, n_live=p.modes_y,
+        per_thread=pt_y, signals_per_block=cfg.signals_per_block, inverse=True,
+        kloop_hidden=n_out,
+    )
+    n_signals = p.batch * p.modes_x  # pencils entering the fused stage
+
+    pipe = Pipeline(f"turbofno-2d-{stage.value}")
+    pipe.add(turbo_fft_kernel(fft_x, cfg, "turbo_fft_x_trunc",
+                              output_intermediate=True))
+
+    if stage is FusionStage.FFT_OPT:
+        pipe.add(turbo_fft_kernel(fft_y, cfg, "turbo_fft_y_trunc", kloop=True,
+                                  input_intermediate=True,
+                                  output_intermediate=True))
+        pipe.add(cublas_cgemm_kernel(p.gemm_m, n_out, p.hidden, params=cfg.gemm,
+                                     name="turbo_cgemm"))
+        pipe.add(turbo_fft_kernel(ifft_y, cfg, "turbo_ifft_y_pad", kloop=True,
+                                  input_intermediate=True,
+                                  output_intermediate=True))
+    elif stage is FusionStage.FUSED_FFT_GEMM:
+        pipe.add(
+            fused_kernel(
+                "fused_fft_cgemm", n_signals, p.hidden, n_out, p.dim_y,
+                p.modes_y, cfg, include_fft=True, include_ifft=False,
+                input_intermediate=True,
+            )
+        )
+        pipe.add(turbo_fft_kernel(ifft_y, cfg, "turbo_ifft_y_pad", kloop=True,
+                                  input_intermediate=True,
+                                  output_intermediate=True))
+    elif stage is FusionStage.FUSED_GEMM_IFFT:
+        pipe.add(turbo_fft_kernel(fft_y, cfg, "turbo_fft_y_trunc", kloop=True,
+                                  input_intermediate=True,
+                                  output_intermediate=True))
+        pipe.add(
+            fused_kernel(
+                "fused_cgemm_ifft", n_signals, p.hidden, n_out, p.dim_y,
+                p.modes_y, cfg, include_fft=False, include_ifft=True,
+                output_intermediate=True,
+            )
+        )
+    elif stage is FusionStage.FUSED_ALL:
+        pipe.add(
+            fused_kernel(
+                "fused_fft_cgemm_ifft", n_signals, p.hidden, n_out, p.dim_y,
+                p.modes_y, cfg, include_fft=True, include_ifft=True,
+                input_intermediate=True, output_intermediate=True,
+            )
+        )
+    else:
+        raise ValueError(f"unhandled stage {stage}")
+
+    pipe.add(turbo_fft_kernel(ifft_x, cfg, "turbo_ifft_x_pad",
+                              input_intermediate=True))
+    return pipe
+
+
+def best_stage_2d(
+    problem: FNO2DProblem,
+    cfg: TurboFNOConfig | None = None,
+    device: DeviceSpec = A100_SPEC,
+) -> tuple[FusionStage, float]:
+    """Stage E: the fastest of A-D for this problem (stage, model time)."""
+    cfg = cfg or TurboFNOConfig()
+    best: tuple[FusionStage, float] | None = None
+    for stage in FusionStage.ladder():
+        t = build_pipeline_2d(problem, stage, cfg).total_time(device)
+        if best is None or t < best[1]:
+            best = (stage, t)
+    assert best is not None
+    return best

@@ -1,0 +1,100 @@
+"""Public spectral-convolution operators.
+
+The operator both engines compute is the paper's Fourier layer
+(Figure 1a): FFT -> keep the first ``modes`` low-frequency bins -> complex
+channel mixing with a shared ``(C_in, C_out)`` matrix -> zero-pad -> iFFT.
+
+``engine`` selects the execution strategy:
+
+* ``"turbo"`` — the fused TurboFNO dataflow (:mod:`repro.core.fused`):
+  pruned transforms, no materialised full spectrum, single pass.
+* ``"reference"`` — staged execution on this package's Stockham FFT.
+* ``"pytorch"`` — staged execution on ``numpy.fft`` with explicit
+  truncation/padding copies (the baseline of §5).
+
+All engines agree to floating-point tolerance; tests enforce it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.pytorch_fno import (
+    pytorch_like_spectral_conv_1d,
+    pytorch_like_spectral_conv_2d,
+)
+from repro.core.fused import fused_fft_gemm_ifft_1d, fused_fft_gemm_ifft_2d
+from repro.fft.stockham import fft, fft2, ifft, ifft2
+
+__all__ = ["spectral_conv_1d", "spectral_conv_2d", "ENGINES"]
+
+ENGINES = ("turbo", "reference", "pytorch")
+
+
+def _reference_1d(x: np.ndarray, weight: np.ndarray, modes: int) -> np.ndarray:
+    xk = fft(x, axis=-1)[:, :, :modes]
+    yk_low = np.einsum("bix,io->box", xk, weight)
+    yk = np.zeros((x.shape[0], weight.shape[1], x.shape[2]), dtype=yk_low.dtype)
+    yk[:, :, :modes] = yk_low
+    return ifft(yk, axis=-1)
+
+
+def _reference_2d(
+    x: np.ndarray, weight: np.ndarray, modes_x: int, modes_y: int
+) -> np.ndarray:
+    xk = fft2(x, axes=(-2, -1))[:, :, :modes_x, :modes_y]
+    yk_low = np.einsum("bixy,io->boxy", xk, weight)
+    yk = np.zeros(
+        (x.shape[0], weight.shape[1], x.shape[2], x.shape[3]), dtype=yk_low.dtype
+    )
+    yk[:, :, :modes_x, :modes_y] = yk_low
+    return ifft2(yk, axes=(-2, -1))
+
+
+def spectral_conv_1d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    modes: int,
+    engine: str = "turbo",
+) -> np.ndarray:
+    """1-D Fourier layer on ``(batch, C_in, X)``; returns
+    ``(batch, C_out, X)`` complex.
+
+    Parameters
+    ----------
+    x:
+        Input features (real or complex; complex64/float32 stays single
+        precision).
+    weight:
+        Complex ``(C_in, C_out)`` spectral weights shared across modes.
+    modes:
+        Kept low-frequency bins (power of two dividing X for the turbo
+        engine's pruned transforms).
+    engine:
+        One of ``"turbo" | "reference" | "pytorch"``.
+    """
+    if engine == "turbo":
+        return fused_fft_gemm_ifft_1d(x, weight, modes)
+    if engine == "reference":
+        return _reference_1d(np.asarray(x), np.asarray(weight), modes)
+    if engine == "pytorch":
+        return pytorch_like_spectral_conv_1d(x, weight, modes)
+    raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+
+
+def spectral_conv_2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    modes_x: int,
+    modes_y: int,
+    engine: str = "turbo",
+) -> np.ndarray:
+    """2-D Fourier layer on ``(batch, C_in, X, Y)``; returns
+    ``(batch, C_out, X, Y)`` complex.  See :func:`spectral_conv_1d`."""
+    if engine == "turbo":
+        return fused_fft_gemm_ifft_2d(x, weight, modes_x, modes_y)
+    if engine == "reference":
+        return _reference_2d(np.asarray(x), np.asarray(weight), modes_x, modes_y)
+    if engine == "pytorch":
+        return pytorch_like_spectral_conv_2d(x, weight, modes_x, modes_y)
+    raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")

@@ -1,0 +1,61 @@
+"""The optimization ladder of Table 2.
+
+The paper evaluates five method configurations against the PyTorch
+baseline; each figure pair (1D/2D) corresponds to one rung:
+
+====  =========================================  ==================
+Id    TurboFNO optimization                      Evaluated in
+====  =========================================  ==================
+A     FFT pruning, truncation, zero-padding      Fig. 10 / Fig. 15
+B     A + fused FFT-CGEMM                        Fig. 11 / Fig. 16
+C     A + fused CGEMM-iFFT                       Fig. 12 / Fig. 17
+D     A + fully fused FFT-CGEMM-iFFT             Fig. 13 / Fig. 18
+E     best of A-D per problem size               Fig. 14 / Fig. 19
+====  =========================================  ==================
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["FusionStage"]
+
+
+class FusionStage(enum.Enum):
+    """One rung of the Table 2 optimization ladder."""
+
+    PYTORCH = "pytorch"
+    FFT_OPT = "A"
+    FUSED_FFT_GEMM = "B"
+    FUSED_GEMM_IFFT = "C"
+    FUSED_ALL = "D"
+    BEST = "E"
+
+    @property
+    def description(self) -> str:
+        return _DESCRIPTIONS[self]
+
+    @property
+    def is_turbo(self) -> bool:
+        """True for TurboFNO variants (everything but the baseline)."""
+        return self is not FusionStage.PYTORCH
+
+    @classmethod
+    def ladder(cls) -> tuple["FusionStage", ...]:
+        """The measurable stages in Table 2 order (excluding BEST)."""
+        return (
+            cls.FFT_OPT,
+            cls.FUSED_FFT_GEMM,
+            cls.FUSED_GEMM_IFFT,
+            cls.FUSED_ALL,
+        )
+
+
+_DESCRIPTIONS = {
+    FusionStage.PYTORCH: "cuFFT + memcpy + cuBLAS + memcpy + cuFFT baseline",
+    FusionStage.FFT_OPT: "built-in FFT truncation, zero-padding and pruning",
+    FusionStage.FUSED_FFT_GEMM: "FFT opt + FFT-CGEMM fused into one kernel",
+    FusionStage.FUSED_GEMM_IFFT: "FFT opt + CGEMM-iFFT fused into one kernel",
+    FusionStage.FUSED_ALL: "fully fused FFT-CGEMM-iFFT kernel",
+    FusionStage.BEST: "best-performing TurboFNO stage per problem size",
+}

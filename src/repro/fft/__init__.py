@@ -1,0 +1,48 @@
+"""Custom FFT substrate.
+
+TurboFNO builds its own Stockham FFT rather than calling cuFFT, because the
+closed library cannot truncate, zero-pad or prune.  This package is the
+NumPy analogue of that kernel family:
+
+* :mod:`repro.fft.reference` — naive O(N^2) DFT, the numerical oracle.
+* :mod:`repro.fft.stockham` — vectorized iterative Stockham radix-2 FFT
+  (the formulation the paper uses for coalesced global reads, §3.2).
+* :mod:`repro.fft.pruned` — output-truncated and input-zero-padded
+  transforms via transform decomposition: numerically *identical* to
+  "full FFT then slice" / "pad then full FFT" but computing only the
+  surviving work, mirroring the kernel's built-in truncation/padding.
+* :mod:`repro.fft.opcount` — exact butterfly-operation census over the
+  Stockham dataflow graph, reproducing Figure 5's pruning ratios
+  (37.5 % of ops at 25 % truncation, 75 % at 50 %).
+* :mod:`repro.fft.twiddle` — cached twiddle-factor tables.
+* :mod:`repro.fft.plan` — FFT plan objects carrying the Table 1 kernel
+  geometry (N1/N2 = 128/256, per-thread sizes 8/16, batch-per-block 8).
+"""
+
+from repro.fft.opcount import butterfly_ops, pruned_fraction, PruneCensus
+from repro.fft.plan import FFTPlan
+from repro.fft.pruned import truncated_fft, truncated_ifft, zero_padded_fft
+from repro.fft.radix import fft_radix4, ifft_radix4
+from repro.fft.real import irfft, rfft
+from repro.fft.reference import dft, idft
+from repro.fft.stockham import fft, fft2, ifft, ifft2
+
+__all__ = [
+    "dft",
+    "idft",
+    "fft",
+    "ifft",
+    "fft2",
+    "ifft2",
+    "fft_radix4",
+    "ifft_radix4",
+    "rfft",
+    "irfft",
+    "truncated_fft",
+    "truncated_ifft",
+    "zero_padded_fft",
+    "butterfly_ops",
+    "pruned_fraction",
+    "PruneCensus",
+    "FFTPlan",
+]

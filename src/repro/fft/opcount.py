@@ -1,0 +1,203 @@
+"""Exact butterfly-operation census over the Stockham dataflow graph.
+
+Figure 5 of the paper counts FFT "operations" as butterfly *outputs
+computed*: a 4-point FFT has two stages of four outputs each — 8 ops.
+Keeping only 25 % of the outputs makes 3 ops reachable (37.5 % of the
+work); keeping 50 % makes 6 reachable (75 %).  TurboFNO's pruning skips
+the unreachable ones.
+
+This module replays the same radix-2 Stockham network as
+:mod:`repro.fft.stockham` and counts, exactly:
+
+* **backward reachability** from a kept-output set (output truncation),
+* **forward non-triviality** from a nonzero-input set (input zero-padding:
+  an output whose inputs are all structurally zero costs nothing, and one
+  with a single nonzero input degrades from a butterfly to a copy/scale —
+  counted separately as a *trivial* op),
+* their combination (the fused kernel both pads and truncates).
+
+The census feeds the execution model: FFT FLOPs are the textbook
+``5 N log2 N`` scaled by the censused fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fft.stockham import is_power_of_two
+
+__all__ = ["butterfly_ops", "PruneCensus", "census", "pruned_fraction", "fft_flops"]
+
+
+def butterfly_ops(n: int) -> int:
+    """Total butterfly outputs computed by a full n-point radix-2 FFT.
+
+    ``n/2`` butterflies per stage, two outputs each, ``log2 n`` stages:
+    ``n * log2(n)`` ops (8 for n=4, matching Figure 5c).
+    """
+    if not is_power_of_two(n):
+        raise ValueError(f"n must be a power of two, got {n}")
+    return n * (n - 1).bit_length() if n > 1 else 0
+
+
+@dataclass(frozen=True)
+class PruneCensus:
+    """Result of one pruning census.
+
+    Attributes
+    ----------
+    n:
+        Transform length.
+    total_ops:
+        Ops of the unpruned FFT (``butterfly_ops(n)``).
+    full_ops:
+        Surviving ops whose both inputs carry data (genuine butterflies).
+    trivial_ops:
+        Surviving ops with exactly one live input (copy/scale, no add).
+    per_stage:
+        Surviving (full + trivial) ops per stage, first stage first.
+    """
+
+    n: int
+    total_ops: int
+    full_ops: int
+    trivial_ops: int
+    per_stage: tuple[int, ...]
+
+    @property
+    def ops(self) -> int:
+        """All surviving ops (the quantity Figure 5 counts)."""
+        return self.full_ops + self.trivial_ops
+
+    @property
+    def fraction(self) -> float:
+        """Fraction of the full FFT's work that survives pruning."""
+        if self.total_ops == 0:
+            return 1.0
+        return self.ops / self.total_ops
+
+    def weighted_fraction(self, trivial_weight: float = 0.5) -> float:
+        """Surviving work fraction with trivial ops discounted.
+
+        A trivial op (single live input) degrades from a twiddle-multiply
+        butterfly to a copy/scale — the paper's "replaced by simple
+        additions" (§3.3).  ``trivial_weight`` is its cost relative to a
+        full butterfly output.
+        """
+        if not (0.0 <= trivial_weight <= 1.0):
+            raise ValueError("trivial_weight must be in [0, 1]")
+        if self.total_ops == 0:
+            return 1.0
+        return (self.full_ops + trivial_weight * self.trivial_ops) / self.total_ops
+
+
+def _stage_wiring(n: int, span: int) -> tuple[np.ndarray, np.ndarray]:
+    """Input indices feeding each output position of one Stockham stage.
+
+    Output position ``k*span + j`` (and ``k*span + j + span/2``) reads
+    inputs ``k*(span/2) + j`` and ``k*(span/2) + j + n/2``.  Returns two
+    int arrays ``(src_a, src_b)`` of length ``n`` indexed by output position.
+    """
+    half = span // 2
+    out_pos = np.arange(n)
+    k = out_pos // span
+    j = out_pos % span % half
+    src_a = k * half + j
+    src_b = src_a + n // 2
+    return src_a, src_b
+
+
+def census(
+    n: int,
+    keep_out: int | None = None,
+    nonzero_in: int | None = None,
+) -> PruneCensus:
+    """Census the surviving butterfly ops of an n-point Stockham FFT.
+
+    Parameters
+    ----------
+    n:
+        Power-of-two transform length.
+    keep_out:
+        Number of leading outputs required (the paper's low-frequency
+        filter keeps the first ``dimX/DimX`` fraction).  ``None`` keeps all.
+    nonzero_in:
+        Number of leading inputs that are non-zero (the zero-padding case).
+        ``None`` means all inputs live.
+    """
+    if not is_power_of_two(n):
+        raise ValueError(f"n must be a power of two, got {n}")
+    if keep_out is not None and not (1 <= keep_out <= n):
+        raise ValueError(f"keep_out must be in [1, {n}], got {keep_out}")
+    if nonzero_in is not None and not (1 <= nonzero_in <= n):
+        raise ValueError(f"nonzero_in must be in [1, {n}], got {nonzero_in}")
+    stages = (n - 1).bit_length() if n > 1 else 0
+    spans = [2 << s for s in range(stages)]
+
+    # Forward pass: which values are (structurally) non-zero at each stage
+    # boundary.  live[s] is the mask *entering* stage s.
+    live_masks: list[np.ndarray] = []
+    live = np.zeros(n, dtype=bool)
+    live[: (nonzero_in if nonzero_in is not None else n)] = True
+    for span in spans:
+        live_masks.append(live)
+        src_a, src_b = _stage_wiring(n, span)
+        live = live[src_a] | live[src_b]
+
+    # Backward pass: which outputs of each stage are needed.
+    needed = np.zeros(n, dtype=bool)
+    needed[: (keep_out if keep_out is not None else n)] = True
+    needed_out_per_stage: list[np.ndarray] = [np.empty(0)] * stages
+    for s in range(stages - 1, -1, -1):
+        needed_out_per_stage[s] = needed
+        src_a, src_b = _stage_wiring(n, spans[s])
+        prev = np.zeros(n, dtype=bool)
+        np.logical_or.at(prev, src_a[needed], True)
+        np.logical_or.at(prev, src_b[needed], True)
+        needed = prev
+
+    # An op survives if its output is needed AND at least one input is live;
+    # it is "full" if both inputs are live.
+    full = trivial = 0
+    per_stage: list[int] = []
+    for s, span in enumerate(spans):
+        src_a, src_b = _stage_wiring(n, span)
+        live_in = live_masks[s]
+        a_live = live_in[src_a]
+        b_live = live_in[src_b]
+        out_needed = needed_out_per_stage[s]
+        f = int(np.count_nonzero(out_needed & a_live & b_live))
+        t = int(np.count_nonzero(out_needed & (a_live ^ b_live)))
+        full += f
+        trivial += t
+        per_stage.append(f + t)
+
+    return PruneCensus(
+        n=n,
+        total_ops=butterfly_ops(n),
+        full_ops=full,
+        trivial_ops=trivial,
+        per_stage=tuple(per_stage),
+    )
+
+
+def pruned_fraction(n: int, keep_out: int | None = None,
+                    nonzero_in: int | None = None) -> float:
+    """Fraction of FFT work surviving truncation and/or zero-padding."""
+    return census(n, keep_out=keep_out, nonzero_in=nonzero_in).fraction
+
+
+def fft_flops(n: int, num_transforms: float = 1.0, fraction: float = 1.0) -> float:
+    """Real FLOPs of ``num_transforms`` n-point FFTs, optionally pruned.
+
+    Uses the standard ``5 n log2 n`` complex-FFT flop convention scaled by
+    the censused surviving-work fraction.
+    """
+    if not is_power_of_two(n):
+        raise ValueError(f"n must be a power of two, got {n}")
+    if not (0.0 <= fraction <= 1.0):
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    log2n = (n - 1).bit_length() if n > 1 else 0
+    return 5.0 * n * log2n * num_transforms * fraction

@@ -1,0 +1,136 @@
+"""FFT plans: transform geometry plus the Table 1 kernel parameters.
+
+A plan bundles everything the execution model needs to cost one batched
+FFT stage: length, truncation/padding, batch, and the thread-block
+geometry of the paper's kernel (per-thread FFT size ``n_t`` and
+signals-per-block ``bs``; Table 1 uses N1=128/n1=8, N2=256/n2=16, bs=8,
+with bs chosen to match CGEMM's ``k_tb``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fft.opcount import census, fft_flops
+from repro.fft.stockham import is_power_of_two
+
+__all__ = ["FFTPlan"]
+
+_COMPLEX64_BYTES = 8
+
+
+@dataclass(frozen=True)
+class FFTPlan:
+    """Geometry of one batched 1-D FFT stage.
+
+    Parameters
+    ----------
+    n:
+        Transform length (power of two).
+    batch:
+        Number of independent transforms.
+    n_keep:
+        Outputs written (built-in truncation); defaults to ``n``.
+    n_live:
+        Non-zero inputs read (built-in zero-padding); defaults to ``n``.
+    per_thread:
+        Per-thread FFT size (Table 1 ``n_i``: 8 for N=128, 16 for N=256).
+    signals_per_block:
+        Signals processed by one thread block (Table 1 ``bs`` = 8,
+        matching CGEMM's ``k_tb``).
+    inverse:
+        Direction (affects nothing in the cost model, kept for clarity).
+    kloop_hidden:
+        When set, this is the k-loop FFT variant (§3.2/Fig. 6c): one
+        thread block *iterates* over the ``kloop_hidden`` channels of its
+        spatial slot instead of spreading them over the grid, so the grid
+        shrinks by that factor.  This is what makes TurboFNO's SM
+        utilization collapse at small batch x large K (the Fig. 14/19
+        blue region).
+    """
+
+    n: int
+    batch: int
+    n_keep: int | None = None
+    n_live: int | None = None
+    per_thread: int = 8
+    signals_per_block: int = 8
+    inverse: bool = False
+    kloop_hidden: int | None = None
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.n):
+            raise ValueError(f"n must be a power of two, got {self.n}")
+        if self.batch <= 0:
+            raise ValueError(f"batch must be positive, got {self.batch}")
+        for name in ("n_keep", "n_live"):
+            v = getattr(self, name)
+            if v is not None:
+                if not is_power_of_two(v) or not (1 <= v <= self.n):
+                    raise ValueError(
+                        f"{name} must be a power of two in [1, {self.n}], got {v}"
+                    )
+        if not is_power_of_two(self.per_thread) or self.per_thread > self.n:
+            raise ValueError(
+                f"per_thread must be a power of two <= n, got {self.per_thread}"
+            )
+        if self.signals_per_block <= 0:
+            raise ValueError("signals_per_block must be positive")
+        if self.kloop_hidden is not None and self.kloop_hidden <= 0:
+            raise ValueError("kloop_hidden must be positive or None")
+
+    # -- geometry ------------------------------------------------------------
+    @property
+    def keep(self) -> int:
+        return self.n_keep if self.n_keep is not None else self.n
+
+    @property
+    def live(self) -> int:
+        return self.n_live if self.n_live is not None else self.n
+
+    @property
+    def threads_per_signal(self) -> int:
+        return self.n // self.per_thread
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.threads_per_signal * self.signals_per_block
+
+    @property
+    def blocks(self) -> int:
+        if self.kloop_hidden is not None:
+            # One block owns its spatial slot and *iterates* over all
+            # hidden channels (the bs=8 signals it holds at any moment are
+            # the current k_tb slice, not extra grid parallelism).
+            return -(-self.batch // self.kloop_hidden)
+        return -(-self.batch // self.signals_per_block)  # ceil
+
+    @property
+    def smem_bytes_per_block(self) -> int:
+        """Shared memory holding ``signals_per_block`` full-length signals."""
+        return self.signals_per_block * self.n * _COMPLEX64_BYTES
+
+    # -- work ----------------------------------------------------------------
+    def prune_fraction(self, trivial_weight: float = 0.5) -> float:
+        """Surviving fraction of butterfly work under truncation/padding.
+
+        Trivial ops (single live input — the zero-padding case) are
+        discounted at ``trivial_weight``, matching the execution model.
+        """
+        return census(
+            self.n,
+            keep_out=self.keep if self.keep < self.n else None,
+            nonzero_in=self.live if self.live < self.n else None,
+        ).weighted_fraction(trivial_weight)
+
+    def flops(self) -> float:
+        """Pruned FLOPs for the whole batch."""
+        return fft_flops(self.n, self.batch, self.prune_fraction())
+
+    def global_bytes_read(self) -> float:
+        """DRAM read with built-in zero-padding (only live inputs touched)."""
+        return float(self.batch) * self.live * _COMPLEX64_BYTES
+
+    def global_bytes_written(self) -> float:
+        """DRAM write with built-in truncation (only kept outputs stored)."""
+        return float(self.batch) * self.keep * _COMPLEX64_BYTES

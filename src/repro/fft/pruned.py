@@ -1,0 +1,110 @@
+"""Output-truncated and input-zero-padded FFTs via transform decomposition.
+
+cuFFT cannot skip work: PyTorch's FNO computes a full FFT, then a memcpy
+kernel extracts the kept low frequencies, and a second memcpy re-inserts
+zero padding before the inverse transform (§1, limitations 1–2).
+TurboFNO's kernel instead *never computes* the discarded work.  These
+functions are the NumPy analogue, built on the classic transform
+decomposition (a.k.a. FFT pruning):
+
+* ``truncated_fft``: with ``N = P*Q`` and ``Q`` kept outputs,
+  ``X[k] = sum_p W_N^{pk} * FFT_Q(x[p::P])[k]`` for ``k < Q`` —
+  ``P`` FFTs of length ``Q`` plus a twiddle-weighted reduction, instead of
+  one length-``N`` FFT plus a slice.
+* ``zero_padded_fft``: with ``L`` live inputs and ``N = S*L``,
+  ``X[s + S*t] = FFT_L(x * W_N^{s*n})[t]`` — ``S`` FFTs of length ``L``.
+* ``truncated_ifft``: the inverse-side dual (zero-padded spectrum in,
+  full-length signal out), which is exactly FNO's Step 4+5.
+
+All three are numerically identical to "full transform + slice/pad"
+(property-tested), while doing the reduced work the paper's pruning
+strategy claims.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fft.stockham import fft, ifft, is_power_of_two
+from repro.fft.twiddle import decomposition_twiddles
+
+__all__ = ["truncated_fft", "zero_padded_fft", "truncated_ifft"]
+
+
+def _validate_split(n: int, part: int, what: str) -> None:
+    if not is_power_of_two(n):
+        raise ValueError(f"transform length must be a power of two, got {n}")
+    if not is_power_of_two(part):
+        raise ValueError(f"{what} must be a power of two, got {part}")
+    if not (1 <= part <= n):
+        raise ValueError(f"{what} must be in [1, {n}], got {part}")
+
+
+def truncated_fft(x: np.ndarray, n_keep: int, axis: int = -1) -> np.ndarray:
+    """First ``n_keep`` outputs of the FFT of ``x`` along ``axis``.
+
+    Equivalent to ``fft(x, axis)[..., :n_keep]`` but computes only the
+    surviving work.  ``n_keep`` must be a power of two dividing the length.
+    """
+    x = np.asarray(x)
+    n = x.shape[axis]
+    _validate_split(n, n_keep, "n_keep")
+    if n_keep == n:
+        return fft(x, axis=axis)
+    moved = np.moveaxis(x, axis, -1)
+    p = n // n_keep
+    # (batch..., P, Q): subsequence p is x[p::P].
+    sub = moved.reshape(*moved.shape[:-1], n_keep, p)
+    sub = np.moveaxis(sub, -1, -2)  # (..., P, Q)
+    y = fft(sub, axis=-1)
+    w = decomposition_twiddles(n, p, n_keep).astype(y.dtype)
+    out = np.einsum("...pk,pk->...k", y, w)
+    return np.moveaxis(out, -1, axis)
+
+
+def zero_padded_fft(x: np.ndarray, n_out: int, axis: int = -1) -> np.ndarray:
+    """FFT of ``x`` zero-padded (on the right) to length ``n_out``.
+
+    Equivalent to padding then ``fft`` but never touches the zeros.  The
+    live length must be a power of two dividing ``n_out``.
+    """
+    x = np.asarray(x)
+    n_live = x.shape[axis]
+    _validate_split(n_out, n_live, "input length")
+    if n_live == n_out:
+        return fft(x, axis=axis)
+    moved = np.moveaxis(x, axis, -1)
+    s = n_out // n_live
+    # Scale by W_N^{s*n} for every output residue s, then L-point FFTs.
+    w = decomposition_twiddles(n_out, s, n_live).astype(
+        np.complex64 if moved.dtype in (np.float32, np.complex64) else np.complex128
+    )
+    scaled = moved[..., None, :] * w  # (..., S, L)
+    y = fft(scaled, axis=-1)  # (..., S, L)
+    # Interleave: out[s + S*t] = y[s, t].
+    out = np.moveaxis(y, -2, -1).reshape(*moved.shape[:-1], n_out)
+    return np.moveaxis(out, -1, axis)
+
+
+def truncated_ifft(xk: np.ndarray, n_out: int, axis: int = -1) -> np.ndarray:
+    """Inverse FFT of a truncated spectrum, zero-padded to ``n_out``.
+
+    Input holds the first ``L`` frequency bins; output is the length
+    ``n_out`` signal ``ifft(pad(xk, n_out))``.  This is FNO's Step 4
+    (zero padding) + Step 5 (iFFT) in one pruned transform.
+    """
+    xk = np.asarray(xk)
+    n_live = xk.shape[axis]
+    _validate_split(n_out, n_live, "spectrum length")
+    if n_live == n_out:
+        return ifft(xk, axis=axis)
+    moved = np.moveaxis(xk, axis, -1)
+    s = n_out // n_live
+    w = decomposition_twiddles(n_out, s, n_live, inverse=True).astype(
+        np.complex64 if moved.dtype in (np.float32, np.complex64) else np.complex128
+    )
+    scaled = moved[..., None, :] * w  # (..., S, L)
+    y = ifft(scaled, axis=-1)  # includes 1/L; we need 1/n_out overall
+    y *= n_live / n_out
+    out = np.moveaxis(y, -2, -1).reshape(*moved.shape[:-1], n_out)
+    return np.moveaxis(out, -1, axis)

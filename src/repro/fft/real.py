@@ -1,0 +1,65 @@
+"""Real-input (R2C) and real-output (C2R) transforms.
+
+The paper benchmarks C2C (as does this reproduction), but the original FNO
+code uses ``rfft``/``irfft``; these helpers provide that convention on top
+of the Stockham substrate so the training-side layers can match the
+upstream FNO exactly.
+
+``rfft`` computes the full C2C transform and returns the non-redundant
+half spectrum (``n//2 + 1`` bins); ``irfft`` reconstructs the Hermitian
+completion explicitly and inverse-transforms.  Both match ``numpy.fft``
+to working precision (tested).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fft.stockham import fft, ifft, is_power_of_two
+
+__all__ = ["rfft", "irfft", "hermitian_pad"]
+
+
+def rfft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Half spectrum of a real signal (``numpy.fft.rfft`` conventions)."""
+    x = np.asarray(x)
+    if np.iscomplexobj(x):
+        raise ValueError("rfft expects real input; use fft for complex data")
+    n = x.shape[axis]
+    full = fft(x, axis=axis)
+    sl = [slice(None)] * full.ndim
+    sl[axis] = slice(0, n // 2 + 1)
+    return np.ascontiguousarray(full[tuple(sl)])
+
+
+def hermitian_pad(xk_half: np.ndarray, n: int, axis: int = -1) -> np.ndarray:
+    """Expand a half spectrum to the full Hermitian-symmetric spectrum.
+
+    ``xk_half`` holds bins ``0 .. n//2``; the returned array has length
+    ``n`` along ``axis`` with ``X[n - k] = conj(X[k])``.
+    """
+    xk_half = np.asarray(xk_half)
+    if not is_power_of_two(n):
+        raise ValueError(f"n must be a power of two, got {n}")
+    half = n // 2 + 1
+    if xk_half.shape[axis] != half:
+        raise ValueError(
+            f"expected {half} half-spectrum bins along axis {axis}, "
+            f"got {xk_half.shape[axis]}"
+        )
+    moved = np.moveaxis(xk_half, axis, -1)
+    out = np.empty((*moved.shape[:-1], n), dtype=moved.dtype)
+    out[..., :half] = moved
+    out[..., half:] = np.conj(moved[..., -2:0:-1])
+    return np.moveaxis(out, -1, axis)
+
+
+def irfft(xk_half: np.ndarray, n: int | None = None, axis: int = -1) -> np.ndarray:
+    """Inverse of :func:`rfft` (returns a real array of length ``n``)."""
+    xk_half = np.asarray(xk_half)
+    if n is None:
+        n = 2 * (xk_half.shape[axis] - 1)
+    full = hermitian_pad(xk_half.astype(
+        np.complex64 if xk_half.dtype == np.complex64 else np.complex128
+    ), n, axis=axis)
+    return ifft(full, axis=axis).real

@@ -1,0 +1,45 @@
+"""Naive O(N^2) DFT — the numerical oracle for every FFT in this package.
+
+Slow by construction and proud of it: the direct summation has no shared
+structure with the Stockham/pruned implementations, so agreement between
+them is strong evidence of correctness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["dft", "idft", "dft_matrix"]
+
+
+def dft_matrix(n: int, inverse: bool = False, dtype=np.complex128) -> np.ndarray:
+    """Dense DFT matrix ``F[k, n] = W_n^{kn}`` (unnormalised forward;
+    the inverse matrix includes the ``1/n`` factor)."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    k = np.arange(n)
+    sign = +2j if inverse else -2j
+    mat = np.exp(sign * np.pi * np.outer(k, k) / n).astype(dtype)
+    if inverse:
+        mat /= n
+    return mat
+
+
+def dft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Direct DFT along ``axis`` (matches ``numpy.fft.fft`` conventions)."""
+    x = np.asarray(x)
+    n = x.shape[axis]
+    mat = dft_matrix(n)
+    moved = np.moveaxis(x, axis, -1)
+    out = moved @ mat.T
+    return np.moveaxis(out, -1, axis)
+
+
+def idft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Direct inverse DFT along ``axis`` (includes the ``1/n`` factor)."""
+    x = np.asarray(x)
+    n = x.shape[axis]
+    mat = dft_matrix(n, inverse=True)
+    moved = np.moveaxis(x, axis, -1)
+    out = moved @ mat.T
+    return np.moveaxis(out, -1, axis)

@@ -1,0 +1,115 @@
+"""Vectorized iterative Stockham radix-2 FFT.
+
+TurboFNO adopts the Stockham formulation "to support coalesced global
+memory reads ... each thread reads data in a contiguous pattern" (§3.2).
+The Stockham autosort network never materialises a bit-reversal
+permutation: every stage reads two contiguous halves and writes an
+interleaved, already-ordered array.  That property is what lets the fused
+kernel hand its output tile straight to CGEMM.
+
+This module is the NumPy analogue: the stage loop below walks exactly the
+Stockham dataflow (same butterfly graph that :mod:`repro.fft.opcount`
+censuses and the CUDA kernel would execute), with the batch dimension
+vectorized the way a GPU would parallelise over signals.
+
+Only power-of-two lengths are supported — the same restriction as the
+paper's kernel (evaluated at N = 128/256 in 1D and 256x128/256x256 in 2D).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fft.twiddle import stage_twiddles
+
+__all__ = ["fft", "ifft", "fft2", "ifft2", "is_power_of_two"]
+
+
+def is_power_of_two(n: int) -> bool:
+    """True for n = 1, 2, 4, 8, ..."""
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+def _check_length(n: int) -> None:
+    if not is_power_of_two(n):
+        raise ValueError(
+            f"Stockham FFT requires a power-of-two length, got {n}; "
+            "use repro.fft.reference.dft for arbitrary lengths"
+        )
+
+
+def _result_dtype(dtype: np.dtype) -> np.dtype:
+    """complex64 stays complex64 (the paper is single precision);
+    everything else computes in complex128."""
+    if dtype == np.complex64 or dtype == np.float32:
+        return np.dtype(np.complex64)
+    return np.dtype(np.complex128)
+
+
+def _stockham_last_axis(x: np.ndarray, inverse: bool) -> np.ndarray:
+    """Stockham FFT over the last axis of a 2-D ``(batch, N)`` array."""
+    batch, n = x.shape
+    if n == 1:
+        return x.copy()
+    out_dtype = x.dtype
+    # Working array viewed as (batch, r, Ls) per stage.
+    cur = x
+    span = 2
+    while span <= n:
+        half = span // 2
+        r = n // span
+        w = stage_twiddles(span, inverse=inverse).astype(out_dtype)
+        a = cur[:, : n // 2].reshape(batch, r, half)
+        b = cur[:, n // 2 :].reshape(batch, r, half)
+        wb = w * b
+        nxt = np.empty((batch, r, span), dtype=out_dtype)
+        nxt[:, :, :half] = a + wb
+        nxt[:, :, half:] = a - wb
+        cur = nxt.reshape(batch, n)
+        span *= 2
+    return cur
+
+
+def fft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Forward FFT along ``axis`` (``numpy.fft.fft`` conventions).
+
+    Accepts real or complex input of any shape; the transform axis must
+    have power-of-two length.  float32/complex64 inputs stay in single
+    precision (the paper's FP32 setting); other dtypes use complex128.
+    """
+    x = np.asarray(x)
+    n = x.shape[axis]
+    _check_length(n)
+    dtype = _result_dtype(x.dtype)
+    moved = np.moveaxis(x, axis, -1)
+    flat = np.ascontiguousarray(moved.reshape(-1, n)).astype(dtype, copy=False)
+    out = _stockham_last_axis(flat, inverse=False)
+    return np.moveaxis(out.reshape(moved.shape), -1, axis)
+
+
+def ifft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Inverse FFT along ``axis`` (includes the ``1/N`` normalisation)."""
+    x = np.asarray(x)
+    n = x.shape[axis]
+    _check_length(n)
+    dtype = _result_dtype(x.dtype)
+    moved = np.moveaxis(x, axis, -1)
+    flat = np.ascontiguousarray(moved.reshape(-1, n)).astype(dtype, copy=False)
+    out = _stockham_last_axis(flat, inverse=True)
+    out /= n
+    return np.moveaxis(out.reshape(moved.shape), -1, axis)
+
+
+def fft2(x: np.ndarray, axes: tuple[int, int] = (-2, -1)) -> np.ndarray:
+    """2-D FFT as two 1-D Stockham stages (the paper's batched-2D layout:
+    one pass along each axis, Figure 3 right)."""
+    if len(axes) != 2 or axes[0] == axes[1]:
+        raise ValueError(f"axes must be two distinct axes, got {axes}")
+    return fft(fft(x, axis=axes[1]), axis=axes[0])
+
+
+def ifft2(x: np.ndarray, axes: tuple[int, int] = (-2, -1)) -> np.ndarray:
+    """2-D inverse FFT as two 1-D stages."""
+    if len(axes) != 2 or axes[0] == axes[1]:
+        raise ValueError(f"axes must be two distinct axes, got {axes}")
+    return ifft(ifft(x, axis=axes[1]), axis=axes[0])

@@ -1,0 +1,58 @@
+"""Cached twiddle-factor tables.
+
+Twiddle factors ``W_N^k = exp(-2*pi*i*k / N)`` are pure functions of the
+transform length, so every FFT variant in this package shares one
+process-wide cache — the analogue of the constant-memory twiddle tables a
+CUDA FFT kernel precomputes at plan time.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["twiddles", "stage_twiddles", "decomposition_twiddles"]
+
+
+@lru_cache(maxsize=256)
+def _twiddle_cache(n: int, half: bool, sign: float) -> np.ndarray:
+    count = n // 2 if half else n
+    k = np.arange(count)
+    w = np.exp(sign * 2j * np.pi * k / n)
+    w.setflags(write=False)
+    return w
+
+
+def twiddles(n: int, inverse: bool = False) -> np.ndarray:
+    """Full table ``W_n^k`` for ``k in [0, n)`` (read-only, complex128)."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return _twiddle_cache(n, False, +1.0 if inverse else -1.0)
+
+
+def stage_twiddles(span: int, inverse: bool = False) -> np.ndarray:
+    """Half table ``W_span^k`` for ``k in [0, span/2)`` used by one
+    radix-2 Stockham butterfly stage of span ``span``."""
+    if span < 2 or span % 2:
+        raise ValueError(f"stage span must be even and >= 2, got {span}")
+    return _twiddle_cache(span, True, +1.0 if inverse else -1.0)
+
+
+@lru_cache(maxsize=128)
+def _decomp_cache(n: int, p: int, q: int, sign: float) -> np.ndarray:
+    pk = np.outer(np.arange(p), np.arange(q))
+    w = np.exp(sign * 2j * np.pi * pk / n)
+    w.setflags(write=False)
+    return w
+
+
+def decomposition_twiddles(
+    n: int, p: int, q: int, inverse: bool = False
+) -> np.ndarray:
+    """``(p, q)`` table ``W_n^{p*k}`` used by the transform-decomposition
+    pruned FFTs (:mod:`repro.fft.pruned`)."""
+    if p * q > n or n % (p if p else 1):
+        # p*q == n in every decomposition we build; guard misuse.
+        raise ValueError(f"invalid decomposition n={n}, p={p}, q={q}")
+    return _decomp_cache(n, p, q, +1.0 if inverse else -1.0)

@@ -1,0 +1,33 @@
+"""Custom complex-GEMM (CGEMM) substrate.
+
+TurboFNO writes its own CUDA-core CGEMM (no tensor cores, §3.1) so the FFT
+can be fused into the k-loop.  This package is the NumPy analogue:
+
+* :mod:`repro.gemm.params` — the templated kernel parameters of Table 1
+  (``m_tb, n_tb, k_tb, m_w, n_w, m_t, n_t``) with validation and derived
+  geometry (threads per block, shared-memory footprint, grid size).
+* :mod:`repro.gemm.blocked` — a hierarchical tiled CGEMM that walks the
+  same thread-block / warp / thread decomposition as Figure 3 (left) and is
+  numerically exact against ``A @ B``.
+* :mod:`repro.gemm.traffic` — the global/shared-memory traffic and FLOP
+  model of the blocked kernel, feeding the execution model.
+"""
+
+from repro.gemm.blocked import blocked_cgemm
+from repro.gemm.params import (
+    GemmParams,
+    TABLE1_CGEMM,
+    SECT31_CGEMM,
+    SECT51_CGEMM,
+)
+from repro.gemm.traffic import gemm_counters, gemm_flops
+
+__all__ = [
+    "GemmParams",
+    "TABLE1_CGEMM",
+    "SECT31_CGEMM",
+    "SECT51_CGEMM",
+    "blocked_cgemm",
+    "gemm_counters",
+    "gemm_flops",
+]

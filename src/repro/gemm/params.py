@@ -1,0 +1,106 @@
+"""Templated CGEMM kernel parameters (Table 1 and §3.1/§5.1 variants).
+
+The paper's CGEMM is "fully templated ... supporting flexible tuning of
+thread block shapes and loop tiling factors" (§3.1).  :class:`GemmParams`
+captures one instantiation:
+
+* ``m_tb x n_tb`` — output tile computed by one thread block,
+* ``k_tb`` — k-slice staged through shared memory per iteration,
+* ``m_w x n_w`` — warp tile,
+* ``m_t x n_t`` — per-thread register tile.
+
+Three named instantiations appear in the paper: Table 1's
+``(32, 32, 8, 32, 16, 4, 4)``, §3.1's prose configuration
+``(64, 64, 8, 32, 16, 4, 4)``, and the §5.1(A.3) configuration
+``(64, 128, 8, 32, 16, 4, 4)`` blamed for the K=32/128 fusion regressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GemmParams", "TABLE1_CGEMM", "SECT31_CGEMM", "SECT51_CGEMM"]
+
+_COMPLEX64_BYTES = 8
+_WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class GemmParams:
+    """One instantiation of the templated CGEMM kernel."""
+
+    m_tb: int = 32
+    n_tb: int = 32
+    k_tb: int = 8
+    m_w: int = 32
+    n_w: int = 16
+    m_t: int = 4
+    n_t: int = 4
+
+    def __post_init__(self) -> None:
+        for name in ("m_tb", "n_tb", "k_tb", "m_w", "n_w", "m_t", "n_t"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.m_tb % self.m_w or self.n_tb % self.n_w:
+            raise ValueError(
+                f"thread-block tile {self.m_tb}x{self.n_tb} must be a multiple "
+                f"of the warp tile {self.m_w}x{self.n_w}"
+            )
+        if self.m_w % self.m_t or self.n_w % self.n_t:
+            raise ValueError(
+                f"warp tile {self.m_w}x{self.n_w} must be a multiple of the "
+                f"thread tile {self.m_t}x{self.n_t}"
+            )
+        if self.threads_per_warp_tile != _WARP_SIZE:
+            raise ValueError(
+                f"warp tile {self.m_w}x{self.n_w} with thread tile "
+                f"{self.m_t}x{self.n_t} implies {self.threads_per_warp_tile} "
+                f"threads per warp; must be {_WARP_SIZE}"
+            )
+
+    # -- geometry ------------------------------------------------------------
+    @property
+    def threads_per_warp_tile(self) -> int:
+        return (self.m_w // self.m_t) * (self.n_w // self.n_t)
+
+    @property
+    def warps_per_block(self) -> int:
+        return (self.m_tb // self.m_w) * (self.n_tb // self.n_w)
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.warps_per_block * _WARP_SIZE
+
+    def smem_bytes(self, double_buffered: bool = True) -> int:
+        """Shared memory for the A and B tiles (x2 when double buffered)."""
+        tiles = (self.m_tb * self.k_tb + self.k_tb * self.n_tb) * _COMPLEX64_BYTES
+        return 2 * tiles if double_buffered else tiles
+
+    def grid_blocks(self, m: int, n: int) -> int:
+        """Thread blocks covering an ``m x n`` output."""
+        if m <= 0 or n <= 0:
+            raise ValueError(f"output extents must be positive, got {m}x{n}")
+        return -(-m // self.m_tb) * (-(-n // self.n_tb))
+
+    def k_iterations(self, k: int) -> int:
+        """Main-loop iterations over the K dimension."""
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        return -(-k // self.k_tb)
+
+    def describe(self) -> str:
+        return (
+            f"CGEMM[{self.m_tb}x{self.n_tb}x{self.k_tb} tb, "
+            f"{self.m_w}x{self.n_w} warp, {self.m_t}x{self.n_t} thread, "
+            f"{self.threads_per_block} threads]"
+        )
+
+
+#: Table 1 configuration (used by the fused kernels).
+TABLE1_CGEMM = GemmParams(32, 32, 8, 32, 16, 4, 4)
+
+#: §3.1 prose configuration ("M_tb = 64, N_tb = 64, ...").
+SECT31_CGEMM = GemmParams(64, 64, 8, 32, 16, 4, 4)
+
+#: §5.1 (A.3) configuration blamed for the K=32/128 epilogue regressions.
+SECT51_CGEMM = GemmParams(64, 128, 8, 32, 16, 4, 4)

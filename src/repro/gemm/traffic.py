@@ -1,0 +1,114 @@
+"""Traffic and FLOP model of the blocked CGEMM.
+
+Counts exactly what the blocked schedule of :mod:`repro.gemm.blocked`
+moves:
+
+* every thread block reads its full ``m_tb x K`` A panel and ``K x n_tb``
+  B panel from global memory (no inter-block reuse — the paper's kernel,
+  like cuBLAS, relies on L2 only implicitly and the model charges DRAM for
+  each block, which is the standard upper-bound used in roofline work),
+* writes its ``m_tb x n_tb`` output once,
+* one complex MAC = 8 real FLOPs,
+* shared-memory staging: each A/B panel element is written to shared
+  memory once and read ``n_tb/n_t`` (resp. ``m_tb/m_t``) times by the
+  register-fragment loads.
+
+These counters feed :class:`repro.gpu.kernel.KernelSpec`; the fused
+variants in :mod:`repro.core` subtract the legs that fusion eliminates.
+"""
+
+from __future__ import annotations
+
+from repro.gemm.params import GemmParams, TABLE1_CGEMM
+from repro.gpu.counters import PerfCounters
+
+__all__ = ["gemm_flops", "gemm_counters"]
+
+_COMPLEX64_BYTES = 8
+_SMEM_TRANSACTION_BYTES = 128  # 32 banks x 4 bytes
+
+
+def gemm_flops(m: int, n: int, k: int) -> float:
+    """Real FLOPs of a complex GEMM (one complex MAC = 8 real ops)."""
+    if min(m, n, k) <= 0:
+        raise ValueError(f"GEMM extents must be positive, got {m}x{n}x{k}")
+    return 8.0 * m * n * k
+
+
+def gemm_counters(
+    m: int,
+    n: int,
+    k: int,
+    params: GemmParams = TABLE1_CGEMM,
+    read_a_from_global: bool = True,
+    write_c_to_global: bool = True,
+    read_c: bool = False,
+    bank_utilization: float = 1.0,
+    a_reread_factor: float = 1.0,
+    a_l2_candidate: bool = False,
+    c_l2_candidate: bool = False,
+) -> PerfCounters:
+    """Counters for one blocked CGEMM launch.
+
+    ``read_a_from_global=False`` models the fused FFT-GEMM kernel, whose A
+    operand arrives through shared memory from the in-kernel FFT instead of
+    DRAM; ``write_c_to_global=False`` models the fused GEMM-iFFT epilogue.
+    ``bank_utilization`` derates the shared-memory leg (1.0 = the swizzled
+    layouts of Figs. 7-8; lower values replay conflicted transactions).
+
+    ``a_reread_factor`` charges the A panel this many times from DRAM.  The
+    default 1.0 models the library/tall-and-skinny case: the grid's N
+    extent is at most a handful of block columns and their concurrent
+    re-reads of the same A panel hit L2.  Pass ``blocks_n`` for a
+    pessimistic no-reuse model.
+
+    ``a_l2_candidate`` / ``c_l2_candidate`` mark the A read / C write as
+    inter-stage intermediates eligible for L2 residence (the truncated
+    spectrum / the pre-padding product in the FNO pipeline).
+    """
+    if not (0.0 < bank_utilization <= 1.0):
+        raise ValueError(f"bank_utilization must be in (0, 1], got {bank_utilization}")
+    if a_reread_factor < 1.0:
+        raise ValueError(f"a_reread_factor must be >= 1.0, got {a_reread_factor}")
+    blocks_m = -(-m // params.m_tb)
+    blocks_n = -(-n // params.n_tb)
+    blocks = blocks_m * blocks_n
+
+    reads = 0.0
+    l2_candidate = 0.0
+    if read_a_from_global:
+        a_bytes = a_reread_factor * m * k * _COMPLEX64_BYTES
+        reads += a_bytes
+        if a_l2_candidate:
+            l2_candidate += a_bytes
+    reads += blocks_m * k * n * _COMPLEX64_BYTES  # B panel per block row
+    if read_c:
+        reads += m * n * _COMPLEX64_BYTES
+
+    writes = m * n * _COMPLEX64_BYTES if write_c_to_global else 0.0
+    if c_l2_candidate:
+        l2_candidate += writes
+
+    # Shared-memory traffic: stage each panel once, then fragment reloads.
+    # A fragment is broadcast within a warp's n-columns, so it is re-read
+    # once per warp column (n_tb / n_w), not once per thread column;
+    # symmetrically for B.
+    a_panel_elems = blocks * params.m_tb * k
+    b_panel_elems = blocks * params.n_tb * k
+    a_reads = a_panel_elems * (params.n_tb // params.n_w)
+    b_reads = b_panel_elems * (params.m_tb // params.m_w)
+    smem_bytes = (a_panel_elems + b_panel_elems + a_reads + b_reads) * _COMPLEX64_BYTES
+    ideal_transactions = smem_bytes / _SMEM_TRANSACTION_BYTES
+    actual_transactions = ideal_transactions / bank_utilization
+
+    k_iters = params.k_iterations(k)
+    return PerfCounters(
+        flops=gemm_flops(m, n, k),
+        global_bytes_read=reads,
+        global_bytes_written=writes,
+        smem_transactions=actual_transactions,
+        smem_ideal_transactions=ideal_transactions,
+        # One barrier per k-tile after staging the next panels (Figure 9).
+        syncthreads=float(blocks * k_iters),
+        l2_candidate_bytes=l2_candidate,
+    )

@@ -1,0 +1,41 @@
+"""GPU execution-model substrate.
+
+The paper's artifact is a set of CUDA kernels measured on an NVIDIA A100.
+This environment has no GPU, so ``repro.gpu`` provides an *analytic execution
+model* of an A100-class device that the rest of the library compiles kernel
+pipelines against:
+
+* :mod:`repro.gpu.device` — device specification (SM count, FP32 throughput,
+  DRAM bandwidth, shared-memory capacity, launch overhead) and occupancy math.
+* :mod:`repro.gpu.sharedmem` — a 32-bank shared-memory model that counts bank
+  conflicts for *actual* thread-to-address maps (used to validate the paper's
+  Figure 7/8 swizzling claims exactly).
+* :mod:`repro.gpu.swizzle` — the concrete data layouts from Figures 7 and 8.
+* :mod:`repro.gpu.kernel` — kernel specifications and roofline-style timing.
+* :mod:`repro.gpu.counters` — aggregated performance counters.
+* :mod:`repro.gpu.timeline` — pipelines (kernel sequences) and totals.
+
+The model deliberately counts the same quantities the paper reasons about:
+global-memory bytes, butterfly/MAC FLOPs, kernel launches, shared-memory bank
+utilization and SM wave quantization.
+"""
+
+from repro.gpu.counters import PerfCounters
+from repro.gpu.device import A100_SPEC, DeviceSpec, Occupancy
+from repro.gpu.kernel import KernelSpec, LaunchConfig, kernel_time
+from repro.gpu.sharedmem import SharedMemoryBankModel, WarpAccess
+from repro.gpu.timeline import Pipeline, PipelineReport
+
+__all__ = [
+    "A100_SPEC",
+    "DeviceSpec",
+    "Occupancy",
+    "KernelSpec",
+    "LaunchConfig",
+    "kernel_time",
+    "PerfCounters",
+    "SharedMemoryBankModel",
+    "WarpAccess",
+    "Pipeline",
+    "PipelineReport",
+]

@@ -1,0 +1,135 @@
+"""Aggregated performance counters for the execution model.
+
+:class:`PerfCounters` is the common currency of the cost model: every kernel
+contributes one, pipelines sum them, and the figure benchmarks print them.
+The fields are exactly the quantities §5 of the paper reasons about when it
+attributes TurboFNO's speedups to "memory transaction reduction", fewer
+kernel launches and bank-conflict-free shared memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PerfCounters"]
+
+
+@dataclass
+class PerfCounters:
+    """Additive performance counters.
+
+    Parameters
+    ----------
+    flops:
+        Real-arithmetic floating-point operations (complex MAC = 8 real ops).
+    global_bytes_read / global_bytes_written:
+        DRAM traffic in bytes.
+    kernel_launches:
+        Number of device kernel launches.
+    smem_transactions:
+        Shared-memory transactions issued (post-conflict replays included).
+    smem_ideal_transactions:
+        Transactions an ideally conflict-free layout would need; the ratio
+        ``ideal / actual`` is the bank utilization the paper quotes
+        (6.25 %, 25 %, 100 %).
+    syncthreads:
+        Block-wide barrier count (the fused kernel adds one per k-tile, §4.3).
+    l2_candidate_bytes:
+        Portion of the global traffic that is *inter-stage intermediate*
+        data (spectra, truncated copies, GEMM operands produced by the
+        previous kernel): when the working set fits L2, these bytes are
+        served at L2 rather than DRAM bandwidth.  Raw inputs and final
+        outputs are never candidates.
+    """
+
+    flops: float = 0.0
+    global_bytes_read: float = 0.0
+    global_bytes_written: float = 0.0
+    kernel_launches: int = 0
+    smem_transactions: float = 0.0
+    smem_ideal_transactions: float = 0.0
+    syncthreads: float = 0.0
+    l2_candidate_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "flops",
+            "global_bytes_read",
+            "global_bytes_written",
+            "smem_transactions",
+            "smem_ideal_transactions",
+            "syncthreads",
+            "l2_candidate_bytes",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.kernel_launches < 0:
+            raise ValueError("kernel_launches must be non-negative")
+        if self.l2_candidate_bytes > self.global_bytes_read + self.global_bytes_written:
+            raise ValueError("l2_candidate_bytes cannot exceed total global traffic")
+
+    # -- algebra -----------------------------------------------------------
+    def __add__(self, other: "PerfCounters") -> "PerfCounters":
+        if not isinstance(other, PerfCounters):
+            return NotImplemented
+        return PerfCounters(
+            flops=self.flops + other.flops,
+            global_bytes_read=self.global_bytes_read + other.global_bytes_read,
+            global_bytes_written=self.global_bytes_written + other.global_bytes_written,
+            kernel_launches=self.kernel_launches + other.kernel_launches,
+            smem_transactions=self.smem_transactions + other.smem_transactions,
+            smem_ideal_transactions=self.smem_ideal_transactions
+            + other.smem_ideal_transactions,
+            syncthreads=self.syncthreads + other.syncthreads,
+            l2_candidate_bytes=self.l2_candidate_bytes + other.l2_candidate_bytes,
+        )
+
+    def __iadd__(self, other: "PerfCounters") -> "PerfCounters":
+        summed = self + other
+        self.__dict__.update(summed.__dict__)
+        return self
+
+    # -- derived -----------------------------------------------------------
+    @property
+    def global_bytes(self) -> float:
+        """Total DRAM traffic (read + write)."""
+        return self.global_bytes_read + self.global_bytes_written
+
+    @property
+    def bank_utilization(self) -> float:
+        """Shared-memory bank utilization in [0, 1] (1.0 if no smem use)."""
+        if self.smem_transactions == 0:
+            return 1.0
+        return self.smem_ideal_transactions / self.smem_transactions
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per DRAM byte (inf for traffic-free work)."""
+        if self.global_bytes == 0:
+            return float("inf")
+        return self.flops / self.global_bytes
+
+    def scaled(self, factor: float) -> "PerfCounters":
+        """Return counters scaled by ``factor`` (launches rounded)."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return PerfCounters(
+            flops=self.flops * factor,
+            global_bytes_read=self.global_bytes_read * factor,
+            global_bytes_written=self.global_bytes_written * factor,
+            kernel_launches=round(self.kernel_launches * factor),
+            smem_transactions=self.smem_transactions * factor,
+            smem_ideal_transactions=self.smem_ideal_transactions * factor,
+            syncthreads=self.syncthreads * factor,
+            l2_candidate_bytes=self.l2_candidate_bytes * factor,
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"flops={self.flops:.3e} "
+            f"dram_rd={self.global_bytes_read:.3e}B "
+            f"dram_wr={self.global_bytes_written:.3e}B "
+            f"launches={self.kernel_launches} "
+            f"bank_util={self.bank_utilization:.2%}"
+        )

@@ -1,0 +1,195 @@
+"""Kernel specification and roofline-style timing model.
+
+A kernel in this model is a launch configuration plus the
+:class:`~repro.gpu.counters.PerfCounters` it would retire.  Its execution
+time follows the standard GPU reasoning the paper leans on throughout §5:
+
+* the steady-state rate is the roofline ``max(compute, DRAM, shared-memory)``
+  term, with shared memory derated by the measured bank utilization of the
+  kernel's layouts (Figs. 7–8);
+* grids are *wave quantized*: a device keeping ``active`` blocks resident
+  runs a ``B``-block grid in ``ceil(B / active)`` waves, and a tail wave
+  costs as much as a full one — the origin of the paper's "blue region"
+  slowdowns at small batch × large hidden dimension (Fig. 14/19);
+* each launch pays a fixed host overhead, which is what kernel fusion
+  removes first;
+* ``__syncthreads()`` barriers (one per k-tile in the fused kernel, §4.3)
+  add a per-block serial term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.counters import PerfCounters
+from repro.gpu.device import DeviceSpec, Occupancy
+
+__all__ = ["LaunchConfig", "KernelSpec", "KernelTiming", "kernel_time"]
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Grid geometry of one kernel launch."""
+
+    blocks: int
+    threads_per_block: int
+    smem_per_block_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.blocks <= 0:
+            raise ValueError(f"blocks must be positive, got {self.blocks}")
+        if self.threads_per_block <= 0:
+            raise ValueError("threads_per_block must be positive")
+        if self.smem_per_block_bytes < 0:
+            raise ValueError("smem_per_block_bytes must be non-negative")
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One device kernel: geometry, retired work, and modelling knobs.
+
+    Parameters
+    ----------
+    name:
+        Label used in reports (e.g. ``"cufft_fwd"``, ``"fused_fft_gemm_ifft"``).
+    launch:
+        Grid geometry.
+    counters:
+        Work retired by the whole grid.
+    compute_derate:
+        Extra multiplicative slowdown on the compute leg, used for the
+        paper's documented workflow penalties (e.g. the k-loop FFT variant's
+        loss of L1 locality, §5.1 A.1).  1.0 = no penalty.
+    memory_derate:
+        Same for the DRAM leg (e.g. reduced coalescing of the (Y, HiddenDim)
+        access pattern versus (X, Y)).
+    phases:
+        Optional intra-kernel phases.  A fused kernel's FFT, CGEMM and iFFT
+        sections are separated by ``__syncthreads()`` barriers (Figure 9),
+        so their roofline times *add* instead of overlapping; pass one
+        :class:`PerfCounters` per phase and the timing model sums
+        per-phase ``max(compute, dram, smem)`` legs.  When ``None``, the
+        kernel is single-phase and ``counters`` is used directly.
+        ``counters`` must always hold the kernel's totals (phases included)
+        for traffic reporting.
+    """
+
+    name: str
+    launch: LaunchConfig
+    counters: PerfCounters
+    compute_derate: float = 1.0
+    memory_derate: float = 1.0
+    phases: tuple[PerfCounters, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.compute_derate < 1.0 or self.memory_derate < 1.0:
+            raise ValueError("derates model slowdowns and must be >= 1.0")
+        if self.phases is not None and len(self.phases) == 0:
+            raise ValueError("phases must be None or non-empty")
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Timing breakdown of one kernel on one device (seconds)."""
+
+    compute_time: float
+    dram_time: float
+    smem_time: float
+    sync_time: float
+    steady_time: float
+    wave_quantized_time: float
+    launch_overhead: float
+    occupancy: Occupancy
+
+    @property
+    def total(self) -> float:
+        return self.wave_quantized_time + self.launch_overhead
+
+
+def _wave_inflation(blocks: int, occ: Occupancy, device: DeviceSpec) -> float:
+    """Slowdown factor from imperfect grid/device packing.
+
+    The steady-state estimate assumes the whole device is busy.  The grid
+    actually runs in waves of ``active = blocks_per_sm * num_sms`` blocks;
+    full waves run at full rate, while the tail wave only keeps
+    ``min(tail, num_sms)`` SMs busy — and an SM holding a *single*
+    resident block loses some latency hiding
+    (``single_block_sm_efficiency``).  This term produces the paper's
+    "blue region": at small batch x large K the fused grid is too small
+    to cover the device (§5.1 A.5).
+    """
+    active = occ.active_blocks
+    full_waves, tail = divmod(blocks, active)
+
+    def _sm_eff(resident: int) -> float:
+        return 1.0 if resident >= 2 else device.single_block_sm_efficiency
+
+    inflation = 0.0
+    if full_waves:
+        share = full_waves * active / blocks
+        inflation += share / _sm_eff(occ.blocks_per_sm)
+    if tail:
+        sms_busy = min(tail, device.num_sms)
+        resident = -(-tail // sms_busy)
+        frac = (sms_busy / device.num_sms) * _sm_eff(min(resident, occ.blocks_per_sm))
+        inflation += (tail / blocks) / frac
+    return inflation
+
+
+def kernel_time(spec: KernelSpec, device: DeviceSpec) -> KernelTiming:
+    """Time one kernel on one device.
+
+    The steady-state time is ``max(compute, dram, smem) + sync``; the
+    result is then inflated by wave quantization
+    (``waves / ideal_waves`` where ``ideal_waves = B / active``), which is
+    >= 1 and equals 1 only for grids that tile the device exactly.
+    """
+    c = spec.counters
+    occ = Occupancy.compute(
+        device,
+        spec.launch.blocks,
+        spec.launch.threads_per_block,
+        spec.launch.smem_per_block_bytes,
+    )
+
+    def _legs(pc: PerfCounters) -> tuple[float, float, float]:
+        comp = pc.flops / device.effective_flops() * spec.compute_derate
+        # L2 model: inter-stage intermediates whose working set fits the
+        # cache are served at L2 bandwidth.  The working set is roughly
+        # half the candidate traffic (each intermediate is written once
+        # and read once).
+        bw = device.effective_bandwidth()
+        cand = min(pc.l2_candidate_bytes, pc.global_bytes)
+        working_set = cand / 2.0
+        hit = min(1.0, device.l2_bytes / working_set) if working_set > 0 else 0.0
+        dram_bytes = (pc.global_bytes - cand) + cand * (1.0 - hit)
+        dram = (
+            dram_bytes / bw + cand * hit / (bw * device.l2_bandwidth_ratio)
+        ) * spec.memory_derate
+        # A 32-bank transaction moves banks * bank_bytes = 128 B; replays
+        # are already folded into smem_transactions by the conflict model.
+        smem_bytes = pc.smem_transactions * device.smem_banks * device.smem_bank_bytes
+        smem_bw = device.effective_bandwidth() * device.smem_bandwidth_ratio
+        return comp, dram, smem_bytes / smem_bw
+
+    compute_time, dram_time, smem_time = _legs(c)
+    syncs_per_block = c.syncthreads / spec.launch.blocks if spec.launch.blocks else 0.0
+    sync_time = syncs_per_block * device.syncthreads_overhead_s * occ.waves
+    if spec.phases is None:
+        steady = max(compute_time, dram_time, smem_time) + sync_time
+    else:
+        # Barrier-separated phases serialise within each block: the fused
+        # kernel's FFT cannot hide behind the CGEMM MACs of the same
+        # iteration, so per-phase rooflines add.
+        steady = sum(max(*_legs(pc)) for pc in spec.phases) + sync_time
+    quantized = steady * _wave_inflation(spec.launch.blocks, occ, device)
+    return KernelTiming(
+        compute_time=compute_time,
+        dram_time=dram_time,
+        smem_time=smem_time,
+        sync_time=sync_time,
+        steady_time=steady,
+        wave_quantized_time=quantized,
+        launch_overhead=device.kernel_launch_overhead_s,
+        occupancy=occ,
+    )

@@ -1,0 +1,260 @@
+"""Concrete shared-memory layouts from Figures 7 and 8 of the paper.
+
+TurboFNO's fused kernel moves data between stages through shared memory
+three times, and each hand-off has a layout problem:
+
+1. **FFT butterfly write-back** (Fig. 7b/c) — after the final butterfly
+   stage each thread holds eight complex outputs of one signal.  Writing
+   them back naively lands every thread on the same bank pair (6.25 %
+   utilization for the 16-thread/128-point case).  Adding a thread-id
+   offset to the address (``addr += tid`` for the 16-point-per-thread case,
+   ``addr += tid / 2`` for the 8-point case) restores 100 %.
+2. **FFT → CGEMM forwarding** (Fig. 7a) — the VkFFT-style layout stores
+   same-offset elements of different signals contiguously, which is
+   conflict-free for the FFT itself but collides when CGEMM loads operand
+   ``A`` column-major (25 % utilization; the static thread→bank map cannot
+   be fixed by swizzling, only by wasteful padding).  TurboFNO instead
+   stores each truncated signal contiguously (column-major ``A``), which is
+   conflict-free for CGEMM and is made conflict-free for the FFT writes by
+   the tid-offset swizzle above.
+3. **CGEMM → iFFT epilogue** (Fig. 8) — each thread writes a 4×4 complex
+   tile of ``C`` into shared memory; without swizzling threads 0/4/8/12
+   collide (25 %), with an ``addr += threadIdx.x / 4`` offset utilization is
+   100 %.
+
+Every function below builds the *actual* per-thread word addresses and runs
+them through :class:`~repro.gpu.sharedmem.SharedMemoryBankModel`, so the
+paper's percentages are computed, not asserted.  Modelling note: warp
+accesses are modelled one complex element per thread per instruction
+(complex64 = two 4-byte words); the VkFFT interleave granularity defaults
+to 4 (half-warp signal groups), which reproduces the paper's quoted 25 %
+figure — a full 8-way interleave degrades further, to 12.5 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.sharedmem import AccessReport, SharedMemoryBankModel, WarpAccess
+
+__all__ = [
+    "LayoutAnalysis",
+    "fft_writeback_accesses",
+    "analyze_fft_writeback",
+    "gemm_a_column_read_accesses",
+    "analyze_fft_to_gemm_forward",
+    "epilogue_writeback_accesses",
+    "analyze_gemm_to_ifft_epilogue",
+    "layout_is_injective",
+]
+
+_MODEL = SharedMemoryBankModel()
+
+
+@dataclass(frozen=True)
+class LayoutAnalysis:
+    """Named bank-conflict analysis result."""
+
+    name: str
+    report: AccessReport
+
+    @property
+    def utilization(self) -> float:
+        return self.report.utilization
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7(b)/(c): FFT butterfly write-back
+# ---------------------------------------------------------------------------
+
+def fft_writeback_accesses(
+    n_threads: int,
+    elems_per_thread: int,
+    thread_stride: int,
+    offset_divisor: int | None,
+) -> list[WarpAccess]:
+    """Per-instruction accesses for the FFT final write-back.
+
+    Thread ``t`` owns ``elems_per_thread`` consecutive complex outputs of
+    one signal, whose base complex address is ``t * thread_stride``.
+    Instruction ``j`` writes element ``j`` of every thread.  With
+    ``offset_divisor = d`` the TurboFNO swizzle adds ``t // d`` complex
+    elements to the address (``d = 1`` is the paper's ``addr += tid``,
+    ``d = 2`` its ``addr += tid / 2``); ``None`` disables the swizzle.
+    """
+    if n_threads <= 0 or elems_per_thread <= 0 or thread_stride <= 0:
+        raise ValueError("n_threads, elems_per_thread, thread_stride must be positive")
+    if offset_divisor is not None and offset_divisor <= 0:
+        raise ValueError("offset_divisor must be positive or None")
+    accesses = []
+    for j in range(elems_per_thread):
+        lanes = []
+        for t in range(n_threads):
+            addr = t * thread_stride + j
+            if offset_divisor is not None:
+                addr += t // offset_divisor
+            lanes.append([addr])
+        accesses.append(WarpAccess.complex64(lanes))
+    return accesses
+
+
+def analyze_fft_writeback(
+    case: str = "16pt", swizzled: bool = False
+) -> LayoutAnalysis:
+    """Analyze the two write-back cases of Figs. 7(b) and 7(c).
+
+    ``case='16pt'`` is the 128-point FFT with 16 threads (each thread's
+    signal segment 64 complex apart — a multiple of the bank period, hence
+    the catastrophic 6.25 % without swizzling).  ``case='8pt'`` is the
+    256-point FFT with 32 threads at an 8-complex thread stride, where
+    neighbouring threads already avoid each other and the milder
+    ``tid / 2`` offset suffices.
+    """
+    if case == "16pt":
+        accs = fft_writeback_accesses(
+            n_threads=16,
+            elems_per_thread=8,
+            thread_stride=64,
+            offset_divisor=1 if swizzled else None,
+        )
+    elif case == "8pt":
+        accs = fft_writeback_accesses(
+            n_threads=32,
+            elems_per_thread=8,
+            thread_stride=8,
+            offset_divisor=2 if swizzled else None,
+        )
+    else:
+        raise ValueError(f"unknown case {case!r}; expected '16pt' or '8pt'")
+    name = f"fft-writeback-{case}-{'swizzled' if swizzled else 'naive'}"
+    return LayoutAnalysis(name, _MODEL.analyze(accs))
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7(a): FFT -> CGEMM operand-A forwarding
+# ---------------------------------------------------------------------------
+
+def gemm_a_column_read_accesses(
+    layout: str,
+    m_s: int = 32,
+    k_s: int = 8,
+    vkfft_interleave: int = 4,
+) -> list[WarpAccess]:
+    """Warp accesses for CGEMM loading one ``A`` column from shared memory.
+
+    A warp of ``m_s`` threads reads one column ``k`` of the ``m_s x k_s``
+    complex ``A`` tile (thread ``t`` reads row ``m = t``).
+
+    * ``layout='turbofno'`` — each signal (column) stored contiguously:
+      ``addr(m, k) = k * m_s + m``.  Column reads are unit-stride.
+    * ``layout='vkfft'`` — same-offset elements of ``vkfft_interleave``
+      signals stored contiguously: ``addr(m, k) = m * I + (k % I) +
+      (k // I) * m_s * I``.  Column reads stride by the interleave.
+    """
+    if m_s <= 0 or k_s <= 0:
+        raise ValueError("m_s and k_s must be positive")
+    accesses = []
+    for k in range(k_s):
+        lanes = []
+        for t in range(m_s):
+            if layout == "turbofno":
+                addr = k * m_s + t
+            elif layout == "vkfft":
+                ileave = vkfft_interleave
+                addr = t * ileave + (k % ileave) + (k // ileave) * m_s * ileave
+            else:
+                raise ValueError(f"unknown layout {layout!r}")
+            lanes.append([addr])
+        accesses.append(WarpAccess.complex64(lanes))
+    return accesses
+
+
+def analyze_fft_to_gemm_forward(layout: str) -> LayoutAnalysis:
+    """Bank utilization of CGEMM's ``A``-column loads under a layout."""
+    accs = gemm_a_column_read_accesses(layout)
+    return LayoutAnalysis(f"fft-to-gemm-{layout}", _MODEL.analyze(accs))
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8: CGEMM -> iFFT epilogue write-back
+# ---------------------------------------------------------------------------
+
+def epilogue_writeback_accesses(
+    swizzled: bool,
+    m_w: int = 32,
+    n_w: int = 16,
+    m_t: int = 4,
+    n_t: int = 4,
+    offset_divisor: int = 4,
+    col_stride: int = 128,
+) -> list[WarpAccess]:
+    """Warp accesses for the CGEMM epilogue writing ``C`` into shared memory.
+
+    The warp owns an ``m_w x n_w`` tile, each thread a ``m_t x n_t``
+    sub-tile (Table 1: 32x16 warp tile, 4x4 thread tile, so threads are
+    arranged 8 along ``m`` by 4 along ``n``, column-major:
+    ``tm = t % 8, tn = t // 8``).  Instruction ``(i, j)`` writes element
+    ``(m_t*tm + i, n_t*tn + j)`` at complex address
+    ``(n_t*tn + j) * col_stride + m_t*tm + i``.  The swizzle adds
+    ``t // offset_divisor`` (the paper's ``threadIdx.x / 4``).
+
+    The destination is the ``sFFT[k_s x N_fft]`` buffer of Figure 9 — each
+    column holds a full zero-padded iFFT input of length ``col_stride``
+    (default 128), of which only the first ``m_w`` entries are GEMM results.
+    The slack after the written prefix is the zero-padded high-frequency
+    region, which is what gives the additive tid-offset room to stay
+    injective without any padding overhead.
+    """
+    threads_m = m_w // m_t
+    threads_n = n_w // n_t
+    n_threads = threads_m * threads_n
+    if n_threads != 32:
+        raise ValueError(
+            f"warp tiling {m_w}x{n_w} / {m_t}x{n_t} implies {n_threads} threads; "
+            "expected a full 32-thread warp"
+        )
+    if col_stride < m_w + (n_threads - 1) // offset_divisor:
+        raise ValueError(
+            "col_stride too small for the swizzle offset to stay in-column"
+        )
+    accesses = []
+    for j in range(n_t):
+        for i in range(m_t):
+            lanes = []
+            for t in range(n_threads):
+                tm = t % threads_m
+                tn = t // threads_m
+                addr = (n_t * tn + j) * col_stride + m_t * tm + i
+                if swizzled:
+                    addr += t // offset_divisor
+                lanes.append([addr])
+            accesses.append(WarpAccess.complex64(lanes))
+    return accesses
+
+
+def analyze_gemm_to_ifft_epilogue(swizzled: bool) -> LayoutAnalysis:
+    """Bank utilization of the epilogue write (Fig. 8a vs 8b)."""
+    accs = epilogue_writeback_accesses(swizzled)
+    name = f"gemm-to-ifft-{'swizzled' if swizzled else 'naive'}"
+    return LayoutAnalysis(name, _MODEL.analyze(accs))
+
+
+# ---------------------------------------------------------------------------
+# Layout sanity
+# ---------------------------------------------------------------------------
+
+def layout_is_injective(accesses: list[WarpAccess]) -> bool:
+    """True if no two (thread, element) writes alias the same word address.
+
+    A swizzle must be a *relabelling* of addresses, never a collision —
+    otherwise data would be overwritten.  Used by tests to check that the
+    tid-offset swizzles are valid layouts, not just conflict-free ones.
+    """
+    seen: set[int] = set()
+    for acc in accesses:
+        for lane in acc.word_addresses:
+            for w in lane:
+                if w in seen:
+                    return False
+                seen.add(w)
+    return True

@@ -1,0 +1,93 @@
+"""Pipelines: ordered kernel sequences and their modelled totals.
+
+A *pipeline* is what one forward Fourier layer costs under a given
+implementation strategy: the PyTorch baseline is a five-kernel pipeline
+(FFT, truncation copy, CGEMM, padding copy, iFFT); TurboFNO stage D is a
+single fused kernel.  :class:`Pipeline` sums kernel timings and counters and
+renders the comparison tables the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.counters import PerfCounters
+from repro.gpu.device import A100_SPEC, DeviceSpec
+from repro.gpu.kernel import KernelSpec, KernelTiming, kernel_time
+
+__all__ = ["Pipeline", "PipelineReport", "speedup_percent"]
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """Modelled execution summary of a pipeline on a device."""
+
+    name: str
+    total_time: float
+    kernel_times: tuple[tuple[str, float], ...]
+    counters: PerfCounters
+
+    @property
+    def launch_count(self) -> int:
+        return self.counters.kernel_launches
+
+    def breakdown(self) -> str:
+        """Multi-line per-kernel time breakdown."""
+        lines = [f"{self.name}: {self.total_time * 1e3:.4f} ms total"]
+        for kname, t in self.kernel_times:
+            lines.append(f"  {kname:<28s} {t * 1e3:.4f} ms")
+        return "\n".join(lines)
+
+
+@dataclass
+class Pipeline:
+    """An ordered sequence of kernels implementing one operator.
+
+    Kernels execute back-to-back on one stream (the paper's pipelines are
+    strictly dependent: each stage consumes the previous stage's output).
+    """
+
+    name: str
+    kernels: list[KernelSpec] = field(default_factory=list)
+
+    def add(self, kernel: KernelSpec) -> "Pipeline":
+        """Append a kernel; returns self for chaining."""
+        self.kernels.append(kernel)
+        return self
+
+    def counters(self) -> PerfCounters:
+        """Summed counters, including one launch per kernel."""
+        total = PerfCounters()
+        for k in self.kernels:
+            total += k.counters
+            total += PerfCounters(kernel_launches=1)
+        return total
+
+    def timings(self, device: DeviceSpec = A100_SPEC) -> list[KernelTiming]:
+        return [kernel_time(k, device) for k in self.kernels]
+
+    def report(self, device: DeviceSpec = A100_SPEC) -> PipelineReport:
+        """Model the pipeline on ``device``."""
+        if not self.kernels:
+            raise ValueError(f"pipeline {self.name!r} has no kernels")
+        per = [(k.name, kernel_time(k, device).total) for k in self.kernels]
+        return PipelineReport(
+            name=self.name,
+            total_time=sum(t for _, t in per),
+            kernel_times=tuple(per),
+            counters=self.counters(),
+        )
+
+    def total_time(self, device: DeviceSpec = A100_SPEC) -> float:
+        return self.report(device).total_time
+
+
+def speedup_percent(baseline_time: float, optimized_time: float) -> float:
+    """Speedup of ``optimized`` over ``baseline`` in the paper's units.
+
+    The paper reports "performance vs PyTorch (%)" where 0 % means parity
+    and +150 % means 2.5x faster: ``(t_base / t_opt - 1) * 100``.
+    """
+    if optimized_time <= 0 or baseline_time <= 0:
+        raise ValueError("times must be positive")
+    return (baseline_time / optimized_time - 1.0) * 100.0

@@ -1,0 +1,41 @@
+"""Losses with gradients.
+
+Both return ``(loss_value, grad_wrt_prediction)`` so the training loop can
+seed the backward pass directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mse_loss", "relative_l2_loss"]
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error over all elements."""
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    diff = pred - target
+    n = diff.size
+    return float(np.mean(diff**2)), (2.0 / n) * diff
+
+
+def relative_l2_loss(
+    pred: np.ndarray, target: np.ndarray, eps: float = 1e-12
+) -> tuple[float, np.ndarray]:
+    """Per-sample relative L2 error, averaged over the batch.
+
+    The standard FNO metric: ``mean_b ||pred_b - target_b|| / ||target_b||``.
+    """
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    batch = pred.shape[0]
+    diff = (pred - target).reshape(batch, -1)
+    tgt = target.reshape(batch, -1)
+    diff_norm = np.sqrt(np.sum(diff**2, axis=1))
+    tgt_norm = np.sqrt(np.sum(tgt**2, axis=1)) + eps
+    loss = float(np.mean(diff_norm / tgt_norm))
+    # d/dpred ||diff||/||tgt|| = diff / (||diff|| * ||tgt||), batch-averaged.
+    denom = (np.maximum(diff_norm, eps) * tgt_norm)[:, None]
+    grad = (diff / denom / batch).reshape(pred.shape)
+    return loss, grad

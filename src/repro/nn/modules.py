@@ -1,0 +1,350 @@
+"""Differentiable modules: Dense, GELU, SpectralConv1d/2d.
+
+Gradients follow the PyTorch convention for complex parameters: the stored
+gradient of a complex tensor ``z`` is ``dL/dRe(z) + i * dL/dIm(z)``, so
+for a C-linear map ``y = A x`` the input cotangent is ``A^H g_y`` and the
+weight cotangent is ``conj(x) g_y``.  The adjoint of "truncate-to-modes
+after FFT" is "zero-pad then (unnormalised) inverse FFT", which is why the
+backward passes below reuse the *pruned* transforms of
+:mod:`repro.fft.pruned` — TurboFNO's built-in truncation/padding
+accelerates training's backward pass for free.
+
+All forward spectral math goes through this package's own FFTs, never
+``numpy.fft``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.fused import fused_fft_gemm_ifft_1d, fused_fft_gemm_ifft_2d
+from repro.fft.pruned import truncated_fft, truncated_ifft
+from repro.fft.stockham import fft, ifft, is_power_of_two
+
+__all__ = ["Parameter", "Module", "Dense", "GELU", "SpectralConv1d", "SpectralConv2d"]
+
+
+def _prunable(n: int, modes: int) -> bool:
+    """True when the pruned transforms apply (power-of-two mode count
+    dividing the grid).  Otherwise the layer falls back to full transforms
+    plus slicing — numerically identical, just without the work savings."""
+    return is_power_of_two(modes) and modes <= n
+
+
+def _trunc_fft(x: np.ndarray, modes: int, axis: int) -> np.ndarray:
+    if _prunable(x.shape[axis], modes):
+        return truncated_fft(x, modes, axis=axis)
+    sl = [slice(None)] * x.ndim
+    sl[axis] = slice(0, modes)
+    return fft(x, axis=axis)[tuple(sl)]
+
+
+def _pad_ifft(xk: np.ndarray, n_out: int, axis: int) -> np.ndarray:
+    if _prunable(n_out, xk.shape[axis]):
+        return truncated_ifft(xk, n_out, axis=axis)
+    shape = list(xk.shape)
+    shape[axis] = n_out
+    padded = np.zeros(shape, dtype=xk.dtype)
+    sl = [slice(None)] * xk.ndim
+    sl[axis] = slice(0, xk.shape[axis])
+    padded[tuple(sl)] = xk
+    return ifft(padded, axis=axis)
+
+
+class Parameter:
+    """A learnable array with an accumulated gradient."""
+
+    def __init__(self, value: np.ndarray, name: str = "param") -> None:
+        self.value = np.asarray(value)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter({self.name}, shape={self.value.shape})"
+
+
+class Module:
+    """Minimal layer interface: ``forward`` caches, ``backward`` consumes.
+
+    ``backward`` must be called after ``forward`` with the cotangent of the
+    forward output; it accumulates parameter gradients and returns the
+    cotangent of the forward input.
+    """
+
+    def parameters(self) -> Iterator[Parameter]:
+        for v in vars(self).values():
+            if isinstance(v, Parameter):
+                yield v
+            elif isinstance(v, Module):
+                yield from v.parameters()
+            elif isinstance(v, (list, tuple)):
+                for item in v:
+                    if isinstance(item, Module):
+                        yield from item.parameters()
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class Dense(Module):
+    """Pointwise channel mixing: ``y[b, o, *s] = sum_i x[b, i, *s] W[i, o] + b[o]``.
+
+    Works on any number of trailing spatial axes; this is both the FNO's
+    lifting/projection layer and the per-block pointwise residual path.
+    """
+
+    def __init__(self, c_in: int, c_out: int, rng: np.random.Generator,
+                 name: str = "dense") -> None:
+        if c_in <= 0 or c_out <= 0:
+            raise ValueError("channel counts must be positive")
+        scale = math.sqrt(2.0 / (c_in + c_out))
+        self.weight = Parameter(
+            rng.normal(0.0, scale, size=(c_in, c_out)), f"{name}.weight"
+        )
+        self.bias = Parameter(np.zeros(c_out), f"{name}.bias")
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim < 2 or x.shape[1] != self.weight.value.shape[0]:
+            raise ValueError(
+                f"expected (batch, {self.weight.value.shape[0]}, ...), got {x.shape}"
+            )
+        self._x = x
+        y = np.einsum("bi...,io->bo...", x, self.weight.value)
+        bias = self.bias.value.reshape(1, -1, *([1] * (x.ndim - 2)))
+        return y + bias
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        x = self._x
+        spatial_axes = tuple(range(2, x.ndim))
+        x2 = x.reshape(x.shape[0], x.shape[1], -1)
+        g2 = grad.reshape(grad.shape[0], grad.shape[1], -1)
+        self.weight.grad += np.einsum("bis,bos->io", x2, g2)
+        self.bias.grad += grad.sum(axis=(0, *spatial_axes))
+        return np.einsum("bo...,io->bi...", grad, self.weight.value)
+
+
+class GELU(Module):
+    """GELU activation (tanh approximation, as in the FNO reference code)."""
+
+    _C = math.sqrt(2.0 / math.pi)
+
+    def __init__(self) -> None:
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        inner = self._C * (x + 0.044715 * x**3)
+        return 0.5 * x * (1.0 + np.tanh(inner))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        x = self._x
+        inner = self._C * (x + 0.044715 * x**3)
+        t = np.tanh(inner)
+        d_inner = self._C * (1.0 + 3 * 0.044715 * x**2)
+        dgelu = 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t**2) * d_inner
+        return grad * dgelu
+
+
+def _init_spectral_weight(
+    c_in: int, c_out: int, mode_shape: tuple[int, ...],
+    per_mode: bool, rng: np.random.Generator,
+) -> np.ndarray:
+    scale = 1.0 / (c_in * c_out)
+    shape = (c_in, c_out, *mode_shape) if per_mode else (c_in, c_out)
+    re = rng.uniform(-scale, scale, size=shape)
+    im = rng.uniform(-scale, scale, size=shape)
+    return (re + 1j * im).astype(np.complex128)
+
+
+class SpectralConv1d(Module):
+    """1-D spectral convolution (the paper's Fourier layer) on real input.
+
+    Forward: ``y = Re(iFFT(pad(W * truncate(FFT(x)))))`` with the paper's
+    filter convention (first ``modes`` bins of the C2C transform).
+
+    Parameters
+    ----------
+    per_mode:
+        ``True`` (default) gives the original FNO's independent weight
+        matrix per kept mode; ``False`` shares one ``(C_in, C_out)`` matrix
+        across modes — the single tall-and-skinny CGEMM the paper
+        benchmarks (§3.1), which lets the forward pass dispatch to the
+        fused TurboFNO operator.
+    symmetric:
+        ``False`` (default) is the paper's filter: keep the *first*
+        ``modes`` bins of the C2C transform.  ``True`` is the original
+        FNO's convention: the kept low modes are Hermitian-mirrored into
+        the negative frequencies (the rfft/irfft formulation), so the
+        layer is a genuine real->real low-pass operator.  Requires
+        ``modes <= X/2``.
+    """
+
+    def __init__(
+        self,
+        c_in: int,
+        c_out: int,
+        modes: int,
+        rng: np.random.Generator,
+        per_mode: bool = True,
+        symmetric: bool = False,
+        name: str = "spectral1d",
+    ) -> None:
+        if min(c_in, c_out, modes) <= 0:
+            raise ValueError("c_in, c_out and modes must be positive")
+        self.c_in = c_in
+        self.c_out = c_out
+        self.modes = modes
+        self.per_mode = per_mode
+        self.symmetric = symmetric
+        self.weight = Parameter(
+            _init_spectral_weight(c_in, c_out, (modes,), per_mode, rng),
+            f"{name}.weight",
+        )
+        self._xk: np.ndarray | None = None
+        self._dim_x: int = 0
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3 or x.shape[1] != self.c_in:
+            raise ValueError(f"expected (batch, {self.c_in}, X), got {x.shape}")
+        dim_x = x.shape[2]
+        if self.modes > dim_x:
+            raise ValueError(f"modes={self.modes} exceeds spatial size {dim_x}")
+        if self.symmetric and self.modes > dim_x // 2:
+            raise ValueError(
+                f"symmetric filtering needs modes <= X/2, got {self.modes} "
+                f"on a length-{dim_x} grid"
+            )
+        self._dim_x = dim_x
+        if (not self.per_mode and not self.symmetric
+                and _prunable(dim_x, self.modes)):
+            # The paper's formulation: one CGEMM shared across modes ->
+            # use the fused FFT-CGEMM-iFFT dataflow directly.
+            self._xk = _trunc_fft(x, self.modes, axis=-1)
+            y = fused_fft_gemm_ifft_1d(x, self.weight.value, self.modes)
+            return np.ascontiguousarray(y.real)
+        xk = _trunc_fft(x, self.modes, axis=-1)
+        self._xk = xk
+        if self.per_mode:
+            yk = np.einsum("bim,iom->bom", xk, self.weight.value)
+        else:
+            yk = np.einsum("bim,io->bom", xk, self.weight.value)
+        if self.symmetric:
+            # Hermitian completion: Y[N-k] = conj(Y[k]); realised as
+            # 2 Re(ifft(pad(yk))) with the double-counted DC term removed.
+            base = _pad_ifft(yk, dim_x, axis=-1).real
+            return 2.0 * base - yk[..., 0:1].real / dim_x
+        return _pad_ifft(yk, dim_x, axis=-1).real
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._xk is None:
+            raise RuntimeError("backward called before forward")
+        dim_x = self._dim_x
+        # y = Re(ifft(pad(yk))) => g_yk = truncate(fft(grad)) / N.  The
+        # symmetric branch doubles every bin and removes the duplicated DC.
+        g_yk = _trunc_fft(grad, self.modes, axis=-1) / dim_x
+        if self.symmetric:
+            g_yk = 2.0 * g_yk
+            g_yk[..., 0] -= np.sum(grad, axis=-1) / dim_x
+        if self.per_mode:
+            self.weight.grad += np.einsum("bim,bom->iom", np.conj(self._xk), g_yk)
+            g_xk = np.einsum("bom,iom->bim", g_yk, np.conj(self.weight.value))
+        else:
+            self.weight.grad += np.einsum("bim,bom->io", np.conj(self._xk), g_yk)
+            g_xk = np.einsum("bom,io->bim", g_yk, np.conj(self.weight.value))
+        # xk = truncate(fft(x)), x real => g_x = Re(N * ifft(pad(g_xk))).
+        g_x = _pad_ifft(g_xk, dim_x, axis=-1).real * dim_x
+        return g_x
+
+
+class SpectralConv2d(Module):
+    """2-D spectral convolution on real ``(batch, C_in, X, Y)`` input.
+
+    Same conventions as :class:`SpectralConv1d`, with a rectangular
+    ``modes_x x modes_y`` low-frequency filter.
+    """
+
+    def __init__(
+        self,
+        c_in: int,
+        c_out: int,
+        modes_x: int,
+        modes_y: int,
+        rng: np.random.Generator,
+        per_mode: bool = True,
+        name: str = "spectral2d",
+    ) -> None:
+        if min(c_in, c_out, modes_x, modes_y) <= 0:
+            raise ValueError("channels and modes must be positive")
+        self.c_in = c_in
+        self.c_out = c_out
+        self.modes_x = modes_x
+        self.modes_y = modes_y
+        self.per_mode = per_mode
+        self.weight = Parameter(
+            _init_spectral_weight(c_in, c_out, (modes_x, modes_y), per_mode, rng),
+            f"{name}.weight",
+        )
+        self._xk: np.ndarray | None = None
+        self._shape: tuple[int, int] = (0, 0)
+
+    def _truncate_fft2(self, x: np.ndarray) -> np.ndarray:
+        xk = _trunc_fft(x, self.modes_x, axis=2)
+        return _trunc_fft(xk, self.modes_y, axis=3)
+
+    def _pad_ifft2(self, yk: np.ndarray, dim_x: int, dim_y: int) -> np.ndarray:
+        y = _pad_ifft(yk, dim_y, axis=3)
+        return _pad_ifft(y, dim_x, axis=2)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.c_in:
+            raise ValueError(f"expected (batch, {self.c_in}, X, Y), got {x.shape}")
+        dim_x, dim_y = x.shape[2], x.shape[3]
+        if self.modes_x > dim_x or self.modes_y > dim_y:
+            raise ValueError("modes exceed the spatial grid")
+        self._shape = (dim_x, dim_y)
+        if not self.per_mode:
+            self._xk = self._truncate_fft2(x)
+            y = fused_fft_gemm_ifft_2d(x, self.weight.value, self.modes_x,
+                                       self.modes_y)
+            return np.ascontiguousarray(y.real)
+        xk = self._truncate_fft2(x)
+        self._xk = xk
+        yk = np.einsum("bimn,iomn->bomn", xk, self.weight.value)
+        return self._pad_ifft2(yk, dim_x, dim_y).real
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._xk is None:
+            raise RuntimeError("backward called before forward")
+        dim_x, dim_y = self._shape
+        n_total = dim_x * dim_y
+        g_yk = self._truncate_fft2(grad) / n_total
+        if self.per_mode:
+            self.weight.grad += np.einsum(
+                "bimn,bomn->iomn", np.conj(self._xk), g_yk
+            )
+            g_xk = np.einsum("bomn,iomn->bimn", g_yk, np.conj(self.weight.value))
+        else:
+            self.weight.grad += np.einsum("bimn,bomn->io", np.conj(self._xk), g_yk)
+            g_xk = np.einsum("bomn,io->bimn", g_yk, np.conj(self.weight.value))
+        return self._pad_ifft2(g_xk, dim_x, dim_y).real * n_total

@@ -1,0 +1,96 @@
+"""Optimizers with complex-parameter support.
+
+Complex parameters (the spectral weights) are handled the PyTorch way:
+first/second Adam moments are computed with ``|g|^2`` for the variance, so
+a complex parameter behaves like its two real components sharing a
+variance estimate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.modules import Parameter
+
+__all__ = ["SGD", "Adam"]
+
+
+class SGD:
+    """Plain stochastic gradient descent (optional momentum)."""
+
+    def __init__(self, params: list[Parameter], lr: float = 1e-2,
+                 momentum: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if not (0.0 <= momentum < 1.0):
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("no parameters to optimise")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.value) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if self.momentum:
+                v *= self.momentum
+                v += p.grad
+                p.value -= self.lr * v
+            else:
+                p.value -= self.lr * p.grad
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class Adam:
+    """Adam (Kingma & Ba) with bias correction and complex support."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("no parameters to optimise")
+        self.lr = lr
+        self.b1, self.b2 = b1, b2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m = [np.zeros_like(p.value) for p in self.params]
+        self._v = [np.zeros(p.value.shape, dtype=np.float64) for p in self.params]
+
+    def step(self) -> None:
+        self._step += 1
+        t = self._step
+        bc1 = 1.0 - self.b1**t
+        bc2 = 1.0 - self.b2**t
+        for p, m, v in zip(self.params, self._m, self._v):
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.value
+            m *= self.b1
+            m += (1.0 - self.b1) * g
+            v *= self.b2
+            v += (1.0 - self.b2) * np.abs(g) ** 2
+            m_hat = m / bc1
+            v_hat = v / bc2
+            p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()

@@ -1,0 +1,82 @@
+"""Learning-rate schedules and gradient clipping.
+
+The FNO reference training recipe uses Adam with step decay; cosine decay
+is the common modern alternative.  Schedulers wrap an optimizer and mutate
+its ``lr`` when stepped once per epoch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.modules import Parameter
+
+__all__ = ["StepLR", "CosineLR", "clip_grad_norm"]
+
+
+class StepLR:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer, step_size: int, gamma: float = 0.5) -> None:
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        if not (0.0 < gamma <= 1.0):
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self.base_lr * self.gamma ** (
+            self.epoch // self.step_size
+        )
+        return self.optimizer.lr
+
+
+class CosineLR:
+    """Cosine annealing from the base rate to ``min_lr`` over ``t_max``."""
+
+    def __init__(self, optimizer, t_max: int, min_lr: float = 0.0) -> None:
+        if t_max <= 0:
+            raise ValueError(f"t_max must be positive, got {t_max}")
+        if min_lr < 0:
+            raise ValueError("min_lr must be non-negative")
+        self.optimizer = optimizer
+        self.t_max = t_max
+        self.min_lr = min_lr
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        self.epoch += 1
+        t = min(self.epoch, self.t_max)
+        self.optimizer.lr = self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * t / self.t_max)
+        )
+        return self.optimizer.lr
+
+
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm (complex gradients contribute |g|^2).
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    params = list(params)
+    total = 0.0
+    for p in params:
+        total += float(np.sum(np.abs(p.grad) ** 2))
+    norm = math.sqrt(total)
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for p in params:
+            p.grad *= scale
+    return norm

@@ -1,0 +1,102 @@
+"""Minibatch training loop for the NumPy FNO."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.losses import relative_l2_loss
+from repro.nn.modules import Module
+
+__all__ = ["TrainingHistory", "train", "evaluate"]
+
+LossFn = Callable[[np.ndarray, np.ndarray], tuple[float, np.ndarray]]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch train loss and (optional) test loss."""
+
+    train_loss: list[float] = field(default_factory=list)
+    test_loss: list[float] = field(default_factory=list)
+
+    @property
+    def final_train(self) -> float:
+        if not self.train_loss:
+            raise ValueError("no epochs recorded")
+        return self.train_loss[-1]
+
+    @property
+    def final_test(self) -> float:
+        if not self.test_loss:
+            raise ValueError("no test evaluations recorded")
+        return self.test_loss[-1]
+
+
+def evaluate(
+    model: Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    loss_fn: LossFn = relative_l2_loss,
+    batch_size: int = 32,
+) -> float:
+    """Average loss over a dataset (no gradient accumulation)."""
+    total = 0.0
+    count = 0
+    for b0 in range(0, x.shape[0], batch_size):
+        xb = x[b0 : b0 + batch_size]
+        yb = y[b0 : b0 + batch_size]
+        loss, _ = loss_fn(model(xb), yb)
+        total += loss * xb.shape[0]
+        count += xb.shape[0]
+    return total / max(count, 1)
+
+
+def train(
+    model: Module,
+    optimizer,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    epochs: int,
+    batch_size: int = 16,
+    loss_fn: LossFn = relative_l2_loss,
+    x_test: np.ndarray | None = None,
+    y_test: np.ndarray | None = None,
+    shuffle_seed: int = 0,
+    verbose: bool = False,
+) -> TrainingHistory:
+    """Train ``model`` with ``optimizer``; returns the loss history.
+
+    Data tensors are ``(n_samples, channels, *spatial)``.  When a test set
+    is supplied it is evaluated after every epoch.
+    """
+    if x_train.shape[0] != y_train.shape[0]:
+        raise ValueError("x_train and y_train disagree on sample count")
+    if epochs <= 0 or batch_size <= 0:
+        raise ValueError("epochs and batch_size must be positive")
+    rng = np.random.default_rng(shuffle_seed)
+    history = TrainingHistory()
+    n = x_train.shape[0]
+    for epoch in range(epochs):
+        order = rng.permutation(n)
+        epoch_loss = 0.0
+        for b0 in range(0, n, batch_size):
+            idx = order[b0 : b0 + batch_size]
+            xb, yb = x_train[idx], y_train[idx]
+            optimizer.zero_grad()
+            pred = model(xb)
+            loss, grad = loss_fn(pred, yb)
+            model.backward(grad)
+            optimizer.step()
+            epoch_loss += loss * xb.shape[0]
+        history.train_loss.append(epoch_loss / n)
+        if x_test is not None and y_test is not None:
+            history.test_loss.append(evaluate(model, x_test, y_test, loss_fn))
+        if verbose:  # pragma: no cover - console output
+            msg = f"epoch {epoch + 1}/{epochs}: train {history.train_loss[-1]:.4e}"
+            if history.test_loss:
+                msg += f"  test {history.test_loss[-1]:.4e}"
+            print(msg)
+    return history

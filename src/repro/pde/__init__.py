@@ -1,0 +1,36 @@
+"""PDE workload generators.
+
+The paper's introduction motivates FNO with "fluid dynamics, weather
+forecasting, and quantum mechanics"; its benchmark shapes (hidden dim
+64-128, grids 128-256) come from exactly the canonical FNO datasets.
+This package generates those datasets from scratch:
+
+* :mod:`repro.pde.grf` — periodic Gaussian random fields with Matérn-like
+  spectra (the initial-condition/coefficient distributions of the FNO
+  paper).
+* :mod:`repro.pde.burgers` — 1-D viscous Burgers via a pseudo-spectral
+  integrating-factor RK4 solver.
+* :mod:`repro.pde.darcy` — 2-D Darcy flow via a finite-volume discretisation
+  and a sparse direct solve.
+* :mod:`repro.pde.navier_stokes` — 2-D incompressible Navier-Stokes in
+  vorticity form via a pseudo-spectral solver.
+
+All solvers use this package's own FFTs (:mod:`repro.fft`), so the data
+generation itself exercises the substrate.
+"""
+
+from repro.pde.burgers import burgers_dataset, solve_burgers
+from repro.pde.darcy import darcy_dataset, solve_darcy
+from repro.pde.grf import grf_1d, grf_2d
+from repro.pde.navier_stokes import navier_stokes_dataset, solve_navier_stokes
+
+__all__ = [
+    "grf_1d",
+    "grf_2d",
+    "solve_burgers",
+    "burgers_dataset",
+    "solve_darcy",
+    "darcy_dataset",
+    "solve_navier_stokes",
+    "navier_stokes_dataset",
+]

@@ -1,0 +1,97 @@
+"""2-D Darcy flow: ``-div(a(x) grad u) = f`` on the unit square, ``u=0``
+on the boundary.
+
+The coefficient field ``a`` is a thresholded GRF (the FNO paper's
+piecewise-constant 12/3 medium), the forcing is constant, and the solve is
+a five-point finite-volume discretisation with harmonic face averaging
+(the standard scheme for discontinuous coefficients) through
+``scipy.sparse.linalg.spsolve``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.pde.grf import grf_2d
+
+__all__ = ["solve_darcy", "darcy_dataset", "threshold_coefficient"]
+
+
+def threshold_coefficient(
+    field: np.ndarray, hi: float = 12.0, lo: float = 3.0
+) -> np.ndarray:
+    """Push a GRF through the FNO paper's binary medium map."""
+    if hi <= 0 or lo <= 0:
+        raise ValueError("coefficient values must be positive (ellipticity)")
+    return np.where(field >= 0.0, hi, lo)
+
+
+def _harmonic(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return 2.0 * a * b / (a + b)
+
+
+def solve_darcy(a: np.ndarray, f: float | np.ndarray = 1.0) -> np.ndarray:
+    """Solve one Darcy problem on an ``(n, n)`` coefficient grid.
+
+    Cell-centred grid on the unit square, homogeneous Dirichlet boundary.
+    Returns ``u`` of shape ``(n, n)``.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"coefficient must be square 2-D, got {a.shape}")
+    if np.any(a <= 0):
+        raise ValueError("coefficient must be strictly positive")
+    n = a.shape[0]
+    h = 1.0 / n
+
+    # Face transmissibilities (harmonic averages; boundary faces use the
+    # cell value itself, consistent with a ghost cell holding u = 0).
+    tx = np.zeros((n + 1, n))  # vertical faces between (i-1, j) and (i, j)
+    tx[1:n, :] = _harmonic(a[: n - 1, :], a[1:, :])
+    tx[0, :] = 2.0 * a[0, :]
+    tx[n, :] = 2.0 * a[n - 1, :]
+    ty = np.zeros((n, n + 1))
+    ty[:, 1:n] = _harmonic(a[:, : n - 1], a[:, 1:])
+    ty[:, 0] = 2.0 * a[:, 0]
+    ty[:, n] = 2.0 * a[:, n - 1]
+
+    idx = np.arange(n * n).reshape(n, n)
+    diag = (tx[:n, :] + tx[1:, :] + ty[:, :n] + ty[:, 1:]).ravel()
+    rows = [idx.ravel()]
+    cols = [idx.ravel()]
+    vals = [diag]
+    # west/east neighbours (i direction)
+    rows.append(idx[1:, :].ravel()); cols.append(idx[:-1, :].ravel())
+    vals.append(-tx[1:n, :].ravel())
+    rows.append(idx[:-1, :].ravel()); cols.append(idx[1:, :].ravel())
+    vals.append(-tx[1:n, :].ravel())
+    # south/north neighbours (j direction)
+    rows.append(idx[:, 1:].ravel()); cols.append(idx[:, :-1].ravel())
+    vals.append(-ty[:, 1:n].ravel())
+    rows.append(idx[:, :-1].ravel()); cols.append(idx[:, 1:].ravel())
+    vals.append(-ty[:, 1:n].ravel())
+
+    mat = sp.csr_matrix(
+        (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+        shape=(n * n, n * n),
+    )
+    rhs = np.full(n * n, np.asarray(f, dtype=np.float64).mean() * h * h) \
+        if np.isscalar(f) or np.asarray(f).ndim == 0 \
+        else np.asarray(f, dtype=np.float64).ravel() * h * h
+    u = spla.spsolve(mat, rhs)
+    return u.reshape(n, n)
+
+
+def darcy_dataset(
+    n_samples: int,
+    n: int = 32,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate ``(a, u)`` pairs of shape ``(n_samples, n, n)``."""
+    rng = np.random.default_rng(seed)
+    fields = grf_2d(n_samples, n, n, alpha=2.0, tau=3.0, rng=rng)
+    coeffs = threshold_coefficient(fields)
+    sols = np.stack([solve_darcy(coeffs[i]) for i in range(n_samples)])
+    return coeffs, sols

@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def rng2() -> np.random.Generator:
+    """A second independent stream for tests needing two."""
+    return np.random.default_rng(67890)

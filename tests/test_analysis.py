@@ -1,0 +1,121 @@
+"""Tests for the figure builders and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import figures, render_heatmap, render_series, summarize
+from repro.analysis.sweeps import (
+    HeatmapResult,
+    SweepSeries,
+    heatmap_1d,
+    ladder_speedups_1d,
+    ladder_speedups_2d,
+)
+from repro.core.config import FNO1DProblem, FNO2DProblem
+from repro.core.stages import FusionStage
+
+
+class TestLadderDrivers:
+    def test_1d_returns_requested_stages(self):
+        prob = FNO1DProblem.from_m_spatial(2**16, 64, 128, 64)
+        speeds = ladder_speedups_1d(prob, FusionStage.ladder())
+        assert set(speeds) == set(FusionStage.ladder())
+
+    def test_best_is_max_of_ladder(self):
+        prob = FNO1DProblem.from_m_spatial(2**16, 64, 128, 64)
+        stages = (*FusionStage.ladder(), FusionStage.BEST)
+        speeds = ladder_speedups_1d(prob, stages)
+        best = max(speeds[s] for s in FusionStage.ladder())
+        assert speeds[FusionStage.BEST] == pytest.approx(best, rel=1e-9)
+
+    def test_2d_driver(self):
+        prob = FNO2DProblem(batch=8, hidden=32, dim_x=256, dim_y=128,
+                            modes_x=64, modes_y=64)
+        speeds = ladder_speedups_2d(prob, [FusionStage.FFT_OPT])
+        assert FusionStage.FFT_OPT in speeds
+
+
+class TestFigureBuilders:
+    def test_fig01c_structure(self):
+        r = figures.fig01c()
+        assert r.pytorch.launch_count == 5
+        assert r.turbo.launch_count == 1
+        assert r.speedup_percent > 0
+
+    def test_fig05_contains_paper_rows(self):
+        rows = {(r.n, r.keep): r for r in figures.fig05()}
+        assert rows[(4, 1)].ops == 3
+        assert rows[(4, 2)].ops == 6
+        assert (128, 32) in rows and (256, 64) in rows
+
+    def test_fig07_fig08_utilizations(self):
+        f7 = figures.fig07()
+        assert f7["forward_vkfft"] == pytest.approx(0.25)
+        assert f7["forward_turbofno"] == 1.0
+        assert f7["writeback_16pt_naive"] == pytest.approx(0.0625)
+        f8 = figures.fig08()
+        assert f8["epilogue_naive"] == pytest.approx(0.25)
+        assert f8["epilogue_swizzled"] == 1.0
+
+    @pytest.mark.parametrize("builder,n_stages", [
+        (figures.fig10, 1), (figures.fig11, 2),
+        (figures.fig12, 3), (figures.fig13, 4),
+    ])
+    def test_1d_panels_have_table2_stages(self, builder, n_stages):
+        panels = builder()
+        assert len(panels) == 4  # (a) K sweep + (b,c,d) BS sweeps
+        for p in panels:
+            assert len(p.series) == n_stages
+
+    @pytest.mark.parametrize("builder", [figures.fig16, figures.fig18])
+    def test_2d_panels(self, builder):
+        panels = builder()
+        assert len(panels) == 4
+        assert all(len(p.x) > 2 for p in panels)
+
+    def test_fig14_heatmap_panels(self):
+        panels = figures.fig14()
+        assert len(panels) == 4
+        for hm in panels:
+            assert hm.values.shape == (len(hm.rows), len(hm.cols))
+
+    def test_fig19_heatmap_panels(self):
+        panels = figures.fig19()
+        assert len(panels) == 4
+
+    def test_dense_flag_widens_grids(self):
+        sparse = figures.fig10(dense=False)[0]
+        dense = figures.fig10(dense=True)[0]
+        assert len(dense.x) > len(sparse.x)
+
+
+class TestRendering:
+    def test_render_series(self):
+        panels = figures.fig10()
+        text = render_series(panels[0])
+        assert "K" in text and "%" in text
+        assert text.count("\n") >= len(panels[0].x)
+
+    def test_render_heatmap(self):
+        hm = heatmap_1d("t", 128, 64, [8, 40], [10, 14])
+        text = render_heatmap(hm)
+        assert "mean" in text and "negative cells" in text
+
+    def test_summarize(self):
+        panels = figures.fig10()
+        stats = summarize(panels, FusionStage.FFT_OPT)
+        assert set(stats) == {"mean", "max", "min", "negative_fraction"}
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+
+    def test_sweep_series_helpers(self):
+        s = SweepSeries("t", "x", [1, 2],
+                        {FusionStage.FFT_OPT: [10.0, 20.0]})
+        assert s.mean(FusionStage.FFT_OPT) == 15.0
+        assert s.max(FusionStage.FFT_OPT) == 20.0
+        assert s.stage(FusionStage.FFT_OPT) == [10.0, 20.0]
+
+    def test_heatmap_helpers(self):
+        hm = HeatmapResult("t", "r", "c", [1], [1, 2],
+                           np.array([[5.0, -5.0]]))
+        assert hm.mean == 0.0
+        assert hm.negative_fraction() == 0.5

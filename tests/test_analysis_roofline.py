@@ -1,0 +1,74 @@
+"""Tests for the roofline classifier — and the paper's central thesis.
+
+"These results confirm that memory transaction reduction is the primary
+performance bottleneck in Fourier Neural Operators" (§5.1 A.4): at the
+reference problem size, the baseline pipeline's FFT and copy kernels must
+classify as memory-bound.
+"""
+
+import pytest
+
+from repro.analysis.roofline import KernelRoofline, pipeline_roofline, ridge_point
+from repro.core.config import FNO1DProblem
+from repro.core.pipeline_model import build_pipeline_1d
+from repro.core.stages import FusionStage
+from repro.gpu.device import A100_SPEC
+
+PROB = FNO1DProblem.from_m_spatial(2**20, hidden=64, dim_x=128, modes=64)
+
+
+class TestRidgePoint:
+    def test_a100_ridge_is_about_12_flops_per_byte(self):
+        # 19.5 TF * 0.8 / (1555 GB/s * 0.85) ~ 11.8 flop/B.
+        assert ridge_point(A100_SPEC) == pytest.approx(11.8, abs=1.0)
+
+    def test_scales_with_compute(self):
+        fat = A100_SPEC.with_(fp32_tflops=39.0)
+        assert ridge_point(fat) == pytest.approx(2 * ridge_point(A100_SPEC))
+
+
+class TestPipelineRoofline:
+    def test_baseline_fft_and_copies_memory_bound(self):
+        pipe = build_pipeline_1d(PROB, FusionStage.PYTORCH)
+        rl = {r.name: r for r in pipeline_roofline(pipe)}
+        assert rl["cufft_fwd"].bound == "memory"
+        assert rl["truncate_copy"].bound == "memory"
+        assert rl["pad_copy"].bound == "memory"
+        assert rl["cufft_inv"].bound == "memory"
+
+    def test_memcpy_has_zero_intensity(self):
+        pipe = build_pipeline_1d(PROB, FusionStage.PYTORCH)
+        rl = {r.name: r for r in pipeline_roofline(pipe)}
+        assert rl["truncate_copy"].arithmetic_intensity == 0.0
+
+    def test_fft_intensity_below_ridge(self):
+        """FFT AI ~ 5 log2(N) / 16 B/elem ~ 2.2 flop/B << ridge."""
+        pipe = build_pipeline_1d(PROB, FusionStage.PYTORCH)
+        rl = {r.name: r for r in pipeline_roofline(pipe)}
+        assert rl["cufft_fwd"].arithmetic_intensity < ridge_point(A100_SPEC)
+
+    def test_gemm_intensity_above_fft(self):
+        pipe = build_pipeline_1d(PROB, FusionStage.PYTORCH)
+        rl = {r.name: r for r in pipeline_roofline(pipe)}
+        assert (rl["cublas_cgemm"].arithmetic_intensity
+                > rl["cufft_fwd"].arithmetic_intensity)
+
+    def test_fused_kernel_raises_intensity(self):
+        """Fusion removes bytes, not flops, so AI must rise."""
+        base = pipeline_roofline(build_pipeline_1d(PROB, FusionStage.PYTORCH))
+        fused = pipeline_roofline(
+            build_pipeline_1d(PROB, FusionStage.FUSED_ALL)
+        )
+        base_ai = sum(
+            r.arithmetic_intensity for r in base
+            if r.arithmetic_intensity != float("inf")
+        ) / len(base)
+        assert fused[0].arithmetic_intensity > base_ai
+
+    def test_achieved_fraction_bounded(self):
+        for r in pipeline_roofline(build_pipeline_1d(PROB, FusionStage.FFT_OPT)):
+            assert 0.0 < r.achieved_fraction <= 1.0
+
+    def test_describe_renders(self):
+        r = KernelRoofline("k", 2.5, "memory", 0.9)
+        assert "memory-bound" in r.describe()

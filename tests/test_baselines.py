@@ -1,0 +1,130 @@
+"""Tests for the cuFFT/cuBLAS/memcpy models and the PyTorch-style oracle."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cublas import cublas_cgemm_kernel
+from repro.baselines.cufft import cufft_kernel
+from repro.baselines.memcpy import memcpy_kernel
+from repro.baselines.pytorch_fno import (
+    pytorch_like_spectral_conv_1d,
+    pytorch_like_spectral_conv_2d,
+)
+
+C64 = 8
+
+
+class TestCufftModel:
+    def test_always_full_size_traffic(self):
+        k = cufft_kernel(128, 1000)
+        assert k.counters.global_bytes_read == 1000 * 128 * C64
+        assert k.counters.global_bytes_written == 1000 * 128 * C64
+
+    def test_flop_convention(self):
+        k = cufft_kernel(256, 10)
+        assert k.counters.flops == pytest.approx(5 * 256 * 8 * 10)
+
+    def test_intermediate_flags_mark_l2(self):
+        cold = cufft_kernel(128, 10)
+        warm = cufft_kernel(128, 10, input_intermediate=True,
+                            output_intermediate=True)
+        assert cold.counters.l2_candidate_bytes == 0
+        assert warm.counters.l2_candidate_bytes == pytest.approx(
+            warm.counters.global_bytes
+        )
+
+    def test_grid_geometry(self):
+        k = cufft_kernel(128, 1000, signals_per_block=8)
+        assert k.launch.blocks == 125
+        assert k.launch.smem_per_block_bytes == 8 * 128 * C64
+
+    @pytest.mark.parametrize("n,batch", [(1, 10), (128, 0)])
+    def test_validation(self, n, batch):
+        with pytest.raises(ValueError):
+            cufft_kernel(n, batch)
+
+
+class TestCublasModel:
+    def test_black_box_round_trips(self):
+        k = cublas_cgemm_kernel(1024, 64, 64)
+        assert k.counters.global_bytes_read > 0
+        assert k.counters.global_bytes_written == 1024 * 64 * C64
+
+    def test_grid_matches_tiling(self):
+        k = cublas_cgemm_kernel(1024, 64, 64)
+        assert k.launch.blocks == (1024 // 32) * (64 // 32)
+
+
+class TestMemcpyModel:
+    def test_truncation_copy(self):
+        k = memcpy_kernel(100, 100, name="trunc")
+        assert k.counters.flops == 0
+        assert k.counters.global_bytes_read == 100 * C64
+        assert k.counters.global_bytes_written == 100 * C64
+
+    def test_padding_copy_writes_more_than_reads(self):
+        k = memcpy_kernel(100, 400, name="pad")
+        assert k.counters.global_bytes_written == 4 * k.counters.global_bytes_read
+
+    def test_all_bytes_are_l2_candidates(self):
+        k = memcpy_kernel(100, 400)
+        assert k.counters.l2_candidate_bytes == pytest.approx(
+            k.counters.global_bytes
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            memcpy_kernel(10, 0)
+
+
+class TestPytorchLikeOracle:
+    def test_1d_manual_computation(self, rng):
+        """Check the staged pipeline against a by-hand single sample."""
+        x = rng.standard_normal((1, 2, 8)) + 0j
+        w = rng.standard_normal((2, 3)) + 1j * rng.standard_normal((2, 3))
+        out = pytorch_like_spectral_conv_1d(x, w, modes=2)
+        xk = np.fft.fft(x, axis=-1)[:, :, :2]
+        yk = np.zeros((1, 3, 8), dtype=complex)
+        for o in range(3):
+            for m in range(2):
+                yk[0, o, m] = sum(xk[0, i, m] * w[i, o] for i in range(2))
+        expected = np.fft.ifft(yk, axis=-1)
+        assert np.allclose(out, expected, atol=1e-12)
+
+    def test_1d_output_shape(self, rng):
+        x = rng.standard_normal((4, 6, 32))
+        w = rng.standard_normal((6, 5)) + 0j
+        assert pytorch_like_spectral_conv_1d(x, w, 8).shape == (4, 5, 32)
+
+    def test_2d_output_shape(self, rng):
+        x = rng.standard_normal((2, 3, 16, 8))
+        w = rng.standard_normal((3, 7)) + 0j
+        assert pytorch_like_spectral_conv_2d(x, w, 4, 2).shape == (2, 7, 16, 8)
+
+    def test_2d_lowpass_property(self, rng):
+        """With identity weights the layer is an ideal low-pass filter."""
+        x = rng.standard_normal((1, 2, 16, 16))
+        w = np.eye(2, dtype=complex)
+        out = pytorch_like_spectral_conv_2d(x, w, 4, 4)
+        xk = np.fft.fft2(x, axes=(-2, -1))
+        xk[:, :, 4:, :] = 0
+        xk[:, :, :, 4:] = 0
+        assert np.allclose(out, np.fft.ifft2(xk, axes=(-2, -1)), atol=1e-10)
+
+    @pytest.mark.parametrize("modes", [0, 33])
+    def test_1d_modes_validation(self, rng, modes):
+        x = rng.standard_normal((1, 2, 32))
+        w = np.eye(2, dtype=complex)
+        with pytest.raises(ValueError):
+            pytorch_like_spectral_conv_1d(x, w, modes)
+
+    def test_weight_shape_validation(self, rng):
+        x = rng.standard_normal((1, 2, 32))
+        with pytest.raises(ValueError):
+            pytorch_like_spectral_conv_1d(x, np.zeros((3, 3), dtype=complex), 4)
+
+    def test_input_rank_validation(self, rng):
+        with pytest.raises(ValueError):
+            pytorch_like_spectral_conv_1d(
+                np.zeros((2, 32)), np.eye(2, dtype=complex), 4
+            )

@@ -1,0 +1,45 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestLadder:
+    def test_1d_ladder_prints_stages(self, capsys):
+        assert main(["ladder", "--dim", "1", "--k", "32", "--batch", "64"]) == 0
+        out = capsys.readouterr().out
+        for stage in ("A", "B", "C", "D"):
+            assert f"stage {stage}:" in out
+        assert "pytorch-1d" in out
+
+    def test_2d_ladder(self, capsys):
+        assert main(["ladder", "--dim", "2", "--k", "16", "--batch", "4"]) == 0
+        assert "pytorch-2d" in capsys.readouterr().out
+
+
+class TestClaims:
+    def test_claims_show_exact_numbers(self, capsys):
+        assert main(["claims"]) == 0
+        out = capsys.readouterr().out
+        assert "37.5%" in out
+        assert "6.25%" in out
+        assert "100.00%" in out
+
+
+class TestFigures:
+    def test_figures_written(self, tmp_path, capsys):
+        out_dir = tmp_path / "report"
+        assert main(["figures", "--out", str(out_dir)]) == 0
+        written = {p.name for p in out_dir.iterdir()}
+        expected = {f"fig{n}.txt" for n in
+                    (10, 11, 12, 13, 14, 15, 16, 17, 18, 19)}
+        assert expected <= written
+        text = (out_dir / "fig14.txt").read_text()
+        assert "mean" in text
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

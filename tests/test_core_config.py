@@ -1,0 +1,95 @@
+"""Tests for problem descriptions and the TurboFNO configuration."""
+
+import pytest
+
+from repro.core.config import FNO1DProblem, FNO2DProblem, TurboFNOConfig
+from repro.gemm.params import TABLE1_CGEMM
+
+
+class TestFNO1DProblem:
+    def test_defaults_square_weights(self):
+        p = FNO1DProblem(batch=4, hidden=64, dim_x=128, modes=64)
+        assert p.n_out == 64
+        assert p.gemm_m == 4 * 64
+        assert p.m_spatial == 4 * 128
+
+    def test_from_m_spatial(self):
+        p = FNO1DProblem.from_m_spatial(2**20, 32, 128, 64)
+        assert p.batch == 2**20 // 128
+        assert p.m_spatial == 2**20
+
+    def test_from_m_spatial_divisibility(self):
+        with pytest.raises(ValueError):
+            FNO1DProblem.from_m_spatial(100, 32, 128, 64)
+
+    @pytest.mark.parametrize("kw", [
+        dict(batch=0, hidden=1, dim_x=128, modes=64),
+        dict(batch=1, hidden=0, dim_x=128, modes=64),
+        dict(batch=1, hidden=1, dim_x=100, modes=64),
+        dict(batch=1, hidden=1, dim_x=128, modes=3),
+        dict(batch=1, hidden=1, dim_x=128, modes=256),
+        dict(batch=1, hidden=1, dim_x=128, modes=64, out_dim=0),
+    ])
+    def test_validation(self, kw):
+        with pytest.raises(ValueError):
+            FNO1DProblem(**kw)
+
+
+class TestFNO2DProblem:
+    def test_gemm_m_is_truncated_grid(self):
+        p = FNO2DProblem(batch=8, hidden=64, dim_x=256, dim_y=128,
+                         modes_x=64, modes_y=64)
+        assert p.gemm_m == 8 * 64 * 64
+        assert p.n_out == 64
+
+    @pytest.mark.parametrize("kw", [
+        dict(batch=8, hidden=4, dim_x=100, dim_y=128, modes_x=4, modes_y=4),
+        dict(batch=8, hidden=4, dim_x=128, dim_y=128, modes_x=256, modes_y=4),
+        dict(batch=8, hidden=4, dim_x=128, dim_y=128, modes_x=4, modes_y=0),
+    ])
+    def test_validation(self, kw):
+        with pytest.raises(ValueError):
+            FNO2DProblem(**kw)
+
+
+class TestTurboFNOConfig:
+    def test_defaults(self):
+        cfg = TurboFNOConfig()
+        assert cfg.gemm is TABLE1_CGEMM
+        assert cfg.kloop_memory_derate >= 1.0
+        assert cfg.epilogue_bank_utilization == 1.0
+
+    def test_per_thread_table1_values(self):
+        cfg = TurboFNOConfig()
+        assert cfg.per_thread_for(128) == 8
+        assert cfg.per_thread_for(256) == 16
+        assert cfg.per_thread_for(1024) == 16  # capped
+
+    def test_per_thread_override(self):
+        cfg = TurboFNOConfig(fft_per_thread=4)
+        assert cfg.per_thread_for(256) == 4
+        assert cfg.per_thread_for(2) == 2  # never exceeds n
+
+    def test_fused_gemm_raises_m_tile_to_modes(self):
+        cfg = TurboFNOConfig()
+        p64 = cfg.fused_gemm(64)
+        assert p64.m_tb == 64
+        p128 = cfg.fused_gemm(128)
+        assert p128.m_tb == 128
+        # Small modes keep the Table 1 tile.
+        assert cfg.fused_gemm(16).m_tb == TABLE1_CGEMM.m_tb
+
+    def test_fused_gemm_widens_n_tile(self):
+        cfg = TurboFNOConfig(fused_n_tb=64)
+        assert cfg.fused_gemm(64).n_tb == 64
+
+    @pytest.mark.parametrize("kw", [
+        dict(kloop_memory_derate=0.9),
+        dict(epilogue_bank_utilization=0.0),
+        dict(forward_bank_utilization=1.5),
+        dict(fft_per_thread=3),
+        dict(signals_per_block=0),
+    ])
+    def test_validation(self, kw):
+        with pytest.raises(ValueError):
+            TurboFNOConfig(**kw)

@@ -1,0 +1,206 @@
+"""Tests for the pipeline cost models: kernel counts, traffic, orderings.
+
+These encode the *structural* facts of the paper's Table 2 ladder: how
+many launches each stage needs, which traffic legs fusion eliminates, and
+the qualitative performance relations §5 reports.
+"""
+
+import pytest
+
+from repro.core.config import FNO1DProblem, FNO2DProblem, TurboFNOConfig
+from repro.core.pipeline_model import (
+    best_stage_1d,
+    best_stage_2d,
+    build_pipeline_1d,
+    build_pipeline_2d,
+    fused_kernel,
+)
+from repro.core.stages import FusionStage
+from repro.gpu.timeline import speedup_percent
+
+PROB_1D = FNO1DProblem.from_m_spatial(2**20, hidden=64, dim_x=128, modes=64)
+PROB_2D = FNO2DProblem(batch=8, hidden=64, dim_x=256, dim_y=128,
+                       modes_x=64, modes_y=64)
+
+
+class TestKernelCounts:
+    @pytest.mark.parametrize("stage,count", [
+        (FusionStage.PYTORCH, 5),
+        (FusionStage.FFT_OPT, 3),
+        (FusionStage.FUSED_FFT_GEMM, 2),
+        (FusionStage.FUSED_GEMM_IFFT, 2),
+        (FusionStage.FUSED_ALL, 1),
+    ])
+    def test_1d_launches(self, stage, count):
+        pipe = build_pipeline_1d(PROB_1D, stage)
+        assert len(pipe.kernels) == count
+        assert pipe.counters().kernel_launches == count
+
+    @pytest.mark.parametrize("stage,count", [
+        (FusionStage.PYTORCH, 7),
+        (FusionStage.FFT_OPT, 5),
+        (FusionStage.FUSED_FFT_GEMM, 4),
+        (FusionStage.FUSED_GEMM_IFFT, 4),
+        (FusionStage.FUSED_ALL, 3),
+    ])
+    def test_2d_launches(self, stage, count):
+        pipe = build_pipeline_2d(PROB_2D, stage)
+        assert len(pipe.kernels) == count
+
+    def test_best_requires_resolver(self):
+        with pytest.raises(ValueError):
+            build_pipeline_1d(PROB_1D, FusionStage.BEST)
+        with pytest.raises(ValueError):
+            build_pipeline_2d(PROB_2D, FusionStage.BEST)
+
+
+class TestTraffic:
+    def test_stage_a_eliminates_copy_traffic(self):
+        base = build_pipeline_1d(PROB_1D, FusionStage.PYTORCH).counters()
+        opt = build_pipeline_1d(PROB_1D, FusionStage.FFT_OPT).counters()
+        assert opt.global_bytes < base.global_bytes
+
+    def test_full_fusion_minimises_traffic_1d(self):
+        by_stage = {
+            s: build_pipeline_1d(PROB_1D, s).counters().global_bytes
+            for s in (FusionStage.PYTORCH, FusionStage.FFT_OPT,
+                      FusionStage.FUSED_ALL)
+        }
+        assert (by_stage[FusionStage.FUSED_ALL]
+                < by_stage[FusionStage.FFT_OPT]
+                < by_stage[FusionStage.PYTORCH])
+
+    def test_stage_d_touches_only_input_weights_output(self):
+        pipe = build_pipeline_1d(PROB_1D, FusionStage.FUSED_ALL)
+        c = pipe.counters()
+        p = PROB_1D
+        io_bytes = (
+            p.batch * p.hidden * p.dim_x * 8      # read x
+            + p.batch * p.n_out * p.dim_x * 8     # write y
+        )
+        # Weights (B panels) are the only other traffic.
+        assert c.global_bytes_written == pytest.approx(
+            p.batch * p.n_out * p.dim_x * 8
+        )
+        assert c.global_bytes >= io_bytes
+
+    def test_2d_truncation_reduces_second_stage_quadratically(self):
+        """§3.3: stage-2 work shrinks by (modes_x/dim_x) x (modes_y/dim_y)."""
+        base = build_pipeline_2d(PROB_2D, FusionStage.PYTORCH)
+        opt = build_pipeline_2d(PROB_2D, FusionStage.FFT_OPT)
+        base_y = next(k for k in base.kernels if k.name == "cufft_y")
+        opt_y = next(k for k in opt.kernels if k.name == "turbo_fft_y_trunc")
+        # Reads shrink by the x-truncation factor (fewer rows)...
+        assert opt_y.counters.global_bytes_read == pytest.approx(
+            base_y.counters.global_bytes_read * PROB_2D.modes_x / PROB_2D.dim_x
+        )
+        # ...and writes additionally by the y-truncation factor.
+        assert opt_y.counters.global_bytes_written == pytest.approx(
+            base_y.counters.global_bytes_written
+            * (PROB_2D.modes_x / PROB_2D.dim_x)
+            * (PROB_2D.modes_y / PROB_2D.dim_y)
+        )
+
+
+class TestQualitativeOrderings:
+    """The paper's §5 relations at the reference configuration."""
+
+    def _speedups_1d(self, problem):
+        base = build_pipeline_1d(problem, FusionStage.PYTORCH).total_time()
+        return {
+            s: speedup_percent(
+                base, build_pipeline_1d(problem, s).total_time()
+            )
+            for s in FusionStage.ladder()
+        }
+
+    def test_every_stage_beats_pytorch_at_reference_size(self):
+        speeds = self._speedups_1d(PROB_1D)
+        assert all(v > 0 for v in speeds.values())
+
+    def test_full_fusion_is_best_at_reference_size(self):
+        speeds = self._speedups_1d(PROB_1D)
+        assert speeds[FusionStage.FUSED_ALL] == max(speeds.values())
+
+    def test_fusion_benefit_inverts_at_large_k(self):
+        """Figs. 11/13: B falls below A for large hidden dimensions."""
+        prob = FNO1DProblem.from_m_spatial(2**20, hidden=136, dim_x=128,
+                                           modes=64)
+        speeds = self._speedups_1d(prob)
+        assert speeds[FusionStage.FUSED_FFT_GEMM] < speeds[FusionStage.FFT_OPT]
+
+    def test_stage_c_robust_at_large_k(self):
+        """Fig. 12: CGEMM-iFFT fusion stays ahead of A at large K."""
+        prob = FNO1DProblem.from_m_spatial(2**20, hidden=136, dim_x=128,
+                                           modes=64)
+        speeds = self._speedups_1d(prob)
+        assert speeds[FusionStage.FUSED_GEMM_IFFT] > speeds[FusionStage.FFT_OPT]
+
+    def test_blue_region_small_batch_large_k(self):
+        """Fig. 14: TurboFNO can lose at small batch x large K."""
+        prob = FNO1DProblem(batch=2, hidden=104, dim_x=128, modes=64)
+        stage, t = best_stage_1d(prob)
+        base = build_pipeline_1d(prob, FusionStage.PYTORCH).total_time()
+        assert speedup_percent(base, t) < 0
+
+    def test_best_stage_returns_ladder_member(self):
+        stage, t = best_stage_1d(PROB_1D)
+        assert stage in FusionStage.ladder()
+        assert t > 0
+        stage2, t2 = best_stage_2d(PROB_2D)
+        assert stage2 in FusionStage.ladder()
+
+    def test_2d_fusion_increment_is_small(self):
+        """§5.2 B.2: 2-D FFT-CGEMM fusion adds only a few percent."""
+        base = build_pipeline_2d(PROB_2D, FusionStage.PYTORCH).total_time()
+        a = speedup_percent(
+            base, build_pipeline_2d(PROB_2D, FusionStage.FFT_OPT).total_time()
+        )
+        b = speedup_percent(
+            base,
+            build_pipeline_2d(PROB_2D, FusionStage.FUSED_FFT_GEMM).total_time(),
+        )
+        assert 0 < b - a < 25
+
+
+class TestFusedKernelBuilder:
+    def test_requires_some_fusion(self):
+        with pytest.raises(ValueError):
+            fused_kernel("x", 8, 64, 64, 128, 64, TurboFNOConfig(),
+                         include_fft=False, include_ifft=False)
+
+    def test_phase_count(self):
+        cfg = TurboFNOConfig()
+        b = fused_kernel("b", 8, 64, 64, 128, 64, cfg, True, False)
+        c = fused_kernel("c", 8, 64, 64, 128, 64, cfg, False, True)
+        d = fused_kernel("d", 8, 64, 64, 128, 64, cfg, True, True)
+        assert len(b.phases) == 2
+        assert len(c.phases) == 2
+        assert len(d.phases) == 3
+
+    def test_totals_are_phase_sums(self):
+        d = fused_kernel("d", 8, 64, 64, 128, 64, TurboFNOConfig(), True, True)
+        total = sum((ph.flops for ph in d.phases))
+        assert d.counters.flops == pytest.approx(total)
+
+    def test_bank_conflict_ablation_slows_kernel(self):
+        """Using the naive (Fig. 8a) epilogue layout must cost time."""
+        from repro.gpu.kernel import kernel_time
+        from repro.gpu.device import A100_SPEC
+
+        good = TurboFNOConfig()
+        mild = TurboFNOConfig(epilogue_bank_utilization=0.25)
+        # Fig. 7(b) naive write-back: 6.25 % utilization.
+        severe = TurboFNOConfig(
+            epilogue_bank_utilization=0.0625, forward_bank_utilization=0.0625
+        )
+        k_good = fused_kernel("d", 2048, 64, 64, 128, 64, good, True, True)
+        k_mild = fused_kernel("d", 2048, 64, 64, 128, 64, mild, True, True)
+        k_sev = fused_kernel("d", 2048, 64, 64, 128, 64, severe, True, True)
+        t_good = kernel_time(k_good, A100_SPEC)
+        t_mild = kernel_time(k_mild, A100_SPEC)
+        t_sev = kernel_time(k_sev, A100_SPEC)
+        # Conflicts always add replays...
+        assert t_mild.smem_time > t_good.smem_time
+        # ...and at Fig. 7(b) severity they dominate the kernel.
+        assert t_sev.steady_time > t_good.steady_time

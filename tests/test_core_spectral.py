@@ -1,0 +1,71 @@
+"""Tests for the public spectral-convolution API (engine agreement)."""
+
+import numpy as np
+import pytest
+
+from repro.core.spectral import ENGINES, spectral_conv_1d, spectral_conv_2d
+
+
+class TestEngines1D:
+    @pytest.fixture
+    def case(self, rng):
+        x = rng.standard_normal((3, 10, 64)) + 1j * rng.standard_normal((3, 10, 64))
+        w = (rng.standard_normal((10, 8)) + 1j * rng.standard_normal((10, 8))) / 4
+        return x, w
+
+    def test_all_engines_agree(self, case):
+        x, w = case
+        outs = [spectral_conv_1d(x, w, 16, engine=e) for e in ENGINES]
+        for o in outs[1:]:
+            assert np.allclose(o, outs[0], atol=1e-9)
+
+    def test_output_shape(self, case):
+        x, w = case
+        assert spectral_conv_1d(x, w, 16).shape == (3, 8, 64)
+
+    def test_real_input_accepted(self, rng):
+        x = rng.standard_normal((2, 4, 32))
+        w = np.eye(4, dtype=complex)
+        out = spectral_conv_1d(x, w, 8)
+        ref = spectral_conv_1d(x + 0j, w, 8, engine="pytorch")
+        assert np.allclose(out, ref, atol=1e-9)
+
+    def test_unknown_engine(self, case):
+        x, w = case
+        with pytest.raises(ValueError):
+            spectral_conv_1d(x, w, 16, engine="cudnn")
+
+    def test_identity_weight_is_lowpass(self, rng):
+        x = rng.standard_normal((1, 2, 64)) + 0j
+        w = np.eye(2, dtype=complex)
+        out = spectral_conv_1d(x, w, 64)  # keep everything
+        assert np.allclose(out, x, atol=1e-9)
+
+
+class TestEngines2D:
+    @pytest.fixture
+    def case(self, rng):
+        x = rng.standard_normal((2, 6, 16, 32)) + 0j
+        w = (rng.standard_normal((6, 5)) + 1j * rng.standard_normal((6, 5))) / 3
+        return x, w
+
+    def test_all_engines_agree(self, case):
+        x, w = case
+        outs = [spectral_conv_2d(x, w, 4, 8, engine=e) for e in ENGINES]
+        for o in outs[1:]:
+            assert np.allclose(o, outs[0], atol=1e-9)
+
+    def test_output_shape(self, case):
+        x, w = case
+        assert spectral_conv_2d(x, w, 4, 8).shape == (2, 5, 16, 32)
+
+    def test_unknown_engine(self, case):
+        x, w = case
+        with pytest.raises(ValueError):
+            spectral_conv_2d(x, w, 4, 8, engine="")
+
+    def test_full_modes_identity(self, rng):
+        x = rng.standard_normal((1, 3, 16, 16)) + 0j
+        w = np.eye(3, dtype=complex)
+        out = spectral_conv_2d(x, w, 16, 16)
+        assert np.allclose(out, x, atol=1e-9)

@@ -1,0 +1,123 @@
+"""Tests for the butterfly op census — Figure 5's numbers are exact."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fft.opcount import butterfly_ops, census, fft_flops, pruned_fraction
+
+
+class TestFigure5:
+    """The paper's worked 4-point example, verbatim."""
+
+    def test_full_4pt_has_8_ops(self):
+        assert butterfly_ops(4) == 8
+
+    def test_25_percent_truncation_is_37_5_percent(self):
+        c = census(4, keep_out=1)
+        assert c.ops == 3
+        assert c.fraction == pytest.approx(0.375)
+
+    def test_50_percent_truncation_is_75_percent(self):
+        c = census(4, keep_out=2)
+        assert c.ops == 6
+        assert c.fraction == pytest.approx(0.75)
+
+
+class TestTotals:
+    @pytest.mark.parametrize("n,expected", [(1, 0), (2, 2), (4, 8), (8, 24),
+                                            (128, 896), (256, 2048)])
+    def test_butterfly_ops_formula(self, n, expected):
+        assert butterfly_ops(n) == expected
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            butterfly_ops(12)
+
+    def test_unpruned_census_is_total(self):
+        c = census(128)
+        assert c.ops == butterfly_ops(128)
+        assert c.fraction == 1.0
+        assert c.trivial_ops == 0
+
+
+class TestTruncationCensus:
+    def test_more_keep_more_ops(self):
+        ops = [census(128, keep_out=k).ops for k in (1, 2, 4, 8, 16, 32, 64, 128)]
+        assert ops == sorted(ops)
+        assert ops[-1] == butterfly_ops(128)
+
+    def test_keep_one_output_needs_chain_of_adds(self):
+        # X[0] needs one op at each stage over a halving tree: n-1 adds.
+        c = census(64, keep_out=1)
+        assert c.ops == 63
+
+    def test_per_stage_sums_to_ops(self):
+        c = census(256, keep_out=64)
+        assert sum(c.per_stage) == c.ops
+        assert len(c.per_stage) == 8  # log2(256)
+
+    @pytest.mark.parametrize("keep", [0, 129])
+    def test_bad_keep_rejected(self, keep):
+        with pytest.raises(ValueError):
+            census(128, keep_out=keep)
+
+
+class TestPaddingCensus:
+    def test_half_live_input_makes_first_stage_trivial(self):
+        # Stockham stage 1 pairs (j, j + n/2); with only the first half
+        # live, every stage-1 butterfly has exactly one live input.
+        c = census(128, nonzero_in=64)
+        assert c.trivial_ops == 128
+        assert c.full_ops == butterfly_ops(128) - 128
+
+    def test_single_live_input_everything_trivial(self):
+        # An impulse never needs a true addition, only copies/scales.
+        c = census(64, nonzero_in=1)
+        assert c.full_ops == 0
+        assert c.trivial_ops > 0
+
+    def test_weighted_fraction_discounts_trivial(self):
+        c = census(128, nonzero_in=64)
+        assert c.weighted_fraction(0.0) < c.weighted_fraction(0.5) < 1.0
+        assert c.weighted_fraction(1.0) == pytest.approx(c.fraction)
+
+    def test_weighted_fraction_validation(self):
+        with pytest.raises(ValueError):
+            census(8).weighted_fraction(1.5)
+
+
+class TestCombined:
+    def test_truncation_and_padding_compose(self):
+        both = census(128, keep_out=32, nonzero_in=32)
+        trunc = census(128, keep_out=32)
+        pad = census(128, nonzero_in=32)
+        assert both.ops <= min(trunc.ops, pad.ops)
+
+    def test_pruned_fraction_wrapper(self):
+        assert pruned_fraction(4, keep_out=1) == pytest.approx(0.375)
+        assert pruned_fraction(128) == 1.0
+
+
+class TestFlops:
+    def test_standard_convention(self):
+        assert fft_flops(128, 10) == pytest.approx(5 * 128 * 7 * 10)
+
+    def test_fraction_scales(self):
+        assert fft_flops(128, 1, 0.5) == pytest.approx(fft_flops(128, 1) / 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fft_flops(100)
+        with pytest.raises(ValueError):
+            fft_flops(128, 1, 1.5)
+
+
+@given(st.integers(1, 8), st.integers(0, 8))
+@settings(max_examples=40, deadline=None)
+def test_census_fraction_bounds(log_n, log_keep):
+    n = 2**log_n
+    keep = min(2**log_keep, n)
+    c = census(n, keep_out=keep)
+    assert 0.0 < c.fraction <= 1.0
+    assert c.full_ops + c.trivial_ops == c.ops

@@ -1,0 +1,85 @@
+"""Tests for FFT plans (geometry, work model, Table 1 parameters)."""
+
+import pytest
+
+from repro.fft.opcount import fft_flops
+from repro.fft.plan import FFTPlan
+
+
+class TestGeometry:
+    def test_table1_n1_configuration(self):
+        # Table 1: N1 = 128, n1 = 8, bs = 8 -> 16 threads/signal, 128/block.
+        plan = FFTPlan(n=128, batch=1024, per_thread=8, signals_per_block=8)
+        assert plan.threads_per_signal == 16
+        assert plan.threads_per_block == 128
+        assert plan.blocks == 128
+
+    def test_table1_n2_configuration(self):
+        # Table 1: N2 = 256, n2 = 16, bs = 8.
+        plan = FFTPlan(n=256, batch=64, per_thread=16, signals_per_block=8)
+        assert plan.threads_per_signal == 16
+        assert plan.threads_per_block == 128
+        assert plan.blocks == 8
+
+    def test_blocks_ceiling(self):
+        assert FFTPlan(n=64, batch=9, signals_per_block=8).blocks == 2
+
+    def test_kloop_variant_shrinks_grid(self):
+        # batch = n_signals * hidden pencils; the k-loop block owns all
+        # hidden channels of its slot, so the grid divides by hidden.
+        flat = FFTPlan(n=128, batch=64 * 32, signals_per_block=8)
+        kloop = FFTPlan(n=128, batch=64 * 32, signals_per_block=8,
+                        kloop_hidden=32)
+        assert flat.blocks == 64 * 32 // 8
+        assert kloop.blocks == 64
+        assert kloop.blocks < flat.blocks
+
+    def test_smem_holds_full_signals(self):
+        plan = FFTPlan(n=128, batch=8, signals_per_block=8)
+        assert plan.smem_bytes_per_block == 8 * 128 * 8
+
+
+class TestWorkModel:
+    def test_defaults_keep_and_live_full(self):
+        plan = FFTPlan(n=128, batch=4)
+        assert plan.keep == 128 and plan.live == 128
+        assert plan.prune_fraction() == 1.0
+        assert plan.flops() == pytest.approx(fft_flops(128, 4))
+
+    def test_truncation_reduces_writes_and_flops(self):
+        full = FFTPlan(n=128, batch=16)
+        trunc = FFTPlan(n=128, batch=16, n_keep=32)
+        assert trunc.global_bytes_written() == full.global_bytes_written() / 4
+        assert trunc.flops() < full.flops()
+        assert trunc.global_bytes_read() == full.global_bytes_read()
+
+    def test_padding_reduces_reads(self):
+        full = FFTPlan(n=128, batch=16)
+        padded = FFTPlan(n=128, batch=16, n_live=64)
+        assert padded.global_bytes_read() == full.global_bytes_read() / 2
+        assert padded.global_bytes_written() == full.global_bytes_written()
+        assert padded.flops() < full.flops()
+
+    def test_truncation_factor_is_filter_over_input(self):
+        # §3.3: writes shrink by Filter_size / Input_size.
+        plan = FFTPlan(n=256, batch=10, n_keep=64)
+        assert plan.global_bytes_written() == pytest.approx(
+            plan.global_bytes_read() * 64 / 256
+        )
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kw", [
+        dict(n=100, batch=1),
+        dict(n=128, batch=0),
+        dict(n=128, batch=1, n_keep=3),
+        dict(n=128, batch=1, n_keep=256),
+        dict(n=128, batch=1, n_live=0),
+        dict(n=128, batch=1, per_thread=3),
+        dict(n=128, batch=1, per_thread=256),
+        dict(n=128, batch=1, signals_per_block=0),
+        dict(n=128, batch=1, kloop_hidden=0),
+    ])
+    def test_invalid_plans_rejected(self, kw):
+        with pytest.raises(ValueError):
+            FFTPlan(**kw)

@@ -1,0 +1,145 @@
+"""Tests for the pruned (truncated / zero-padded) transforms.
+
+The defining property of each function is bit-level agreement with its
+naive counterpart: ``truncated_fft == fft + slice``, ``zero_padded_fft ==
+pad + fft``, ``truncated_ifft == pad + ifft``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fft.pruned import truncated_fft, truncated_ifft, zero_padded_fft
+from repro.fft.stockham import fft, ifft
+
+
+def _random_complex(rng, shape, dtype=np.complex128):
+    x = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+    return x.astype(dtype)
+
+
+class TestTruncatedFFT:
+    @pytest.mark.parametrize("n,keep", [
+        (4, 1), (4, 2), (4, 4),
+        (128, 16), (128, 32), (128, 64), (128, 128),
+        (256, 64), (256, 128),
+    ])
+    def test_equals_full_then_slice(self, rng, n, keep):
+        x = _random_complex(rng, (3, n))
+        assert np.allclose(
+            truncated_fft(x, keep), np.fft.fft(x)[:, :keep], atol=1e-9
+        )
+
+    def test_axis_handling(self, rng):
+        x = _random_complex(rng, (16, 3, 5))
+        out = truncated_fft(x, 4, axis=0)
+        assert out.shape == (4, 3, 5)
+        assert np.allclose(out, np.fft.fft(x, axis=0)[:4], atol=1e-9)
+
+    def test_complex64(self, rng):
+        x = _random_complex(rng, (2, 64), np.complex64)
+        out = truncated_fft(x, 16)
+        assert out.dtype == np.complex64
+        assert np.allclose(out, np.fft.fft(x)[:, :16], atol=1e-3)
+
+    @pytest.mark.parametrize("keep", [0, 3, 5, 256])
+    def test_bad_keep_rejected(self, rng, keep):
+        x = _random_complex(rng, (2, 128))
+        with pytest.raises(ValueError):
+            truncated_fft(x, keep)
+
+
+class TestZeroPaddedFFT:
+    @pytest.mark.parametrize("live,n", [
+        (1, 4), (2, 4), (4, 4),
+        (16, 128), (32, 128), (64, 128), (128, 128),
+        (64, 256),
+    ])
+    def test_equals_pad_then_full(self, rng, live, n):
+        x = _random_complex(rng, (3, live))
+        padded = np.zeros((3, n), dtype=x.dtype)
+        padded[:, :live] = x
+        assert np.allclose(zero_padded_fft(x, n), np.fft.fft(padded), atol=1e-9)
+
+    def test_axis_handling(self, rng):
+        x = _random_complex(rng, (8, 3))
+        out = zero_padded_fft(x, 32, axis=0)
+        assert out.shape == (32, 3)
+        assert np.allclose(out, np.fft.fft(x, n=32, axis=0), atol=1e-9)
+
+    def test_bad_output_length_rejected(self, rng):
+        x = _random_complex(rng, (2, 16))
+        with pytest.raises(ValueError):
+            zero_padded_fft(x, 24)  # not a power of two
+        with pytest.raises(ValueError):
+            zero_padded_fft(x, 8)  # shorter than input
+
+
+class TestTruncatedIFFT:
+    @pytest.mark.parametrize("live,n", [
+        (2, 4), (16, 128), (64, 128), (64, 256), (128, 128),
+    ])
+    def test_equals_pad_then_ifft(self, rng, live, n):
+        xk = _random_complex(rng, (3, live))
+        padded = np.zeros((3, n), dtype=xk.dtype)
+        padded[:, :live] = xk
+        assert np.allclose(truncated_ifft(xk, n), np.fft.ifft(padded), atol=1e-10)
+
+    def test_fno_step45_composition(self, rng):
+        """truncate -> mix -> truncated_ifft is the paper's Steps 2-5."""
+        x = _random_complex(rng, (2, 128))
+        low = truncated_fft(x, 32)
+        out = truncated_ifft(low, 128)
+        # Equivalent to an ideal low-pass filter.
+        ref = np.fft.fft(x)
+        ref[:, 32:] = 0
+        assert np.allclose(out, np.fft.ifft(ref), atol=1e-9)
+
+    def test_identity_when_no_padding(self, rng):
+        xk = _random_complex(rng, (2, 64))
+        assert np.allclose(truncated_ifft(xk, 64), np.fft.ifft(xk), atol=1e-10)
+
+
+@st.composite
+def _trunc_cases(draw):
+    log_n = draw(st.integers(1, 7))
+    n = 2**log_n
+    keep = 2 ** draw(st.integers(0, log_n))
+    batch = draw(st.integers(1, 3))
+    elems = st.floats(-50, 50, allow_nan=False, width=32)
+    re = draw(st.lists(st.lists(elems, min_size=n, max_size=n),
+                       min_size=batch, max_size=batch))
+    return np.asarray(re, dtype=np.float64), keep
+
+
+class TestProperties:
+    @given(_trunc_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_truncation_always_matches_slice(self, case):
+        x, keep = case
+        assert np.allclose(
+            truncated_fft(x, keep), fft(x)[..., :keep],
+            atol=1e-8 * (1 + np.abs(x).max()),
+        )
+
+    @given(_trunc_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_is_lowpass_projection(self, case):
+        x, keep = case
+        n = x.shape[-1]
+        once = truncated_ifft(truncated_fft(x, keep), n)
+        twice = truncated_ifft(truncated_fft(once, keep), n)
+        # Projection property: applying the filter twice changes nothing.
+        assert np.allclose(once, twice, atol=1e-7 * (1 + np.abs(x).max()))
+
+    @given(_trunc_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_padding_adjoint_of_truncation(self, case):
+        """<truncate(fft(x)), y> == <x, conj-adjoint>: checked via energy."""
+        x, keep = case
+        n = x.shape[-1]
+        xk = truncated_fft(x, keep)
+        # ifft(pad(.)) then fft then slice recovers xk exactly.
+        back = truncated_fft(truncated_ifft(xk, n), keep)
+        assert np.allclose(back, xk, atol=1e-7 * (1 + np.abs(xk).max()))

@@ -1,0 +1,78 @@
+"""Tests for the radix-4 Stockham variant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fft.radix import fft_radix4, ifft_radix4, stage_counts
+from repro.fft.stockham import fft, ifft
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 64, 128, 512])
+    def test_matches_numpy(self, rng, n):
+        x = rng.standard_normal((3, n)) + 1j * rng.standard_normal((3, n))
+        assert np.allclose(fft_radix4(x), np.fft.fft(x), atol=1e-10)
+        assert np.allclose(ifft_radix4(x), np.fft.ifft(x), atol=1e-10)
+
+    @pytest.mark.parametrize("n", [8, 32, 128])
+    def test_matches_radix2(self, rng, n):
+        x = rng.standard_normal((2, n)) + 1j * rng.standard_normal((2, n))
+        assert np.allclose(fft_radix4(x), fft(x), atol=1e-10)
+        assert np.allclose(ifft_radix4(x), ifft(x), atol=1e-10)
+
+    def test_axis_handling(self, rng):
+        x = rng.standard_normal((16, 3)) + 0j
+        assert np.allclose(
+            fft_radix4(x, axis=0), np.fft.fft(x, axis=0), atol=1e-10
+        )
+
+    def test_complex64(self, rng):
+        x = (rng.standard_normal((2, 64)) + 0j).astype(np.complex64)
+        out = fft_radix4(x)
+        assert out.dtype == np.complex64
+        assert np.allclose(out, np.fft.fft(x), atol=1e-3)
+
+    def test_roundtrip(self, rng):
+        x = rng.standard_normal((4, 256)) + 1j * rng.standard_normal((4, 256))
+        assert np.allclose(ifft_radix4(fft_radix4(x)), x, atol=1e-10)
+
+    def test_non_power_of_two_rejected(self, rng):
+        with pytest.raises(ValueError):
+            fft_radix4(rng.standard_normal((2, 12)))
+
+
+class TestStageCounts:
+    @pytest.mark.parametrize("n,expected", [
+        (4, (1, 0)), (8, (1, 1)), (16, (2, 0)), (128, (3, 1)), (256, (4, 0)),
+    ])
+    def test_radix4_decomposition(self, n, expected):
+        assert stage_counts(n, radix=4) == expected
+
+    def test_radix2_counts(self):
+        assert stage_counts(128, radix=2) == (7, 0)
+
+    def test_fewer_barriers_than_radix2(self):
+        """The motivation: radix-4 halves the synchronised stage count."""
+        for n in (16, 64, 256, 1024):
+            r4 = sum(stage_counts(n, radix=4))
+            r2 = sum(stage_counts(n, radix=2))
+            assert r4 <= (r2 + 1) // 2 + 1
+            assert r4 < r2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stage_counts(12)
+        with pytest.raises(ValueError):
+            stage_counts(16, radix=8)
+
+
+@given(st.integers(0, 5), st.integers(0, 2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_property_agrees_with_radix2(log4, seed):
+    n = 4**log4 if log4 else 2
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((2, n)) + 1j * rng.standard_normal((2, n))
+    scale = 1 + np.abs(x).max()
+    assert np.allclose(fft_radix4(x), fft(x), atol=1e-9 * scale * n)

@@ -1,0 +1,72 @@
+"""Tests for the R2C/C2R helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fft.real import hermitian_pad, irfft, rfft
+
+
+class TestRfft:
+    @pytest.mark.parametrize("n", [2, 8, 64, 256])
+    def test_matches_numpy(self, rng, n):
+        x = rng.standard_normal((3, n))
+        assert np.allclose(rfft(x), np.fft.rfft(x), atol=1e-10)
+
+    def test_axis(self, rng):
+        x = rng.standard_normal((16, 5))
+        assert np.allclose(rfft(x, axis=0), np.fft.rfft(x, axis=0), atol=1e-10)
+
+    def test_rejects_complex(self, rng):
+        with pytest.raises(ValueError):
+            rfft(rng.standard_normal((2, 8)) + 0j)
+
+    def test_half_spectrum_length(self, rng):
+        assert rfft(rng.standard_normal((2, 64))).shape == (2, 33)
+
+
+class TestIrfft:
+    @pytest.mark.parametrize("n", [4, 32, 128])
+    def test_roundtrip(self, rng, n):
+        x = rng.standard_normal((2, n))
+        assert np.allclose(irfft(rfft(x), n), x, atol=1e-10)
+
+    def test_matches_numpy(self, rng):
+        xk = rng.standard_normal((2, 17)) + 1j * rng.standard_normal((2, 17))
+        # Make the DC and Nyquist bins real, as a valid half-spectrum has.
+        xk[:, 0] = xk[:, 0].real
+        xk[:, -1] = xk[:, -1].real
+        assert np.allclose(irfft(xk, 32), np.fft.irfft(xk, 32), atol=1e-10)
+
+    def test_default_length(self, rng):
+        xk = np.fft.rfft(rng.standard_normal((2, 64)))
+        assert irfft(xk).shape == (2, 64)
+
+    def test_output_is_real_dtype(self, rng):
+        out = irfft(rfft(rng.standard_normal((1, 16))), 16)
+        assert not np.iscomplexobj(out)
+
+
+class TestHermitianPad:
+    def test_symmetry(self, rng):
+        xk = np.fft.rfft(rng.standard_normal((1, 16)))
+        full = hermitian_pad(xk, 16)
+        for k in range(1, 16):
+            assert full[0, 16 - k] == pytest.approx(np.conj(full[0, k]))
+
+    def test_validation(self, rng):
+        xk = np.zeros((2, 9), dtype=complex)
+        with pytest.raises(ValueError):
+            hermitian_pad(xk, 24)  # not a power of two
+        with pytest.raises(ValueError):
+            hermitian_pad(xk, 32)  # wrong bin count
+
+
+@given(st.integers(1, 6), st.integers(0, 2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_property_roundtrip(log_n, seed):
+    n = 2**log_n
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((2, n))
+    assert np.allclose(irfft(rfft(x), n), x, atol=1e-9)

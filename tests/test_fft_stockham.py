@@ -1,0 +1,163 @@
+"""Tests for the Stockham FFT: oracle agreement and spectral identities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fft.reference import dft, idft
+from repro.fft.stockham import fft, fft2, ifft, ifft2, is_power_of_two
+
+SIZES = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+
+
+def _random_complex(rng, shape, dtype=np.complex128):
+    x = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+    return x.astype(dtype)
+
+
+class TestAgainstNumpy:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_forward_matches_numpy(self, rng, n):
+        x = _random_complex(rng, (3, n))
+        assert np.allclose(fft(x), np.fft.fft(x), atol=1e-10)
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_inverse_matches_numpy(self, rng, n):
+        x = _random_complex(rng, (3, n))
+        assert np.allclose(ifft(x), np.fft.ifft(x), atol=1e-10)
+
+    @pytest.mark.parametrize("axis", [0, 1, 2, -1, -2])
+    def test_axis_handling(self, rng, axis):
+        x = _random_complex(rng, (8, 16, 4))
+        assert np.allclose(fft(x, axis=axis), np.fft.fft(x, axis=axis), atol=1e-10)
+
+    def test_real_input_promoted(self, rng):
+        x = rng.standard_normal((2, 64))
+        assert np.allclose(fft(x), np.fft.fft(x), atol=1e-10)
+
+    def test_fft2_matches_numpy(self, rng):
+        x = _random_complex(rng, (2, 32, 16))
+        assert np.allclose(fft2(x), np.fft.fft2(x), atol=1e-10)
+
+    def test_ifft2_matches_numpy(self, rng):
+        x = _random_complex(rng, (2, 16, 8))
+        assert np.allclose(ifft2(x), np.fft.ifft2(x), atol=1e-10)
+
+    def test_fft2_custom_axes(self, rng):
+        x = _random_complex(rng, (8, 3, 16))
+        assert np.allclose(
+            fft2(x, axes=(0, 2)), np.fft.fft2(x, axes=(0, 2)), atol=1e-10
+        )
+
+
+class TestAgainstReferenceDFT:
+    @pytest.mark.parametrize("n", [2, 8, 32, 128])
+    def test_forward(self, rng, n):
+        x = _random_complex(rng, (2, n))
+        assert np.allclose(fft(x), dft(x), atol=1e-9)
+
+    @pytest.mark.parametrize("n", [2, 8, 32, 128])
+    def test_inverse(self, rng, n):
+        x = _random_complex(rng, (2, n))
+        assert np.allclose(ifft(x), idft(x), atol=1e-9)
+
+
+class TestDtypes:
+    def test_complex64_stays_single(self, rng):
+        x = _random_complex(rng, (2, 64), np.complex64)
+        y = fft(x)
+        assert y.dtype == np.complex64
+        assert np.allclose(y, np.fft.fft(x), atol=1e-3)
+
+    def test_float32_promotes_to_complex64(self, rng):
+        x = rng.standard_normal((2, 64)).astype(np.float32)
+        assert fft(x).dtype == np.complex64
+
+    def test_float64_promotes_to_complex128(self, rng):
+        x = rng.standard_normal((2, 64))
+        assert fft(x).dtype == np.complex128
+
+
+class TestValidation:
+    @pytest.mark.parametrize("n", [3, 6, 12, 100])
+    def test_non_power_of_two_rejected(self, rng, n):
+        x = _random_complex(rng, (2, n))
+        with pytest.raises(ValueError):
+            fft(x)
+        with pytest.raises(ValueError):
+            ifft(x)
+
+    def test_fft2_needs_distinct_axes(self, rng):
+        x = _random_complex(rng, (4, 4))
+        with pytest.raises(ValueError):
+            fft2(x, axes=(1, 1))
+
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1) and is_power_of_two(1024)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(12)
+        assert not is_power_of_two(-4)
+
+
+@st.composite
+def _signals(draw, max_log2: int = 7):
+    n = 2 ** draw(st.integers(0, max_log2))
+    batch = draw(st.integers(1, 3))
+    elems = st.floats(-100, 100, allow_nan=False, width=32)
+    re = draw(
+        st.lists(st.lists(elems, min_size=n, max_size=n),
+                 min_size=batch, max_size=batch)
+    )
+    im = draw(
+        st.lists(st.lists(elems, min_size=n, max_size=n),
+                 min_size=batch, max_size=batch)
+    )
+    return np.array(re) + 1j * np.array(im)
+
+
+class TestProperties:
+    @given(_signals())
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, x):
+        assert np.allclose(ifft(fft(x)), x, atol=1e-8 * (1 + np.abs(x).max()))
+
+    @given(_signals())
+    @settings(max_examples=25, deadline=None)
+    def test_parseval(self, x):
+        n = x.shape[-1]
+        energy_time = np.sum(np.abs(x) ** 2)
+        energy_freq = np.sum(np.abs(fft(x)) ** 2) / n
+        assert np.isclose(energy_time, energy_freq,
+                          rtol=1e-8, atol=1e-6)
+
+    @given(_signals(), st.integers(-50, 50), st.integers(-50, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_linearity(self, x, a, b):
+        y = x[::-1] if x.shape[0] > 1 else x * 0.5
+        lhs = fft(a * x + b * y)
+        rhs = a * fft(x) + b * fft(y)
+        scale = 1 + np.abs(lhs).max()
+        assert np.allclose(lhs, rhs, atol=1e-7 * scale)
+
+    @given(_signals(max_log2=6), st.integers(0, 63))
+    @settings(max_examples=25, deadline=None)
+    def test_shift_theorem(self, x, shift):
+        n = x.shape[-1]
+        shift %= n
+        shifted = np.roll(x, -shift, axis=-1)
+        k = np.arange(n)
+        phase = np.exp(2j * np.pi * k * shift / n)
+        scale = 1 + np.abs(x).max()
+        assert np.allclose(fft(shifted), fft(x) * phase, atol=1e-7 * scale)
+
+    def test_impulse_gives_flat_spectrum(self):
+        x = np.zeros((1, 64))
+        x[0, 0] = 1.0
+        assert np.allclose(fft(x), np.ones((1, 64)), atol=1e-12)
+
+    def test_constant_gives_dc_only(self):
+        x = np.ones((1, 64))
+        y = fft(x)
+        assert y[0, 0] == pytest.approx(64)
+        assert np.allclose(y[0, 1:], 0, atol=1e-10)

@@ -1,0 +1,110 @@
+"""Tests for the blocked CGEMM: exactness against ``A @ B``."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gemm.blocked import blocked_cgemm, tile_schedule
+from repro.gemm.params import GemmParams, SECT31_CGEMM, TABLE1_CGEMM
+
+
+def _operands(rng, m, k, n, dtype=np.complex128):
+    a = (rng.standard_normal((m, k)) + 1j * rng.standard_normal((m, k)))
+    b = (rng.standard_normal((k, n)) + 1j * rng.standard_normal((k, n)))
+    return a.astype(dtype), b.astype(dtype)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("m,k,n", [
+        (32, 8, 32),      # exactly one tile
+        (64, 64, 64),     # multiple tiles, exact
+        (100, 17, 33),    # ragged everywhere
+        (1, 1, 1),        # degenerate
+        (129, 65, 5),     # ragged edges
+        (31, 7, 15),      # all smaller than a tile
+    ])
+    def test_matches_matmul(self, rng, m, k, n):
+        a, b = _operands(rng, m, k, n)
+        assert np.allclose(blocked_cgemm(a, b), a @ b, atol=1e-10)
+
+    @pytest.mark.parametrize("params", [TABLE1_CGEMM, SECT31_CGEMM,
+                                        GemmParams(64, 128, 8, 32, 16, 4, 4)])
+    def test_all_paper_tilings_agree(self, rng, params):
+        a, b = _operands(rng, 70, 40, 50)
+        assert np.allclose(blocked_cgemm(a, b, params=params), a @ b, atol=1e-10)
+
+    def test_alpha_beta_epilogue(self, rng):
+        a, b = _operands(rng, 40, 16, 24)
+        c = (rng.standard_normal((40, 24)) + 1j * rng.standard_normal((40, 24)))
+        out = blocked_cgemm(a, b, alpha=2.0 - 1j, beta=0.5j, c=c)
+        assert np.allclose(out, (2.0 - 1j) * (a @ b) + 0.5j * c, atol=1e-10)
+
+    def test_c_not_modified_in_place(self, rng):
+        a, b = _operands(rng, 8, 4, 8)
+        c = np.ones((8, 8), dtype=np.complex128)
+        blocked_cgemm(a, b, beta=1.0, c=c)
+        assert np.all(c == 1.0)
+
+    def test_complex64_stays_single(self, rng):
+        a, b = _operands(rng, 40, 16, 24, np.complex64)
+        out = blocked_cgemm(a, b)
+        assert out.dtype == np.complex64
+        assert np.allclose(out, a @ b, atol=1e-3)
+
+
+class TestValidation:
+    def test_dimension_mismatch(self, rng):
+        a, b = _operands(rng, 8, 4, 8)
+        with pytest.raises(ValueError):
+            blocked_cgemm(a, b[:3])
+
+    def test_beta_requires_c(self, rng):
+        a, b = _operands(rng, 8, 4, 8)
+        with pytest.raises(ValueError):
+            blocked_cgemm(a, b, beta=1.0)
+
+    def test_wrong_c_shape(self, rng):
+        a, b = _operands(rng, 8, 4, 8)
+        with pytest.raises(ValueError):
+            blocked_cgemm(a, b, beta=1.0, c=np.zeros((4, 4), dtype=complex))
+
+    def test_non_2d_rejected(self, rng):
+        with pytest.raises(ValueError):
+            blocked_cgemm(np.zeros((2, 2, 2)), np.zeros((2, 2)))
+
+
+class TestTileSchedule:
+    @pytest.mark.parametrize("m,n", [(64, 64), (100, 33), (1, 1), (31, 97)])
+    def test_covers_output_exactly_once(self, m, n):
+        covered = np.zeros((m, n), dtype=int)
+        for tile in tile_schedule(m, n, TABLE1_CGEMM):
+            r0, r1 = tile.rows
+            c0, c1 = tile.cols
+            covered[r0:r1, c0:c1] += 1
+        assert np.all(covered == 1)
+
+    def test_warp_tiles_partition_block(self):
+        tiles = list(tile_schedule(64, 64, SECT31_CGEMM))
+        for tile in tiles:
+            covered = np.zeros((64, 64), dtype=int)
+            for (wr0, wr1, wc0, wc1) in tile.warp_tiles:
+                covered[wr0:wr1, wc0:wc1] += 1
+            r0, r1 = tile.rows
+            c0, c1 = tile.cols
+            assert np.all(covered[r0:r1, c0:c1] == 1)
+            # Nothing outside the block tile.
+            covered[r0:r1, c0:c1] = 0
+            assert np.all(covered == 0)
+
+
+@given(
+    st.integers(1, 80), st.integers(1, 40), st.integers(1, 80),
+    st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_matches_matmul(m, k, n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, k)) + 1j * rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n)) + 1j * rng.standard_normal((k, n))
+    assert np.allclose(blocked_cgemm(a, b), a @ b, atol=1e-9)

@@ -1,0 +1,81 @@
+"""Tests for the templated CGEMM parameters (Table 1)."""
+
+import pytest
+
+from repro.gemm.params import (
+    GemmParams,
+    SECT31_CGEMM,
+    SECT51_CGEMM,
+    TABLE1_CGEMM,
+)
+
+
+class TestPaperConfigurations:
+    def test_table1(self):
+        p = TABLE1_CGEMM
+        assert (p.m_tb, p.n_tb, p.k_tb) == (32, 32, 8)
+        assert (p.m_w, p.n_w) == (32, 16)
+        assert (p.m_t, p.n_t) == (4, 4)
+        assert p.warps_per_block == 2
+        assert p.threads_per_block == 64
+
+    def test_sect31(self):
+        assert SECT31_CGEMM.m_tb == 64 and SECT31_CGEMM.n_tb == 64
+        assert SECT31_CGEMM.threads_per_block == 256
+
+    def test_sect51(self):
+        assert SECT51_CGEMM.n_tb == 128
+        assert SECT51_CGEMM.warps_per_block == 16
+
+    def test_warp_tile_is_exactly_one_warp(self):
+        for p in (TABLE1_CGEMM, SECT31_CGEMM, SECT51_CGEMM):
+            assert p.threads_per_warp_tile == 32
+
+
+class TestDerivedGeometry:
+    def test_grid_blocks_exact_tiling(self):
+        assert TABLE1_CGEMM.grid_blocks(64, 64) == 4
+
+    def test_grid_blocks_ceiling(self):
+        assert TABLE1_CGEMM.grid_blocks(33, 1) == 2
+
+    def test_k_iterations(self):
+        assert TABLE1_CGEMM.k_iterations(64) == 8
+        assert TABLE1_CGEMM.k_iterations(9) == 2
+
+    def test_smem_double_buffering_doubles(self):
+        p = TABLE1_CGEMM
+        assert p.smem_bytes(True) == 2 * p.smem_bytes(False)
+        # (32*8 + 8*32) complex64 = 512 * 8 bytes single-buffered.
+        assert p.smem_bytes(False) == 512 * 8
+
+    def test_describe_mentions_tiles(self):
+        assert "32x32x8" in TABLE1_CGEMM.describe()
+
+    @pytest.mark.parametrize("m,n", [(0, 4), (4, 0), (-1, 1)])
+    def test_grid_blocks_validation(self, m, n):
+        with pytest.raises(ValueError):
+            TABLE1_CGEMM.grid_blocks(m, n)
+
+    def test_k_iterations_validation(self):
+        with pytest.raises(ValueError):
+            TABLE1_CGEMM.k_iterations(0)
+
+
+class TestValidation:
+    def test_block_not_multiple_of_warp(self):
+        with pytest.raises(ValueError):
+            GemmParams(m_tb=48, n_tb=32, m_w=32, n_w=16)
+
+    def test_warp_not_multiple_of_thread(self):
+        with pytest.raises(ValueError):
+            GemmParams(m_w=32, n_w=16, m_t=5, n_t=4)
+
+    def test_wrong_warp_size(self):
+        # 16x16 warp tile with 4x4 thread tiles -> 16 threads != 32.
+        with pytest.raises(ValueError):
+            GemmParams(m_tb=32, n_tb=32, m_w=16, n_w=16)
+
+    def test_non_positive_fields(self):
+        with pytest.raises(ValueError):
+            GemmParams(k_tb=0)

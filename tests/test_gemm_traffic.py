@@ -1,0 +1,89 @@
+"""Tests for the CGEMM traffic/FLOP model."""
+
+import pytest
+
+from repro.gemm.params import TABLE1_CGEMM
+from repro.gemm.traffic import gemm_counters, gemm_flops
+
+M, N, K = 4096, 64, 64
+C64 = 8
+
+
+class TestFlops:
+    def test_complex_mac_is_8_real_flops(self):
+        assert gemm_flops(10, 20, 30) == 8.0 * 10 * 20 * 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gemm_flops(0, 1, 1)
+
+
+class TestTraffic:
+    def test_a_read_charged_once_by_default(self):
+        c = gemm_counters(M, N, K)
+        b_rows = -(-M // TABLE1_CGEMM.m_tb)
+        expected = M * K * C64 + b_rows * K * N * C64
+        assert c.global_bytes_read == pytest.approx(expected)
+
+    def test_c_written_once(self):
+        c = gemm_counters(M, N, K)
+        assert c.global_bytes_written == pytest.approx(M * N * C64)
+
+    def test_fused_a_side_removes_dram_reads(self):
+        full = gemm_counters(M, N, K)
+        fused = gemm_counters(M, N, K, read_a_from_global=False)
+        assert full.global_bytes_read - fused.global_bytes_read == pytest.approx(
+            M * K * C64
+        )
+
+    def test_fused_c_side_removes_writes(self):
+        fused = gemm_counters(M, N, K, write_c_to_global=False)
+        assert fused.global_bytes_written == 0.0
+
+    def test_read_c_for_beta(self):
+        c = gemm_counters(M, N, K, read_c=True)
+        base = gemm_counters(M, N, K)
+        assert c.global_bytes_read - base.global_bytes_read == pytest.approx(
+            M * N * C64
+        )
+
+    def test_a_reread_factor(self):
+        c1 = gemm_counters(M, N, K, a_reread_factor=1.0)
+        c3 = gemm_counters(M, N, K, a_reread_factor=3.0)
+        assert (c3.global_bytes_read - c1.global_bytes_read) == pytest.approx(
+            2 * M * K * C64
+        )
+        with pytest.raises(ValueError):
+            gemm_counters(M, N, K, a_reread_factor=0.5)
+
+    def test_l2_candidate_flags(self):
+        none = gemm_counters(M, N, K)
+        both = gemm_counters(M, N, K, a_l2_candidate=True, c_l2_candidate=True)
+        assert none.l2_candidate_bytes == 0.0
+        assert both.l2_candidate_bytes == pytest.approx(
+            M * K * C64 + M * N * C64
+        )
+
+
+class TestSharedMemory:
+    def test_bank_conflicts_inflate_transactions(self):
+        clean = gemm_counters(M, N, K, bank_utilization=1.0)
+        dirty = gemm_counters(M, N, K, bank_utilization=0.25)
+        assert dirty.smem_transactions == pytest.approx(
+            4 * clean.smem_transactions
+        )
+        assert dirty.smem_ideal_transactions == pytest.approx(
+            clean.smem_ideal_transactions
+        )
+        assert dirty.bank_utilization == pytest.approx(0.25)
+
+    def test_bank_utilization_validation(self):
+        with pytest.raises(ValueError):
+            gemm_counters(M, N, K, bank_utilization=0.0)
+
+    def test_sync_per_k_tile(self):
+        c = gemm_counters(M, N, K)
+        blocks = TABLE1_CGEMM.grid_blocks(M, N)
+        assert c.syncthreads == pytest.approx(
+            blocks * TABLE1_CGEMM.k_iterations(K)
+        )

@@ -1,0 +1,101 @@
+"""Tests for the performance-counter algebra."""
+
+import pytest
+
+from repro.gpu.counters import PerfCounters
+
+
+def _sample() -> PerfCounters:
+    return PerfCounters(
+        flops=100.0,
+        global_bytes_read=40.0,
+        global_bytes_written=10.0,
+        kernel_launches=2,
+        smem_transactions=8.0,
+        smem_ideal_transactions=4.0,
+        syncthreads=3.0,
+        l2_candidate_bytes=20.0,
+    )
+
+
+class TestAlgebra:
+    def test_addition_is_fieldwise(self):
+        a, b = _sample(), _sample()
+        c = a + b
+        assert c.flops == 200.0
+        assert c.global_bytes_read == 80.0
+        assert c.kernel_launches == 4
+        assert c.smem_transactions == 16.0
+        assert c.l2_candidate_bytes == 40.0
+
+    def test_addition_leaves_operands(self):
+        a, b = _sample(), _sample()
+        _ = a + b
+        assert a.flops == 100.0 and b.flops == 100.0
+
+    def test_iadd(self):
+        a = _sample()
+        a += _sample()
+        assert a.flops == 200.0
+        assert a.syncthreads == 6.0
+
+    def test_add_wrong_type(self):
+        with pytest.raises(TypeError):
+            _ = _sample() + 3  # type: ignore[operator]
+
+    def test_scaled(self):
+        s = _sample().scaled(0.5)
+        assert s.flops == 50.0
+        assert s.kernel_launches == 1
+        assert s.l2_candidate_bytes == 10.0
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            _sample().scaled(-1.0)
+
+    def test_zero_is_identity(self):
+        a = _sample()
+        z = PerfCounters()
+        assert (a + z).flops == a.flops
+        assert (a + z).global_bytes == a.global_bytes
+
+
+class TestDerived:
+    def test_global_bytes(self):
+        assert _sample().global_bytes == 50.0
+
+    def test_bank_utilization(self):
+        assert _sample().bank_utilization == pytest.approx(0.5)
+
+    def test_bank_utilization_no_smem(self):
+        assert PerfCounters().bank_utilization == 1.0
+
+    def test_arithmetic_intensity(self):
+        assert _sample().arithmetic_intensity == pytest.approx(2.0)
+
+    def test_arithmetic_intensity_no_traffic(self):
+        assert PerfCounters(flops=5.0).arithmetic_intensity == float("inf")
+
+    def test_summary_contains_key_numbers(self):
+        s = _sample().summary()
+        assert "launches=2" in s
+        assert "50.00%" in s
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field",
+        ["flops", "global_bytes_read", "global_bytes_written",
+         "smem_transactions", "syncthreads", "l2_candidate_bytes"],
+    )
+    def test_negative_rejected(self, field):
+        with pytest.raises(ValueError):
+            PerfCounters(**{field: -1.0})
+
+    def test_negative_launches_rejected(self):
+        with pytest.raises(ValueError):
+            PerfCounters(kernel_launches=-1)
+
+    def test_l2_candidate_capped_by_traffic(self):
+        with pytest.raises(ValueError):
+            PerfCounters(global_bytes_read=5.0, l2_candidate_bytes=10.0)

@@ -1,0 +1,106 @@
+"""Tests for the device specification and occupancy model."""
+
+import math
+
+import pytest
+
+from repro.gpu.device import A100_SPEC, DeviceSpec, Occupancy
+
+
+class TestDeviceSpec:
+    def test_a100_defaults(self):
+        assert A100_SPEC.num_sms == 108
+        assert A100_SPEC.warp_size == 32
+        assert A100_SPEC.smem_banks == 32
+        assert A100_SPEC.fp32_tflops == pytest.approx(19.5)
+
+    def test_derived_rates(self):
+        d = DeviceSpec(fp32_tflops=10.0, dram_bandwidth_gbs=1000.0)
+        assert d.flops_per_second == pytest.approx(1e13)
+        assert d.bytes_per_second == pytest.approx(1e12)
+        assert d.effective_flops() == pytest.approx(1e13 * d.flop_efficiency)
+        assert d.effective_bandwidth() == pytest.approx(1e12 * d.dram_efficiency)
+
+    def test_with_override(self):
+        d = A100_SPEC.with_(num_sms=4)
+        assert d.num_sms == 4
+        assert A100_SPEC.num_sms == 108  # original untouched
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_sms": 0},
+            {"fp32_tflops": -1.0},
+            {"dram_bandwidth_gbs": 0.0},
+            {"dram_efficiency": 0.0},
+            {"dram_efficiency": 1.5},
+            {"flop_efficiency": -0.2},
+            {"warp_size": 0},
+            {"smem_banks": -1},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DeviceSpec(**kwargs)
+
+
+class TestOccupancy:
+    def test_thread_limited(self):
+        # 1024-thread blocks: 2048/1024 = 2 blocks per SM.
+        occ = Occupancy.compute(A100_SPEC, blocks=1000, threads_per_block=1024)
+        assert occ.blocks_per_sm == 2
+        assert occ.active_blocks == 2 * 108
+
+    def test_smem_limited(self):
+        # 100 KiB per block: only one fits in 164 KiB.
+        occ = Occupancy.compute(
+            A100_SPEC, blocks=10, threads_per_block=128,
+            smem_per_block_bytes=100 * 1024,
+        )
+        assert occ.blocks_per_sm == 1
+
+    def test_block_limit_cap(self):
+        # Tiny blocks would allow 2048/32 = 64 per SM, capped at 32.
+        occ = Occupancy.compute(A100_SPEC, blocks=10, threads_per_block=32)
+        assert occ.blocks_per_sm == A100_SPEC.max_blocks_per_sm
+
+    def test_wave_count(self):
+        occ = Occupancy.compute(A100_SPEC, blocks=1, threads_per_block=256)
+        assert occ.waves == 1
+        big = Occupancy.compute(
+            A100_SPEC, blocks=occ.active_blocks * 3 + 1, threads_per_block=256
+        )
+        assert big.waves == 4
+
+    def test_full_wave_utilization_is_one(self):
+        occ = Occupancy.compute(A100_SPEC, blocks=1, threads_per_block=256)
+        full = Occupancy.compute(
+            A100_SPEC, blocks=occ.active_blocks, threads_per_block=256
+        )
+        assert full.sm_utilization == pytest.approx(1.0)
+
+    def test_partial_wave_utilization_below_one(self):
+        occ = Occupancy.compute(A100_SPEC, blocks=10, threads_per_block=256)
+        assert occ.sm_utilization < 1.0
+        assert occ.sm_utilization == pytest.approx(10 / occ.active_blocks)
+
+    def test_exact_tiling_math(self):
+        d = DeviceSpec(num_sms=4, max_threads_per_sm=512, max_blocks_per_sm=8)
+        occ = Occupancy.compute(d, blocks=16, threads_per_block=256)
+        # 512/256 = 2 blocks/SM, active = 8, so 16 blocks = 2 full waves.
+        assert occ.blocks_per_sm == 2
+        assert occ.active_blocks == 8
+        assert occ.waves == 2
+        assert occ.sm_utilization == pytest.approx(1.0)
+
+    @pytest.mark.parametrize(
+        "blocks,threads,smem",
+        [(0, 128, 0), (-3, 128, 0), (4, 0, 0), (4, 4096, 0), (4, 128, 10**9)],
+    )
+    def test_invalid_launches_rejected(self, blocks, threads, smem):
+        with pytest.raises(ValueError):
+            Occupancy.compute(A100_SPEC, blocks, threads, smem)
+
+    def test_waves_ceiling(self):
+        occ = Occupancy.compute(A100_SPEC, blocks=7, threads_per_block=64)
+        assert occ.waves == math.ceil(7 / occ.active_blocks) == 1

@@ -1,0 +1,153 @@
+"""Tests for kernel timing: roofline legs, phases, L2 model, wave model."""
+
+import pytest
+
+from repro.gpu.counters import PerfCounters
+from repro.gpu.device import A100_SPEC, DeviceSpec, Occupancy
+from repro.gpu.kernel import KernelSpec, LaunchConfig, _wave_inflation, kernel_time
+
+BIG_GRID = 108 * 16  # fills the device for typical configs
+
+
+def _spec(counters: PerfCounters, blocks: int = BIG_GRID, threads: int = 256,
+          **kw) -> KernelSpec:
+    return KernelSpec("k", LaunchConfig(blocks, threads), counters, **kw)
+
+
+class TestLaunchConfig:
+    @pytest.mark.parametrize("kw", [
+        dict(blocks=0, threads_per_block=128),
+        dict(blocks=4, threads_per_block=0),
+        dict(blocks=4, threads_per_block=128, smem_per_block_bytes=-1),
+    ])
+    def test_invalid(self, kw):
+        with pytest.raises(ValueError):
+            LaunchConfig(**kw)
+
+
+class TestRoofline:
+    def test_compute_bound(self):
+        c = PerfCounters(flops=1e12, global_bytes_read=1.0)
+        t = kernel_time(_spec(c), A100_SPEC)
+        assert t.steady_time == pytest.approx(1e12 / A100_SPEC.effective_flops())
+
+    def test_memory_bound(self):
+        c = PerfCounters(flops=1.0, global_bytes_read=1e10)
+        t = kernel_time(_spec(c), A100_SPEC)
+        assert t.steady_time == pytest.approx(
+            1e10 / A100_SPEC.effective_bandwidth()
+        )
+
+    def test_derates_slow_the_legs(self):
+        c = PerfCounters(flops=1e12)
+        t0 = kernel_time(_spec(c), A100_SPEC)
+        t1 = kernel_time(_spec(c, compute_derate=2.0), A100_SPEC)
+        assert t1.compute_time == pytest.approx(2 * t0.compute_time)
+        with pytest.raises(ValueError):
+            _spec(c, memory_derate=0.5)
+
+    def test_launch_overhead_added(self):
+        c = PerfCounters(flops=1e9)
+        t = kernel_time(_spec(c), A100_SPEC)
+        assert t.total == pytest.approx(
+            t.wave_quantized_time + A100_SPEC.kernel_launch_overhead_s
+        )
+
+    def test_sync_cost_scales_with_waves(self):
+        base = PerfCounters(flops=1e9)
+        with_sync = PerfCounters(flops=1e9, syncthreads=BIG_GRID * 100.0)
+        t0 = kernel_time(_spec(base), A100_SPEC)
+        t1 = kernel_time(_spec(with_sync), A100_SPEC)
+        assert t1.sync_time > 0
+        assert t1.steady_time > t0.steady_time
+
+    def test_smem_leg(self):
+        # Enough conflicted transactions to dominate.
+        c = PerfCounters(smem_transactions=1e9, smem_ideal_transactions=1e8)
+        t = kernel_time(_spec(c), A100_SPEC)
+        expected = (
+            1e9 * 128 / (A100_SPEC.effective_bandwidth()
+                         * A100_SPEC.smem_bandwidth_ratio)
+        )
+        assert t.smem_time == pytest.approx(expected)
+
+
+class TestL2Model:
+    def test_candidate_bytes_served_faster_when_fitting(self):
+        nbytes = 1e6  # tiny working set: fully L2-resident
+        cold = PerfCounters(global_bytes_read=nbytes)
+        warm = PerfCounters(global_bytes_read=nbytes, l2_candidate_bytes=nbytes)
+        t_cold = kernel_time(_spec(cold), A100_SPEC)
+        t_warm = kernel_time(_spec(warm), A100_SPEC)
+        assert t_warm.dram_time == pytest.approx(
+            t_cold.dram_time / A100_SPEC.l2_bandwidth_ratio
+        )
+
+    def test_oversized_candidates_degrade_to_dram(self):
+        nbytes = 100 * A100_SPEC.l2_bytes
+        warm = PerfCounters(global_bytes_read=nbytes, l2_candidate_bytes=nbytes)
+        cold = PerfCounters(global_bytes_read=nbytes)
+        t_warm = kernel_time(_spec(warm), A100_SPEC)
+        t_cold = kernel_time(_spec(cold), A100_SPEC)
+        # At 100x the cache, at most ~2 % of traffic can be L2-resident.
+        assert t_warm.dram_time > 0.97 * t_cold.dram_time
+
+    def test_partial_fit_interpolates(self):
+        nbytes = 4 * A100_SPEC.l2_bytes
+        warm = PerfCounters(global_bytes_read=nbytes, l2_candidate_bytes=nbytes)
+        cold = PerfCounters(global_bytes_read=nbytes)
+        t_warm = kernel_time(_spec(warm), A100_SPEC).dram_time
+        t_cold = kernel_time(_spec(cold), A100_SPEC).dram_time
+        assert t_cold / A100_SPEC.l2_bandwidth_ratio < t_warm < t_cold
+
+
+class TestPhases:
+    def test_phases_serialise(self):
+        # Two phases, one compute-heavy and one memory-heavy: the summed
+        # time must exceed the overlapped single-phase roofline.
+        ph1 = PerfCounters(flops=1e12)
+        ph2 = PerfCounters(global_bytes_read=1e10)
+        total = ph1 + ph2
+        fused = _spec(total, phases=(ph1, ph2))
+        overlapped = _spec(total)
+        t_fused = kernel_time(fused, A100_SPEC)
+        t_over = kernel_time(overlapped, A100_SPEC)
+        assert t_fused.steady_time == pytest.approx(
+            t_over.compute_time + t_over.dram_time
+        )
+        assert t_fused.steady_time > t_over.steady_time
+
+    def test_single_phase_equivalent_to_counters(self):
+        c = PerfCounters(flops=1e11, global_bytes_read=1e9)
+        assert kernel_time(_spec(c, phases=(c,)), A100_SPEC).steady_time == (
+            pytest.approx(kernel_time(_spec(c), A100_SPEC).steady_time)
+        )
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(ValueError):
+            _spec(PerfCounters(), phases=())
+
+
+class TestWaveInflation:
+    def test_full_device_no_inflation(self):
+        occ = Occupancy.compute(A100_SPEC, BIG_GRID, 256)
+        assert _wave_inflation(BIG_GRID, occ, A100_SPEC) == pytest.approx(
+            1.0, rel=0.05
+        )
+
+    def test_tiny_grid_heavily_inflated(self):
+        occ = Occupancy.compute(A100_SPEC, 4, 256)
+        infl = _wave_inflation(4, occ, A100_SPEC)
+        assert infl > 10  # 4 blocks on 108 SMs
+
+    def test_single_resident_block_penalty(self):
+        d = A100_SPEC.with_(single_block_sm_efficiency=0.5)
+        occ = Occupancy.compute(d, d.num_sms, 2048)  # one block per SM
+        assert _wave_inflation(d.num_sms, occ, d) == pytest.approx(2.0)
+
+    def test_inflation_monotone_in_grid_size(self):
+        occ_small = Occupancy.compute(A100_SPEC, 16, 256)
+        occ_big = Occupancy.compute(A100_SPEC, 64, 256)
+        assert _wave_inflation(16, occ_small, A100_SPEC) > _wave_inflation(
+            64, occ_big, A100_SPEC
+        )

@@ -1,0 +1,88 @@
+"""Tests for the shared-memory bank-conflict model."""
+
+import pytest
+
+from repro.gpu.sharedmem import SharedMemoryBankModel, WarpAccess
+
+
+@pytest.fixture
+def model() -> SharedMemoryBankModel:
+    return SharedMemoryBankModel()
+
+
+class TestWarpAccess:
+    def test_from_lists(self):
+        acc = WarpAccess.from_lists([[0, 1], [2]])
+        assert acc.word_addresses == ((0, 1), (2,))
+        assert acc.num_words == 3
+
+    def test_complex64_expands_to_word_pairs(self):
+        acc = WarpAccess.complex64([[0], [5]])
+        assert acc.word_addresses == ((0, 1), (10, 11))
+
+
+class TestConflictCounting:
+    def test_perfectly_coalesced(self, model):
+        acc = WarpAccess.from_lists([[t] for t in range(32)])
+        rep = model.analyze_instruction(acc)
+        assert rep.actual_cycles == 1
+        assert rep.ideal_cycles == 1
+        assert rep.utilization == 1.0
+        assert rep.distinct_banks == 32
+
+    def test_same_bank_distinct_words_serialize(self, model):
+        # 32 threads all hitting bank 0 at different words: 32 replays.
+        acc = WarpAccess.from_lists([[32 * t] for t in range(32)])
+        rep = model.analyze_instruction(acc)
+        assert rep.actual_cycles == 32
+        assert rep.ideal_cycles == 1
+        assert rep.utilization == pytest.approx(1 / 32)
+
+    def test_broadcast_is_free(self, model):
+        # All threads read the same word: one cycle.
+        acc = WarpAccess.from_lists([[7] for _ in range(32)])
+        rep = model.analyze_instruction(acc)
+        assert rep.actual_cycles == 1
+        assert rep.utilization == 1.0
+
+    def test_two_way_conflict(self, model):
+        # Pairs of threads hit the same bank at different words.
+        acc = WarpAccess.from_lists(
+            [[t] for t in range(16)] + [[t + 32] for t in range(16)]
+        )
+        rep = model.analyze_instruction(acc)
+        assert rep.actual_cycles == 2
+        assert rep.ideal_cycles == 1
+        assert rep.utilization == pytest.approx(0.5)
+
+    def test_empty_access(self, model):
+        rep = model.analyze_instruction(WarpAccess.from_lists([[]]))
+        assert rep.actual_cycles == 0
+        assert rep.utilization == 1.0
+
+    def test_multi_instruction_accumulation(self, model):
+        good = WarpAccess.from_lists([[t] for t in range(32)])
+        bad = WarpAccess.from_lists([[32 * t] for t in range(32)])
+        rep = model.analyze([good, bad])
+        assert rep.ideal_cycles == 2
+        assert rep.actual_cycles == 33
+        assert rep.utilization == pytest.approx(2 / 33)
+
+    def test_ideal_cycles_for_wide_access(self, model):
+        # 64 distinct words cannot be served in fewer than 2 cycles.
+        acc = WarpAccess.from_lists([[2 * t, 2 * t + 1] for t in range(32)])
+        rep = model.analyze_instruction(acc)
+        assert rep.ideal_cycles == 2
+        assert rep.actual_cycles == 2  # consecutive words: conflict-free
+
+    def test_bank_of_word(self, model):
+        assert model.bank_of_word(0) == 0
+        assert model.bank_of_word(31) == 31
+        assert model.bank_of_word(32) == 0
+        assert model.bank_of_word(33) == 1
+
+    def test_invalid_model_params(self):
+        with pytest.raises(ValueError):
+            SharedMemoryBankModel(num_banks=0)
+        with pytest.raises(ValueError):
+            SharedMemoryBankModel(bank_bytes=-4)

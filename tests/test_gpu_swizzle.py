@@ -1,0 +1,119 @@
+"""Tests for the Figure 7/8 shared-memory layouts.
+
+The percentages asserted here are the paper's own numbers: 6.25 % for the
+naive 16-point write-back, 25 % for the VkFFT-style FFT->GEMM hand-off and
+the naive epilogue, 100 % for every TurboFNO swizzle.
+"""
+
+import pytest
+
+from repro.gpu.swizzle import (
+    analyze_fft_to_gemm_forward,
+    analyze_fft_writeback,
+    analyze_gemm_to_ifft_epilogue,
+    epilogue_writeback_accesses,
+    fft_writeback_accesses,
+    gemm_a_column_read_accesses,
+    layout_is_injective,
+)
+
+
+class TestFigure7Writeback:
+    def test_16pt_naive_is_6_25_percent(self):
+        assert analyze_fft_writeback("16pt", False).utilization == pytest.approx(
+            0.0625
+        )
+
+    def test_16pt_swizzled_is_100_percent(self):
+        assert analyze_fft_writeback("16pt", True).utilization == pytest.approx(1.0)
+
+    def test_8pt_naive_conflicts(self):
+        # Neighbouring threads avoid each other (paper: "thread 0 and 1
+        # access banks 0 and 64") but the half-warp groups still collide.
+        assert analyze_fft_writeback("8pt", False).utilization == pytest.approx(
+            0.125
+        )
+
+    def test_8pt_swizzled_is_100_percent(self):
+        assert analyze_fft_writeback("8pt", True).utilization == pytest.approx(1.0)
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_fft_writeback("32pt")
+
+    @pytest.mark.parametrize("case,n,stride,div", [
+        ("16pt", 16, 64, 1),
+        ("8pt", 32, 8, 2),
+    ])
+    def test_swizzle_remains_injective(self, case, n, stride, div):
+        accs = fft_writeback_accesses(n, 8, stride, div)
+        assert layout_is_injective(accs)
+
+    def test_naive_layouts_injective_too(self):
+        assert layout_is_injective(fft_writeback_accesses(16, 8, 64, None))
+
+    @pytest.mark.parametrize("bad", [
+        dict(n_threads=0, elems_per_thread=8, thread_stride=64, offset_divisor=1),
+        dict(n_threads=16, elems_per_thread=0, thread_stride=64, offset_divisor=1),
+        dict(n_threads=16, elems_per_thread=8, thread_stride=0, offset_divisor=1),
+        dict(n_threads=16, elems_per_thread=8, thread_stride=64, offset_divisor=0),
+    ])
+    def test_invalid_params(self, bad):
+        with pytest.raises(ValueError):
+            fft_writeback_accesses(**bad)
+
+
+class TestFigure7Forward:
+    def test_vkfft_layout_is_25_percent(self):
+        assert analyze_fft_to_gemm_forward("vkfft").utilization == pytest.approx(
+            0.25
+        )
+
+    def test_turbofno_layout_is_100_percent(self):
+        assert analyze_fft_to_gemm_forward("turbofno").utilization == pytest.approx(
+            1.0
+        )
+
+    def test_full_interleave_is_worse(self):
+        # 8-way interleave (= k_tb) degrades below the paper's 25 %.
+        from repro.gpu.sharedmem import SharedMemoryBankModel
+
+        accs = gemm_a_column_read_accesses("vkfft", vkfft_interleave=8)
+        rep = SharedMemoryBankModel().analyze(accs)
+        assert rep.utilization < 0.25
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ValueError):
+            gemm_a_column_read_accesses("cufft")
+
+    def test_both_layouts_injective(self):
+        for layout in ("vkfft", "turbofno"):
+            assert layout_is_injective(gemm_a_column_read_accesses(layout))
+
+
+class TestFigure8Epilogue:
+    def test_naive_is_25_percent(self):
+        assert analyze_gemm_to_ifft_epilogue(False).utilization == pytest.approx(
+            0.25
+        )
+
+    def test_swizzled_is_100_percent(self):
+        assert analyze_gemm_to_ifft_epilogue(True).utilization == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("swizzled", [False, True])
+    def test_layouts_injective(self, swizzled):
+        assert layout_is_injective(epilogue_writeback_accesses(swizzled))
+
+    def test_non_warp_tiling_rejected(self):
+        with pytest.raises(ValueError):
+            epilogue_writeback_accesses(True, m_w=16, n_w=16)  # 16 threads
+
+    def test_col_stride_must_fit_offset(self):
+        with pytest.raises(ValueError):
+            epilogue_writeback_accesses(True, col_stride=32)
+
+    def test_sfft_column_stride_gives_room(self):
+        # The default col_stride=128 is the sFFT buffer column of Fig. 9.
+        accs = epilogue_writeback_accesses(True, col_stride=128)
+        max_addr = max(w for a in accs for lane in a.word_addresses for w in lane)
+        assert max_addr < 2 * 16 * 128  # within n_w columns of the buffer

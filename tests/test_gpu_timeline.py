@@ -1,0 +1,59 @@
+"""Tests for pipelines and the speedup metric."""
+
+import pytest
+
+from repro.gpu.counters import PerfCounters
+from repro.gpu.device import A100_SPEC
+from repro.gpu.kernel import KernelSpec, LaunchConfig, kernel_time
+from repro.gpu.timeline import Pipeline, speedup_percent
+
+
+def _k(name: str, flops: float = 1e10) -> KernelSpec:
+    return KernelSpec(
+        name, LaunchConfig(2048, 256), PerfCounters(flops=flops)
+    )
+
+
+class TestPipeline:
+    def test_total_is_sum_of_kernels(self):
+        pipe = Pipeline("p").add(_k("a")).add(_k("b", 2e10))
+        per = [kernel_time(k, A100_SPEC).total for k in pipe.kernels]
+        assert pipe.total_time(A100_SPEC) == pytest.approx(sum(per))
+
+    def test_counters_include_launches(self):
+        pipe = Pipeline("p").add(_k("a")).add(_k("b"))
+        c = pipe.counters()
+        assert c.kernel_launches == 2
+        assert c.flops == 2e10
+
+    def test_report_breakdown_lists_kernels(self):
+        pipe = Pipeline("p").add(_k("alpha")).add(_k("beta"))
+        rep = pipe.report(A100_SPEC)
+        assert rep.launch_count == 2
+        text = rep.breakdown()
+        assert "alpha" in text and "beta" in text
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline("empty").report(A100_SPEC)
+
+    def test_add_chains(self):
+        pipe = Pipeline("p")
+        assert pipe.add(_k("a")) is pipe
+
+
+class TestSpeedupMetric:
+    def test_parity_is_zero(self):
+        assert speedup_percent(1.0, 1.0) == pytest.approx(0.0)
+
+    def test_paper_units(self):
+        # "150 % faster" means 2.5x: t_base / t_opt = 2.5.
+        assert speedup_percent(2.5, 1.0) == pytest.approx(150.0)
+
+    def test_slowdown_is_negative(self):
+        assert speedup_percent(1.0, 2.0) == pytest.approx(-50.0)
+
+    @pytest.mark.parametrize("base,opt", [(0.0, 1.0), (1.0, 0.0), (-1.0, 1.0)])
+    def test_invalid_times(self, base, opt):
+        with pytest.raises(ValueError):
+            speedup_percent(base, opt)

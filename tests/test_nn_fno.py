@@ -1,0 +1,108 @@
+"""Tests for the FNO models: shapes, end-to-end gradients, learning."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, FNO1d, FNO2d, relative_l2_loss, train
+from repro.nn.trainer import evaluate
+
+
+class TestFNO1d:
+    def test_forward_shape(self, rng):
+        model = FNO1d(2, 3, width=8, modes=4, depth=2, proj_width=8)
+        y = model(rng.standard_normal((5, 2, 32)))
+        assert y.shape == (5, 3, 32)
+
+    def test_backward_shape(self, rng):
+        model = FNO1d(2, 1, width=8, modes=4, depth=2, proj_width=8)
+        x = rng.standard_normal((3, 2, 32))
+        y = model(x)
+        gx = model.backward(np.ones_like(y))
+        assert gx.shape == x.shape
+
+    def test_end_to_end_gradient(self, rng):
+        model = FNO1d(1, 1, width=6, modes=4, depth=1, proj_width=6, seed=3)
+        x = rng.standard_normal((2, 1, 16))
+        y = model(x)
+        g = rng.standard_normal(y.shape)
+        gx = model.backward(g.copy())
+        eps = 1e-6
+        for _ in range(4):
+            idx = tuple(int(rng.integers(0, s)) for s in x.shape)
+            xp = x.copy(); xp[idx] += eps
+            xm = x.copy(); xm[idx] -= eps
+            fd = (np.sum(model(xp) * g) - np.sum(model(xm) * g)) / (2 * eps)
+            assert abs(fd - gx[idx]) / max(abs(fd), 1.0) < 1e-4
+
+    def test_num_parameters_counts_complex_twice(self):
+        shallow = FNO1d(1, 1, width=4, modes=2, depth=1, proj_width=4)
+        deep = FNO1d(1, 1, width=4, modes=2, depth=3, proj_width=4)
+        assert deep.num_parameters() > shallow.num_parameters()
+
+    def test_per_mode_flag_changes_weight_shape(self):
+        shared = FNO1d(1, 1, width=4, modes=4, depth=1, per_mode=False)
+        per = FNO1d(1, 1, width=4, modes=4, depth=1, per_mode=True)
+        assert per.num_parameters() > shared.num_parameters()
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            FNO1d(1, 1, depth=0)
+
+    def test_deterministic_given_seed(self, rng):
+        x = rng.standard_normal((2, 1, 16))
+        a = FNO1d(1, 1, width=4, modes=2, depth=1, seed=7)(x)
+        b = FNO1d(1, 1, width=4, modes=2, depth=1, seed=7)(x)
+        assert np.allclose(a, b)
+
+
+class TestFNO2d:
+    def test_forward_shape(self, rng):
+        model = FNO2d(3, 2, width=6, modes_x=2, modes_y=4, depth=2, proj_width=8)
+        y = model(rng.standard_normal((2, 3, 8, 16)))
+        assert y.shape == (2, 2, 8, 16)
+
+    def test_backward_shape(self, rng):
+        model = FNO2d(1, 1, width=4, modes_x=2, modes_y=2, depth=1, proj_width=4)
+        x = rng.standard_normal((2, 1, 8, 8))
+        y = model(x)
+        assert model.backward(np.ones_like(y)).shape == x.shape
+
+
+class TestLearning:
+    def test_training_reduces_loss_1d(self, rng):
+        x = rng.standard_normal((24, 1, 32))
+        y = 0.5 * np.roll(x, 2, axis=-1)
+        model = FNO1d(1, 1, width=10, modes=8, depth=2, proj_width=12, seed=1)
+        opt = Adam(list(model.parameters()), lr=3e-3)
+        hist = train(model, opt, x, y, epochs=10, batch_size=8)
+        assert hist.final_train < 0.8 * hist.train_loss[0]
+
+    def test_test_set_evaluated(self, rng):
+        x = rng.standard_normal((8, 1, 16))
+        y = x.copy()
+        model = FNO1d(1, 1, width=4, modes=4, depth=1, proj_width=4)
+        opt = Adam(list(model.parameters()), lr=1e-3)
+        hist = train(model, opt, x, y, epochs=2, batch_size=4,
+                     x_test=x, y_test=y)
+        assert len(hist.test_loss) == 2
+        assert hist.final_test == pytest.approx(
+            evaluate(model, x, y), rel=1e-6
+        )
+
+    def test_trainer_validation(self, rng):
+        x = rng.standard_normal((4, 1, 16))
+        model = FNO1d(1, 1, width=4, modes=4, depth=1)
+        opt = Adam(list(model.parameters()))
+        with pytest.raises(ValueError):
+            train(model, opt, x, x[:2], epochs=1)
+        with pytest.raises(ValueError):
+            train(model, opt, x, x, epochs=0)
+
+    def test_history_accessors(self):
+        from repro.nn.trainer import TrainingHistory
+
+        h = TrainingHistory()
+        with pytest.raises(ValueError):
+            _ = h.final_train
+        with pytest.raises(ValueError):
+            _ = h.final_test

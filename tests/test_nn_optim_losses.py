@@ -1,0 +1,136 @@
+"""Tests for optimizers and losses."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import mse_loss, relative_l2_loss
+from repro.nn.modules import Parameter
+from repro.nn.optim import SGD, Adam
+
+
+def _quadratic_param(start):
+    """Parameter minimising ||p - 3||^2 via grad = 2(p - 3)."""
+    return Parameter(np.array(start, dtype=np.float64))
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = _quadratic_param([0.0, 10.0])
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            p.grad = 2 * (p.value - 3.0)
+            opt.step()
+        assert np.allclose(p.value, 3.0, atol=1e-6)
+
+    def test_momentum_accelerates(self):
+        losses = {}
+        for mom in (0.0, 0.9):
+            p = _quadratic_param([10.0])
+            opt = SGD([p], lr=0.02, momentum=mom)
+            for _ in range(50):
+                p.grad = 2 * (p.value - 3.0)
+                opt.step()
+            losses[mom] = abs(p.value[0] - 3.0)
+        assert losses[0.9] < losses[0.0]
+
+    def test_zero_grad(self):
+        p = _quadratic_param([1.0])
+        p.grad[...] = 5.0
+        SGD([p], lr=0.1).zero_grad()
+        assert np.all(p.grad == 0)
+
+    @pytest.mark.parametrize("kw", [dict(lr=0), dict(lr=0.1, momentum=1.0)])
+    def test_validation(self, kw):
+        with pytest.raises(ValueError):
+            SGD([_quadratic_param([1.0])], **kw)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = _quadratic_param([0.0, 10.0, -5.0])
+        opt = Adam([p], lr=0.2)
+        for _ in range(300):
+            p.grad = 2 * (p.value - 3.0)
+            opt.step()
+        assert np.allclose(p.value, 3.0, atol=1e-4)
+
+    def test_complex_parameter(self):
+        target = np.array([1.0 + 2.0j])
+        p = Parameter(np.array([0.0 + 0.0j]))
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            # grad of |p - t|^2 in the stored-gradient convention.
+            diff = p.value - target
+            p.grad = 2 * diff
+            opt.step()
+        assert np.allclose(p.value, target, atol=1e-3)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([10.0]))
+        opt = Adam([p], lr=0.1, weight_decay=0.5)
+        for _ in range(100):
+            p.grad = np.zeros(1)
+            opt.step()
+        assert abs(p.value[0]) < 10.0
+
+    @pytest.mark.parametrize("kw", [
+        dict(lr=-1.0), dict(betas=(1.0, 0.9)), dict(weight_decay=-0.1),
+    ])
+    def test_validation(self, kw):
+        with pytest.raises(ValueError):
+            Adam([_quadratic_param([1.0])], **kw)
+
+
+class TestLosses:
+    def test_mse_value(self):
+        pred = np.array([[1.0, 2.0]])
+        tgt = np.array([[0.0, 0.0]])
+        loss, grad = mse_loss(pred, tgt)
+        assert loss == pytest.approx(2.5)
+        assert np.allclose(grad, pred)  # 2/n * diff with n = 2
+
+    def test_mse_gradient_fd(self, rng):
+        pred = rng.standard_normal((3, 4))
+        tgt = rng.standard_normal((3, 4))
+        _, grad = mse_loss(pred, tgt)
+        eps = 1e-6
+        idx = (1, 2)
+        pp = pred.copy(); pp[idx] += eps
+        pm = pred.copy(); pm[idx] -= eps
+        fd = (mse_loss(pp, tgt)[0] - mse_loss(pm, tgt)[0]) / (2 * eps)
+        assert fd == pytest.approx(grad[idx], rel=1e-5)
+
+    def test_relative_l2_perfect_prediction(self, rng):
+        y = rng.standard_normal((2, 8))
+        loss, _ = relative_l2_loss(y, y)
+        assert loss == pytest.approx(0.0, abs=1e-9)
+
+    def test_relative_l2_scale_invariance(self, rng):
+        pred = rng.standard_normal((2, 8))
+        tgt = rng.standard_normal((2, 8))
+        l1, _ = relative_l2_loss(pred, tgt)
+        l2, _ = relative_l2_loss(10 * pred, 10 * tgt)
+        assert l1 == pytest.approx(l2)
+
+    def test_relative_l2_gradient_fd(self, rng):
+        pred = rng.standard_normal((2, 6))
+        tgt = rng.standard_normal((2, 6))
+        _, grad = relative_l2_loss(pred, tgt)
+        eps = 1e-7
+        idx = (0, 3)
+        pp = pred.copy(); pp[idx] += eps
+        pm = pred.copy(); pm[idx] -= eps
+        fd = (relative_l2_loss(pp, tgt)[0] - relative_l2_loss(pm, tgt)[0]) / (
+            2 * eps
+        )
+        assert fd == pytest.approx(grad[idx], rel=1e-4)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            mse_loss(np.zeros((2, 2)), np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            relative_l2_loss(np.zeros((2, 2)), np.zeros((3, 2)))

@@ -1,0 +1,96 @@
+"""Tests for learning-rate schedules and gradient clipping."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn.modules import Parameter
+from repro.nn.optim import Adam
+from repro.nn.schedulers import CosineLR, StepLR, clip_grad_norm
+
+
+def _opt(lr=0.1):
+    return Adam([Parameter(np.zeros(3))], lr=lr)
+
+
+class TestStepLR:
+    def test_decay_schedule(self):
+        opt = _opt(0.1)
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        lrs = [sched.step() for _ in range(6)]
+        assert lrs == pytest.approx([0.1, 0.05, 0.05, 0.025, 0.025, 0.0125])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(_opt(), step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(_opt(), step_size=1, gamma=0.0)
+
+
+class TestCosineLR:
+    def test_endpoints(self):
+        opt = _opt(0.1)
+        sched = CosineLR(opt, t_max=10, min_lr=0.01)
+        for _ in range(10):
+            last = sched.step()
+        assert last == pytest.approx(0.01)
+
+    def test_halfway_value(self):
+        opt = _opt(0.2)
+        sched = CosineLR(opt, t_max=4)
+        sched.step()
+        sched.step()  # t = t_max/2 -> cos(pi/2) = 0 -> lr = base/2
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_monotone_decay(self):
+        opt = _opt(1.0)
+        sched = CosineLR(opt, t_max=20)
+        lrs = [sched.step() for _ in range(20)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_clamps_after_t_max(self):
+        opt = _opt(1.0)
+        sched = CosineLR(opt, t_max=3)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CosineLR(_opt(), t_max=0)
+        with pytest.raises(ValueError):
+            CosineLR(_opt(), t_max=5, min_lr=-1.0)
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.array([3.0, 0.0, 0.0, 0.0])
+        norm = clip_grad_norm([p], max_norm=5.0)
+        assert norm == pytest.approx(3.0)
+        assert np.allclose(p.grad, [3.0, 0, 0, 0])
+
+    def test_clips_to_max_norm(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([3.0, 4.0])  # norm 5
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert math.isclose(np.linalg.norm(p.grad), 1.0, rel_tol=1e-9)
+
+    def test_global_norm_across_params(self):
+        p1 = Parameter(np.zeros(1)); p1.grad = np.array([3.0])
+        p2 = Parameter(np.zeros(1)); p2.grad = np.array([4.0])
+        norm = clip_grad_norm([p1, p2], max_norm=10.0)
+        assert norm == pytest.approx(5.0)
+
+    def test_complex_gradients(self):
+        p = Parameter(np.zeros(1, dtype=complex))
+        p.grad = np.array([3.0 + 4.0j])
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert abs(p.grad[0]) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([Parameter(np.zeros(1))], max_norm=0.0)

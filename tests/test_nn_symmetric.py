@@ -1,0 +1,113 @@
+"""Tests for the symmetric (original-FNO) spectral filter convention."""
+
+import numpy as np
+import pytest
+
+from repro.nn.modules import SpectralConv1d
+
+
+def _rfft_oracle(x, weight, modes, per_mode):
+    """The original FNO layer via numpy.fft.rfft/irfft."""
+    n = x.shape[-1]
+    xk = np.fft.rfft(x, axis=-1)[..., :modes]
+    if per_mode:
+        yk = np.einsum("bim,iom->bom", xk, weight)
+    else:
+        yk = np.einsum("bim,io->bom", xk, weight)
+    out_ft = np.zeros((x.shape[0], yk.shape[1], n // 2 + 1), dtype=complex)
+    out_ft[..., :modes] = yk
+    return np.fft.irfft(out_ft, n=n, axis=-1)
+
+
+class TestSymmetricForward:
+    @pytest.mark.parametrize("per_mode", [True, False])
+    def test_matches_rfft_oracle(self, rng, per_mode):
+        m = SpectralConv1d(3, 4, 8, rng, per_mode=per_mode, symmetric=True)
+        x = rng.standard_normal((2, 3, 32))
+        assert np.allclose(m(x), _rfft_oracle(x, m.weight.value, 8, per_mode),
+                           atol=1e-10)
+
+    def test_output_genuinely_real_operator(self, rng):
+        """Identity weights + symmetric filter = ideal real low-pass."""
+        m = SpectralConv1d(1, 1, 4, rng, per_mode=False, symmetric=True)
+        m.weight.value = np.ones((1, 1), dtype=complex)
+        x = rng.standard_normal((1, 1, 32))
+        y = m(x)
+        xk = np.fft.rfft(x, axis=-1)
+        xk[..., 4:] = 0
+        assert np.allclose(y, np.fft.irfft(xk, n=32, axis=-1), atol=1e-10)
+
+    def test_asymmetric_convention_differs(self, rng):
+        """The paper's first-bins filter is a different operator."""
+        x = rng.standard_normal((1, 2, 32))
+        sym = SpectralConv1d(2, 2, 4, rng, per_mode=False, symmetric=True)
+        asym = SpectralConv1d(2, 2, 4, rng, per_mode=False, symmetric=False)
+        asym.weight.value = sym.weight.value.copy()
+        assert not np.allclose(sym(x), asym(x), atol=1e-6)
+
+    def test_modes_cap(self, rng):
+        m = SpectralConv1d(1, 1, 20, rng, symmetric=True)
+        with pytest.raises(ValueError):
+            m(rng.standard_normal((1, 1, 32)))
+
+
+class TestSymmetricBackward:
+    @pytest.mark.parametrize("per_mode", [True, False])
+    def test_input_gradient_fd(self, rng, per_mode):
+        m = SpectralConv1d(2, 3, 4, rng, per_mode=per_mode, symmetric=True)
+        x = rng.standard_normal((2, 2, 16))
+        y = m(x)
+        g = rng.standard_normal(y.shape)
+        gx = m.backward(g.copy())
+        eps = 1e-6
+        for _ in range(5):
+            idx = tuple(int(rng.integers(0, s)) for s in x.shape)
+            xp = x.copy(); xp[idx] += eps
+            xm = x.copy(); xm[idx] -= eps
+            fd = (np.sum(m.forward(xp) * g) - np.sum(m.forward(xm) * g)) / (
+                2 * eps
+            )
+            assert abs(fd - gx[idx]) / max(abs(fd), 1.0) < 1e-5
+
+    def test_weight_gradient_fd(self, rng):
+        m = SpectralConv1d(2, 2, 4, rng, per_mode=True, symmetric=True)
+        x = rng.standard_normal((2, 2, 16))
+        y = m(x)
+        g = rng.standard_normal(y.shape)
+        m.zero_grad()
+        m.forward(x)
+        m.backward(g.copy())
+        an = m.weight.grad.copy()
+        eps = 1e-6
+        for _ in range(4):
+            idx = tuple(int(rng.integers(0, s)) for s in m.weight.value.shape)
+            for delta, part in ((eps, "re"), (1j * eps, "im")):
+                orig = m.weight.value[idx]
+                m.weight.value[idx] = orig + delta
+                fp = np.sum(m.forward(x) * g)
+                m.weight.value[idx] = orig - delta
+                fm = np.sum(m.forward(x) * g)
+                m.weight.value[idx] = orig
+                fd = (fp - fm) / (2 * eps)
+                got = an[idx].real if part == "re" else an[idx].imag
+                assert abs(fd - got) / max(abs(fd), 1.0) < 1e-5
+
+    def test_training_with_symmetric_layer(self, rng):
+        """The symmetric layer learns a shift operator."""
+        from repro.nn import Adam
+        from repro.nn.losses import mse_loss
+
+        m = SpectralConv1d(1, 1, 8, rng, per_mode=True, symmetric=True)
+        opt = Adam([m.weight], lr=5e-2)
+        x = rng.standard_normal((16, 1, 32))
+        y = np.roll(x, 1, axis=-1)
+        first = None
+        for _ in range(80):
+            opt.zero_grad()
+            pred = m(x)
+            loss, grad = mse_loss(pred, y)
+            if first is None:
+                first = loss
+            m.backward(grad)
+            opt.step()
+        assert loss < 0.6 * first

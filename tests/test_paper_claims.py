@@ -1,0 +1,179 @@
+"""The paper's headline claims, asserted against the reproduction.
+
+Each test names the claim and where the paper makes it.  Exact-arithmetic
+claims (Figure 5 ratios, Figure 7/8 bank utilizations) are asserted
+exactly; performance claims from the execution model are asserted as
+qualitative *shape* criteria with generous bands, per the reproduction
+ground rules (our substrate is an analytic model, not the authors' A100).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import figures, summarize
+from repro.core.stages import FusionStage
+from repro.fft.opcount import census
+
+
+class TestExactClaims:
+    def test_fig5_pruning_ratios(self):
+        """§3.3: 'When truncation ratio is 25 % ... 37.5 % of the original
+        computation.  At 50 % truncation ... 75 % of the original.'"""
+        assert census(4, keep_out=1).fraction == pytest.approx(0.375)
+        assert census(4, keep_out=2).fraction == pytest.approx(0.75)
+
+    def test_fig7_bank_utilization(self):
+        """§4.1: VkFFT-style forwarding achieves 'only 25 % warp-level bank
+        utilization'; naive butterfly write-back 6.25 %; TurboFNO 100 %."""
+        f7 = figures.fig07()
+        assert f7["forward_vkfft"] == pytest.approx(0.25)
+        assert f7["writeback_16pt_naive"] == pytest.approx(0.0625)
+        assert f7["forward_turbofno"] == 1.0
+        assert f7["writeback_16pt_swizzled"] == 1.0
+        assert f7["writeback_8pt_swizzled"] == 1.0
+
+    def test_fig8_bank_utilization(self):
+        """§4.2 / conclusion: swizzling improves the epilogue 'from 25 % to
+        100 %'."""
+        f8 = figures.fig08()
+        assert f8["epilogue_naive"] == pytest.approx(0.25)
+        assert f8["epilogue_swizzled"] == 1.0
+
+    def test_kernel_launch_reduction(self):
+        """Fig. 1: five-stage pipeline collapses to one kernel."""
+        r = figures.fig01c()
+        assert r.pytorch.launch_count == 5
+        assert r.turbo.launch_count == 1
+
+
+class TestShapeClaims1D:
+    @pytest.fixture(scope="class")
+    def fig13_panels(self):
+        return figures.fig13()
+
+    def test_fft_opt_average_around_50(self, fig13_panels):
+        """§5.1 A.1: 'an average speedup of 50 %' for the FFT-optimised
+        workflow (we accept 25-75)."""
+        stats = summarize([fig13_panels[0]], FusionStage.FFT_OPT)
+        assert 25.0 < stats["mean"] < 75.0
+
+    def test_fft_opt_larger_at_small_k(self, fig13_panels):
+        """§5.1 A.1: 70-100 % speedup at K = 16-32, stabilising near 50 %."""
+        panel = fig13_panels[0]
+        small_k = panel.series[FusionStage.FFT_OPT][0]
+        large_k = panel.series[FusionStage.FFT_OPT][-1]
+        assert small_k > large_k
+
+    def test_fusion_gain_declines_with_k(self, fig13_panels):
+        """§5.1 A.2: 'increasing K from 32 to 128 leads to a gradual
+        decline in the benefits of kernel fusion ... may even degrade'."""
+        panel = fig13_panels[0]
+        gain = [
+            b - a
+            for a, b in zip(
+                panel.series[FusionStage.FFT_OPT],
+                panel.series[FusionStage.FUSED_FFT_GEMM],
+            )
+        ]
+        assert gain[0] > gain[-1]
+        assert gain[-1] < 0  # degradation at the largest K
+
+    def test_full_fusion_beats_partial_at_moderate_k(self, fig13_panels):
+        """§5.1 A.4: the fully fused kernel adds ~10-20 % over the partial
+        fusions in its favourable regime (K <= 64)."""
+        panel = fig13_panels[0]
+        for i, k in enumerate(panel.x):
+            if k > 64:
+                continue
+            d = panel.series[FusionStage.FUSED_ALL][i]
+            a = panel.series[FusionStage.FFT_OPT][i]
+            assert d > a
+
+    def test_speedup_grows_with_batch(self, fig13_panels):
+        """§5.1 A.1: 'the speedup ratio increases with BS' (as a trend:
+        the large-BS half of each panel beats the small-BS half)."""
+        for panel in fig13_panels[1:]:
+            series = panel.series[FusionStage.FUSED_ALL]
+            # L2-crossover wiggles are allowed; the endpoint should not be
+            # materially below the start.
+            assert series[-1] > series[0] - 5.0
+        # At least one panel must show a clear net rise.
+        rises = [
+            p.series[FusionStage.FUSED_ALL][-1] - p.series[FusionStage.FUSED_ALL][0]
+            for p in fig13_panels[1:]
+        ]
+        assert max(rises) > 20.0
+
+    def test_max_speedup_band(self):
+        """§5.1 A.5: max speedup up to 250 % over PyTorch (assert > 100)."""
+        panels = figures.fig14()
+        best = max(p.max for p in panels)
+        assert 100.0 < best < 400.0
+
+    def test_average_speedup_band(self):
+        """§5.1 A.5: 'average speedup of 44 %' (assert 20-70)."""
+        panels = figures.fig14()
+        mean = float(np.mean([p.mean for p in panels]))
+        assert 20.0 < mean < 70.0
+
+    def test_blue_region_confined_to_small_m(self):
+        """§5.1 A.5: slowdowns only at small batch x large K."""
+        for hm in figures.fig14():
+            neg = hm.values < 0
+            # No losses in the big-M half of the grid.
+            big_m = np.asarray(hm.rows) >= 15
+            assert not neg[big_m, :].any()
+            # No losses at the smallest K column.
+            assert not neg[:, 0].any()
+
+
+class TestShapeClaims2D:
+    @pytest.fixture(scope="class")
+    def fig18_panels(self):
+        return figures.fig18()
+
+    def test_2d_average_above_50(self, fig18_panels):
+        """§5.2 B.1: 'average speedup above 50 %'."""
+        stats = summarize(fig18_panels, FusionStage.FFT_OPT)
+        assert stats["mean"] > 50.0
+
+    def test_2d_fusion_increment_small(self, fig18_panels):
+        """§5.2 B.2: fused FFT-CGEMM adds only ~1-2 % in 2-D (we accept
+        anything clearly smaller than the 1-D increment, < 25 points)."""
+        panel = fig18_panels[0]
+        gains = [
+            b - a
+            for a, b in zip(
+                panel.series[FusionStage.FFT_OPT],
+                panel.series[FusionStage.FUSED_FFT_GEMM],
+            )
+        ]
+        assert max(gains) < 25.0
+
+    def test_2d_full_fusion_consistent_improvement(self, fig18_panels):
+        """§5.2 B.4: full fusion outperforms partial at K <= 96."""
+        panel = fig18_panels[0]
+        for i, k in enumerate(panel.x):
+            if k > 96:
+                continue
+            assert (
+                panel.series[FusionStage.FUSED_ALL][i]
+                >= panel.series[FusionStage.FUSED_FFT_GEMM][i] - 1e-9
+            )
+
+    def test_2d_heatmap_bands(self):
+        """§5.2 B.5: 'average 67 %, maximum 150 %' (assert 40-160 mean)."""
+        panels = figures.fig19()
+        mean = float(np.mean([p.mean for p in panels]))
+        best = max(p.max for p in panels)
+        assert 40.0 < mean < 170.0
+        assert best > 100.0
+
+    def test_2d_more_stable_than_1d(self):
+        """§5.2 B.1: 2-D speedups are 'more stable and higher' at small
+        problem sizes than 1-D."""
+        one_d = figures.fig14()
+        two_d = figures.fig19()
+        neg_1d = float(np.mean([p.negative_fraction() for p in one_d]))
+        neg_2d = float(np.mean([p.negative_fraction() for p in two_d]))
+        assert neg_2d < neg_1d

@@ -1,0 +1,193 @@
+"""Physics sanity tests for the PDE workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.fft.stockham import fft
+from repro.pde.burgers import burgers_dataset, solve_burgers
+from repro.pde.darcy import darcy_dataset, solve_darcy, threshold_coefficient
+from repro.pde.grf import grf_1d, grf_2d
+from repro.pde.navier_stokes import (
+    default_forcing,
+    navier_stokes_dataset,
+    solve_navier_stokes,
+)
+
+
+class TestGRF:
+    def test_1d_shape_and_zero_mean(self, rng):
+        g = grf_1d(50, 64, rng=rng)
+        assert g.shape == (50, 64)
+        # Spatial mean of each sample is exactly zero (DC removed).
+        assert np.allclose(g.mean(axis=1), 0.0, atol=1e-12)
+
+    def test_1d_deterministic_with_seed(self):
+        a = grf_1d(3, 32, rng=np.random.default_rng(9))
+        b = grf_1d(3, 32, rng=np.random.default_rng(9))
+        assert np.allclose(a, b)
+
+    def test_1d_spectrum_decays(self, rng):
+        g = grf_1d(200, 128, alpha=2.0, tau=5.0, rng=rng)
+        spec = np.mean(np.abs(fft(g)) ** 2, axis=0)
+        low = spec[1:5].mean()
+        high = spec[30:60].mean()
+        assert low > 10 * high
+
+    def test_1d_smoother_with_larger_alpha(self, rng):
+        rough = grf_1d(100, 128, alpha=1.0, tau=5.0, sigma=1.0, rng=rng)
+        smooth = grf_1d(100, 128, alpha=3.0, tau=5.0, sigma=1.0,
+                        rng=np.random.default_rng(0))
+
+        def roughness(f):
+            return np.mean(np.diff(f, axis=1) ** 2) / np.mean(f**2)
+
+        assert roughness(smooth) < roughness(rough)
+
+    def test_2d_shape_and_zero_mean(self, rng):
+        g = grf_2d(10, 16, 32, rng=rng)
+        assert g.shape == (10, 16, 32)
+        assert np.allclose(g.mean(axis=(1, 2)), 0.0, atol=1e-12)
+
+    @pytest.mark.parametrize("bad", [
+        dict(n_samples=0, n=64),
+        dict(n_samples=1, n=100),
+        dict(n_samples=1, n=64, alpha=0.4),
+    ])
+    def test_1d_validation(self, bad):
+        with pytest.raises(ValueError):
+            grf_1d(**bad)
+
+    def test_2d_validation(self):
+        with pytest.raises(ValueError):
+            grf_2d(1, 16, 24)
+        with pytest.raises(ValueError):
+            grf_2d(1, 16, 16, alpha=0.9)
+
+
+class TestBurgers:
+    def test_viscosity_dissipates_energy(self, rng):
+        u0 = grf_1d(4, 128, rng=rng)
+        ut = solve_burgers(u0, t_final=0.5, nu=0.05, n_steps=200)
+        assert np.all(np.sum(ut**2, axis=1) < np.sum(u0**2, axis=1))
+
+    def test_mean_is_conserved(self, rng):
+        u0 = grf_1d(3, 64, rng=rng) + 0.7  # non-zero mean
+        ut = solve_burgers(u0, t_final=0.2, nu=0.02, n_steps=100)
+        assert np.allclose(ut.mean(axis=1), u0.mean(axis=1), atol=1e-8)
+
+    def test_linear_limit_matches_heat_kernel(self):
+        """Tiny amplitude => advection negligible => exact mode decay."""
+        n, nu, t = 64, 0.05, 0.1
+        x = np.arange(n) / n
+        amp = 1e-6
+        u0 = amp * np.sin(2 * np.pi * x)[None, :]
+        ut = solve_burgers(u0, t_final=t, nu=nu, n_steps=400)
+        decay = np.exp(-nu * (2 * np.pi) ** 2 * t)
+        assert np.allclose(ut, u0 * decay, atol=amp * 1e-4)
+
+    def test_shock_steepening_moves_energy_to_high_freq(self):
+        """Inviscid-limit behaviour: advection creates high frequencies."""
+        n = 128
+        x = np.arange(n) / n
+        u0 = np.sin(2 * np.pi * x)[None, :]
+        ut = solve_burgers(u0, t_final=0.1, nu=1e-3, n_steps=400)
+        spec0 = np.abs(fft(u0))[0]
+        spect = np.abs(fft(ut))[0]
+        assert spect[2:8].sum() > spec0[2:8].sum()
+
+    def test_dataset_shapes(self):
+        u0, ut = burgers_dataset(3, n=64, t_final=0.2, n_steps=64)
+        assert u0.shape == ut.shape == (3, 64)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            solve_burgers(rng.standard_normal((2, 100)))
+        with pytest.raises(ValueError):
+            solve_burgers(rng.standard_normal((2, 64)), nu=-1.0)
+
+
+class TestDarcy:
+    def test_max_principle_nonnegative(self, rng):
+        a = threshold_coefficient(grf_2d(1, 16, 16, rng=rng)[0])
+        u = solve_darcy(a, f=1.0)
+        assert np.all(u >= -1e-12)
+
+    def test_constant_coefficient_symmetry(self):
+        u = solve_darcy(np.ones((24, 24)), f=1.0)
+        assert np.allclose(u, u[::-1, :], atol=1e-10)
+        assert np.allclose(u, u[:, ::-1], atol=1e-10)
+        assert np.allclose(u, u.T, atol=1e-10)
+
+    def test_linearity_in_forcing(self):
+        a = np.ones((12, 12)) * 2.0
+        assert np.allclose(solve_darcy(a, 2.0), 2 * solve_darcy(a, 1.0),
+                           atol=1e-12)
+
+    def test_scaling_in_coefficient(self):
+        a = np.full((12, 12), 3.0)
+        assert np.allclose(solve_darcy(2 * a), solve_darcy(a) / 2, atol=1e-12)
+
+    def test_constant_coefficient_matches_series_solution(self):
+        """-Lap(u) = 1 on the unit square: peak value ~0.07367."""
+        u = solve_darcy(np.ones((64, 64)), f=1.0)
+        assert u.max() == pytest.approx(0.07367, abs=2e-3)
+
+    def test_threshold_coefficient(self):
+        f = np.array([[-1.0, 0.5], [0.0, -2.0]])
+        a = threshold_coefficient(f)
+        assert a[0, 0] == 3.0 and a[0, 1] == 12.0 and a[1, 0] == 12.0
+        with pytest.raises(ValueError):
+            threshold_coefficient(f, hi=-1.0)
+
+    def test_dataset_shapes(self):
+        a, u = darcy_dataset(2, n=16)
+        assert a.shape == u.shape == (2, 16, 16)
+        assert set(np.unique(a)) <= {3.0, 12.0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            solve_darcy(np.ones((4, 5)))
+        with pytest.raises(ValueError):
+            solve_darcy(np.zeros((4, 4)))
+
+
+class TestNavierStokes:
+    def test_mean_vorticity_conserved(self, rng):
+        w0 = grf_2d(2, 32, 32, alpha=2.5, tau=7.0, rng=rng)
+        wt = solve_navier_stokes(w0, t_final=0.2, nu=1e-3, n_steps=40)
+        # Forcing has zero mean, advection conserves the mean.
+        assert np.allclose(wt.mean(axis=(1, 2)), w0.mean(axis=(1, 2)),
+                           atol=1e-10)
+
+    def test_unforced_viscous_decay(self, rng):
+        w0 = grf_2d(1, 32, 32, alpha=2.5, tau=7.0, rng=rng)
+        wt = solve_navier_stokes(
+            w0, t_final=0.3, nu=5e-2, n_steps=60,
+            forcing=np.zeros((32, 32)),
+        )
+        assert np.sum(wt**2) < np.sum(w0**2)
+
+    def test_pure_diffusion_of_single_mode(self):
+        """Zero initial velocity interactions: one mode decays exactly."""
+        n, nu, t = 32, 1e-2, 0.25
+        xs = (np.arange(n) + 0.5) / n
+        w0 = np.sin(2 * np.pi * xs)[None, :, None] * np.ones((1, n, n))
+        # Self-advection of a shear flow vanishes (u . grad w = 0).
+        wt = solve_navier_stokes(w0, t_final=t, nu=nu, n_steps=50,
+                                 forcing=np.zeros((n, n)))
+        decay = np.exp(-nu * (2 * np.pi) ** 2 * t)
+        assert np.allclose(wt, w0 * decay, atol=1e-6)
+
+    def test_default_forcing_zero_mean(self):
+        assert default_forcing(32).mean() == pytest.approx(0.0, abs=1e-12)
+
+    def test_dataset_shapes(self):
+        w0, wt = navier_stokes_dataset(2, n=16, t_final=0.1, n_steps=16)
+        assert w0.shape == wt.shape == (2, 16, 16)
+        assert np.isfinite(wt).all()
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            solve_navier_stokes(rng.standard_normal((2, 16, 24)))
+        with pytest.raises(ValueError):
+            solve_navier_stokes(rng.standard_normal((2, 16, 16)), nu=0.0)
