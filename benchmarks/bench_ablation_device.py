@@ -1,46 +1,55 @@
 """Ablation: do the paper's conclusions survive on other devices?
 
 Re-runs the stage ladder on device models with different compute/bandwidth
-balances (V100-like, H100-like, and a bandwidth-starved part).  The
-paper's core claim — memory-transaction reduction is the bottleneck, so
-fusion wins — should hold wherever the Fourier layer is memory-bound, and
-grow on bandwidth-starved parts.
+balances (V100-like, the registry's H100-class part, and a
+bandwidth-starved part).  The paper's core claim — memory-transaction
+reduction is the bottleneck, so fusion wins — should hold wherever the
+Fourier layer is memory-bound, and grow on bandwidth-starved parts.
+
+Devices come from the :mod:`repro.api` device registry where available
+(``a100``, ``h100``); the others are ad-hoc specs, registered on the fly
+to show the extension path.
 """
 
+from repro import api
 from repro.core.config import FNO1DProblem
-from repro.core.pipeline_model import build_pipeline_1d
 from repro.core.stages import FusionStage
-from repro.gpu.device import A100_SPEC, DeviceSpec
-from repro.gpu.timeline import speedup_percent
+from repro.gpu.device import DeviceSpec
 
+V100_LIKE = DeviceSpec(
+    name="V100-like", num_sms=80, fp32_tflops=15.7,
+    dram_bandwidth_gbs=900.0, smem_per_sm_bytes=96 * 1024,
+    l2_bytes=6 * 1024 * 1024,
+)
 DEVICES = {
-    "A100 (paper)": A100_SPEC,
-    "V100-like": DeviceSpec(
-        name="V100-like", num_sms=80, fp32_tflops=15.7,
-        dram_bandwidth_gbs=900.0, smem_per_sm_bytes=96 * 1024,
-        l2_bytes=6 * 1024 * 1024,
-    ),
-    "H100-like": DeviceSpec(
-        name="H100-like", num_sms=132, fp32_tflops=67.0,
-        dram_bandwidth_gbs=3350.0, smem_per_sm_bytes=228 * 1024,
-        l2_bytes=50 * 1024 * 1024,
-    ),
-    "bandwidth-starved": A100_SPEC.with_(dram_bandwidth_gbs=500.0),
+    "A100 (paper)": "a100",
+    "V100-like": "bench-v100-like",
+    "H100-like": "h100",
+    "bandwidth-starved": "bench-a100-starved",
 }
 
 PROBLEM = FNO1DProblem.from_m_spatial(2**20, hidden=64, dim_x=128, modes=64)
 
 
+def _register_bench_devices():
+    """Register this bench's ad-hoc specs at run time (not import time, so
+    collecting the module has no registry side effects); bench-prefixed
+    names avoid clobbering anything user-registered, and overwrite=True
+    keeps repeated rounds idempotent."""
+    api.register_device("bench-v100-like", V100_LIKE, overwrite=True)
+    api.register_device(
+        "bench-a100-starved",
+        api.get_device("a100").with_(dram_bandwidth_gbs=500.0),
+        overwrite=True,
+    )
+
+
 def _build():
+    _register_bench_devices()
     out = {}
-    for name, dev in DEVICES.items():
-        base = build_pipeline_1d(PROBLEM, FusionStage.PYTORCH).total_time(dev)
-        out[name] = {
-            st: speedup_percent(
-                base, build_pipeline_1d(PROBLEM, st).total_time(dev)
-            )
-            for st in FusionStage.ladder()
-        }
+    for label, name in DEVICES.items():
+        runner = api.Runner(device=name)
+        out[label] = runner.ladder(PROBLEM, FusionStage.ladder())
     return out
 
 

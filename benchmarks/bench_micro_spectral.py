@@ -3,12 +3,13 @@
 This is the wall-clock analogue of the paper's end-to-end comparison on
 the CPU substrate: the ``turbo`` engine's pruned transforms do strictly
 less arithmetic than the staged ``pytorch`` engine's
-full-FFT + copy + pad + full-iFFT pipeline.
+full-FFT + copy + pad + full-iFFT pipeline.  All calls go through the
+rank-dispatched :func:`repro.api.spectral_conv` facade.
 """
 
 import numpy as np
 
-from repro.core.spectral import spectral_conv_1d, spectral_conv_2d
+from repro.api import spectral_conv
 
 rng = np.random.default_rng(2)
 X1 = (rng.standard_normal((8, 64, 128)) + 0j).astype(np.complex64)
@@ -20,20 +21,20 @@ W2 = ((rng.standard_normal((32, 32)) + 1j * rng.standard_normal((32, 32))) / 6
 
 
 def test_spectral1d_turbo(benchmark):
-    benchmark(spectral_conv_1d, X1, W1, 64, "turbo")
+    benchmark(spectral_conv, X1, W1, 64, "turbo")
 
 
 def test_spectral1d_pytorch_style(benchmark):
-    benchmark(spectral_conv_1d, X1, W1, 64, "pytorch")
+    benchmark(spectral_conv, X1, W1, 64, "pytorch")
 
 
 def test_spectral1d_reference(benchmark):
-    benchmark(spectral_conv_1d, X1, W1, 64, "reference")
+    benchmark(spectral_conv, X1, W1, 64, "reference")
 
 
 def test_spectral2d_turbo(benchmark):
-    benchmark(spectral_conv_2d, X2, W2, 16, 16, "turbo")
+    benchmark(spectral_conv, X2, W2, (16, 16), "turbo")
 
 
 def test_spectral2d_pytorch_style(benchmark):
-    benchmark(spectral_conv_2d, X2, W2, 16, 16, "pytorch")
+    benchmark(spectral_conv, X2, W2, (16, 16), "pytorch")

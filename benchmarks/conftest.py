@@ -4,6 +4,13 @@ Every ``bench_figNN_*`` module regenerates one paper artifact on the
 execution model, times the regeneration with pytest-benchmark, and records
 the rendered series under ``benchmarks/results/`` so EXPERIMENTS.md can be
 cross-checked against a fresh run.
+
+The ``benchmark`` fixture is wrapped so every timed call starts with a
+cold :mod:`repro.api` plan cache: the figure benchmarks measure pipeline
+compilation + modelling, and without the wrap every round after the first
+would be cache-hit bookkeeping (and depend on which bench ran earlier in
+the session).  Benchmarks that intentionally measure warm-cache behavior
+opt out with ``@pytest.mark.keep_plan_cache``.
 """
 
 from __future__ import annotations
@@ -13,6 +20,45 @@ import pathlib
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "keep_plan_cache: don't clear the repro.api plan cache around timed "
+        "calls (for benchmarks that measure warm-cache behavior)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _cold_plan_cache(request, monkeypatch):
+    """Make every ``benchmark(fn)`` round start with a cold plan cache.
+
+    pytest-benchmark refuses a redefined ``benchmark`` fixture, so the
+    wrap happens on ``BenchmarkFixture.__call__`` instead (monkeypatch is
+    restored per test).  The clear itself is microseconds against the
+    millisecond-scale builds being timed.
+    """
+    if request.node.get_closest_marker("keep_plan_cache"):
+        return
+    try:
+        from pytest_benchmark.fixture import BenchmarkFixture
+    except ImportError:  # plugin absent: nothing is timed anyway
+        return
+
+    from repro.api import clear_plan_cache
+
+    orig_call = BenchmarkFixture.__call__
+
+    def cold_call(self, function_to_benchmark, *args, **kwargs):
+        def cold(*a, **k):
+            clear_plan_cache()
+            return function_to_benchmark(*a, **k)
+
+        cold.__name__ = getattr(function_to_benchmark, "__name__", "cold")
+        return orig_call(self, cold, *args, **kwargs)
+
+    monkeypatch.setattr(BenchmarkFixture, "__call__", cold_call)
 
 
 @pytest.fixture(scope="session")

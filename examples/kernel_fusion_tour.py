@@ -14,11 +14,9 @@ Run:  python examples/kernel_fusion_tour.py
 
 import numpy as np
 
-from repro import FNO1DProblem, FNO2DProblem, FusionStage
+from repro import FNO1DProblem, FNO2DProblem, FusionStage, api
 from repro.analysis import figures
 from repro.core.fft_variant import kloop_fft_schedule
-from repro.core.pipeline_model import build_pipeline_1d, build_pipeline_2d
-from repro.gpu.timeline import speedup_percent
 
 
 def tour_pruning() -> None:
@@ -44,20 +42,23 @@ def tour_ladder() -> None:
     prob1 = FNO1DProblem.from_m_spatial(2**20, hidden=64, dim_x=128, modes=64)
     prob2 = FNO2DProblem(batch=8, hidden=64, dim_x=256, dim_y=128,
                          modes_x=64, modes_y=64)
-    for label, build, prob in (
-        ("1-D layer (M=2^20, K=64)", build_pipeline_1d, prob1),
-        ("2-D layer (BS=8, 256x128, K=64)", build_pipeline_2d, prob2),
+    # One facade call per (problem, stage): api.plan dispatches on the
+    # problem's dimensionality, no _1d/_2d suffix in sight.
+    for label, prob in (
+        ("1-D layer (M=2^20, K=64)", prob1),
+        ("2-D layer (BS=8, 256x128, K=64)", prob2),
     ):
         print(f"-- {label}")
-        base = build(prob, FusionStage.PYTORCH).report()
-        print("   " + base.breakdown().replace("\n", "\n   "))
+        base = api.plan(prob, FusionStage.PYTORCH)
+        print("   " + base.report().breakdown().replace("\n", "\n   "))
         for stage in FusionStage.ladder():
-            rep = build(prob, stage).report()
+            p = api.plan(prob, stage)
+            rep = p.report()
             print(
                 f"   {stage.value}: {rep.total_time * 1e3:7.3f} ms, "
                 f"{rep.launch_count} kernels, "
                 f"{rep.counters.global_bytes / 1e9:6.2f} GB DRAM, "
-                f"speedup {speedup_percent(base.total_time, rep.total_time):+6.1f}%"
+                f"speedup {p.speedup_vs_baseline():+6.1f}%"
             )
 
 

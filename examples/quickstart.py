@@ -5,18 +5,28 @@ zero-pad -> iFFT) through the staged PyTorch-style engine, the Stockham
 reference engine and the fused TurboFNO engine, checks they agree, and
 asks the A100 execution model what the fusion is worth.
 
+Quickstart via ``repro.api``
+----------------------------
+Everything goes through the planning facade:
+
+* ``api.spectral_conv(x, weight, modes, engine=...)`` — the numeric
+  operator, dispatched on the input's rank (1-D and 2-D alike).
+* ``api.plan(problem, stage=..., device=...)`` — compile one execution
+  strategy into an ``ExecutionPlan`` (kernel pipeline + modelled report).
+  ``stage`` defaults to BEST, so ``api.plan(problem).stage`` names the
+  winning rung of the Table 2 ladder.
+* ``api.Runner(config=..., device=...)`` — map plans over many problems
+  or stages; repeated geometries hit a shared LRU plan cache.
+* Devices are named: ``api.plan(problem, device="h100")`` re-asks the
+  same question of an H100-class part, and ``api.register_device`` adds
+  your own.
+
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import (
-    FNO1DProblem,
-    FusionStage,
-    build_pipeline_1d,
-    spectral_conv_1d,
-)
-from repro.gpu.timeline import speedup_percent
+from repro import FNO1DProblem, FusionStage, api
 
 
 def main() -> None:
@@ -33,7 +43,7 @@ def main() -> None:
 
     print("== numerics: three engines, one operator ==")
     outputs = {
-        engine: spectral_conv_1d(x, weight, modes, engine=engine)
+        engine: api.spectral_conv(x, weight, modes, engine=engine)
         for engine in ("pytorch", "reference", "turbo")
     }
     ref = outputs["pytorch"]
@@ -44,16 +54,27 @@ def main() -> None:
     print("\n== execution model: what does fusion buy on an A100? ==")
     problem = FNO1DProblem.from_m_spatial(2**20, hidden=hidden,
                                           dim_x=dim_x, modes=modes)
-    baseline = build_pipeline_1d(problem, FusionStage.PYTORCH).report()
-    print(baseline.breakdown())
+    baseline = api.plan(problem, FusionStage.PYTORCH)
+    print(baseline.report().breakdown())
+    runner = api.Runner()
     for stage in FusionStage.ladder():
-        report = build_pipeline_1d(problem, stage).report()
-        speedup = speedup_percent(baseline.total_time, report.total_time)
+        p = runner.plan(problem, stage)
         print(
-            f"  stage {stage.value}: {report.total_time * 1e3:7.3f} ms "
-            f"({report.launch_count} kernels)  speedup {speedup:+6.1f}%  "
-            f"-- {stage.description}"
+            f"  stage {stage.value}: {p.total_time * 1e3:7.3f} ms "
+            f"({p.launch_count} kernels)  speedup "
+            f"{p.speedup_vs_baseline():+6.1f}%  -- {stage.description}"
         )
+    best = runner.best(problem)
+    print(f"  stage E resolves to stage {best.stage.value} on this problem")
+
+    print("\n== same question, H100-class device ==")
+    h100 = api.Runner(device="h100")
+    best_h = h100.best(problem)
+    print(
+        f"  {h100.device.name}: best stage {best_h.stage.value}, "
+        f"{best_h.total_time * 1e3:7.3f} ms, "
+        f"speedup {best_h.speedup_vs_baseline():+6.1f}%"
+    )
 
 
 if __name__ == "__main__":

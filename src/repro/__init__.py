@@ -7,9 +7,16 @@ the paper's CUDA kernels (see DESIGN.md for the substitution argument).
 
 Layout
 ------
+``repro.api``
+    **The front door.**  A dimension-agnostic ``Problem`` protocol,
+    ``plan(problem, stage=..., config=..., device=...)`` returning cached
+    ``ExecutionPlan`` objects, a batch ``Runner`` for sweeps, and the
+    device/stage/pipeline-builder registries.  New code goes through here;
+    everything below is the machinery the facade compiles against.
 ``repro.gpu``
-    A100 execution model: occupancy, shared-memory bank conflicts,
-    roofline kernel timing, pipelines.
+    Execution-model substrate: device specs (A100 default, H100-class
+    registered), occupancy, shared-memory bank conflicts, roofline kernel
+    timing, pipelines.
 ``repro.fft``
     Stockham FFT, pruned (truncated / zero-padded) transforms, exact
     butterfly op census.
@@ -20,40 +27,102 @@ Layout
     spectral convolution.
 ``repro.core``
     The paper's contribution: fused FFT-CGEMM-iFFT operators (numerically
-    exact) and the stage A-E pipeline cost models that regenerate every
-    figure.
+    exact), problem geometries, and the stage A-E pipeline compilers the
+    facade dispatches to per dimensionality.
 ``repro.nn`` / ``repro.pde``
     A trainable FNO (hand-written backward passes) and the PDE workload
     generators (Burgers, Darcy, Navier-Stokes) the paper's introduction
     motivates.
 ``repro.analysis``
-    Parameter sweeps and per-figure series builders.
+    Parameter sweeps and per-figure series builders, all routed through
+    ``repro.api`` so repeated geometries hit the plan cache.
+
+Deprecated names
+----------------
+The pre-facade, dimension-suffixed entry points — ``build_pipeline_1d``,
+``build_pipeline_2d``, ``best_stage_1d``, ``best_stage_2d``,
+``spectral_conv_1d``, ``spectral_conv_2d`` — remain importable from this
+package root but emit a one-time :class:`DeprecationWarning`; use
+``repro.api.plan`` / ``repro.api.spectral_conv`` instead.
 """
 
+import importlib
+import warnings
+
+from repro import api
+from repro.api import ExecutionPlan, Runner, plan, spectral_conv
 from repro.core import (
     FNO1DProblem,
     FNO2DProblem,
     FusionStage,
     TurboFNOConfig,
-    build_pipeline_1d,
-    build_pipeline_2d,
-    spectral_conv_1d,
-    spectral_conv_2d,
 )
-from repro.gpu import A100_SPEC, DeviceSpec
+from repro.gpu import A100_SPEC, H100_SPEC, DeviceSpec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "api",
+    "plan",
+    "Runner",
+    "ExecutionPlan",
+    "spectral_conv",
     "FNO1DProblem",
     "FNO2DProblem",
     "FusionStage",
     "TurboFNOConfig",
-    "build_pipeline_1d",
-    "build_pipeline_2d",
-    "spectral_conv_1d",
-    "spectral_conv_2d",
     "A100_SPEC",
+    "H100_SPEC",
     "DeviceSpec",
     "__version__",
 ]
+# The deprecated shims (build_pipeline_1d/_2d, best_stage_1d/_2d,
+# spectral_conv_1d/_2d) stay importable via __getattr__ but are kept out
+# of __all__ so `from repro import *` doesn't fire their warnings.
+
+#: name -> (home module, attribute, suggested replacement)
+_DEPRECATED = {
+    "build_pipeline_1d": (
+        "repro.core.pipeline_model", "build_pipeline_1d",
+        "repro.api.plan(problem, stage=...)",
+    ),
+    "build_pipeline_2d": (
+        "repro.core.pipeline_model", "build_pipeline_2d",
+        "repro.api.plan(problem, stage=...)",
+    ),
+    "best_stage_1d": (
+        "repro.core.pipeline_model", "best_stage_1d",
+        "repro.api.plan(problem)  # stage defaults to BEST",
+    ),
+    "best_stage_2d": (
+        "repro.core.pipeline_model", "best_stage_2d",
+        "repro.api.plan(problem)  # stage defaults to BEST",
+    ),
+    "spectral_conv_1d": (
+        "repro.core.spectral", "spectral_conv_1d", "repro.api.spectral_conv",
+    ),
+    "spectral_conv_2d": (
+        "repro.core.spectral", "spectral_conv_2d", "repro.api.spectral_conv",
+    ),
+}
+
+#: Names whose deprecation warning has already fired (once per process).
+_warned: set = set()
+
+
+def __getattr__(name: str):
+    """Resolve deprecated legacy names, warning once per name."""
+    try:
+        home, attr, replacement = _DEPRECATED[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    if name not in _warned:
+        _warned.add(name)
+        warnings.warn(
+            f"repro.{name} is deprecated; use {replacement}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return getattr(importlib.import_module(home), attr)

@@ -4,20 +4,25 @@ Commands
 --------
 ``figures [--dense] [--out DIR]``
     Regenerate every paper figure/table and write rendered reports.
-``ladder [--dim {1,2}] [--k K] [--batch BS]``
-    Print the Table 2 stage ladder for one problem.
-``claims``
+``ladder [--dim {1,2}] [--k K] [--batch BS] [--fft-x NX] [--fft-y NY]
+[--modes N] [--device NAME] [--json]``
+    Print the Table 2 stage ladder for one problem (``--json`` for a
+    machine-readable report built from ``ExecutionPlan.to_dict()``).
+``claims [--json]``
     Print the exact-arithmetic paper claims (Figs. 5/7/8) and their
     reproduced values.
+
+Commands resolve problems through the :mod:`repro.api` facade; ``ladder``'s
+``--device h100`` (or any name added with ``repro.api.register_device``)
+re-asks its question of a different part.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
-
-import numpy as np
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -46,29 +51,66 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_ladder(args: argparse.Namespace) -> int:
+def _ladder_problem(args: argparse.Namespace):
+    """Resolve the problem geometry from the CLI flags.
+
+    ``--fft`` remains a deprecated alias: it sets the 1-D FFT size, or the
+    DimY size in 2-D (the pre-facade behavior, where DimX was hardcoded).
+    """
     from repro.core.config import FNO1DProblem, FNO2DProblem
-    from repro.core.pipeline_model import build_pipeline_1d, build_pipeline_2d
-    from repro.core.stages import FusionStage
-    from repro.gpu.timeline import speedup_percent
+
+    def pick(*values: int | None) -> int:
+        # First explicitly-passed value wins; 0 still reaches the problem
+        # validators instead of silently falling through to the default.
+        return next(v for v in values if v is not None)
 
     if args.dim == 1:
-        prob = FNO1DProblem(batch=args.batch, hidden=args.k, dim_x=args.fft,
+        if args.fft_y is not None:
+            raise ValueError(
+                "--fft-y only applies to --dim 2; use --fft-x for the 1-D "
+                "FFT size"
+            )
+        dim_x = pick(args.fft_x, args.fft, 128)
+        return FNO1DProblem(batch=args.batch, hidden=args.k, dim_x=dim_x,
                             modes=args.modes)
-        build = build_pipeline_1d
-    else:
-        prob = FNO2DProblem(batch=args.batch, hidden=args.k, dim_x=256,
-                            dim_y=args.fft, modes_x=args.modes,
-                            modes_y=args.modes)
-        build = build_pipeline_2d
-    base = build(prob, FusionStage.PYTORCH).report()
-    print(base.breakdown())
+    dim_x = pick(args.fft_x, 256)
+    dim_y = pick(args.fft_y, args.fft, 128)
+    return FNO2DProblem(batch=args.batch, hidden=args.k, dim_x=dim_x,
+                        dim_y=dim_y, modes_x=args.modes, modes_y=args.modes)
+
+
+def _cmd_ladder(args: argparse.Namespace) -> int:
+    from repro.api import Runner
+    from repro.core.stages import FusionStage
+
+    try:
+        runner = Runner(device=args.device)
+        prob = _ladder_problem(args)
+    except ValueError as exc:  # unknown device / bad geometry: clean error
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    base = runner.plan(prob, FusionStage.PYTORCH)
+
+    if args.json:
+        payload = {
+            "device": runner.device.name,
+            "stages": [
+                runner.plan(prob, stage).to_dict()
+                for stage in (FusionStage.PYTORCH, *FusionStage.ladder())
+            ],
+        }
+        best = runner.best(prob)
+        payload["best_stage"] = best.stage.value
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    print(base.report().breakdown())
     for stage in FusionStage.ladder():
-        rep = build(prob, stage).report()
+        p = runner.plan(prob, stage)
         print(
-            f"stage {stage.value}: {rep.total_time * 1e3:8.4f} ms "
-            f"({rep.launch_count} kernels) "
-            f"speedup {speedup_percent(base.total_time, rep.total_time):+6.1f}%"
+            f"stage {stage.value}: {p.total_time * 1e3:8.4f} ms "
+            f"({p.launch_count} kernels) "
+            f"speedup {p.speedup_vs_baseline():+6.1f}%"
         )
     return 0
 
@@ -77,6 +119,18 @@ def _cmd_claims(args: argparse.Namespace) -> int:
     from repro.analysis import figures
 
     rows = figures.fig05(())
+    if args.json:
+        payload = {
+            "fig05": [
+                {"n": r.n, "keep": r.keep, "ops": r.ops,
+                 "total_ops": r.total_ops, "fraction": r.fraction}
+                for r in rows
+            ],
+            "fig07": figures.fig07(),
+            "fig08": figures.fig08(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
     print("Figure 5 (butterfly pruning, 4-pt FFT):")
     for r in rows:
         print(f"  keep {r.keep}/4: {r.ops}/{r.total_ops} ops = {r.fraction:.1%}"
@@ -101,11 +155,22 @@ def main(argv: list[str] | None = None) -> int:
     p_lad.add_argument("--dim", type=int, choices=(1, 2), default=1)
     p_lad.add_argument("--k", type=int, default=64)
     p_lad.add_argument("--batch", type=int, default=8192)
-    p_lad.add_argument("--fft", type=int, default=128)
+    p_lad.add_argument("--fft-x", type=int, default=None,
+                       help="FFT size along DimX (1-D: 128, 2-D: 256)")
+    p_lad.add_argument("--fft-y", type=int, default=None,
+                       help="FFT size along DimY, 2-D only (default 128)")
+    p_lad.add_argument("--fft", type=int, default=None,
+                       help="deprecated: 1-D FFT size / 2-D DimY size")
     p_lad.add_argument("--modes", type=int, default=64)
+    p_lad.add_argument("--device", default=None,
+                       help="registered device name (a100, h100)")
+    p_lad.add_argument("--json", action="store_true",
+                       help="machine-readable ExecutionPlan reports")
     p_lad.set_defaults(func=_cmd_ladder)
 
     p_cl = sub.add_parser("claims", help="exact paper claims")
+    p_cl.add_argument("--json", action="store_true",
+                      help="machine-readable claim values")
     p_cl.set_defaults(func=_cmd_claims)
 
     args = parser.parse_args(argv)

@@ -1,7 +1,8 @@
 """Figure and table regeneration.
 
-* :mod:`repro.analysis.sweeps` — result containers and sweep drivers over
-  the execution model.
+* :mod:`repro.analysis.sweeps` — result containers and sweep drivers,
+  routed through :mod:`repro.api` so repeated geometries hit the plan
+  cache.
 * :mod:`repro.analysis.figures` — one builder per paper artifact
   (``fig01c`` through ``fig19``), each returning the series/heatmap the
   corresponding benchmark prints.

@@ -13,8 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable
 
+from repro.api.planner import plan
 from repro.core.config import FNO1DProblem, TurboFNOConfig
-from repro.core.pipeline_model import build_pipeline_1d
 from repro.core.stages import FusionStage
 from repro.gpu.device import A100_SPEC, DeviceSpec
 
@@ -27,7 +27,7 @@ _SMALL_BATCH = FNO1DProblem(batch=2, hidden=104, dim_x=128, modes=64)
 
 def _time(problem: FNO1DProblem, stage: FusionStage, device: DeviceSpec,
           cfg: TurboFNOConfig) -> float:
-    return build_pipeline_1d(problem, stage, cfg).total_time(device)
+    return plan(problem, stage, cfg, device).total_time
 
 
 @dataclass(frozen=True)

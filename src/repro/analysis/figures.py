@@ -31,11 +31,10 @@ from repro.analysis.sweeps import (
     SweepSeries,
     heatmap_1d,
     heatmap_2d,
-    sweep_1d,
-    sweep_2d,
+    sweep,
 )
+from repro.api.planner import plan
 from repro.core.config import FNO1DProblem, FNO2DProblem, TurboFNOConfig
-from repro.core.pipeline_model import build_pipeline_1d, build_pipeline_2d
 from repro.core.stages import FusionStage
 from repro.fft.opcount import butterfly_ops, census
 from repro.gpu.swizzle import (
@@ -112,8 +111,8 @@ def fig01c(
     problem = problem or FNO1DProblem.from_m_spatial(
         2**20, hidden=64, dim_x=128, modes=64
     )
-    base = build_pipeline_1d(problem, FusionStage.PYTORCH, cfg).report()
-    turbo = build_pipeline_1d(problem, FusionStage.FUSED_ALL, cfg).report()
+    base = plan(problem, FusionStage.PYTORCH, cfg).report()
+    turbo = plan(problem, FusionStage.FUSED_ALL, cfg).report()
     return BreakdownResult(base, turbo)
 
 
@@ -181,7 +180,7 @@ def _fig_1d(
 ) -> list[SweepSeries]:
     stages = STAGES_BY_FIGURE[fig]
     panels = [
-        sweep_1d(
+        sweep(
             f"fig{fig}(a) K sweep, M=2^20, {dim_x}-pt FFT, N={modes}",
             "K",
             [
@@ -197,7 +196,7 @@ def _fig_1d(
     ]
     for panel, k in zip("bcd", (32, 64, 128)):
         panels.append(
-            sweep_1d(
+            sweep(
                 f"fig{fig}({panel}) BS sweep, K={k}, {dim_x}-pt FFT, N={modes}",
                 "BS",
                 [
@@ -266,7 +265,7 @@ def _fig_2d(
                             modes_x=modes, modes_y=modes)
 
     panels = [
-        sweep_2d(
+        sweep(
             f"fig{fig}(a) K sweep, BS=8, {dim_x}x{dim_y} FFT, N={modes}",
             "K",
             [(k, prob(8, k)) for k in _k_values(dense)],
@@ -277,7 +276,7 @@ def _fig_2d(
     bs_values = list(range(48, 145, 16)) if fig == 15 else [48, 64, 80, 96]
     for panel, k in zip("bcd", (32, 64, 128)):
         panels.append(
-            sweep_2d(
+            sweep(
                 f"fig{fig}({panel}) BS sweep, K={k}, {dim_x}x{dim_y} FFT, N={modes}",
                 "BS",
                 [(bs, prob(bs, k)) for bs in bs_values],

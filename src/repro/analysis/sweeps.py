@@ -1,4 +1,16 @@
-"""Sweep drivers and result containers for figure regeneration."""
+"""Sweep drivers and result containers for figure regeneration.
+
+Every driver here is a thin shaping layer over :class:`repro.api.Runner`:
+the runner maps (problem, stage) pairs through the shared plan cache, so
+dense figure grids — and the heavy overlap between consecutive figures
+(Figs. 11-13 sweep the same problems with growing stage sets) — stop
+rebuilding identical pipelines.
+
+The dimension-suffixed drivers (``ladder_speedups_1d``/``_2d``,
+``sweep_1d``/``_2d``) are kept as conveniences; they share one generic
+implementation and produce numerically identical output to the pre-facade
+code.
+"""
 
 from __future__ import annotations
 
@@ -7,22 +19,18 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.api.runner import Runner
 from repro.core.config import FNO1DProblem, FNO2DProblem, TurboFNOConfig
-from repro.core.pipeline_model import (
-    best_stage_1d,
-    best_stage_2d,
-    build_pipeline_1d,
-    build_pipeline_2d,
-)
 from repro.core.stages import FusionStage
 from repro.gpu.device import A100_SPEC, DeviceSpec
-from repro.gpu.timeline import speedup_percent
 
 __all__ = [
     "SweepSeries",
     "HeatmapResult",
+    "ladder_speedups",
     "ladder_speedups_1d",
     "ladder_speedups_2d",
+    "sweep",
     "sweep_1d",
     "sweep_2d",
     "heatmap_1d",
@@ -80,23 +88,27 @@ class HeatmapResult:
         return float(np.mean(self.values < 0.0))
 
 
+def ladder_speedups(
+    problem,
+    stages: Sequence[FusionStage],
+    cfg: TurboFNOConfig | None = None,
+    device: DeviceSpec = A100_SPEC,
+) -> dict[FusionStage, float]:
+    """Speedup of each requested stage over the PyTorch baseline.
+
+    Dimension-agnostic: ``problem`` may be any :class:`repro.api.Problem`.
+    """
+    return Runner(config=cfg, device=device).ladder(problem, stages)
+
+
 def ladder_speedups_1d(
     problem: FNO1DProblem,
     stages: Sequence[FusionStage],
     cfg: TurboFNOConfig | None = None,
     device: DeviceSpec = A100_SPEC,
 ) -> dict[FusionStage, float]:
-    """Speedup of each requested stage over the PyTorch baseline."""
-    cfg = cfg or TurboFNOConfig()
-    base = build_pipeline_1d(problem, FusionStage.PYTORCH, cfg).total_time(device)
-    out: dict[FusionStage, float] = {}
-    for stage in stages:
-        if stage is FusionStage.BEST:
-            _, t = best_stage_1d(problem, cfg, device)
-        else:
-            t = build_pipeline_1d(problem, stage, cfg).total_time(device)
-        out[stage] = speedup_percent(base, t)
-    return out
+    """1-D convenience wrapper over :func:`ladder_speedups`."""
+    return ladder_speedups(problem, stages, cfg, device)
 
 
 def ladder_speedups_2d(
@@ -105,17 +117,31 @@ def ladder_speedups_2d(
     cfg: TurboFNOConfig | None = None,
     device: DeviceSpec = A100_SPEC,
 ) -> dict[FusionStage, float]:
-    """2-D analogue of :func:`ladder_speedups_1d`."""
-    cfg = cfg or TurboFNOConfig()
-    base = build_pipeline_2d(problem, FusionStage.PYTORCH, cfg).total_time(device)
-    out: dict[FusionStage, float] = {}
-    for stage in stages:
-        if stage is FusionStage.BEST:
-            _, t = best_stage_2d(problem, cfg, device)
-        else:
-            t = build_pipeline_2d(problem, stage, cfg).total_time(device)
-        out[stage] = speedup_percent(base, t)
-    return out
+    """2-D convenience wrapper over :func:`ladder_speedups`."""
+    return ladder_speedups(problem, stages, cfg, device)
+
+
+def sweep(
+    title: str,
+    x_label: str,
+    problems: Sequence[tuple[float, object]],
+    stages: Sequence[FusionStage],
+    cfg: TurboFNOConfig | None = None,
+    device: DeviceSpec = A100_SPEC,
+) -> SweepSeries:
+    """Run the stage ladder over a sequence of (x, problem) pairs.
+
+    Dimension-agnostic: each problem dispatches through the facade's
+    pipeline-builder registry, so 1-D and 2-D (and future) workloads can
+    even be mixed in one series.
+    """
+    runner = Runner(config=cfg, device=device)
+    return SweepSeries(
+        title,
+        x_label,
+        [x for x, _ in problems],
+        runner.sweep([p for _, p in problems], stages),
+    )
 
 
 def sweep_1d(
@@ -125,14 +151,8 @@ def sweep_1d(
     stages: Sequence[FusionStage],
     cfg: TurboFNOConfig | None = None,
 ) -> SweepSeries:
-    """Run the stage ladder over a sequence of (x, problem) pairs."""
-    sweep = SweepSeries(title, x_label, [x for x, _ in problems],
-                        {s: [] for s in stages})
-    for _, prob in problems:
-        speeds = ladder_speedups_1d(prob, stages, cfg)
-        for s in stages:
-            sweep.series[s].append(speeds[s])
-    return sweep
+    """1-D convenience wrapper over :func:`sweep`."""
+    return sweep(title, x_label, problems, stages, cfg)
 
 
 def sweep_2d(
@@ -142,14 +162,8 @@ def sweep_2d(
     stages: Sequence[FusionStage],
     cfg: TurboFNOConfig | None = None,
 ) -> SweepSeries:
-    """2-D analogue of :func:`sweep_1d`."""
-    sweep = SweepSeries(title, x_label, [x for x, _ in problems],
-                        {s: [] for s in stages})
-    for _, prob in problems:
-        speeds = ladder_speedups_2d(prob, stages, cfg)
-        for s in stages:
-            sweep.series[s].append(speeds[s])
-    return sweep
+    """2-D convenience wrapper over :func:`sweep`."""
+    return sweep(title, x_label, problems, stages, cfg)
 
 
 def heatmap_1d(
@@ -161,13 +175,13 @@ def heatmap_1d(
     cfg: TurboFNOConfig | None = None,
 ) -> HeatmapResult:
     """Fig. 14-style heatmap: stage-E speedup over K x log2(M)."""
+    runner = Runner(config=cfg)
     values = np.zeros((len(log2_ms), len(ks)))
     for i, lm in enumerate(log2_ms):
         m_spatial = max(2**lm, dim_x)
         for j, k in enumerate(ks):
             prob = FNO1DProblem.from_m_spatial(m_spatial, k, dim_x, modes)
-            speeds = ladder_speedups_1d(prob, [FusionStage.BEST], cfg)
-            values[i, j] = speeds[FusionStage.BEST]
+            values[i, j] = runner.best(prob).speedup_vs_baseline()
     return HeatmapResult(title, "log2(M)", "K", list(map(float, log2_ms)),
                          list(map(float, ks)), values)
 
@@ -182,6 +196,7 @@ def heatmap_2d(
     cfg: TurboFNOConfig | None = None,
 ) -> HeatmapResult:
     """Fig. 19-style heatmap: stage-E speedup over K x batch size."""
+    runner = Runner(config=cfg)
     values = np.zeros((len(batches), len(ks)))
     for i, bs in enumerate(batches):
         for j, k in enumerate(ks):
@@ -189,7 +204,6 @@ def heatmap_2d(
                 batch=bs, hidden=k, dim_x=dim_x, dim_y=dim_y,
                 modes_x=min(modes, dim_x), modes_y=min(modes, dim_y),
             )
-            speeds = ladder_speedups_2d(prob, [FusionStage.BEST], cfg)
-            values[i, j] = speeds[FusionStage.BEST]
+            values[i, j] = runner.best(prob).speedup_vs_baseline()
     return HeatmapResult(title, "batch", "K", list(map(float, batches)),
                          list(map(float, ks)), values)

@@ -1,0 +1,80 @@
+"""``repro.api`` — the single front door to the TurboFNO reproduction.
+
+Instead of picking one of the dimension-suffixed free functions
+(``build_pipeline_1d``/``_2d``, ``best_stage_1d``/``_2d``,
+``spectral_conv_1d``/``_2d``), callers describe *what* they want and the
+facade resolves *how*:
+
+>>> from repro import api
+>>> from repro.core.config import FNO1DProblem
+>>> p = api.plan(FNO1DProblem.from_m_spatial(2**20, 64, 128, 64))
+>>> p.stage.value, round(p.speedup_vs_baseline())  # doctest: +SKIP
+('D', 150)
+
+Pieces
+------
+:class:`Problem`
+    Structural protocol every workload implements; dimensionality is data
+    (``problem.ndim``), not a function suffix.
+:func:`plan`
+    ``plan(problem, stage=..., config=..., device=...)`` compiles a kernel
+    :class:`~repro.gpu.timeline.Pipeline` into an :class:`ExecutionPlan`
+    (pipeline + memoised report + JSON summary).  Plans live in an LRU
+    cache keyed on (problem geometry, stage, config, device), so dense
+    figure sweeps stop rebuilding identical pipelines.
+:class:`Runner`
+    Maps cached plans over iterables of problems/stages — the sweep hot
+    path behind :mod:`repro.analysis`.
+registries
+    Named devices (``"a100"`` — the paper's testbed and default — and an
+    ``"h100"``-class part; extend with :func:`register_device`), tolerant
+    stage spelling (:func:`resolve_stage`), and per-``ndim`` pipeline
+    builders (:func:`register_pipeline_builder` opens 3-D and beyond).
+:func:`spectral_conv`
+    Rank-dispatched numeric Fourier layer (the exact-arithmetic twin of
+    the modelled pipelines).
+
+The legacy ``_1d``/``_2d`` names remain importable from :mod:`repro` as
+deprecated shims.
+"""
+
+from repro.api.ops import spectral_conv
+from repro.api.planner import (
+    ExecutionPlan,
+    clear_plan_cache,
+    plan,
+    plan_cache_info,
+)
+from repro.api.problem import Problem, describe_problem
+from repro.api.registry import (
+    DEFAULT_DEVICE,
+    get_device,
+    list_devices,
+    list_stages,
+    pipeline_builder_for,
+    register_device,
+    register_pipeline_builder,
+    resolve_stage,
+    supported_ndims,
+)
+from repro.api.runner import Runner
+
+__all__ = [
+    "Problem",
+    "describe_problem",
+    "ExecutionPlan",
+    "plan",
+    "plan_cache_info",
+    "clear_plan_cache",
+    "Runner",
+    "spectral_conv",
+    "DEFAULT_DEVICE",
+    "get_device",
+    "register_device",
+    "list_devices",
+    "resolve_stage",
+    "list_stages",
+    "register_pipeline_builder",
+    "pipeline_builder_for",
+    "supported_ndims",
+]

@@ -1,0 +1,77 @@
+"""Dimension-agnostic numeric operators.
+
+:func:`spectral_conv` dispatches on the input's array rank, replacing the
+``spectral_conv_1d`` / ``spectral_conv_2d`` pair at call sites that handle
+both (trainers, examples, benchmarks).
+"""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+from repro.core.spectral import ENGINES, spectral_conv_1d, spectral_conv_2d
+
+__all__ = ["spectral_conv", "ENGINES"]
+
+
+def spectral_conv(
+    x: np.ndarray,
+    weight: np.ndarray,
+    modes: int | tuple[int, ...],
+    engine: str = "turbo",
+) -> np.ndarray:
+    """The paper's Fourier layer, any supported dimensionality.
+
+    Parameters
+    ----------
+    x:
+        ``(batch, C_in, X)`` for a 1-D layer or ``(batch, C_in, X, Y)``
+        for a 2-D layer; real or complex.
+    weight:
+        Complex ``(C_in, C_out)`` spectral weights shared across modes.
+    modes:
+        Kept low-frequency bins: an int (same along every axis) or one
+        int per spatial axis.
+    engine:
+        One of ``"turbo" | "reference" | "pytorch"``.
+    """
+    x = np.asarray(x)
+
+    def as_mode(v) -> int:
+        # numbers.Integral admits numpy integer scalars (e.g. sweep-array
+        # elements), not just builtin int; everything else (floats from
+        # sweep arithmetic, strings) is rejected rather than truncated.
+        if not isinstance(v, numbers.Integral):
+            raise ValueError(
+                f"modes must be an integer or a tuple of integers, got {v!r}"
+            )
+        return int(v)
+
+    if x.ndim not in (3, 4):
+        raise ValueError(
+            f"spectral_conv expects a (batch, C, X) or (batch, C, X, Y) "
+            f"array; got ndim={x.ndim}"
+        )
+    spatial = x.ndim - 2
+    if isinstance(modes, numbers.Integral):
+        per_axis = (int(modes),) * spatial
+    else:
+        try:
+            # 0-d arrays advertise __iter__ but raise on iteration, so
+            # attempt it and fold the failure into the clean error below.
+            per_axis = tuple(as_mode(m) for m in modes)
+        except TypeError:
+            raise ValueError(
+                f"modes must be an integer or a tuple of integers, "
+                f"got {modes!r}"
+            ) from None
+        if len(per_axis) != spatial:
+            raise ValueError(
+                f"modes has {len(per_axis)} entries but the input has "
+                f"{spatial} spatial axis(es); pass one int per axis"
+            )
+    if x.ndim == 3:
+        return spectral_conv_1d(x, weight, per_axis[0], engine=engine)
+    return spectral_conv_2d(x, weight, per_axis[0], per_axis[1], engine=engine)

@@ -1,0 +1,169 @@
+"""``plan()``: the cached front door from problems to kernel pipelines.
+
+One call — ``plan(problem, stage=..., config=..., device=...)`` — replaces
+the dimension-suffixed ``build_pipeline_1d`` / ``build_pipeline_2d`` /
+``best_stage_*`` trio.  The returned :class:`ExecutionPlan` bundles the
+compiled :class:`repro.gpu.timeline.Pipeline` with its problem, stage,
+config and device, and memoises the modelled
+:class:`~repro.gpu.timeline.PipelineReport`.
+
+Plans are cached in an LRU keyed on ``(problem, stage, config, device)``
+(all frozen dataclasses, so the key *is* the geometry).  Dense figure
+sweeps hammer this cache hard: Figs. 11-13 sweep the same problem grids
+with growing stage sets, and every stage-E (BEST) resolution re-uses the
+A-D plans the ladder already built.  Cached plans are shared — treat a
+plan's ``pipeline`` as immutable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from functools import lru_cache
+
+from repro.api.problem import Problem, describe_problem
+from repro.api.registry import get_device, pipeline_builder_for, resolve_stage
+from repro.core.config import TurboFNOConfig
+from repro.core.stages import FusionStage
+from repro.gpu.device import DeviceSpec
+from repro.gpu.timeline import Pipeline, PipelineReport, speedup_percent
+
+__all__ = [
+    "ExecutionPlan",
+    "plan",
+    "plan_cache_info",
+    "clear_plan_cache",
+]
+
+#: LRU capacity: a dense fig14 + fig19 regeneration materialises ~3.7k
+#: distinct (problem, stage) pairs; 8192 holds two full dense sweeps.
+PLAN_CACHE_SIZE = 8192
+
+
+@dataclass(eq=False)
+class ExecutionPlan:
+    """One compiled execution strategy for one problem on one device.
+
+    ``stage`` is always a concrete rung — asking :func:`plan` for
+    ``FusionStage.BEST`` returns the winning stage's plan, so
+    ``plan(p).stage`` tells you *which* rung won.
+    """
+
+    problem: Problem
+    stage: FusionStage
+    config: TurboFNOConfig
+    device: DeviceSpec
+    pipeline: Pipeline
+    _report: PipelineReport | None = field(default=None, repr=False)
+
+    def report(self) -> PipelineReport:
+        """Modelled execution report on this plan's device (memoised)."""
+        if self._report is None:
+            self._report = self.pipeline.report(self.device)
+        return self._report
+
+    @property
+    def total_time(self) -> float:
+        """Modelled wall-clock seconds of the pipeline."""
+        return self.report().total_time
+
+    @property
+    def launch_count(self) -> int:
+        return self.report().launch_count
+
+    def baseline(self) -> "ExecutionPlan":
+        """The PyTorch-baseline plan for the same problem/config/device."""
+        return plan(self.problem, FusionStage.PYTORCH, self.config, self.device)
+
+    def speedup_vs_baseline(self) -> float:
+        """Speedup over the PyTorch baseline in the paper's units
+        (percent; 0 = parity)."""
+        if self.stage is FusionStage.PYTORCH:
+            return 0.0
+        return speedup_percent(self.baseline().total_time, self.total_time)
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (problem geometry, stage, device, timings)."""
+        rep = self.report()
+        return {
+            "problem": describe_problem(self.problem),
+            "stage": self.stage.value,
+            "stage_description": self.stage.description,
+            "device": self.device.name,
+            "pipeline": self.pipeline.name,
+            "total_time_ms": rep.total_time * 1e3,
+            "kernel_launches": rep.launch_count,
+            "kernels": [
+                {"name": name, "time_ms": t * 1e3}
+                for name, t in rep.kernel_times
+            ],
+            "global_bytes": rep.counters.global_bytes,
+            "flops": rep.counters.flops,
+            "speedup_vs_baseline_percent": self.speedup_vs_baseline(),
+        }
+
+
+@lru_cache(maxsize=PLAN_CACHE_SIZE)
+def _cached_plan(
+    problem: Problem,
+    stage: FusionStage,
+    config: TurboFNOConfig,
+    device: DeviceSpec,
+) -> ExecutionPlan:
+    if stage is FusionStage.BEST:
+        # Stage E: the fastest of A-D, resolved through the same cache so
+        # a ladder sweep that already built A-D pays nothing extra.  Ladder
+        # order + strict '<' replicates best_stage_{1,2}d tie-breaking.
+        best: ExecutionPlan | None = None
+        for rung in FusionStage.ladder():
+            cand = _cached_plan(problem, rung, config, device)
+            if best is None or cand.total_time < best.total_time:
+                best = cand
+        assert best is not None
+        return best
+    builder = pipeline_builder_for(problem)
+    pipeline = builder(problem, stage, config)
+    return ExecutionPlan(
+        problem=problem, stage=stage, config=config, device=device,
+        pipeline=pipeline,
+    )
+
+
+def plan(
+    problem: Problem,
+    stage: FusionStage | str = FusionStage.BEST,
+    config: TurboFNOConfig | None = None,
+    device: DeviceSpec | str | None = None,
+) -> ExecutionPlan:
+    """Compile (or fetch from cache) the execution plan for ``problem``.
+
+    Parameters
+    ----------
+    problem:
+        Any :class:`repro.api.Problem` — ``FNO1DProblem``, ``FNO2DProblem``,
+        or a workload whose dimensionality has a registered builder.
+    stage:
+        A Table 2 rung (enum or spelling like ``"A"``/``"pytorch"``).
+        The default ``BEST`` resolves stage E and returns the winner.
+    config:
+        Kernel parameters / model knobs; default :class:`TurboFNOConfig`.
+    device:
+        A :class:`DeviceSpec`, a registered name (``"a100"``, ``"h100"``),
+        or ``None`` for the paper's A100.
+    """
+    return _cached_plan(
+        problem,
+        resolve_stage(stage),
+        config if config is not None else TurboFNOConfig(),
+        get_device(device),
+    )
+
+
+def plan_cache_info():
+    """``functools.lru_cache`` statistics of the plan cache."""
+    return _cached_plan.cache_info()
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan (tests and memory-sensitive callers)."""
+    _cached_plan.cache_clear()

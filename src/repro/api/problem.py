@@ -1,0 +1,75 @@
+"""The dimension-agnostic problem protocol.
+
+:func:`repro.api.plan` accepts *any* object that looks like a Fourier-layer
+workload — it never asks "1-D or 2-D?" itself.  A problem advertises its
+spatial dimensionality through ``ndim`` and the planner dispatches through
+the pipeline-builder registry (:mod:`repro.api.registry`), so adding a 3-D
+workload is "register a builder for ``ndim == 3``", not "touch every
+call site".
+
+:class:`repro.core.config.FNO1DProblem` and
+:class:`~repro.core.config.FNO2DProblem` implement the protocol; both are
+frozen dataclasses, which also satisfies the hashability the plan cache
+needs.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+__all__ = ["Problem", "describe_problem"]
+
+
+@runtime_checkable
+class Problem(Protocol):
+    """Structural interface of one Fourier-layer workload.
+
+    Required members (all present on ``FNO1DProblem`` / ``FNO2DProblem``):
+
+    ``batch`` / ``hidden``
+        The paper's BS and K.
+    ``ndim``
+        Spatial dimensionality; selects the registered pipeline builder.
+    ``spatial_shape`` / ``modes_shape``
+        Per-axis FFT extents and kept low-frequency bins, outermost first.
+    ``n_out``
+        Output channel count.
+    ``gemm_m``
+        Row count of the spectral GEMM (batch x kept modes).
+
+    Problems must additionally be hashable (frozen dataclasses are) so
+    :func:`repro.api.plan` can key its LRU cache on the geometry.
+    """
+
+    batch: int
+    hidden: int
+
+    @property
+    def ndim(self) -> int: ...
+
+    @property
+    def spatial_shape(self) -> tuple[int, ...]: ...
+
+    @property
+    def modes_shape(self) -> tuple[int, ...]: ...
+
+    @property
+    def n_out(self) -> int: ...
+
+    @property
+    def gemm_m(self) -> int: ...
+
+
+def describe_problem(problem: Problem) -> dict:
+    """JSON-ready geometry summary of ``problem`` (used by ``--json``)."""
+    return {
+        "ndim": problem.ndim,
+        "batch": problem.batch,
+        "hidden": problem.hidden,
+        # resolved output channels (n_out), not the raw out_dim field,
+        # which may be None for square spectral weights
+        "n_out": problem.n_out,
+        "spatial_shape": list(problem.spatial_shape),
+        "modes_shape": list(problem.modes_shape),
+        "gemm_m": problem.gemm_m,
+    }

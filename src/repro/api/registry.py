@@ -1,0 +1,154 @@
+"""Registries behind the planning facade: devices, stages, builders.
+
+Three lookup tables turn :func:`repro.api.plan` into an open system:
+
+* **devices** — named :class:`repro.gpu.device.DeviceSpec` entries.  The
+  paper's A100 testbed is the default; an H100-class part ships registered
+  so sweeps can ask the same questions of a newer machine, and callers add
+  their own with :func:`register_device`.
+* **stages** — spelling-tolerant resolution of the Table 2 ladder
+  (``"A"``, ``"fft_opt"``, ``FusionStage.FFT_OPT``, ... all work), so CLI
+  flags and config files never hard-code the enum.
+* **pipeline builders** — one compiler per spatial dimensionality.  1-D
+  and 2-D register the :mod:`repro.core.pipeline_model` builders; a future
+  3-D workload only needs :func:`register_pipeline_builder`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.config import TurboFNOConfig
+from repro.core.pipeline_model import build_pipeline_1d, build_pipeline_2d
+from repro.core.stages import FusionStage
+from repro.gpu.device import A100_SPEC, H100_SPEC, DeviceSpec
+from repro.gpu.timeline import Pipeline
+
+__all__ = [
+    "register_device",
+    "get_device",
+    "list_devices",
+    "resolve_stage",
+    "list_stages",
+    "register_pipeline_builder",
+    "pipeline_builder_for",
+    "supported_ndims",
+    "DEFAULT_DEVICE",
+]
+
+#: The paper's testbed; used whenever no device is named.
+DEFAULT_DEVICE = A100_SPEC
+
+PipelineBuilder = Callable[[object, FusionStage, TurboFNOConfig], Pipeline]
+
+_DEVICES: dict[str, DeviceSpec] = {
+    "a100": A100_SPEC,
+    "h100": H100_SPEC,
+}
+
+_BUILDERS: dict[int, PipelineBuilder] = {
+    1: build_pipeline_1d,
+    2: build_pipeline_2d,
+}
+
+
+# -- devices ----------------------------------------------------------------
+
+def register_device(name: str, spec: DeviceSpec, *, overwrite: bool = False) -> None:
+    """Register ``spec`` under ``name`` (case-insensitive).
+
+    Raises :class:`ValueError` on collision unless ``overwrite=True``.
+    """
+    key = name.strip().lower()
+    if not key:
+        raise ValueError("device name must be non-empty")
+    if key in _DEVICES and not overwrite:
+        raise ValueError(
+            f"device {name!r} already registered; pass overwrite=True to replace"
+        )
+    _DEVICES[key] = spec
+
+
+def get_device(device: DeviceSpec | str | None = None) -> DeviceSpec:
+    """Resolve a device argument: a spec passes through, a name is looked
+    up case-insensitively, ``None`` yields the paper's A100 default."""
+    if device is None:
+        return DEFAULT_DEVICE
+    if isinstance(device, DeviceSpec):
+        return device
+    key = str(device).strip().lower()
+    try:
+        return _DEVICES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown device {device!r}; registered: {', '.join(list_devices())}"
+        ) from None
+
+
+def list_devices() -> tuple[str, ...]:
+    """Registered device names, sorted."""
+    return tuple(sorted(_DEVICES))
+
+
+# -- fusion stages ----------------------------------------------------------
+
+def resolve_stage(stage: FusionStage | str) -> FusionStage:
+    """Resolve a stage argument: the enum, its value (``"A"``..``"E"``,
+    ``"pytorch"``) or its name (``"fft_opt"``, ``"best"``), any case."""
+    if isinstance(stage, FusionStage):
+        return stage
+    text = str(stage).strip()
+    for member in FusionStage:
+        if text.upper() == member.value.upper() or text.upper() == member.name:
+            return member
+    raise ValueError(
+        f"unknown fusion stage {stage!r}; expected one of "
+        f"{', '.join(m.value for m in FusionStage)}"
+    )
+
+
+def list_stages() -> tuple[FusionStage, ...]:
+    """Every stage, baseline and BEST included, in ladder order."""
+    return (FusionStage.PYTORCH, *FusionStage.ladder(), FusionStage.BEST)
+
+
+# -- pipeline builders ------------------------------------------------------
+
+def register_pipeline_builder(
+    ndim: int, builder: PipelineBuilder, *, overwrite: bool = False
+) -> None:
+    """Register the pipeline compiler for ``ndim``-dimensional problems.
+
+    Replacing an existing builder drops the plan cache: cached plans are
+    keyed on (problem, stage, config, device) only, so stale entries
+    compiled by the old builder would otherwise keep being served.
+    """
+    if ndim <= 0:
+        raise ValueError(f"ndim must be positive, got {ndim}")
+    if ndim in _BUILDERS:
+        if not overwrite:
+            raise ValueError(
+                f"a builder for ndim={ndim} is already registered; "
+                "pass overwrite=True to replace"
+            )
+        from repro.api.planner import clear_plan_cache  # cycle-free at call time
+
+        clear_plan_cache()
+    _BUILDERS[ndim] = builder
+
+
+def pipeline_builder_for(problem) -> PipelineBuilder:
+    """The registered builder for ``problem.ndim``."""
+    ndim = getattr(problem, "ndim", None)
+    if ndim not in _BUILDERS:
+        raise ValueError(
+            f"no pipeline builder registered for ndim={ndim!r}; "
+            f"supported: {supported_ndims()} "
+            "(register one with repro.api.register_pipeline_builder)"
+        )
+    return _BUILDERS[ndim]
+
+
+def supported_ndims() -> tuple[int, ...]:
+    """Dimensionalities with a registered pipeline builder."""
+    return tuple(sorted(_BUILDERS))

@@ -1,0 +1,102 @@
+"""``Runner``: map cached plans over iterables of problems and stages.
+
+The sweep hot path.  Figure regeneration is thousands of
+(problem, stage) pairs, most of them repeated across panels and figures;
+a :class:`Runner` holds one (config, device) context and funnels every
+lookup through the shared plan cache, so the inner loops of
+:mod:`repro.analysis.sweeps` and :mod:`repro.analysis.figures` collapse to
+``runner.sweep(problems, stages)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.api.planner import ExecutionPlan, plan
+from repro.api.problem import Problem
+from repro.api.registry import get_device, resolve_stage
+from repro.core.config import TurboFNOConfig
+from repro.core.stages import FusionStage
+from repro.gpu.device import DeviceSpec
+
+__all__ = ["Runner"]
+
+
+@dataclass
+class Runner:
+    """A (config, device) execution context for batch planning.
+
+    Parameters
+    ----------
+    config:
+        Kernel/model configuration shared by every plan; ``None`` means
+        the default :class:`TurboFNOConfig`.
+    device:
+        Device spec or registered name; ``None`` means the paper's A100.
+    """
+
+    config: TurboFNOConfig | None = None
+    device: DeviceSpec | str | None = None
+
+    def __post_init__(self) -> None:
+        self.config = self.config if self.config is not None else TurboFNOConfig()
+        self.device = get_device(self.device)
+
+    # -- single-problem entry points ------------------------------------
+
+    def plan(
+        self, problem: Problem, stage: FusionStage | str = FusionStage.BEST
+    ) -> ExecutionPlan:
+        """The cached plan for ``problem`` under this runner's context."""
+        return plan(problem, stage, self.config, self.device)
+
+    def best(self, problem: Problem) -> ExecutionPlan:
+        """Stage E: the fastest A-D plan (``.stage`` names the winner)."""
+        return self.plan(problem, FusionStage.BEST)
+
+    def ladder(
+        self,
+        problem: Problem,
+        stages: Sequence[FusionStage | str] = FusionStage.ladder(),
+    ) -> dict[FusionStage, float]:
+        """Speedup of each requested stage over the PyTorch baseline.
+
+        The dimension-agnostic replacement for
+        ``ladder_speedups_{1,2}d``; numerically identical to them.
+        """
+        return {
+            resolve_stage(s): self.plan(problem, s).speedup_vs_baseline()
+            for s in stages
+        }
+
+    # -- batch entry points ---------------------------------------------
+
+    def map(
+        self,
+        problems: Iterable[Problem],
+        stage: FusionStage | str = FusionStage.BEST,
+    ) -> list[ExecutionPlan]:
+        """One plan per problem, all under the same stage."""
+        stage = resolve_stage(stage)
+        return [self.plan(p, stage) for p in problems]
+
+    def sweep(
+        self,
+        problems: Iterable[Problem],
+        stages: Sequence[FusionStage | str],
+    ) -> dict[FusionStage, list[float]]:
+        """Speedup-vs-baseline series per stage over ``problems``.
+
+        ``result[stage][i]`` is problem ``i``'s speedup percent — exactly
+        the per-panel payload of a paper figure.
+        """
+        # Dedup after resolution: two spellings of one stage ("A",
+        # "fft_opt") must not double-append into the same series.
+        resolved = list(dict.fromkeys(resolve_stage(s) for s in stages))
+        series: dict[FusionStage, list[float]] = {s: [] for s in resolved}
+        for problem in problems:
+            speeds = self.ladder(problem, resolved)
+            for s in resolved:
+                series[s].append(speeds[s])
+        return series

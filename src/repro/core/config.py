@@ -55,6 +55,21 @@ class FNO1DProblem:
             raise ValueError("out_dim must be positive")
 
     @property
+    def ndim(self) -> int:
+        """Spatial dimensionality (1) — the :class:`repro.api.Problem` axis."""
+        return 1
+
+    @property
+    def spatial_shape(self) -> tuple[int, ...]:
+        """FFT extents, outermost first."""
+        return (self.dim_x,)
+
+    @property
+    def modes_shape(self) -> tuple[int, ...]:
+        """Kept low-frequency bins along each spatial axis."""
+        return (self.modes,)
+
+    @property
     def n_out(self) -> int:
         return self.out_dim if self.out_dim is not None else self.hidden
 
@@ -102,6 +117,21 @@ class FNO2DProblem:
             raise ValueError("modes_y must be a power of two <= dim_y")
         if self.out_dim is not None and self.out_dim <= 0:
             raise ValueError("out_dim must be positive")
+
+    @property
+    def ndim(self) -> int:
+        """Spatial dimensionality (2) — the :class:`repro.api.Problem` axis."""
+        return 2
+
+    @property
+    def spatial_shape(self) -> tuple[int, ...]:
+        """FFT extents, outermost first."""
+        return (self.dim_x, self.dim_y)
+
+    @property
+    def modes_shape(self) -> tuple[int, ...]:
+        """Kept low-frequency bins along each spatial axis."""
+        return (self.modes_x, self.modes_y)
 
     @property
     def n_out(self) -> int:

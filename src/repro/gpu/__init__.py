@@ -21,13 +21,14 @@ utilization and SM wave quantization.
 """
 
 from repro.gpu.counters import PerfCounters
-from repro.gpu.device import A100_SPEC, DeviceSpec, Occupancy
+from repro.gpu.device import A100_SPEC, H100_SPEC, DeviceSpec, Occupancy
 from repro.gpu.kernel import KernelSpec, LaunchConfig, kernel_time
 from repro.gpu.sharedmem import SharedMemoryBankModel, WarpAccess
 from repro.gpu.timeline import Pipeline, PipelineReport
 
 __all__ = [
     "A100_SPEC",
+    "H100_SPEC",
     "DeviceSpec",
     "Occupancy",
     "KernelSpec",

@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field, replace
 
-__all__ = ["DeviceSpec", "Occupancy", "A100_SPEC"]
+__all__ = ["DeviceSpec", "Occupancy", "A100_SPEC", "H100_SPEC"]
 
 
 @dataclass(frozen=True)
@@ -133,6 +133,19 @@ class DeviceSpec:
 
 #: Default device used throughout the reproduction (paper's testbed).
 A100_SPEC = DeviceSpec()
+
+#: H100-SXM5-80GB-class device (datasheet values: 132 SMs, 67 TFLOP/s FP32
+#: CUDA cores, 3.35 TB/s HBM3, 228 KiB usable shared memory per SM, 50 MiB
+#: L2).  Not the paper's testbed — registered in :mod:`repro.api` so sweeps
+#: can ask what the fusion ladder is worth on a newer part.
+H100_SPEC = DeviceSpec(
+    name="H100-SXM-80GB",
+    num_sms=132,
+    fp32_tflops=67.0,
+    dram_bandwidth_gbs=3350.0,
+    smem_per_sm_bytes=228 * 1024,
+    l2_bytes=50 * 1024 * 1024,
+)
 
 
 @dataclass(frozen=True)

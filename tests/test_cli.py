@@ -1,5 +1,6 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
 import pathlib
 
 import pytest
@@ -19,6 +20,55 @@ class TestLadder:
         assert main(["ladder", "--dim", "2", "--k", "16", "--batch", "4"]) == 0
         assert "pytorch-2d" in capsys.readouterr().out
 
+    def test_2d_ladder_configurable_dims(self, capsys):
+        """Both spatial dims are flag-settable (no hardcoded DimX=256)."""
+        assert main(["ladder", "--dim", "2", "--k", "16", "--batch", "4",
+                     "--fft-x", "128", "--fft-y", "64", "--modes", "32",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        geom = payload["stages"][0]["problem"]
+        assert geom["spatial_shape"] == [128, 64]
+        assert geom["modes_shape"] == [32, 32]
+
+    def test_legacy_fft_flag_still_sets_dim_y(self, capsys):
+        assert main(["ladder", "--dim", "2", "--k", "16", "--batch", "4",
+                     "--fft", "64", "--modes", "32", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stages"][0]["problem"]["spatial_shape"] == [256, 64]
+
+    def test_json_output_structure(self, capsys):
+        assert main(["ladder", "--dim", "1", "--k", "32", "--batch", "64",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        stages = {s["stage"]: s for s in payload["stages"]}
+        assert set(stages) == {"pytorch", "A", "B", "C", "D"}
+        assert payload["best_stage"] in {"A", "B", "C", "D"}
+        assert stages["pytorch"]["speedup_vs_baseline_percent"] == 0.0
+        assert stages["D"]["total_time_ms"] < stages["pytorch"]["total_time_ms"]
+        assert stages["D"]["kernel_launches"] == 1
+
+    def test_device_flag(self, capsys):
+        assert main(["ladder", "--dim", "1", "--k", "32", "--batch", "64",
+                     "--device", "h100", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["device"].startswith("H100")
+
+    def test_unknown_device_rejected(self, capsys):
+        assert main(["ladder", "--device", "abacus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown device 'abacus'" in err
+        assert "a100" in err  # lists the registered names
+
+    def test_zero_fft_size_hits_validation(self, capsys):
+        """--fft-x 0 must not silently fall back to the default size."""
+        assert main(["ladder", "--dim", "1", "--fft-x", "0"]) == 2
+        assert "power of two" in capsys.readouterr().err
+
+    def test_fft_y_rejected_for_1d(self, capsys):
+        """--fft-y with --dim 1 must error, not silently run the default."""
+        assert main(["ladder", "--dim", "1", "--fft-y", "64"]) == 2
+        assert "--fft-y only applies to --dim 2" in capsys.readouterr().err
+
 
 class TestClaims:
     def test_claims_show_exact_numbers(self, capsys):
@@ -27,6 +77,14 @@ class TestClaims:
         assert "37.5%" in out
         assert "6.25%" in out
         assert "100.00%" in out
+
+    def test_claims_json(self, capsys):
+        assert main(["claims", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        frac = {(r["n"], r["keep"]): r["fraction"] for r in payload["fig05"]}
+        assert frac[(4, 1)] == pytest.approx(0.375)
+        assert payload["fig07"]["forward_turbofno"] == 1.0
+        assert payload["fig08"]["epilogue_naive"] == pytest.approx(0.25)
 
 
 class TestFigures:

@@ -17,25 +17,28 @@ class TestTopLevel:
             assert getattr(repro, name, None) is not None, name
 
     def test_headline_workflow(self):
-        """The README's quickstart snippet, condensed."""
-        from repro import (
-            FNO1DProblem,
-            FusionStage,
-            build_pipeline_1d,
-            spectral_conv_1d,
-        )
+        """The README's quickstart snippet, condensed — via the facade."""
+        from repro import FNO1DProblem, FusionStage, api
 
         rng = np.random.default_rng(0)
         x = rng.standard_normal((2, 8, 32)).astype(np.complex64)
         w = (np.eye(8) + 0j).astype(np.complex64)
-        y1 = spectral_conv_1d(x, w, modes=8, engine="turbo")
-        y2 = spectral_conv_1d(x, w, modes=8, engine="pytorch")
+        y1 = api.spectral_conv(x, w, modes=8, engine="turbo")
+        y2 = api.spectral_conv(x, w, modes=8, engine="pytorch")
         assert np.allclose(y1, y2, atol=1e-4)
 
         prob = FNO1DProblem.from_m_spatial(2**16, 64, 128, 64)
-        base = build_pipeline_1d(prob, FusionStage.PYTORCH).total_time()
-        fused = build_pipeline_1d(prob, FusionStage.FUSED_ALL).total_time()
+        base = api.plan(prob, FusionStage.PYTORCH).total_time
+        fused = api.plan(prob, FusionStage.FUSED_ALL).total_time
         assert fused < base
+
+    def test_legacy_workflow_still_importable(self):
+        """Pre-facade imports keep working (as deprecated shims)."""
+        from repro import FNO1DProblem, FusionStage, build_pipeline_1d
+
+        prob = FNO1DProblem.from_m_spatial(2**16, 64, 128, 64)
+        pipe = build_pipeline_1d(prob, FusionStage.FUSED_ALL)
+        assert pipe.total_time() > 0
 
 
 class TestSubpackageExports:
@@ -55,6 +58,12 @@ class TestSubpackageExports:
                        "solve_navier_stokes"]),
         ("repro.analysis", ["figures", "render_series", "render_heatmap",
                             "pipeline_roofline", "ridge_point"]),
+        ("repro.api", ["Problem", "describe_problem", "ExecutionPlan",
+                       "plan", "plan_cache_info", "clear_plan_cache",
+                       "Runner", "spectral_conv", "get_device",
+                       "register_device", "list_devices", "resolve_stage",
+                       "list_stages", "register_pipeline_builder",
+                       "supported_ndims", "DEFAULT_DEVICE"]),
         ("repro.baselines", ["cufft_kernel", "cublas_cgemm_kernel",
                              "pytorch_like_spectral_conv_1d"]),
     ])
@@ -73,7 +82,9 @@ class TestSubpackageExports:
         for module in ("repro.fft.stockham", "repro.fft.pruned",
                        "repro.gemm.blocked", "repro.core.fused",
                        "repro.core.spectral", "repro.gpu.kernel",
-                       "repro.nn.modules", "repro.pde.burgers"):
+                       "repro.nn.modules", "repro.pde.burgers",
+                       "repro.api.planner", "repro.api.registry",
+                       "repro.api.runner", "repro.api.ops"):
             mod = importlib.import_module(module)
             for name in getattr(mod, "__all__", []):
                 obj = getattr(mod, name)
