@@ -2,8 +2,10 @@
 
 Commands
 --------
-``figures [--dense] [--out DIR]``
-    Regenerate every paper figure/table and write rendered reports.
+``figures [--dense] [--out DIR] [--workers N]``
+    Regenerate every paper figure/table and write rendered reports
+    (``--workers`` shards the fig14/fig19 heatmap grids over a process
+    pool).
 ``ladder [--dim {1,2}] [--k K] [--batch BS] [--fft-x NX] [--fft-y NY]
 [--modes N] [--device NAME] [--json]``
     Print the Table 2 stage ladder for one problem (``--json`` for a
@@ -43,7 +45,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         )
         print(f"wrote {out / name}.txt")
     for name, builder in {"fig14": figures.fig14, "fig19": figures.fig19}.items():
-        panels = builder(dense=args.dense)
+        panels = builder(dense=args.dense, workers=args.workers)
         (out / f"{name}.txt").write_text(
             "\n\n".join(render_heatmap(h) for h in panels) + "\n"
         )
@@ -149,6 +151,9 @@ def main(argv: list[str] | None = None) -> int:
     p_fig = sub.add_parser("figures", help="regenerate all paper figures")
     p_fig.add_argument("--dense", action="store_true")
     p_fig.add_argument("--out", default="paper_report")
+    p_fig.add_argument("--workers", type=int, default=None,
+                       help="shard the fig14/fig19 heatmap grids over a "
+                            "process pool (default: serial)")
     p_fig.set_defaults(func=_cmd_figures)
 
     p_lad = sub.add_parser("ladder", help="stage ladder for one problem")

@@ -230,8 +230,15 @@ def fig13(dense: bool = False, cfg: TurboFNOConfig | None = None) -> list[SweepS
     return _fig_1d(13, dense, cfg)
 
 
-def fig14(dense: bool = False, cfg: TurboFNOConfig | None = None) -> list[HeatmapResult]:
-    """1-D best-of heatmaps over K x log2(M), four (FFT size, N) panels."""
+def fig14(
+    dense: bool = False,
+    cfg: TurboFNOConfig | None = None,
+    workers: int | None = None,
+) -> list[HeatmapResult]:
+    """1-D best-of heatmaps over K x log2(M), four (FFT size, N) panels.
+
+    ``workers`` shards each panel's grid over a process pool.
+    """
     ks = list(range(8, 121, 16)) if dense else list(range(8, 121, 32))
     log2_ms = list(range(7, 21, 1 if dense else 2))
     panels = []
@@ -240,7 +247,7 @@ def fig14(dense: bool = False, cfg: TurboFNOConfig | None = None) -> list[Heatma
             panels.append(
                 heatmap_1d(
                     f"fig14 {dim_x}-pt FFT, N={modes}",
-                    dim_x, modes, ks, log2_ms, cfg,
+                    dim_x, modes, ks, log2_ms, cfg, workers=workers,
                 )
             )
     return panels
@@ -307,8 +314,15 @@ def fig18(dense: bool = False, cfg: TurboFNOConfig | None = None) -> list[SweepS
     return _fig_2d(18, dense, cfg)
 
 
-def fig19(dense: bool = False, cfg: TurboFNOConfig | None = None) -> list[HeatmapResult]:
-    """2-D best-of heatmaps over K x batch, four (grid, N) panels."""
+def fig19(
+    dense: bool = False,
+    cfg: TurboFNOConfig | None = None,
+    workers: int | None = None,
+) -> list[HeatmapResult]:
+    """2-D best-of heatmaps over K x batch, four (grid, N) panels.
+
+    ``workers`` shards each panel's grid over a process pool.
+    """
     ks = list(range(8, 121, 16)) if dense else list(range(8, 121, 32))
     batches = (
         [1, 16, 32, 48, 64, 80, 96, 112, 128]
@@ -321,7 +335,7 @@ def fig19(dense: bool = False, cfg: TurboFNOConfig | None = None) -> list[Heatma
             panels.append(
                 heatmap_2d(
                     f"fig19 256x{dim_y} 2DFFT, N={modes}",
-                    256, dim_y, modes, ks, batches, cfg,
+                    256, dim_y, modes, ks, batches, cfg, workers=workers,
                 )
             )
     return panels

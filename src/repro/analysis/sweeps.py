@@ -173,15 +173,21 @@ def heatmap_1d(
     ks: Sequence[int],
     log2_ms: Sequence[int],
     cfg: TurboFNOConfig | None = None,
+    workers: int | None = None,
 ) -> HeatmapResult:
-    """Fig. 14-style heatmap: stage-E speedup over K x log2(M)."""
+    """Fig. 14-style heatmap: stage-E speedup over K x log2(M).
+
+    ``workers`` shards the grid over a process pool (identical values;
+    see :meth:`repro.api.Runner.map_speedups`).
+    """
     runner = Runner(config=cfg)
-    values = np.zeros((len(log2_ms), len(ks)))
-    for i, lm in enumerate(log2_ms):
-        m_spatial = max(2**lm, dim_x)
-        for j, k in enumerate(ks):
-            prob = FNO1DProblem.from_m_spatial(m_spatial, k, dim_x, modes)
-            values[i, j] = runner.best(prob).speedup_vs_baseline()
+    problems = [
+        FNO1DProblem.from_m_spatial(max(2**lm, dim_x), k, dim_x, modes)
+        for lm in log2_ms
+        for k in ks
+    ]
+    speeds = runner.map_speedups(problems, FusionStage.BEST, workers=workers)
+    values = np.asarray(speeds).reshape(len(log2_ms), len(ks))
     return HeatmapResult(title, "log2(M)", "K", list(map(float, log2_ms)),
                          list(map(float, ks)), values)
 
@@ -194,16 +200,22 @@ def heatmap_2d(
     ks: Sequence[int],
     batches: Sequence[int],
     cfg: TurboFNOConfig | None = None,
+    workers: int | None = None,
 ) -> HeatmapResult:
-    """Fig. 19-style heatmap: stage-E speedup over K x batch size."""
+    """Fig. 19-style heatmap: stage-E speedup over K x batch size.
+
+    ``workers`` shards the grid over a process pool (identical values).
+    """
     runner = Runner(config=cfg)
-    values = np.zeros((len(batches), len(ks)))
-    for i, bs in enumerate(batches):
-        for j, k in enumerate(ks):
-            prob = FNO2DProblem(
-                batch=bs, hidden=k, dim_x=dim_x, dim_y=dim_y,
-                modes_x=min(modes, dim_x), modes_y=min(modes, dim_y),
-            )
-            values[i, j] = runner.best(prob).speedup_vs_baseline()
+    problems = [
+        FNO2DProblem(
+            batch=bs, hidden=k, dim_x=dim_x, dim_y=dim_y,
+            modes_x=min(modes, dim_x), modes_y=min(modes, dim_y),
+        )
+        for bs in batches
+        for k in ks
+    ]
+    speeds = runner.map_speedups(problems, FusionStage.BEST, workers=workers)
+    values = np.asarray(speeds).reshape(len(batches), len(ks))
     return HeatmapResult(title, "batch", "K", list(map(float, batches)),
                          list(map(float, ks)), values)

@@ -57,9 +57,10 @@ from repro.api.registry import (
     resolve_stage,
     supported_ndims,
 )
-from repro.api.runner import Runner
+from repro.api.runner import Runner, default_workers
 
 __all__ = [
+    "default_workers",
     "Problem",
     "describe_problem",
     "ExecutionPlan",

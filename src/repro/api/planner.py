@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 
 from functools import lru_cache
 
+import numpy as np
+
 from repro.api.problem import Problem, describe_problem
 from repro.api.registry import get_device, pipeline_builder_for, resolve_stage
 from repro.core.config import TurboFNOConfig
@@ -47,6 +49,11 @@ class ExecutionPlan:
     ``stage`` is always a concrete rung — asking :func:`plan` for
     ``FusionStage.BEST`` returns the winning stage's plan, so
     ``plan(p).stage`` tells you *which* rung won.
+
+    Plans model; executors compute.  :meth:`compile_executor` attaches
+    the numeric side: a build-once/execute-many compiled spectral-conv
+    executor for this plan's problem geometry (plan once -> execute
+    many, like a cuFFT plan handle).
     """
 
     problem: Problem
@@ -55,6 +62,7 @@ class ExecutionPlan:
     device: DeviceSpec
     pipeline: Pipeline
     _report: PipelineReport | None = field(default=None, repr=False)
+    _speedup: float | None = field(default=None, repr=False)
 
     def report(self) -> PipelineReport:
         """Modelled execution report on this plan's device (memoised)."""
@@ -77,10 +85,40 @@ class ExecutionPlan:
 
     def speedup_vs_baseline(self) -> float:
         """Speedup over the PyTorch baseline in the paper's units
-        (percent; 0 = parity)."""
+        (percent; 0 = parity).  Memoised: sweeps ask every cached plan
+        for this repeatedly, and cached plans are shared."""
         if self.stage is FusionStage.PYTORCH:
             return 0.0
-        return speedup_percent(self.baseline().total_time, self.total_time)
+        if self._speedup is None:
+            self._speedup = speedup_percent(
+                self.baseline().total_time, self.total_time
+            )
+        return self._speedup
+
+    def compile_executor(self, weight):
+        """Build the compiled numeric executor for this plan's geometry.
+
+        ``weight`` is the complex ``(C_in, C_out)`` spectral weight
+        matrix; ``C_in`` must match the problem's hidden dimension.
+        Returns a :class:`repro.core.compiled.CompiledSpectralConv1D` or
+        ``...2D`` whose staging (weight casts, FFT plans, workspaces) is
+        paid once, so ``plan -> compile -> execute many`` amortises all
+        per-call setup.  The executor uses the functional path's default
+        k-tiling, so its output is byte-identical to
+        ``repro.api.spectral_conv`` with the turbo engine; pass a custom
+        ``k_tb`` to :func:`repro.core.compiled.compile_spectral_conv`
+        directly if you want the accumulation grouped differently.
+        """
+        from repro.core.compiled import compile_spectral_conv
+
+        weight = np.asarray(weight)
+        hidden = getattr(self.problem, "hidden", None)
+        if hidden is not None and weight.shape[0] != hidden:
+            raise ValueError(
+                f"weight C_in={weight.shape[0]} does not match the "
+                f"problem's hidden dimension {hidden}"
+            )
+        return compile_spectral_conv(weight, tuple(self.problem.modes_shape))
 
     def to_dict(self) -> dict:
         """JSON-ready summary (problem geometry, stage, device, timings)."""

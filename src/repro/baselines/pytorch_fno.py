@@ -12,11 +12,19 @@ complex ``(C_in, C_out)`` weight matrix is shared across all kept modes
 tall-and-skinny CGEMM, not per-mode matrices).
 
 These functions are the correctness oracle for :mod:`repro.core.fused`.
+The stage temporaries the baseline is defined by (the truncation copy of
+Step 2, the zero-pad buffer of Step 4) never escape a call, so they are
+drawn from the compiled layer's workspace arena
+(:func:`repro.fft.compiled.workspace_empty`) instead of being freshly
+allocated each time — the numbers are unchanged, only the allocator
+traffic goes away.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.fft.compiled import workspace_empty, workspace_zeros
 
 __all__ = ["pytorch_like_spectral_conv_1d", "pytorch_like_spectral_conv_2d"]
 
@@ -50,11 +58,14 @@ def pytorch_like_spectral_conv_1d(
     # Step 1: full-length FFT (cuFFT has no trimming).
     xk = np.fft.fft(x, axis=-1)
     # Step 2: truncation memcpy kernel.
-    xk_low = xk[:, :, :modes].copy()
+    xk_low = workspace_empty("pt1d-trunc", (batch, c_in, modes), xk.dtype)
+    xk_low[...] = xk[:, :, :modes]
     # Step 3: CGEMM along the hidden dimension.
     yk_low = np.einsum("bix,io->box", xk_low, weight)
     # Step 4: zero-padding memcpy kernel.
-    yk = np.zeros((batch, weight.shape[1], dim_x), dtype=yk_low.dtype)
+    yk = workspace_zeros(
+        "pt1d-pad", (batch, weight.shape[1], dim_x), yk_low.dtype
+    )
     yk[:, :, :modes] = yk_low
     # Step 5: full-length inverse FFT.
     return np.fft.ifft(yk, axis=-1)
@@ -81,8 +92,13 @@ def pytorch_like_spectral_conv_2d(
         )
 
     xk = np.fft.fft2(x, axes=(-2, -1))
-    xk_low = xk[:, :, :modes_x, :modes_y].copy()
+    xk_low = workspace_empty(
+        "pt2d-trunc", (batch, c_in, modes_x, modes_y), xk.dtype
+    )
+    xk_low[...] = xk[:, :, :modes_x, :modes_y]
     yk_low = np.einsum("bixy,io->boxy", xk_low, weight)
-    yk = np.zeros((batch, weight.shape[1], dim_x, dim_y), dtype=yk_low.dtype)
+    yk = workspace_zeros(
+        "pt2d-pad", (batch, weight.shape[1], dim_x, dim_y), yk_low.dtype
+    )
     yk[:, :, :modes_x, :modes_y] = yk_low
     return np.fft.ifft2(yk, axes=(-2, -1))

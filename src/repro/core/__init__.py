@@ -11,6 +11,11 @@
   iteration order matches CGEMM's k-loop (Figure 6).
 * :mod:`repro.core.fused` — numerically exact fused operators (NumPy
   execution of the single-kernel dataflow).
+* :mod:`repro.core.compiled` — build-once/execute-many spectral-conv
+  executors over the compiled FFT plan layer (byte-identical to the
+  functional path; :mod:`repro.core.legacy` preserves the original
+  loops as oracle and benchmark baseline).
+* :mod:`repro.core.dtypes` — the shared complex-precision policy.
 * :mod:`repro.core.spectral` — the public spectral-convolution API with
   selectable engine.
 * :mod:`repro.core.pipeline_model` — compiles every stage (and the
@@ -18,7 +23,13 @@
   sequences; this is what regenerates the paper's figures.
 """
 
+from repro.core.compiled import (
+    CompiledSpectralConv1D,
+    CompiledSpectralConv2D,
+    compile_spectral_conv,
+)
 from repro.core.config import FNO1DProblem, FNO2DProblem, TurboFNOConfig
+from repro.core.dtypes import complex_dtype_for
 from repro.core.fused import (
     fused_fft_gemm_ifft_1d,
     fused_fft_gemm_ifft_2d,
@@ -36,6 +47,10 @@ __all__ = [
     "spectral_conv_2d",
     "fused_fft_gemm_ifft_1d",
     "fused_fft_gemm_ifft_2d",
+    "CompiledSpectralConv1D",
+    "CompiledSpectralConv2D",
+    "compile_spectral_conv",
+    "complex_dtype_for",
     "build_pipeline_1d",
     "build_pipeline_2d",
 ]

@@ -1,0 +1,353 @@
+"""Compiled spectral-convolution executors: build once, execute many.
+
+The legacy fused loops (:mod:`repro.core.legacy`) re-cast the same
+weight panel on every tile of every signal block and re-staged their FFT
+setup per call.  A :class:`CompiledSpectralConv1D` /
+:class:`CompiledSpectralConv2D` executor does all of that at *build*
+time — weights cast once and pre-sliced into contiguous k-panels, FFT
+plans resolved from the global cache (:mod:`repro.fft.compiled`),
+decomposition twiddles pre-cast, tile workspaces allocated — so each
+execution runs only the k-loop arithmetic.  Outputs are byte-identical
+to the legacy loops (property-tested): the executors replay the same
+tile/panel accumulation order, so not a single floating-point operation
+changes, only where the operands live.
+
+The functional API (:mod:`repro.core.fused`) builds a throwaway executor
+per call, which still hoists every redundant cast out of the loops; hold
+an executor (or get one from ``repro.api.plan(...).compile_executor``)
+to amortise the staging across calls.
+
+Executors own mutable tile workspaces and are **not** thread-safe; share
+one per thread (the plan caches underneath serialise themselves).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dtypes import complex_dtype_for
+from repro.fft.compiled import (
+    decomp_reduce,
+    expand_mul,
+    get_fft_plan,
+    panel_contract,
+)
+from repro.fft.pruned import _validate_split, truncated_fft, truncated_ifft
+from repro.fft.stockham import _check_length
+from repro.fft.twiddle import decomposition_twiddles
+
+__all__ = [
+    "CompiledSpectralConv1D",
+    "CompiledSpectralConv2D",
+    "compile_spectral_conv",
+]
+
+_DEFAULT_K_TB = 8
+_DEFAULT_SIGNAL_TILE = 16
+
+
+def _check_inputs(x: np.ndarray, weight: np.ndarray, ndim: int) -> None:
+    if x.ndim != ndim:
+        raise ValueError(f"expected {ndim}-D input, got shape {x.shape}")
+    if weight.ndim != 2:
+        raise ValueError(f"weight must be (C_in, C_out), got {weight.shape}")
+    if weight.shape[0] != x.shape[1]:
+        raise ValueError(
+            f"weight C_in={weight.shape[0]} != input channels {x.shape[1]}"
+        )
+
+
+class _StagedFused1D:
+    """Everything a fused 1-D pass needs, staged for one (dtype, dim_x).
+
+    Replays the exact legacy dataflow (tile loop -> k-loop -> epilogue)
+    with all per-call setup hoisted: pre-cast weight panels, cached FFT
+    plans for the kept-mode length, pre-cast decomposition twiddles, and
+    tile-sized reusable workspaces.
+    """
+
+    def __init__(self, weight: np.ndarray, modes: int, dim_x: int,
+                 k_tb: int, signal_tile: int, dtype: np.dtype):
+        # Same split validation (and messages) the first inner
+        # truncated_fft of the legacy loop would have raised.
+        if modes == dim_x:
+            _check_length(dim_x)
+        else:
+            _validate_split(dim_x, modes, "n_keep")
+        c_in, c_out = weight.shape
+        self.modes = modes
+        self.dim_x = dim_x
+        self.k_tb = k_tb
+        self.signal_tile = signal_tile
+        self.dtype = dtype
+        self.c_in = c_in
+        self.c_out = c_out
+        self.p = dim_x // modes
+        wc = weight.astype(dtype)  # the hoisted cast: once, not per tile
+        self.panels = [
+            (k0, min(k0 + k_tb, c_in),
+             np.ascontiguousarray(wc[k0:min(k0 + k_tb, c_in)]))
+            for k0 in range(0, c_in, k_tb)
+        ]
+        self.fwd = get_fft_plan(modes, dtype, inverse=False)
+        if self.p > 1:
+            self.wd_f = np.ascontiguousarray(
+                decomposition_twiddles(dim_x, self.p, modes).astype(dtype)
+            )
+        else:
+            self.wd_f = None
+        # The inverse side and the tile workspaces are staged lazily:
+        # the forward-only stage-B pass never touches them.
+        self.inv = None
+        self.wd_i = None
+        self._gather = None
+
+    def _ensure_tiles(self) -> None:
+        """Stage the epilogue tables and per-tile workspaces (lazily:
+        only the fully fused pass needs them)."""
+        if self._gather is not None:
+            return
+        dtype, modes = self.dtype, self.modes
+        self.inv = get_fft_plan(modes, dtype, inverse=True)
+        if self.p > 1:
+            self.wd_i = np.ascontiguousarray(
+                decomposition_twiddles(
+                    self.dim_x, self.p, modes, inverse=True
+                ).astype(dtype)
+            )
+        # Reusable ping-pong workspaces, sized for one signal tile.
+        rows = self.signal_tile * max(self.k_tb, self.c_out) * self.p
+        self._gather = np.empty((rows, modes), dtype)
+        self._fftbuf = np.empty((rows, modes), dtype)
+        self._acc = np.empty((self.signal_tile, self.c_out, modes), dtype)
+        self._dec = np.empty(self.signal_tile * self.k_tb * modes, dtype)
+
+    # -- one signal tile ------------------------------------------------
+
+    def _forward_panel(self, x, b0, b1, k0, k1, kt):
+        """Truncated FFT of one (tile, panel) slice -> (bt, kt, modes)."""
+        bt = b1 - b0
+        p, modes = self.p, self.modes
+        rows = bt * kt * p
+        gat = self._gather[:rows]
+        if p > 1:
+            src = x[b0:b1, k0:k1, :].reshape(bt, kt, modes, p)
+            gat.reshape(bt, kt, p, modes)[...] = src.transpose(0, 1, 3, 2)
+        else:
+            gat.reshape(bt, kt, modes)[...] = x[b0:b1, k0:k1, :]
+        fbuf = self._fftbuf[:rows]
+        self.fwd.execute(gat, out=fbuf)
+        if p > 1:
+            dec = self._dec[: bt * kt * modes].reshape(bt, kt, modes)
+            decomp_reduce(fbuf.reshape(bt * kt, p, modes), self.wd_f,
+                          dec.reshape(bt * kt, modes))
+            return dec
+        return fbuf.reshape(bt, kt, modes)
+
+    def _epilogue(self, acc, out, b0, b1):
+        """Pruned inverse transform of the accumulated C tile."""
+        bt = b1 - b0
+        p, modes, c_out = self.p, self.modes, self.c_out
+        rows = bt * c_out * p
+        if p > 1:
+            sc = self._gather[:rows]
+            expand_mul(acc.reshape(bt * c_out, modes), self.wd_i,
+                       sc.reshape(bt * c_out, p, modes))
+            y = self._fftbuf[:rows]
+            self.inv.execute(sc, out=y, div_by=float(modes),
+                             mul_by=float(modes / self.dim_x))
+            out[b0:b1].reshape(bt, c_out, modes, p)[...] = (
+                y.reshape(bt, c_out, p, modes).transpose(0, 1, 3, 2)
+            )
+        else:
+            sc = self._gather[:rows]
+            sc.reshape(bt, c_out, modes)[...] = acc
+            self.inv.execute(
+                sc, out=out[b0:b1].reshape(rows, modes),
+                div_by=float(modes),
+            )
+
+    # -- whole passes ---------------------------------------------------
+
+    def run_fused(self, x: np.ndarray) -> np.ndarray:
+        """Stage D: the fully fused FFT -> CGEMM -> iFFT pass."""
+        self._ensure_tiles()
+        batch = x.shape[0]
+        out = np.empty((batch, self.c_out, self.dim_x), self.dtype)
+        for b0 in range(0, batch, self.signal_tile):
+            b1 = min(b0 + self.signal_tile, batch)
+            acc = self._acc[: b1 - b0]
+            acc[...] = 0
+            for (k0, k1, wp) in self.panels:
+                a = self._forward_panel(x, b0, b1, k0, k1, k1 - k0)
+                panel_contract(a, wp, acc)
+            self._epilogue(acc, out, b0, b1)
+        return out
+
+    def run_fft_gemm(self, x: np.ndarray) -> np.ndarray:
+        """Stage B: FFT fused into the k-loop, full batch per panel."""
+        batch = x.shape[0]
+        acc = np.zeros((batch, self.c_out, self.modes), self.dtype)
+        p, modes = self.p, self.modes
+        for (k0, k1, wp) in self.panels:
+            kt = k1 - k0
+            rows = batch * kt * p
+            gat = np.empty((rows, modes), self.dtype)
+            if p > 1:
+                src = x[:, k0:k1, :].reshape(batch, kt, modes, p)
+                gat.reshape(batch, kt, p, modes)[...] = src.transpose(0, 1, 3, 2)
+            else:
+                gat.reshape(batch, kt, modes)[...] = x[:, k0:k1, :]
+            fbuf = self.fwd.execute(gat)
+            if p > 1:
+                a = np.empty((batch, kt, modes), self.dtype)
+                decomp_reduce(fbuf.reshape(batch * kt, p, modes), self.wd_f,
+                              a.reshape(batch * kt, modes))
+            else:
+                a = fbuf.reshape(batch, kt, modes)
+            panel_contract(a, wp, acc)
+        return acc
+
+class CompiledSpectralConv1D:
+    """Reusable executor for the fused 1-D spectral convolution.
+
+    Build once per weight matrix; call with any ``(batch, C_in, X)``
+    input.  Staging (weight casts, FFT plans, workspaces) is cached per
+    (working dtype, X); outputs are byte-identical to
+    :func:`repro.core.legacy.fused_fft_gemm_ifft_1d`.
+    """
+
+    ndim = 1
+
+    def __init__(self, weight: np.ndarray, modes: int,
+                 k_tb: int = _DEFAULT_K_TB,
+                 signal_tile: int = _DEFAULT_SIGNAL_TILE):
+        weight = np.asarray(weight)
+        if weight.ndim != 2:
+            raise ValueError(
+                f"weight must be (C_in, C_out), got {weight.shape}"
+            )
+        if modes < 1:
+            raise ValueError(f"modes must be positive, got {modes}")
+        self.weight = weight
+        self.modes = modes
+        self.k_tb = k_tb
+        self.signal_tile = signal_tile
+        self._staged: dict[tuple, _StagedFused1D] = {}
+
+    def _stage_for(self, dtype: np.dtype, dim_x: int) -> _StagedFused1D:
+        key = (dtype, dim_x)
+        staged = self._staged.get(key)
+        if staged is None:
+            staged = _StagedFused1D(
+                self.weight, self.modes, dim_x,
+                self.k_tb, self.signal_tile, dtype,
+            )
+            self._staged[key] = staged
+        return staged
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        _check_inputs(x, self.weight, 3)
+        dim_x = x.shape[2]
+        if not (1 <= self.modes <= dim_x):
+            raise ValueError(
+                f"modes must be in [1, {dim_x}], got {self.modes}"
+            )
+        staged = self._stage_for(complex_dtype_for(x.dtype), dim_x)
+        return staged.run_fused(x)
+
+
+class CompiledSpectralConv2D:
+    """Reusable executor for the fused 2-D spectral convolution.
+
+    The width FFT and width inverse run through the cached pruned plans;
+    the fused height pass reuses the 1-D tile machinery over the
+    (batch x kept-row) pencils.  Byte-identical to
+    :func:`repro.core.legacy.fused_fft_gemm_ifft_2d`.
+    """
+
+    ndim = 2
+
+    def __init__(self, weight: np.ndarray, modes_x: int, modes_y: int,
+                 k_tb: int = _DEFAULT_K_TB,
+                 signal_tile: int = _DEFAULT_SIGNAL_TILE):
+        weight = np.asarray(weight)
+        if weight.ndim != 2:
+            raise ValueError(
+                f"weight must be (C_in, C_out), got {weight.shape}"
+            )
+        if modes_x < 1 or modes_y < 1:
+            raise ValueError(
+                f"modes must be positive, got ({modes_x}, {modes_y})"
+            )
+        self.weight = weight
+        self.modes_x = modes_x
+        self.modes_y = modes_y
+        self.k_tb = k_tb
+        self.signal_tile = signal_tile
+        self._staged: dict[tuple, _StagedFused1D] = {}
+
+    def _stage_for(self, dtype: np.dtype, dim_y: int) -> _StagedFused1D:
+        key = (dtype, dim_y)
+        staged = self._staged.get(key)
+        if staged is None:
+            staged = _StagedFused1D(
+                self.weight, self.modes_y, dim_y,
+                self.k_tb, self.signal_tile, dtype,
+            )
+            self._staged[key] = staged
+        return staged
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        _check_inputs(x, self.weight, 4)
+        batch, c_in, dim_x, dim_y = x.shape
+        if not (1 <= self.modes_x <= dim_x) or not (1 <= self.modes_y <= dim_y):
+            raise ValueError(
+                f"modes ({self.modes_x}, {self.modes_y}) out of range for "
+                f"({dim_x}, {dim_y})"
+            )
+        dtype = complex_dtype_for(x.dtype)
+        c_out = self.weight.shape[1]
+
+        # Stage 1: width FFT with built-in truncation.
+        xk_x = truncated_fft(x.astype(dtype, copy=False), self.modes_x, axis=2)
+
+        # Fused stage along Y over (batch, kept-x-row) pencils.
+        pencils = xk_x.transpose(0, 2, 1, 3).reshape(
+            batch * self.modes_x, c_in, dim_y
+        )
+        staged = self._stage_for(dtype, dim_y)
+        out_pencils = staged.run_fused(pencils)
+
+        yk_x = out_pencils.reshape(
+            batch, self.modes_x, c_out, dim_y
+        ).transpose(0, 2, 1, 3)
+        # Final stage: width iFFT with built-in zero padding.
+        return truncated_ifft(yk_x, dim_x, axis=2)
+
+
+def compile_spectral_conv(
+    weight: np.ndarray,
+    modes: int | tuple[int, ...],
+    k_tb: int = _DEFAULT_K_TB,
+    signal_tile: int = _DEFAULT_SIGNAL_TILE,
+):
+    """Build the executor matching ``modes``' dimensionality.
+
+    An int (or 1-tuple) of kept modes gives a
+    :class:`CompiledSpectralConv1D`; a 2-tuple gives a
+    :class:`CompiledSpectralConv2D`.
+    """
+    if isinstance(modes, tuple):
+        if len(modes) == 1:
+            return CompiledSpectralConv1D(weight, modes[0], k_tb, signal_tile)
+        if len(modes) == 2:
+            return CompiledSpectralConv2D(
+                weight, modes[0], modes[1], k_tb, signal_tile
+            )
+        raise ValueError(
+            f"modes must have 1 or 2 entries, got {len(modes)}"
+        )
+    return CompiledSpectralConv1D(weight, int(modes), k_tb, signal_tile)

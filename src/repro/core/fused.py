@@ -8,6 +8,14 @@ memory.  They produce bit-for-bit the same mathematics as the staged
 PyTorch pipeline (:mod:`repro.baselines.pytorch_fno`), which is exactly
 the claim the paper's fused kernel makes: same operator, one kernel.
 
+Since the compiled-executor refactor they are thin wrappers over
+:mod:`repro.core.compiled`: each call stages the weight panels once
+(the cast is hoisted out of the k-loops) and executes through the global
+FFT plan cache, producing byte-identical output to the frozen legacy
+loops in :mod:`repro.core.legacy`.  Hold a
+:class:`~repro.core.compiled.CompiledSpectralConv1D` /
+``...2D`` executor to amortise the staging itself across calls.
+
 The pruned transforms (:mod:`repro.fft.pruned`) mean no full-length
 spectrum is ever materialised, mirroring the kernel's property that
 truncated frequencies never exist anywhere.
@@ -17,7 +25,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.fft.pruned import truncated_fft, truncated_ifft
+from repro.core.compiled import (
+    CompiledSpectralConv1D,
+    CompiledSpectralConv2D,
+    _StagedFused1D,
+)
+from repro.core.dtypes import complex_dtype_for
+from repro.fft.compiled import panel_contract
+from repro.fft.pruned import truncated_ifft
 
 __all__ = [
     "fused_fft_gemm_1d",
@@ -56,16 +71,11 @@ def fused_fft_gemm_1d(
     x = np.asarray(x)
     weight = np.asarray(weight)
     _check_inputs(x, weight, 3)
-    batch, c_in, _ = x.shape
-    c_out = weight.shape[1]
-    dtype = np.complex64 if x.dtype in (np.float32, np.complex64) else np.complex128
-    acc = np.zeros((batch, c_out, modes), dtype=dtype)
-    for k0 in range(0, c_in, k_tb):
-        k1 = min(k0 + k_tb, c_in)
-        # In-kernel FFT of this k-slice (never touches global memory).
-        a = truncated_fft(x[:, k0:k1, :], modes, axis=-1)  # (b, kt, modes)
-        acc += np.einsum("bkm,ko->bom", a, weight[k0:k1].astype(dtype))
-    return acc
+    staged = _StagedFused1D(
+        weight, modes, x.shape[2], k_tb, _DEFAULT_SIGNAL_TILE,
+        complex_dtype_for(x.dtype),
+    )
+    return staged.run_fft_gemm(x)
 
 
 def fused_gemm_ifft_1d(
@@ -86,15 +96,13 @@ def fused_gemm_ifft_1d(
     _check_inputs(xk_low, weight, 3)
     batch, c_in, modes = xk_low.shape
     c_out = weight.shape[1]
-    dtype = (
-        np.complex64 if xk_low.dtype in (np.float32, np.complex64) else np.complex128
-    )
+    dtype = complex_dtype_for(xk_low.dtype)
+    wc = weight.astype(dtype)  # hoisted out of the k-loop
     acc = np.zeros((batch, c_out, modes), dtype=dtype)
     for k0 in range(0, c_in, k_tb):
         k1 = min(k0 + k_tb, c_in)
-        acc += np.einsum(
-            "bkm,ko->bom", xk_low[:, k0:k1, :], weight[k0:k1].astype(dtype)
-        )
+        a = np.ascontiguousarray(xk_low[:, k0:k1, :], dtype=dtype)
+        panel_contract(a, np.ascontiguousarray(wc[k0:k1]), acc)
     return truncated_ifft(acc, dim_x, axis=-1)
 
 
@@ -115,22 +123,11 @@ def fused_fft_gemm_ifft_1d(
     x = np.asarray(x)
     weight = np.asarray(weight)
     _check_inputs(x, weight, 3)
-    batch, c_in, dim_x = x.shape
+    dim_x = x.shape[2]
     if not (1 <= modes <= dim_x):
         raise ValueError(f"modes must be in [1, {dim_x}], got {modes}")
-    c_out = weight.shape[1]
-    dtype = np.complex64 if x.dtype in (np.float32, np.complex64) else np.complex128
-    out = np.empty((batch, c_out, dim_x), dtype=dtype)
-    for b0 in range(0, batch, signal_tile):
-        b1 = min(b0 + signal_tile, batch)
-        acc = np.zeros((b1 - b0, c_out, modes), dtype=dtype)
-        for k0 in range(0, c_in, k_tb):
-            k1 = min(k0 + k_tb, c_in)
-            a = truncated_fft(x[b0:b1, k0:k1, :], modes, axis=-1)
-            acc += np.einsum("bkm,ko->bom", a, weight[k0:k1].astype(dtype))
-        # Epilogue: pruned inverse transform of the resident C tile.
-        out[b0:b1] = truncated_ifft(acc, dim_x, axis=-1)
-    return out
+    conv = CompiledSpectralConv1D(weight, modes, k_tb, signal_tile)
+    return conv(x)
 
 
 def fused_fft_gemm_ifft_2d(
@@ -156,24 +153,5 @@ def fused_fft_gemm_ifft_2d(
         raise ValueError(
             f"modes ({modes_x}, {modes_y}) out of range for ({dim_x}, {dim_y})"
         )
-    c_out = weight.shape[1]
-    dtype = np.complex64 if x.dtype in (np.float32, np.complex64) else np.complex128
-
-    # Stage 1: width FFT with built-in truncation (writes modes_x rows).
-    xk_x = truncated_fft(x.astype(dtype, copy=False), modes_x, axis=2)
-
-    # Fused stage along Y: pencils are (batch, kept-x-row) pairs.
-    pencils = xk_x.transpose(0, 2, 1, 3).reshape(batch * modes_x, c_in, dim_y)
-    out_pencils = np.empty((batch * modes_x, c_out, dim_y), dtype=dtype)
-    for b0 in range(0, pencils.shape[0], signal_tile):
-        b1 = min(b0 + signal_tile, pencils.shape[0])
-        acc = np.zeros((b1 - b0, c_out, modes_y), dtype=dtype)
-        for k0 in range(0, c_in, k_tb):
-            k1 = min(k0 + k_tb, c_in)
-            a = truncated_fft(pencils[b0:b1, k0:k1, :], modes_y, axis=-1)
-            acc += np.einsum("bkm,ko->bom", a, weight[k0:k1].astype(dtype))
-        out_pencils[b0:b1] = truncated_ifft(acc, dim_y, axis=-1)
-
-    yk_x = out_pencils.reshape(batch, modes_x, c_out, dim_y).transpose(0, 2, 1, 3)
-    # Final stage: width iFFT with built-in zero padding.
-    return truncated_ifft(yk_x, dim_x, axis=2)
+    conv = CompiledSpectralConv2D(weight, modes_x, modes_y, k_tb, signal_tile)
+    return conv(x)

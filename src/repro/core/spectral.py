@@ -6,8 +6,12 @@ channel mixing with a shared ``(C_in, C_out)`` matrix -> zero-pad -> iFFT.
 
 ``engine`` selects the execution strategy:
 
-* ``"turbo"`` — the fused TurboFNO dataflow (:mod:`repro.core.fused`):
-  pruned transforms, no materialised full spectrum, single pass.
+* ``"turbo"`` — the fused TurboFNO dataflow (:mod:`repro.core.fused`),
+  executed by the compiled plan layer: pruned transforms, no
+  materialised full spectrum, single pass, all per-call setup amortised
+  in the global plan caches.  For repeated application of one weight
+  matrix, build a :func:`repro.core.compiled.compile_spectral_conv`
+  executor (byte-identical output, staging paid once).
 * ``"reference"`` — staged execution on this package's Stockham FFT.
 * ``"pytorch"`` — staged execution on ``numpy.fft`` with explicit
   truncation/padding copies (the baseline of §5).

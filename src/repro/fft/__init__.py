@@ -15,10 +15,24 @@ NumPy analogue of that kernel family:
   Stockham dataflow graph, reproducing Figure 5's pruning ratios
   (37.5 % of ops at 25 % truncation, 75 % at 50 %).
 * :mod:`repro.fft.twiddle` — cached twiddle-factor tables.
+* :mod:`repro.fft.compiled` — compiled plan executors (the cuFFT-style
+  plan/execute split): cached :class:`~repro.fft.compiled.CompiledFFTPlan`
+  and :class:`~repro.fft.compiled.CompiledPrunedPlan` objects with
+  pre-cast tables and reusable workspaces, optionally backed by
+  self-verifying C kernels.  The functional API above is a thin wrapper
+  over this layer; :mod:`repro.fft.legacy` preserves the original
+  per-call path as the bit-exactness oracle.
 * :mod:`repro.fft.plan` — FFT plan objects carrying the Table 1 kernel
   geometry (N1/N2 = 128/256, per-thread sizes 8/16, batch-per-block 8).
 """
 
+from repro.fft.compiled import (
+    clear_fft_plan_cache,
+    fft_plan_cache_info,
+    get_fft_plan,
+    get_pruned_plan,
+    kernels_available,
+)
 from repro.fft.opcount import butterfly_ops, pruned_fraction, PruneCensus
 from repro.fft.plan import FFTPlan
 from repro.fft.pruned import truncated_fft, truncated_ifft, zero_padded_fft
@@ -45,4 +59,9 @@ __all__ = [
     "pruned_fraction",
     "PruneCensus",
     "FFTPlan",
+    "get_fft_plan",
+    "get_pruned_plan",
+    "fft_plan_cache_info",
+    "clear_fft_plan_cache",
+    "kernels_available",
 ]

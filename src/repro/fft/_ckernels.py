@@ -1,0 +1,246 @@
+"""Build and load the compiled FFT executor kernels.
+
+The C kernels in ``_kernels.c`` are compiled on first use with the host C
+compiler into a content-addressed cache directory and loaded via
+:mod:`ctypes`.  Everything degrades gracefully: no compiler, a failed
+build, or a host whose NumPy exhibits different floating-point semantics
+all result in :func:`get_kernels` returning ``None`` and the plan layer
+falling back to the pure-NumPy execution path (same bytes, less speed).
+
+Because the kernels promise *byte-identical* results to the legacy NumPy
+path, the loader validates them at load time: each floating-point
+recurrence (FMA complex multiply, naive sequential einsum contraction,
+chained scalar scaling) is checked against NumPy on probe data, and the
+library is rejected on any mismatch.
+
+Environment knobs
+-----------------
+``REPRO_NO_CKERNELS=1``
+    Disable the C layer entirely (pure-NumPy fallback).
+``REPRO_CKERNEL_DIR``
+    Override the build cache directory (default: a per-user directory
+    under the system temp dir).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+import numpy as np
+
+__all__ = ["get_kernels", "kernels_available", "build_info"]
+
+_SOURCE = os.path.join(os.path.dirname(__file__), "_kernels.c")
+
+#: (extra cflags, description) variants tried in order.  The first set
+#: enables the per-function FMA/AVX2 target attribute on x86-64; the
+#: second compiles everything generically (explicit fma()/fmaf() calls
+#: then go through libm, which is slower but bit-exact).
+_FLAG_VARIANTS = [
+    (["-DREPRO_TARGET_FMA", "-mavx2"], "fma-target"),
+    ([], "generic"),
+]
+_BASE_CFLAGS = ["-O3", "-ffp-contract=off", "-shared", "-fPIC"]
+
+_state: dict = {"kernels": None, "tried": False, "info": "not loaded"}
+
+
+def _cache_dir() -> str:
+    override = os.environ.get("REPRO_CKERNEL_DIR")
+    if override:
+        return override
+    uid = getattr(os, "getuid", lambda: "any")()
+    return os.path.join(tempfile.gettempdir(), f"repro-ckernels-{uid}")
+
+
+def _find_cc() -> str | None:
+    for cc in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if cc and shutil.which(cc):
+            return cc
+    return None
+
+
+def _compile(cc: str, extra: list[str], tag: str) -> str | None:
+    """Compile the kernel source; return the .so path or None."""
+    with open(_SOURCE, "rb") as f:
+        source = f.read()
+    key = hashlib.sha256(
+        source + " ".join(extra).encode() + cc.encode()
+    ).hexdigest()[:16]
+    cache = _cache_dir()
+    lib_path = os.path.join(cache, f"repro_kernels_{tag}_{key}.so")
+    if os.path.exists(lib_path):
+        return lib_path
+    try:
+        os.makedirs(cache, exist_ok=True)
+        tmp = lib_path + f".tmp{os.getpid()}"
+        cmd = [cc, *_BASE_CFLAGS, *extra, "-o", tmp, _SOURCE]
+        res = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=120
+        )
+        if res.returncode != 0:
+            return None
+        os.replace(tmp, lib_path)  # atomic vs concurrent builders
+        return lib_path
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+class _Kernels:
+    """ctypes bindings for one loaded kernel library."""
+
+    def __init__(self, lib_path: str, variant: str):
+        lib = ctypes.CDLL(lib_path)
+        self.path = lib_path
+        self.variant = variant
+        self._fn = {}
+        for suffix, ct in (("f32", ctypes.c_float), ("f64", ctypes.c_double)):
+            ptr = ctypes.POINTER(ct)
+            fn = getattr(lib, f"stockham_{suffix}")
+            fn.argtypes = [ptr, ptr, ptr, ptr, ctypes.c_long, ctypes.c_long,
+                           ctypes.c_int, ct, ctypes.c_int, ct]
+            fn.restype = None
+            self._fn["stockham", suffix] = (fn, ptr, ct)
+            for name, nlong in (("panel_contract", 4), ("decomp_reduce", 3),
+                                ("expand_mul", 3)):
+                fn = getattr(lib, f"{name}_{suffix}")
+                fn.argtypes = [ptr, ptr, ptr] + [ctypes.c_long] * nlong
+                fn.restype = None
+                self._fn[name, suffix] = (fn, ptr, ct)
+
+    @staticmethod
+    def _suffix(dtype: np.dtype) -> str:
+        return "f32" if dtype == np.complex64 else "f64"
+
+    def _p(self, arr: np.ndarray, ptr_type):
+        return arr.ctypes.data_as(ptr_type)
+
+    def stockham(self, x: np.ndarray, out: np.ndarray, scratch: np.ndarray,
+                 tw: np.ndarray, rows: int, n: int,
+                 div_by: float | None, mul_by: float | None) -> None:
+        fn, ptr, ct = self._fn["stockham", self._suffix(x.dtype)]
+        fn(self._p(x, ptr), self._p(out, ptr), self._p(scratch, ptr),
+           self._p(tw, ptr), rows, n,
+           int(div_by is not None), ct(div_by if div_by is not None else 0),
+           int(mul_by is not None), ct(mul_by if mul_by is not None else 0))
+
+    def panel_contract(self, a: np.ndarray, w: np.ndarray, acc: np.ndarray,
+                       bt: int, kt: int, m: int, o: int) -> None:
+        fn, ptr, _ = self._fn["panel_contract", self._suffix(a.dtype)]
+        fn(self._p(a, ptr), self._p(w, ptr), self._p(acc, ptr), bt, kt, m, o)
+
+    def decomp_reduce(self, y: np.ndarray, wd: np.ndarray, out: np.ndarray,
+                      batch: int, p: int, q: int) -> None:
+        fn, ptr, _ = self._fn["decomp_reduce", self._suffix(y.dtype)]
+        fn(self._p(y, ptr), self._p(wd, ptr), self._p(out, ptr), batch, p, q)
+
+    def expand_mul(self, x: np.ndarray, w: np.ndarray, out: np.ndarray,
+                   batch: int, s: int, q: int) -> None:
+        fn, ptr, _ = self._fn["expand_mul", self._suffix(x.dtype)]
+        fn(self._p(x, ptr), self._p(w, ptr), self._p(out, ptr), batch, s, q)
+
+
+def _self_check(k: _Kernels) -> bool:
+    """Validate every kernel's FP semantics against NumPy on probe data.
+
+    The promise of the compiled layer is byte identity with the NumPy
+    path; any deviation (a toolchain that contracts differently, a NumPy
+    build with different complex-multiply loops) must disable it.
+    """
+    rng = np.random.default_rng(0xC0FFEE)
+    for dtype in (np.complex64, np.complex128):
+        cplx = lambda *s: (
+            rng.standard_normal(s) + 1j * rng.standard_normal(s)
+        ).astype(dtype)
+        # stockham: one span-4 stage of a 2-point pre-transformed array is
+        # awkward to probe in isolation; instead run a full length-8 FFT
+        # against the legacy NumPy stage loop.
+        from repro.fft.legacy import _stockham_last_axis
+
+        x = cplx(5, 8)
+        ref = _stockham_last_axis(x, inverse=False)
+        ref = ref / 8
+        ref = ref * 0.5
+        tw = np.concatenate(
+            [np.exp(-2j * np.pi * np.arange(h) / (2 * h)).astype(dtype)
+             for h in (1, 2, 4)]
+        )
+        # the forward reference above divides/multiplies after the loop,
+        # matching the chained-scale path of the kernel
+        out = np.empty_like(x)
+        scratch = np.empty_like(x)
+        k.stockham(x, out, scratch, np.ascontiguousarray(tw), 5, 8, 8.0, 0.5)
+        if not np.array_equal(ref.view(ref.real.dtype), out.view(out.real.dtype)):
+            return False
+        # panel contract == acc += einsum
+        a, w, acc0 = cplx(3, 4, 6), cplx(4, 5), cplx(3, 5, 6)
+        ref = acc0 + np.einsum("bkm,ko->bom", a, w)
+        got = acc0.copy()
+        k.panel_contract(a, w, got, 3, 4, 6, 5)
+        if not np.array_equal(ref.view(ref.real.dtype), got.view(got.real.dtype)):
+            return False
+        # decomp reduce == einsum "...pk,pk->...k"
+        y, wd = cplx(4, 3, 6), cplx(3, 6)
+        ref = np.einsum("...pk,pk->...k", y, wd)
+        got = np.empty((4, 6), dtype)
+        k.decomp_reduce(y, wd, got, 4, 3, 6)
+        if not np.array_equal(ref.view(ref.real.dtype), got.view(got.real.dtype)):
+            return False
+        # expand mul == x[..., None, :] * w
+        x2, w2 = cplx(4, 6), cplx(3, 6)
+        ref = x2[..., None, :] * w2
+        got = np.empty((4, 3, 6), dtype)
+        k.expand_mul(x2, w2, got, 4, 3, 6)
+        if not np.array_equal(ref.view(ref.real.dtype), got.view(got.real.dtype)):
+            return False
+    return True
+
+
+def get_kernels() -> _Kernels | None:
+    """The loaded, validated kernel bindings — or None (NumPy fallback)."""
+    if _state["tried"]:
+        return _state["kernels"]
+    _state["tried"] = True
+    if os.environ.get("REPRO_NO_CKERNELS"):
+        _state["info"] = "disabled via REPRO_NO_CKERNELS"
+        return None
+    cc = _find_cc()
+    if cc is None:
+        _state["info"] = "no C compiler found"
+        return None
+    for extra, tag in _FLAG_VARIANTS:
+        lib_path = _compile(cc, extra, tag)
+        if lib_path is None:
+            continue
+        try:
+            kernels = _Kernels(lib_path, tag)
+        except OSError:
+            continue
+        if _self_check(kernels):
+            _state["kernels"] = kernels
+            _state["info"] = f"loaded ({tag}) from {lib_path}"
+            return kernels
+        _state["info"] = f"variant {tag} failed the bit-exactness self-check"
+    return _state["kernels"]
+
+
+def kernels_available() -> bool:
+    """True when the C executor layer is active."""
+    return get_kernels() is not None
+
+
+def build_info() -> str:
+    """Human-readable status of the kernel build (for benchmarks/debug)."""
+    get_kernels()
+    return _state["info"]
+
+
+def _reset_for_tests() -> None:
+    """Forget the loaded state so tests can exercise both paths."""
+    _state.update(kernels=None, tried=False, info="not loaded")

@@ -1,0 +1,192 @@
+/* Compiled executors for the Stockham FFT plan layer.
+ *
+ * Every kernel here replays, operation for operation, the floating-point
+ * recurrences NumPy executes on the legacy functional path, so compiled
+ * plans produce byte-identical output while touching memory once per
+ * stage instead of once per ufunc:
+ *
+ *   - complex multiply (ufunc) : re = fma(ar, br, -(ai*bi))
+ *                                im = fma(ar, bi,   ai*br )
+ *     (NumPy's SIMD complex-multiply loops contract the first product
+ *     into an FMA; verified empirically for complex64 and complex128.)
+ *   - einsum contractions      : naive rounded products, contracted
+ *                                index summed sequentially from zero.
+ *   - scalar /= and *=         : independent per-component ops.
+ *
+ * The file is compiled with -ffp-contract=off and WITHOUT -mfma: GCC's
+ * vectorizer introduces FMAs into plain expressions whenever the FMA ISA
+ * is enabled globally (even under -ffp-contract=off), which would break
+ * the einsum replicas.  The kernels that *need* FMA semantics opt in
+ * per-function via the target attribute when REPRO_TARGET_FMA is set.
+ * repro.fft._ckernels self-checks every pattern against NumPy at load
+ * time and refuses the library if the host toolchain deviates.
+ */
+
+#include <math.h>
+
+#if defined(__x86_64__) && defined(REPRO_TARGET_FMA)
+#define FMA_TARGET __attribute__((target("fma,avx2")))
+#else
+#define FMA_TARGET
+#endif
+
+/* ------------------------------------------------------------------ */
+/* Stockham stage loop                                                 */
+/* ------------------------------------------------------------------ */
+
+/* Full radix-2 Stockham FFT over `rows` independent signals of length n
+ * (power of two), complex interleaved.  tw holds the concatenated
+ * per-stage half tables (n-1 complex entries, stage span 2 first).  The
+ * final stage writes `out`; `scratch` is the other ping-pong buffer.
+ * do_div/do_mul chain the legacy `out /= div_by` and `out *= mul_by`
+ * passes into the last stage's store (same roundings, one less pass). */
+#define STOCKHAM(NAME, T, FMAF)                                          \
+FMA_TARGET void NAME(const T* x, T* out, T* scratch, const T* tw,        \
+                     long rows, long n, int do_div, T div_by,            \
+                     int do_mul, T mul_by) {                             \
+    if (n == 1) {                                                        \
+        for (long i = 0; i < 2*rows; i++) {                              \
+            T v = x[i];                                                  \
+            if (do_div) v = v / div_by;                                  \
+            if (do_mul) v = v * mul_by;                                  \
+            out[i] = v;                                                  \
+        }                                                                \
+        return;                                                          \
+    }                                                                    \
+    long nstages = 0;                                                    \
+    for (long t = n; t > 1; t >>= 1) nstages++;                          \
+    T* bufs[2];                                                          \
+    if (nstages % 2 == 1) { bufs[0] = out; bufs[1] = scratch; }          \
+    else                  { bufs[0] = scratch; bufs[1] = out; }          \
+    const T* twp = tw;                                                   \
+    for (long s = 0; s < nstages; s++) {                                 \
+        long span = 2L << s;                                             \
+        long half = span >> 1;                                           \
+        long r = n / span;                                               \
+        const T* cur = (s == 0) ? x : bufs[(s+1) % 2];                   \
+        T* nxt = bufs[s % 2];                                            \
+        int last = (s == nstages - 1);                                   \
+        for (long row = 0; row < rows; row++) {                          \
+            const T* arow = cur + 2*row*n;                               \
+            const T* brow = cur + 2*row*n + n;                           \
+            T* orow = nxt + 2*row*n;                                     \
+            for (long rr = 0; rr < r; rr++) {                            \
+                const T* ap = arow + 2*rr*half;                          \
+                const T* bp = brow + 2*rr*half;                          \
+                T* op0 = orow + 2*rr*span;                               \
+                T* op1 = op0 + span;                                     \
+                for (long j = 0; j < half; j++) {                        \
+                    T wr = twp[2*j], wi = twp[2*j+1];                    \
+                    T br = bp[2*j], bi = bp[2*j+1];                      \
+                    T wbr = FMAF(wr, br, -(wi*bi));                      \
+                    T wbi = FMAF(wr, bi, wi*br);                         \
+                    T ar = ap[2*j], ai = ap[2*j+1];                      \
+                    T pr = ar + wbr, pi = ai + wbi;                      \
+                    T mr = ar - wbr, mi = ai - wbi;                      \
+                    if (last) {                                          \
+                        if (do_div) {                                    \
+                            pr /= div_by; pi /= div_by;                  \
+                            mr /= div_by; mi /= div_by;                  \
+                        }                                                \
+                        if (do_mul) {                                    \
+                            pr *= mul_by; pi *= mul_by;                  \
+                            mr *= mul_by; mi *= mul_by;                  \
+                        }                                                \
+                    }                                                    \
+                    op0[2*j] = pr; op0[2*j+1] = pi;                      \
+                    op1[2*j] = mr; op1[2*j+1] = mi;                      \
+                }                                                        \
+            }                                                            \
+        }                                                                \
+        twp += 2*half;                                                   \
+    }                                                                    \
+}
+
+STOCKHAM(stockham_f32, float, fmaf)
+STOCKHAM(stockham_f64, double, fma)
+
+/* ------------------------------------------------------------------ */
+/* einsum replicas (naive products, sequential contraction)            */
+/* ------------------------------------------------------------------ */
+
+/* acc[b,o,m] += sum_k a[b,k,m] * w[k,o]
+ * == `acc += np.einsum("bkm,ko->bom", a, w)`: the panel sum is formed
+ * from zero with naive rounded products, then added into acc. */
+#define PANEL_CONTRACT(NAME, T)                                          \
+void NAME(const T* a, const T* w, T* acc,                                \
+          long bt, long kt, long m, long o) {                            \
+    for (long b = 0; b < bt; b++) {                                      \
+        const T* ab = a + 2*b*kt*m;                                      \
+        T* accb = acc + 2*b*o*m;                                         \
+        for (long oo = 0; oo < o; oo++) {                                \
+            T* accp = accb + 2*oo*m;                                     \
+            for (long mm = 0; mm < m; mm++) {                            \
+                T tr = 0, ti = 0;                                        \
+                for (long k = 0; k < kt; k++) {                          \
+                    const T* ap = ab + 2*(k*m + mm);                     \
+                    T wr = w[2*(k*o+oo)], wi = w[2*(k*o+oo)+1];          \
+                    T ar = ap[0], ai = ap[1];                            \
+                    tr += ar*wr - ai*wi;                                 \
+                    ti += ar*wi + ai*wr;                                 \
+                }                                                        \
+                accp[2*mm]   += tr;                                      \
+                accp[2*mm+1] += ti;                                      \
+            }                                                            \
+        }                                                                \
+    }                                                                    \
+}
+
+PANEL_CONTRACT(panel_contract_f32, float)
+PANEL_CONTRACT(panel_contract_f64, double)
+
+/* out[B,q] = sum_p y[B,p,q] * wd[p,q]
+ * == `np.einsum("...pk,pk->...k", y, wd)`. */
+#define DECOMP_REDUCE(NAME, T)                                           \
+void NAME(const T* y, const T* wd, T* out, long B, long p, long q) {     \
+    for (long b = 0; b < B; b++) {                                       \
+        const T* yb = y + 2*b*p*q;                                       \
+        T* ob = out + 2*b*q;                                             \
+        for (long k = 0; k < q; k++) {                                   \
+            T tr = 0, ti = 0;                                            \
+            for (long pp = 0; pp < p; pp++) {                            \
+                T yr = yb[2*(pp*q+k)], yi = yb[2*(pp*q+k)+1];            \
+                T wr = wd[2*(pp*q+k)], wi = wd[2*(pp*q+k)+1];            \
+                tr += yr*wr - yi*wi;                                     \
+                ti += yr*wi + yi*wr;                                     \
+            }                                                            \
+            ob[2*k] = tr; ob[2*k+1] = ti;                                \
+        }                                                                \
+    }                                                                    \
+}
+
+DECOMP_REDUCE(decomp_reduce_f32, float)
+DECOMP_REDUCE(decomp_reduce_f64, double)
+
+/* ------------------------------------------------------------------ */
+/* Broadcast multiply (ufunc complex-multiply semantics)               */
+/* ------------------------------------------------------------------ */
+
+/* out[B,s,q] = x[B,q] * w[s,q] with x as the FIRST ufunc operand:
+ * re = fma(xr, wr, -(xi*wi)), im = fma(xr, wi, xi*wr).  This is the
+ * `moved[..., None, :] * w` expansion of the pruned transforms. */
+#define EXPAND_MUL(NAME, T, FMAF)                                        \
+FMA_TARGET void NAME(const T* x, const T* w, T* out,                     \
+                     long B, long s, long q) {                           \
+    for (long b = 0; b < B; b++) {                                       \
+        const T* xb = x + 2*b*q;                                         \
+        T* ob = out + 2*b*s*q;                                           \
+        for (long ss = 0; ss < s; ss++) {                                \
+            const T* wp = w + 2*ss*q;                                    \
+            T* op = ob + 2*ss*q;                                         \
+            for (long k = 0; k < q; k++) {                               \
+                T xr = xb[2*k], xi = xb[2*k+1];                          \
+                T wr = wp[2*k], wi = wp[2*k+1];                          \
+                op[2*k]   = FMAF(xr, wr, -(xi*wi));                      \
+                op[2*k+1] = FMAF(xr, wi, xi*wr);                         \
+            }                                                            \
+        }                                                                \
+    }                                                                    \
+}
+
+EXPAND_MUL(expand_mul_f32, float, fmaf)
+EXPAND_MUL(expand_mul_f64, double, fma)

@@ -1,0 +1,457 @@
+"""Compiled FFT plan executors: the package's analogue of cuFFT plans.
+
+cuFFT amortises setup by splitting work into *plan creation* (twiddle
+tables, workspace sizing, kernel selection — paid once) and *execution*
+(paid per call).  The legacy functional path here paid everything per
+call: every ``fft()`` re-cast its twiddle tables to the working dtype,
+allocated a fresh ping-pong buffer per Stockham stage, and every pruned
+transform re-cast its decomposition tables.  This module introduces the
+same plan/execute split for the NumPy substrate:
+
+:class:`CompiledFFTPlan`
+    Keyed on ``(length, dtype, direction)``.  Owns the pre-cast,
+    concatenated stage-twiddle table and reusable ping-pong workspaces,
+    and executes the whole Stockham stage loop in one call — through the
+    C executor kernels (:mod:`repro.fft._ckernels`) when a host compiler
+    is available, through a buffered NumPy loop otherwise.
+
+:class:`CompiledPrunedPlan`
+    Keyed on ``(length, split, dtype, kind)`` for the three transform-
+    decomposition variants (output truncation, input zero-padding, and
+    the padded inverse).  Owns the pre-cast decomposition twiddles, the
+    gather/expand workspaces, and the sub-transform's
+    :class:`CompiledFFTPlan`.
+
+Plans live in process-wide caches (:func:`get_fft_plan`,
+:func:`get_pruned_plan`): two requests with the same key return the
+*same plan object*, so workspaces and tables are shared exactly like
+cuFFT plan handles.  The functional API (:mod:`repro.fft.stockham`,
+:mod:`repro.fft.pruned`) is now a thin wrapper over these caches.
+
+Everything produced by a compiled plan is **byte-identical** to the
+legacy per-call path (:mod:`repro.fft.legacy`): the C kernels replay
+NumPy's exact floating-point recurrences (see ``_kernels.c``) and are
+self-checked against NumPy at load time.  Property tests enforce the
+bit-equality across dtypes, axes, layouts and truncation splits.
+
+Plans serialise their execution with an internal lock (the C kernels
+release the GIL), so sharing the global caches across threads is safe,
+if not parallel.
+"""
+
+from __future__ import annotations
+
+import threading
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.dtypes import complex_dtype_for
+from repro.fft._ckernels import get_kernels, kernels_available
+from repro.fft.twiddle import decomposition_twiddles, stage_twiddles
+
+__all__ = [
+    "CompiledFFTPlan",
+    "CompiledPrunedPlan",
+    "get_fft_plan",
+    "get_pruned_plan",
+    "fft_plan_cache_info",
+    "clear_fft_plan_cache",
+    "kernels_available",
+    "panel_contract",
+    "decomp_reduce",
+    "expand_mul",
+    "workspace_empty",
+    "workspace_zeros",
+]
+
+#: Cached plans per (n, dtype, direction) / (n, part, dtype, kind).  A
+#: full figure sweep touches a handful of lengths; 256 is generous.
+FFT_PLAN_CACHE_SIZE = 256
+
+#: Largest per-buffer workspace (bytes) a cached plan will *retain*.
+#: Plans live in process-wide caches, so their workspaces outlive calls;
+#: batches needing more than this get a fresh temporary instead, keeping
+#: resident memory bounded no matter how large one call was.
+WORKSPACE_RETAIN_BYTES = 64 * 1024 * 1024
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+# ---------------------------------------------------------------------------
+# Kernel helpers with bit-exact NumPy fallbacks
+# ---------------------------------------------------------------------------
+
+def panel_contract(a: np.ndarray, w: np.ndarray, acc: np.ndarray) -> None:
+    """``acc += einsum("bkm,ko->bom", a, w)`` (contiguous operands)."""
+    k = get_kernels()
+    bt, kt, m = a.shape
+    o = w.shape[1]
+    if k is not None:
+        k.panel_contract(a, w, acc, bt, kt, m, o)
+    else:
+        acc += np.einsum("bkm,ko->bom", a, w)
+
+
+def decomp_reduce(y: np.ndarray, wd: np.ndarray, out: np.ndarray) -> None:
+    """``out[...] = einsum("bpk,pk->bk", y, wd)`` (contiguous operands)."""
+    k = get_kernels()
+    batch, p, q = y.shape
+    if k is not None:
+        k.decomp_reduce(y, wd, out, batch, p, q)
+    else:
+        np.einsum("bpk,pk->bk", y, wd, out=out)
+
+
+def expand_mul(x: np.ndarray, wd: np.ndarray, out: np.ndarray) -> None:
+    """``out[...] = x[:, None, :] * wd`` (contiguous operands)."""
+    k = get_kernels()
+    batch, q = x.shape
+    s = wd.shape[0]
+    if k is not None:
+        k.expand_mul(x, wd, out, batch, s, q)
+    else:
+        np.multiply(x[:, None, :], wd, out=out)
+
+
+# ---------------------------------------------------------------------------
+# FFT plans
+# ---------------------------------------------------------------------------
+
+class CompiledFFTPlan:
+    """One direction of one transform length in one precision.
+
+    Execution operates on a C-contiguous ``(rows, n)`` array of the
+    plan's dtype and returns a new (or caller-provided) array of the
+    same shape.  ``div_by``/``mul_by`` chain the inverse normalisation
+    and the pruned-inverse rescale into the final stage — the same two
+    roundings the legacy path applied in separate passes.
+    """
+
+    def __init__(self, n: int, dtype: np.dtype, inverse: bool):
+        if not _is_power_of_two(n):
+            raise ValueError(f"n must be a power of two, got {n}")
+        self.n = n
+        self.dtype = np.dtype(dtype)
+        self.inverse = inverse
+        # Per-stage tables (NumPy path) and their concatenation (C path),
+        # pre-cast once at plan time.
+        self._stage_tw: list[np.ndarray] = []
+        span = 2
+        while span <= n:
+            w = stage_twiddles(span, inverse=inverse).astype(self.dtype)
+            w.setflags(write=False)
+            self._stage_tw.append(w)
+            span *= 2
+        if self._stage_tw:
+            self._tw_concat = np.ascontiguousarray(
+                np.concatenate(self._stage_tw)
+            )
+        else:  # n == 1
+            self._tw_concat = np.zeros(0, self.dtype)
+        self._lock = threading.Lock()
+        self._scratch = np.zeros(0, self.dtype)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        d = "ifft" if self.inverse else "fft"
+        return f"CompiledFFTPlan({d}, n={self.n}, {self.dtype.name})"
+
+    def _scratch_for(self, size: int) -> np.ndarray:
+        if self._scratch.size < size:
+            if size * self.dtype.itemsize > WORKSPACE_RETAIN_BYTES:
+                return np.empty(size, self.dtype)  # too big to keep
+            self._scratch = np.empty(size, self.dtype)
+        return self._scratch
+
+    def execute(
+        self,
+        flat: np.ndarray,
+        out: np.ndarray | None = None,
+        div_by: float | None = None,
+        mul_by: float | None = None,
+    ) -> np.ndarray:
+        """Transform every row of a contiguous ``(rows, n)`` array."""
+        rows, n = flat.shape
+        if out is None:
+            out = np.empty((rows, n), self.dtype)
+        with self._lock:
+            kernels = get_kernels()
+            if kernels is not None:
+                scratch = self._scratch_for(rows * n)
+                kernels.stockham(
+                    flat, out, scratch, self._tw_concat, rows, n,
+                    div_by, mul_by,
+                )
+            else:
+                self._execute_numpy(flat, out, div_by, mul_by)
+        return out
+
+    def _execute_numpy(self, flat, out, div_by, mul_by) -> None:
+        """Buffered NumPy stage loop (bit-identical to the legacy path,
+        minus the per-call twiddle casts and buffer churn)."""
+        rows, n = flat.shape
+        if n == 1:
+            np.copyto(out, flat)
+        else:
+            cur = flat
+            for s, w in enumerate(self._stage_tw):
+                span = 2 << s
+                half = span // 2
+                r = n // span
+                a = cur[:, : n // 2].reshape(rows, r, half)
+                b = cur[:, n // 2 :].reshape(rows, r, half)
+                wb = w * b
+                nxt = out if s == len(self._stage_tw) - 1 else np.empty(
+                    (rows, n), self.dtype
+                )
+                nv = nxt.reshape(rows, r, span)
+                np.add(a, wb, out=nv[:, :, :half])
+                np.subtract(a, wb, out=nv[:, :, half:])
+                cur = nxt
+        if div_by is not None:
+            out /= div_by
+        if mul_by is not None:
+            out *= mul_by
+
+
+# ---------------------------------------------------------------------------
+# Pruned-transform plans
+# ---------------------------------------------------------------------------
+
+class CompiledPrunedPlan:
+    """One transform-decomposition split in one precision.
+
+    ``kind`` selects the dataflow: ``"trunc"`` (first ``part`` outputs),
+    ``"pad"`` (``part`` live inputs, zero-padded to ``n``) or
+    ``"itrunc"`` (``part`` spectrum bins in, length-``n`` signal out).
+    ``part == n`` degenerates to the plain transform.
+    """
+
+    def __init__(self, n: int, part: int, dtype: np.dtype, kind: str):
+        if kind not in ("trunc", "pad", "itrunc"):
+            raise ValueError(f"unknown pruned-plan kind {kind!r}")
+        self.n = n
+        self.part = part
+        self.dtype = np.dtype(dtype)
+        self.kind = kind
+        self.split = n // part  # P (trunc) or S (pad/itrunc)
+        inverse = kind == "itrunc"
+        self._fft = get_fft_plan(part, dtype, inverse)
+        if part < n:
+            wd = decomposition_twiddles(n, self.split, part, inverse=inverse)
+            self._wd = np.ascontiguousarray(wd.astype(self.dtype))
+            self._wd.setflags(write=False)
+        else:
+            self._wd = None
+        self._lock = threading.Lock()
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledPrunedPlan({self.kind}, n={self.n}, part={self.part}, "
+            f"{self.dtype.name})"
+        )
+
+    def _ws(self, name: str, size: int) -> np.ndarray:
+        buf = self._buffers.get(name)
+        if buf is None or buf.size < size:
+            buf = np.empty(size, self.dtype)
+            if size * self.dtype.itemsize <= WORKSPACE_RETAIN_BYTES:
+                self._buffers[name] = buf  # else: one-shot temporary
+        return buf
+
+    # -- axis-last entry point (callers have already done moveaxis) ----
+
+    def apply(self, moved: np.ndarray) -> np.ndarray:
+        """Run the pruned transform over the last axis of ``moved``."""
+        lead = moved.shape[:-1]
+        batch = 1
+        for d in lead:
+            batch *= d
+        if self.kind == "trunc":
+            out = self._trunc(moved, lead, batch)
+        elif self.kind == "pad":
+            out = self._pad(moved, lead, batch)
+        else:
+            out = self._itrunc(moved, lead, batch)
+        return out
+
+    def _full_flat(self, moved, batch, n):
+        """Gather+cast an arbitrary-layout (..., n) array to (batch, n)."""
+        buf = self._ws("gather", batch * n)[: batch * n]
+        view = buf.reshape(*moved.shape[:-1], n)
+        view[...] = moved
+        return buf.reshape(batch, n)
+
+    def _trunc(self, moved, lead, batch):
+        n, q, p = self.n, self.part, self.split
+        if p == 1:
+            flat = self._full_flat(moved, batch, n)
+            with self._lock:
+                out = self._fft.execute(flat)
+            return out.reshape(*lead, n)
+        with self._lock:
+            # Gather the P subsequences: buf[b, p, k] = moved[b, k*P + p].
+            buf = self._ws("gather", batch * n)
+            bview = buf[: batch * n].reshape(*lead, p, q)
+            bview[...] = np.swapaxes(moved.reshape(*lead, q, p), -1, -2)
+            fbuf = self._ws("fft", batch * n)[: batch * n].reshape(-1, q)
+            self._fft.execute(buf[: batch * n].reshape(batch * p, q), out=fbuf)
+            out = np.empty((batch, q), self.dtype)
+            decomp_reduce(fbuf.reshape(batch, p, q), self._wd, out)
+        return out.reshape(*lead, q)
+
+    def _pad(self, moved, lead, batch):
+        n, live, s = self.n, self.part, self.split
+        if s == 1:
+            flat = self._full_flat(moved, batch, n)
+            with self._lock:
+                out = self._fft.execute(flat)
+            return out.reshape(*lead, n)
+        with self._lock:
+            flat = self._full_flat(moved, batch, live)
+            sc = self._ws("scaled", batch * n)[: batch * n]
+            expand_mul(flat, self._wd, sc.reshape(batch, s, live))
+            y = self._fft.execute(sc.reshape(batch * s, live))
+        out = np.empty((*lead, n), self.dtype)
+        # Interleave: out[..., ss + s*t] = y[..., ss, t].
+        out.reshape(*lead, live, s)[...] = np.swapaxes(
+            y.reshape(*lead, s, live), -1, -2
+        )
+        return out
+
+    def _itrunc(self, moved, lead, batch):
+        n, live, s = self.n, self.part, self.split
+        if s == 1:
+            flat = self._full_flat(moved, batch, n)
+            with self._lock:
+                out = self._fft.execute(flat, div_by=float(n))
+            return out.reshape(*lead, n)
+        with self._lock:
+            flat = self._full_flat(moved, batch, live)
+            sc = self._ws("scaled", batch * n)[: batch * n]
+            expand_mul(flat, self._wd, sc.reshape(batch, s, live))
+            y = self._fft.execute(
+                sc.reshape(batch * s, live),
+                div_by=float(live),
+                mul_by=float(live / n),
+            )
+        out = np.empty((*lead, n), self.dtype)
+        out.reshape(*lead, live, s)[...] = np.swapaxes(
+            y.reshape(*lead, s, live), -1, -2
+        )
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Global plan caches
+# ---------------------------------------------------------------------------
+
+@lru_cache(maxsize=FFT_PLAN_CACHE_SIZE)
+def _fft_plan_cached(n: int, dtype: np.dtype, inverse: bool) -> CompiledFFTPlan:
+    return CompiledFFTPlan(n, dtype, inverse)
+
+
+@lru_cache(maxsize=FFT_PLAN_CACHE_SIZE)
+def _pruned_plan_cached(
+    n: int, part: int, dtype: np.dtype, kind: str
+) -> CompiledPrunedPlan:
+    return CompiledPrunedPlan(n, part, dtype, kind)
+
+
+def get_fft_plan(
+    n: int, dtype=np.complex64, inverse: bool = False
+) -> CompiledFFTPlan:
+    """The cached plan for a length-``n`` transform.
+
+    ``dtype`` may be any input dtype; it is normalised to the complex
+    working precision, so e.g. float32 and complex64 share one plan.
+    """
+    return _fft_plan_cached(int(n), complex_dtype_for(dtype), bool(inverse))
+
+
+def get_pruned_plan(
+    n: int, part: int, dtype=np.complex64, kind: str = "trunc"
+) -> CompiledPrunedPlan:
+    """The cached plan for one pruned-transform split (see class docs)."""
+    return _pruned_plan_cached(int(n), int(part), complex_dtype_for(dtype), kind)
+
+
+def fft_plan_cache_info():
+    """Cache statistics: (fft plans, pruned plans)."""
+    return _fft_plan_cached.cache_info(), _pruned_plan_cached.cache_info()
+
+
+def clear_fft_plan_cache() -> None:
+    """Drop every cached plan and its workspaces."""
+    _fft_plan_cached.cache_clear()
+    _pruned_plan_cached.cache_clear()
+
+
+# ---------------------------------------------------------------------------
+# Workspace arena (reusable scratch for staged pipelines)
+# ---------------------------------------------------------------------------
+
+#: Scratch buffers keyed on (shape, dtype), LRU-bounded and *per
+#: thread* (so reentrant callers can never hand two threads the same
+#: buffer).  For pipeline stages whose temporaries never escape (e.g.
+#: the baseline's truncation copy and zero-pad buffer).  Buffers are
+#: reused across calls: never return one to a caller and never hold one
+#: across another request of the same key.
+_ARENA_MAX_ENTRIES = 16
+_arena_tls = threading.local()
+
+
+def workspace_empty(tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+    """A reusable uninitialised buffer of the requested geometry.
+
+    ``tag`` names the usage site: two buffers live simultaneously only
+    if their tags differ, so every concurrent temporary of one pipeline
+    needs its own tag.  Arenas are thread-local.
+    """
+    arena = getattr(_arena_tls, "bufs", None)
+    if arena is None:
+        arena = _arena_tls.bufs = {}
+    key = (tag, tuple(shape), np.dtype(dtype))
+    buf = arena.pop(key, None)
+    if buf is None:
+        buf = np.empty(key[1], key[2])
+        if len(arena) >= _ARENA_MAX_ENTRIES:
+            # Evict the stalest entry (insertion order = recency).
+            arena.pop(next(iter(arena)), None)
+    arena[key] = buf
+    return buf
+
+
+def workspace_zeros(tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+    """A reusable zero-filled buffer of the requested geometry."""
+    buf = workspace_empty(tag, shape, dtype)
+    buf[...] = 0
+    return buf
+
+
+# ---------------------------------------------------------------------------
+# Functional execution (the bodies of repro.fft.stockham / .pruned)
+# ---------------------------------------------------------------------------
+
+def execute_fft(x: np.ndarray, axis: int, inverse: bool) -> np.ndarray:
+    """Plan-backed ``fft``/``ifft`` along ``axis`` (validation upstream)."""
+    n = x.shape[axis]
+    dtype = complex_dtype_for(x.dtype)
+    moved = np.moveaxis(x, axis, -1)
+    flat = np.ascontiguousarray(moved.reshape(-1, n)).astype(dtype, copy=False)
+    plan = get_fft_plan(n, dtype, inverse)
+    out = plan.execute(flat, div_by=float(n) if inverse else None)
+    return np.moveaxis(out.reshape(moved.shape), -1, axis)
+
+
+def execute_pruned(
+    x: np.ndarray, n: int, part: int, axis: int, kind: str
+) -> np.ndarray:
+    """Plan-backed pruned transform along ``axis`` (validation upstream)."""
+    plan = get_pruned_plan(n, part, x.dtype, kind)
+    moved = np.moveaxis(x, axis, -1)
+    out = plan.apply(moved)
+    return np.moveaxis(out, -1, axis)

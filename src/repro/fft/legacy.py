@@ -1,0 +1,172 @@
+"""Frozen pre-compiled-layer FFT implementations (the seed code).
+
+These are the original pure-NumPy functional paths, kept verbatim as
+
+* the **benchmark baseline** for ``benchmarks/bench_compiled_vs_legacy.py``
+  (the "before" series the compiled executors are measured against), and
+* the **bit-exactness oracle** for the property tests: every compiled
+  plan must reproduce these outputs byte for byte.
+
+Do not optimise this module — its value is that it does *not* change.
+The public API (:mod:`repro.fft.stockham`, :mod:`repro.fft.pruned`) is
+now served by :mod:`repro.fft.compiled`; nothing outside benchmarks and
+tests should import this module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dtypes import complex_dtype_for
+from repro.fft.twiddle import decomposition_twiddles, stage_twiddles
+
+__all__ = [
+    "fft",
+    "ifft",
+    "fft2",
+    "ifft2",
+    "truncated_fft",
+    "zero_padded_fft",
+    "truncated_ifft",
+]
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+def _check_length(n: int) -> None:
+    if not _is_power_of_two(n):
+        raise ValueError(
+            f"Stockham FFT requires a power-of-two length, got {n}; "
+            "use repro.fft.reference.dft for arbitrary lengths"
+        )
+
+
+def _stockham_last_axis(x: np.ndarray, inverse: bool) -> np.ndarray:
+    """Stockham FFT over the last axis of a 2-D ``(batch, N)`` array.
+
+    One fresh ping-pong buffer and one freshly cast twiddle table per
+    stage — exactly the per-call costs the compiled plans amortise.
+    """
+    batch, n = x.shape
+    if n == 1:
+        return x.copy()
+    out_dtype = x.dtype
+    cur = x
+    span = 2
+    while span <= n:
+        half = span // 2
+        r = n // span
+        w = stage_twiddles(span, inverse=inverse).astype(out_dtype)
+        a = cur[:, : n // 2].reshape(batch, r, half)
+        b = cur[:, n // 2 :].reshape(batch, r, half)
+        wb = w * b
+        nxt = np.empty((batch, r, span), dtype=out_dtype)
+        nxt[:, :, :half] = a + wb
+        nxt[:, :, half:] = a - wb
+        cur = nxt.reshape(batch, n)
+        span *= 2
+    return cur
+
+
+def fft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Forward FFT along ``axis`` (legacy per-call execution)."""
+    x = np.asarray(x)
+    n = x.shape[axis]
+    _check_length(n)
+    dtype = complex_dtype_for(x.dtype)
+    moved = np.moveaxis(x, axis, -1)
+    flat = np.ascontiguousarray(moved.reshape(-1, n)).astype(dtype, copy=False)
+    out = _stockham_last_axis(flat, inverse=False)
+    return np.moveaxis(out.reshape(moved.shape), -1, axis)
+
+
+def ifft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Inverse FFT along ``axis`` (includes the ``1/N`` normalisation)."""
+    x = np.asarray(x)
+    n = x.shape[axis]
+    _check_length(n)
+    dtype = complex_dtype_for(x.dtype)
+    moved = np.moveaxis(x, axis, -1)
+    flat = np.ascontiguousarray(moved.reshape(-1, n)).astype(dtype, copy=False)
+    out = _stockham_last_axis(flat, inverse=True)
+    out /= n
+    return np.moveaxis(out.reshape(moved.shape), -1, axis)
+
+
+def fft2(x: np.ndarray, axes: tuple[int, int] = (-2, -1)) -> np.ndarray:
+    """2-D FFT as two 1-D Stockham stages."""
+    if len(axes) != 2 or axes[0] == axes[1]:
+        raise ValueError(f"axes must be two distinct axes, got {axes}")
+    return fft(fft(x, axis=axes[1]), axis=axes[0])
+
+
+def ifft2(x: np.ndarray, axes: tuple[int, int] = (-2, -1)) -> np.ndarray:
+    """2-D inverse FFT as two 1-D stages."""
+    if len(axes) != 2 or axes[0] == axes[1]:
+        raise ValueError(f"axes must be two distinct axes, got {axes}")
+    return ifft(ifft(x, axis=axes[1]), axis=axes[0])
+
+
+def _validate_split(n: int, part: int, what: str) -> None:
+    if not _is_power_of_two(n):
+        raise ValueError(f"transform length must be a power of two, got {n}")
+    if not _is_power_of_two(part):
+        raise ValueError(f"{what} must be a power of two, got {part}")
+    if not (1 <= part <= n):
+        raise ValueError(f"{what} must be in [1, {n}], got {part}")
+
+
+def truncated_fft(x: np.ndarray, n_keep: int, axis: int = -1) -> np.ndarray:
+    """First ``n_keep`` FFT outputs via transform decomposition (legacy)."""
+    x = np.asarray(x)
+    n = x.shape[axis]
+    _validate_split(n, n_keep, "n_keep")
+    if n_keep == n:
+        return fft(x, axis=axis)
+    moved = np.moveaxis(x, axis, -1)
+    p = n // n_keep
+    sub = moved.reshape(*moved.shape[:-1], n_keep, p)
+    sub = np.moveaxis(sub, -1, -2)  # (..., P, Q)
+    y = fft(sub, axis=-1)
+    w = decomposition_twiddles(n, p, n_keep).astype(y.dtype)
+    out = np.einsum("...pk,pk->...k", y, w)
+    return np.moveaxis(out, -1, axis)
+
+
+def zero_padded_fft(x: np.ndarray, n_out: int, axis: int = -1) -> np.ndarray:
+    """FFT of ``x`` zero-padded to ``n_out`` without touching zeros."""
+    x = np.asarray(x)
+    n_live = x.shape[axis]
+    _validate_split(n_out, n_live, "input length")
+    if n_live == n_out:
+        return fft(x, axis=axis)
+    moved = np.moveaxis(x, axis, -1)
+    s = n_out // n_live
+    w = decomposition_twiddles(n_out, s, n_live).astype(
+        complex_dtype_for(moved.dtype)
+    )
+    scaled = moved[..., None, :] * w  # (..., S, L)
+    y = fft(scaled, axis=-1)
+    out = np.moveaxis(y, -2, -1).reshape(*moved.shape[:-1], n_out)
+    return np.moveaxis(out, -1, axis)
+
+
+def truncated_ifft(xk: np.ndarray, n_out: int, axis: int = -1) -> np.ndarray:
+    """Inverse FFT of a truncated spectrum, zero-padded to ``n_out``."""
+    xk = np.asarray(xk)
+    n_live = xk.shape[axis]
+    _validate_split(n_out, n_live, "spectrum length")
+    if n_live == n_out:
+        return ifft(xk, axis=axis)
+    moved = np.moveaxis(xk, axis, -1)
+    s = n_out // n_live
+    w = decomposition_twiddles(n_out, s, n_live, inverse=True).astype(
+        complex_dtype_for(moved.dtype)
+    )
+    scaled = moved[..., None, :] * w  # (..., S, L)
+    y = ifft(scaled, axis=-1)  # includes 1/L; we need 1/n_out overall
+    y *= n_live / n_out
+    out = np.moveaxis(y, -2, -1).reshape(*moved.shape[:-1], n_out)
+    return np.moveaxis(out, -1, axis)

@@ -23,6 +23,7 @@ The census feeds the execution model: FFT FLOPs are the textbook
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -109,12 +110,19 @@ def _stage_wiring(n: int, span: int) -> tuple[np.ndarray, np.ndarray]:
     return src_a, src_b
 
 
+@lru_cache(maxsize=4096)
 def census(
     n: int,
     keep_out: int | None = None,
     nonzero_in: int | None = None,
 ) -> PruneCensus:
     """Census the surviving butterfly ops of an n-point Stockham FFT.
+
+    The census is a pure function of ``(n, keep_out, nonzero_in)`` and a
+    figure sweep asks for the same handful of truncation splits
+    thousands of times, so results are cached — part of the compiled
+    plan layer's "pay setup once" discipline.  :class:`PruneCensus` is
+    frozen; treat cached instances as shared and immutable.
 
     Parameters
     ----------

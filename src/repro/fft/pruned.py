@@ -16,17 +16,21 @@ decomposition (a.k.a. FFT pruning):
 * ``truncated_ifft``: the inverse-side dual (zero-padded spectrum in,
   full-length signal out), which is exactly FNO's Step 4+5.
 
-All three are numerically identical to "full transform + slice/pad"
-(property-tested), while doing the reduced work the paper's pruning
-strategy claims.
+Each (length, split, dtype) decomposition is served by a cached
+:class:`repro.fft.compiled.CompiledPrunedPlan` holding the pre-cast
+decomposition twiddles and reusable gather/expand workspaces — the
+legacy per-call path re-cast the tables on every invocation.  Outputs
+are byte-identical to it (property-tested against
+:mod:`repro.fft.legacy`), while doing the reduced work the paper's
+pruning strategy claims.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.fft.compiled import execute_pruned
 from repro.fft.stockham import fft, ifft, is_power_of_two
-from repro.fft.twiddle import decomposition_twiddles
 
 __all__ = ["truncated_fft", "zero_padded_fft", "truncated_ifft"]
 
@@ -51,15 +55,7 @@ def truncated_fft(x: np.ndarray, n_keep: int, axis: int = -1) -> np.ndarray:
     _validate_split(n, n_keep, "n_keep")
     if n_keep == n:
         return fft(x, axis=axis)
-    moved = np.moveaxis(x, axis, -1)
-    p = n // n_keep
-    # (batch..., P, Q): subsequence p is x[p::P].
-    sub = moved.reshape(*moved.shape[:-1], n_keep, p)
-    sub = np.moveaxis(sub, -1, -2)  # (..., P, Q)
-    y = fft(sub, axis=-1)
-    w = decomposition_twiddles(n, p, n_keep).astype(y.dtype)
-    out = np.einsum("...pk,pk->...k", y, w)
-    return np.moveaxis(out, -1, axis)
+    return execute_pruned(x, n, n_keep, axis, "trunc")
 
 
 def zero_padded_fft(x: np.ndarray, n_out: int, axis: int = -1) -> np.ndarray:
@@ -73,17 +69,7 @@ def zero_padded_fft(x: np.ndarray, n_out: int, axis: int = -1) -> np.ndarray:
     _validate_split(n_out, n_live, "input length")
     if n_live == n_out:
         return fft(x, axis=axis)
-    moved = np.moveaxis(x, axis, -1)
-    s = n_out // n_live
-    # Scale by W_N^{s*n} for every output residue s, then L-point FFTs.
-    w = decomposition_twiddles(n_out, s, n_live).astype(
-        np.complex64 if moved.dtype in (np.float32, np.complex64) else np.complex128
-    )
-    scaled = moved[..., None, :] * w  # (..., S, L)
-    y = fft(scaled, axis=-1)  # (..., S, L)
-    # Interleave: out[s + S*t] = y[s, t].
-    out = np.moveaxis(y, -2, -1).reshape(*moved.shape[:-1], n_out)
-    return np.moveaxis(out, -1, axis)
+    return execute_pruned(x, n_out, n_live, axis, "pad")
 
 
 def truncated_ifft(xk: np.ndarray, n_out: int, axis: int = -1) -> np.ndarray:
@@ -98,13 +84,4 @@ def truncated_ifft(xk: np.ndarray, n_out: int, axis: int = -1) -> np.ndarray:
     _validate_split(n_out, n_live, "spectrum length")
     if n_live == n_out:
         return ifft(xk, axis=axis)
-    moved = np.moveaxis(xk, axis, -1)
-    s = n_out // n_live
-    w = decomposition_twiddles(n_out, s, n_live, inverse=True).astype(
-        np.complex64 if moved.dtype in (np.float32, np.complex64) else np.complex128
-    )
-    scaled = moved[..., None, :] * w  # (..., S, L)
-    y = ifft(scaled, axis=-1)  # includes 1/L; we need 1/n_out overall
-    y *= n_live / n_out
-    out = np.moveaxis(y, -2, -1).reshape(*moved.shape[:-1], n_out)
-    return np.moveaxis(out, -1, axis)
+    return execute_pruned(xk, n_out, n_live, axis, "itrunc")

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.dtypes import complex_dtype_for
 from repro.fft.stockham import is_power_of_two
 from repro.fft.twiddle import twiddles
 
@@ -87,7 +88,7 @@ def _transform(x: np.ndarray, axis: int, inverse: bool) -> np.ndarray:
     n = x.shape[axis]
     if not is_power_of_two(n):
         raise ValueError(f"length must be a power of two, got {n}")
-    dtype = np.complex64 if x.dtype in (np.float32, np.complex64) else np.complex128
+    dtype = complex_dtype_for(x.dtype)
     moved = np.moveaxis(x, axis, -1)
     cur = np.ascontiguousarray(moved.reshape(-1, n)).astype(dtype, copy=True)
     sign = +1.0 if inverse else -1.0

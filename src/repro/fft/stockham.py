@@ -7,10 +7,12 @@ permutation: every stage reads two contiguous halves and writes an
 interleaved, already-ordered array.  That property is what lets the fused
 kernel hand its output tile straight to CGEMM.
 
-This module is the NumPy analogue: the stage loop below walks exactly the
-Stockham dataflow (same butterfly graph that :mod:`repro.fft.opcount`
-censuses and the CUDA kernel would execute), with the batch dimension
-vectorized the way a GPU would parallelise over signals.
+This module is the NumPy analogue: the same stage loop, now executed by
+the cached :class:`repro.fft.compiled.CompiledFFTPlan` for the requested
+(length, dtype, direction) — pre-cast twiddle tables, reusable ping-pong
+workspaces, and (when a host C compiler is available) a single-pass
+compiled stage kernel.  Results are byte-identical to the legacy
+per-call loop preserved in :mod:`repro.fft.legacy`.
 
 Only power-of-two lengths are supported — the same restriction as the
 paper's kernel (evaluated at N = 128/256 in 1D and 256x128/256x256 in 2D).
@@ -20,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.fft.twiddle import stage_twiddles
+from repro.fft.compiled import execute_fft
 
 __all__ = ["fft", "ifft", "fft2", "ifft2", "is_power_of_two"]
 
@@ -38,38 +40,6 @@ def _check_length(n: int) -> None:
         )
 
 
-def _result_dtype(dtype: np.dtype) -> np.dtype:
-    """complex64 stays complex64 (the paper is single precision);
-    everything else computes in complex128."""
-    if dtype == np.complex64 or dtype == np.float32:
-        return np.dtype(np.complex64)
-    return np.dtype(np.complex128)
-
-
-def _stockham_last_axis(x: np.ndarray, inverse: bool) -> np.ndarray:
-    """Stockham FFT over the last axis of a 2-D ``(batch, N)`` array."""
-    batch, n = x.shape
-    if n == 1:
-        return x.copy()
-    out_dtype = x.dtype
-    # Working array viewed as (batch, r, Ls) per stage.
-    cur = x
-    span = 2
-    while span <= n:
-        half = span // 2
-        r = n // span
-        w = stage_twiddles(span, inverse=inverse).astype(out_dtype)
-        a = cur[:, : n // 2].reshape(batch, r, half)
-        b = cur[:, n // 2 :].reshape(batch, r, half)
-        wb = w * b
-        nxt = np.empty((batch, r, span), dtype=out_dtype)
-        nxt[:, :, :half] = a + wb
-        nxt[:, :, half:] = a - wb
-        cur = nxt.reshape(batch, n)
-        span *= 2
-    return cur
-
-
 def fft(x: np.ndarray, axis: int = -1) -> np.ndarray:
     """Forward FFT along ``axis`` (``numpy.fft.fft`` conventions).
 
@@ -78,26 +48,15 @@ def fft(x: np.ndarray, axis: int = -1) -> np.ndarray:
     precision (the paper's FP32 setting); other dtypes use complex128.
     """
     x = np.asarray(x)
-    n = x.shape[axis]
-    _check_length(n)
-    dtype = _result_dtype(x.dtype)
-    moved = np.moveaxis(x, axis, -1)
-    flat = np.ascontiguousarray(moved.reshape(-1, n)).astype(dtype, copy=False)
-    out = _stockham_last_axis(flat, inverse=False)
-    return np.moveaxis(out.reshape(moved.shape), -1, axis)
+    _check_length(x.shape[axis])
+    return execute_fft(x, axis, inverse=False)
 
 
 def ifft(x: np.ndarray, axis: int = -1) -> np.ndarray:
     """Inverse FFT along ``axis`` (includes the ``1/N`` normalisation)."""
     x = np.asarray(x)
-    n = x.shape[axis]
-    _check_length(n)
-    dtype = _result_dtype(x.dtype)
-    moved = np.moveaxis(x, axis, -1)
-    flat = np.ascontiguousarray(moved.reshape(-1, n)).astype(dtype, copy=False)
-    out = _stockham_last_axis(flat, inverse=True)
-    out /= n
-    return np.moveaxis(out.reshape(moved.shape), -1, axis)
+    _check_length(x.shape[axis])
+    return execute_fft(x, axis, inverse=True)
 
 
 def fft2(x: np.ndarray, axes: tuple[int, int] = (-2, -1)) -> np.ndarray:

@@ -23,6 +23,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.core.dtypes import complex_dtype_for
 from repro.gemm.params import GemmParams, TABLE1_CGEMM
 
 __all__ = ["blocked_cgemm", "tile_schedule", "TileAssignment"]
@@ -100,7 +101,7 @@ def blocked_cgemm(
     if c is not None and c.shape != (m, n):
         raise ValueError(f"C must be {(m, n)}, got {c.shape}")
 
-    out_dtype = np.complex64 if a.dtype in (np.complex64, np.float32) else np.complex128
+    out_dtype = complex_dtype_for(a.dtype)
     out = np.zeros((m, n), dtype=out_dtype)
     k_iters = params.k_iterations(k)
 

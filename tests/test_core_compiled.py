@@ -1,0 +1,212 @@
+"""Compiled spectral-conv executors: byte identity with the legacy fused
+loops, executor reuse, plan attachment, and the parallel sweep runner."""
+
+import numpy as np
+import pytest
+
+from repro.api import Runner, clear_plan_cache, plan
+from repro.core import compiled as core_compiled
+from repro.core import fused, legacy
+from repro.core.compiled import (
+    CompiledSpectralConv1D,
+    CompiledSpectralConv2D,
+    compile_spectral_conv,
+)
+from repro.core.config import FNO1DProblem, FNO2DProblem
+from repro.fft._ckernels import kernels_available
+
+BACKENDS = ["ckernels", "numpy"] if kernels_available() else ["numpy"]
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request, monkeypatch):
+    if request.param == "numpy":
+        from repro.fft import _ckernels, compiled
+
+        monkeypatch.setitem(_ckernels._state, "kernels", None)
+        monkeypatch.setitem(_ckernels._state, "tried", True)
+        compiled.clear_fft_plan_cache()
+    return request.param
+
+
+def _weight(c_in, c_out, dtype, rng):
+    return (
+        rng.standard_normal((c_in, c_out))
+        + 1j * rng.standard_normal((c_in, c_out))
+    ).astype(dtype)
+
+
+def _x(shape, dtype, rng):
+    x = rng.standard_normal(shape)
+    if np.dtype(dtype).kind == "c":
+        x = x + 1j * rng.standard_normal(shape)
+    return x.astype(dtype)
+
+
+def _bit_equal(a, b):
+    return a.dtype == b.dtype and np.array_equal(
+        np.ascontiguousarray(a).view(a.real.dtype),
+        np.ascontiguousarray(b).view(b.real.dtype),
+    )
+
+
+# ---------------------------------------------------------------------------
+# byte identity with the legacy loops
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("dtype", (np.float32, np.float64, np.complex64))
+@pytest.mark.parametrize(
+    "batch,c_in,c_out,dim_x,modes",
+    [(7, 5, 6, 128, 64), (16, 8, 8, 64, 64), (33, 9, 3, 32, 8),
+     (1, 1, 1, 2, 1), (20, 16, 4, 16, 16), (5, 3, 2, 8, 2)],
+)
+def test_executor_1d_bit_identical(backend, dtype, batch, c_in, c_out,
+                                   dim_x, modes):
+    rng = np.random.default_rng(0)
+    wdtype = np.complex128 if dtype == np.float64 else np.complex64
+    x = _x((batch, c_in, dim_x), dtype, rng)
+    w = _weight(c_in, c_out, wdtype, rng)
+    conv = CompiledSpectralConv1D(w, modes)
+    ref = legacy.fused_fft_gemm_ifft_1d(x, w, modes)
+    assert _bit_equal(conv(x), ref)
+    # the functional wrapper takes the same compiled path
+    assert _bit_equal(fused.fused_fft_gemm_ifft_1d(x, w, modes), ref)
+
+
+@pytest.mark.parametrize("dtype", (np.float32, np.complex64))
+@pytest.mark.parametrize(
+    "batch,c_in,c_out,dim_x,dim_y,mx,my",
+    [(3, 5, 4, 32, 16, 8, 8), (2, 8, 8, 16, 16, 16, 4),
+     (1, 2, 3, 8, 8, 8, 8), (4, 3, 2, 4, 8, 2, 2)],
+)
+def test_executor_2d_bit_identical(backend, dtype, batch, c_in, c_out,
+                                   dim_x, dim_y, mx, my):
+    rng = np.random.default_rng(1)
+    x = _x((batch, c_in, dim_x, dim_y), dtype, rng)
+    w = _weight(c_in, c_out, np.complex64, rng)
+    conv = CompiledSpectralConv2D(w, mx, my)
+    ref = legacy.fused_fft_gemm_ifft_2d(x, w, mx, my)
+    assert _bit_equal(conv(x), ref)
+    assert _bit_equal(fused.fused_fft_gemm_ifft_2d(x, w, mx, my), ref)
+
+
+@pytest.mark.parametrize("dtype", (np.float32, np.complex64))
+def test_stage_b_and_c_wrappers_bit_identical(backend, dtype):
+    rng = np.random.default_rng(2)
+    x = _x((9, 11, 64), dtype, rng)
+    w = _weight(11, 5, np.complex64, rng)
+    assert _bit_equal(
+        fused.fused_fft_gemm_1d(x, w, 16), legacy.fused_fft_gemm_1d(x, w, 16)
+    )
+    xk = _x((9, 11, 16), np.complex64, rng)
+    assert _bit_equal(
+        fused.fused_gemm_ifft_1d(xk, w, 64),
+        legacy.fused_gemm_ifft_1d(xk, w, 64),
+    )
+
+
+def test_executor_reuse_across_calls_and_shapes(backend):
+    """One executor, many inputs: staging reuse must not leak state."""
+    rng = np.random.default_rng(3)
+    w = _weight(6, 6, np.complex64, rng)
+    conv = CompiledSpectralConv1D(w, 8)
+    inputs = [
+        _x((b, 6, dim_x), np.float32, rng)
+        for b, dim_x in ((4, 32), (19, 32), (2, 16), (4, 32))
+    ]
+    for x in inputs:
+        assert _bit_equal(conv(x), legacy.fused_fft_gemm_ifft_1d(x, w, 8))
+    # float64 input through the same executor: separate complex128 staging
+    x64 = _x((3, 6, 32), np.float64, rng)
+    assert _bit_equal(conv(x64), legacy.fused_fft_gemm_ifft_1d(x64, w, 8))
+
+
+def test_executor_rejects_bad_inputs():
+    w = np.ones((4, 4), np.complex64)
+    conv = CompiledSpectralConv1D(w, 8)
+    with pytest.raises(ValueError, match="expected 3-D input"):
+        conv(np.ones((4, 4), np.float32))
+    with pytest.raises(ValueError, match="C_in"):
+        conv(np.ones((2, 5, 16), np.float32))
+    with pytest.raises(ValueError, match="modes must be in"):
+        CompiledSpectralConv1D(w, 64)(np.ones((2, 4, 16), np.float32))
+    with pytest.raises(ValueError, match="power of two"):
+        CompiledSpectralConv1D(w, 3)(np.ones((2, 4, 16), np.float32))
+
+
+def test_compile_spectral_conv_factory():
+    w = np.ones((4, 4), np.complex64)
+    assert isinstance(compile_spectral_conv(w, 8), CompiledSpectralConv1D)
+    assert isinstance(compile_spectral_conv(w, (8,)), CompiledSpectralConv1D)
+    assert isinstance(
+        compile_spectral_conv(w, (8, 4)), CompiledSpectralConv2D
+    )
+    with pytest.raises(ValueError):
+        compile_spectral_conv(w, (8, 4, 2))
+
+
+# ---------------------------------------------------------------------------
+# plan attachment (plan once -> execute many)
+# ---------------------------------------------------------------------------
+
+def test_execution_plan_compile_executor_1d():
+    rng = np.random.default_rng(4)
+    p = plan(FNO1DProblem(batch=8, hidden=6, dim_x=64, modes=16))
+    w = _weight(6, 6, np.complex64, rng)
+    conv = p.compile_executor(w)
+    assert isinstance(conv, CompiledSpectralConv1D)
+    x = _x((8, 6, 64), np.float32, rng)
+    assert _bit_equal(conv(x), legacy.fused_fft_gemm_ifft_1d(x, w, 16))
+
+
+def test_execution_plan_compile_executor_2d_and_validation():
+    rng = np.random.default_rng(5)
+    p = plan(FNO2DProblem(batch=2, hidden=4, dim_x=16, dim_y=8,
+                          modes_x=4, modes_y=4))
+    conv = p.compile_executor(_weight(4, 4, np.complex64, rng))
+    assert isinstance(conv, CompiledSpectralConv2D)
+    with pytest.raises(ValueError, match="hidden"):
+        p.compile_executor(_weight(5, 4, np.complex64, rng))
+
+
+# ---------------------------------------------------------------------------
+# parallel sweep runner
+# ---------------------------------------------------------------------------
+
+def test_parallel_map_speedups_matches_serial():
+    problems = [
+        FNO1DProblem(batch=64, hidden=k, dim_x=128, modes=64)
+        for k in (16, 32, 48, 64, 80)
+    ]
+    runner = Runner()
+    serial = runner.map_speedups(problems)
+    parallel = runner.map_speedups(problems, workers=2)
+    assert serial == parallel
+
+
+def test_parallel_sweep_matches_serial():
+    problems = [
+        FNO2DProblem(batch=8, hidden=k, dim_x=32, dim_y=16,
+                     modes_x=8, modes_y=8)
+        for k in (16, 32, 64)
+    ]
+    runner = Runner()
+    serial = runner.sweep(problems, ("A", "D", "best"))
+    parallel = runner.sweep(problems, ("A", "D", "best"), workers=2)
+    assert serial == parallel
+
+
+def test_parallel_heatmap_matches_serial():
+    from repro.analysis.sweeps import heatmap_1d
+
+    clear_plan_cache()
+    serial = heatmap_1d("t", 128, 64, [8, 24], [7, 9, 11])
+    parallel = heatmap_1d("t", 128, 64, [8, 24], [7, 9, 11], workers=2)
+    assert np.array_equal(serial.values, parallel.values)
+
+
+def test_speedup_memoised_on_plan():
+    p = plan(FNO1DProblem(batch=16, hidden=16, dim_x=128, modes=64), "D")
+    first = p.speedup_vs_baseline()
+    assert p._speedup is not None
+    assert p.speedup_vs_baseline() == first
