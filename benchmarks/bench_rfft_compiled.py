@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Compiled packed-real R2C/C2R plans vs the legacy full-C2C strategy.
+
+The legacy real-transform path (frozen in :mod:`repro.fft.legacy`)
+computes the *full* C2C transform and slices the half spectrum
+(``rfft``) or explicitly materialises the Hermitian completion and
+inverse-transforms it (``irfft``).  The compiled plans
+(:class:`repro.fft.compiled.CompiledRFFTPlan` / ``CompiledIRFFTPlan``)
+run one half-length Stockham transform through the cached plan layer
+plus a single recombination stage — half the butterfly work and, on the
+inverse side, none of the completion traffic.
+
+Every case hard-asserts agreement with ``numpy.fft.rfft/irfft`` and the
+legacy oracle to working precision, and determinism (byte-identical
+repeat executions) within the compiled plan family.
+
+Exit status is the CI gate: non-zero when the compiled path is slower
+than the legacy full-C2C path on any grid case (tolerance 0.85x when
+the C kernels are unavailable and both paths run the same NumPy
+substrate).  The acceptance bar for the plan family is >= 1.5x on the
+benchmark grid, reported as ``grid_speedup``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_rfft_compiled.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.fft import legacy
+from repro.fft._ckernels import build_info, kernels_available
+from repro.fft.real import irfft, rfft
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+#: (rows, n) — batched 1-D transforms over the training-stack regime
+#: (the repro.nn hot path runs batch*channels rows of the grid length).
+CASES = {
+    "quick": [(256, 128), (128, 256)],
+    "full": [(64, 128), (256, 128), (128, 256), (512, 256),
+             (256, 512), (64, 1024)],
+}
+
+DTYPES = {"quick": [np.float32], "full": [np.float32, np.float64]}
+
+
+def _timeit(fn, repeats: int) -> float:
+    fn()  # warm (plan build / workspace growth outside the timing)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _assert_close(got, ref, dtype, what):
+    atol = 1e-3 if np.dtype(dtype) in (np.dtype(np.float32),
+                                       np.dtype(np.complex64)) else 1e-9
+    if not np.allclose(got, ref, atol=atol):
+        raise SystemExit(
+            f"{what}: compiled output disagrees with the oracle "
+            f"(max err {np.abs(got - ref).max():.3g})"
+        )
+
+
+def _assert_deterministic(fn, what):
+    a, b = fn(), fn()
+    if not np.array_equal(a.view(a.real.dtype), b.view(b.real.dtype)):
+        raise SystemExit(f"{what}: repeat execution not byte-identical")
+
+
+def bench_direction(cases, dtypes, repeats, rng, inverse: bool):
+    rows_out = []
+    for (rows, n) in cases:
+        for dtype in dtypes:
+            if inverse:
+                x = np.fft.rfft(rng.standard_normal((rows, n))).astype(
+                    np.complex64 if dtype == np.float32 else np.complex128
+                )
+                compiled_fn = lambda: irfft(x, n)
+                legacy_fn = lambda: legacy.irfft(x, n)
+                ref = np.fft.irfft(x.astype(np.complex128), n)
+            else:
+                x = rng.standard_normal((rows, n)).astype(dtype)
+                compiled_fn = lambda: rfft(x)
+                legacy_fn = lambda: legacy.rfft(x)
+                ref = np.fft.rfft(x.astype(np.float64))
+            got = compiled_fn()
+            name = f"{'irfft' if inverse else 'rfft'} rows={rows} n={n} " \
+                   f"{np.dtype(dtype).name}"
+            _assert_close(got, ref, dtype, f"{name} vs numpy")
+            _assert_close(got, legacy_fn(), dtype, f"{name} vs legacy")
+            _assert_deterministic(compiled_fn, name)
+            t_leg = _timeit(legacy_fn, repeats)
+            t_cmp = _timeit(compiled_fn, repeats)
+            rows_out.append({
+                "case": name,
+                "legacy_ms": t_leg * 1e3,
+                "compiled_ms": t_cmp * 1e3,
+                "speedup": t_leg / t_cmp,
+                "oracle_agreement": True,
+            })
+    return rows_out
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help="small grid (the CI gate)")
+    ap.add_argument("--repeats", type=int, default=None)
+    ap.add_argument("--out", default=str(RESULTS / "rfft_compiled.json"))
+    args = ap.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    repeats = args.repeats or (5 if args.quick else 9)
+    rng = np.random.default_rng(0)
+
+    fwd = bench_direction(CASES[mode], DTYPES[mode], repeats, rng,
+                          inverse=False)
+    inv = bench_direction(CASES[mode], DTYPES[mode], repeats, rng,
+                          inverse=True)
+    all_rows = fwd + inv
+    grid_speedup = min(r["speedup"] for r in all_rows)
+
+    report = {
+        "meta": {
+            "mode": mode,
+            "repeats": repeats,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+            "ckernels": kernels_available(),
+            "ckernels_info": build_info(),
+        },
+        "rfft": fwd,
+        "irfft": inv,
+        "grid_speedup": grid_speedup,
+    }
+
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"# compiled rfft/irfft vs legacy full-C2C ({mode}; C kernels: "
+          f"{report['meta']['ckernels_info']})")
+    for row in all_rows:
+        print(f"  {row['case']}: {row['legacy_ms']:8.2f} ms -> "
+              f"{row['compiled_ms']:8.2f} ms ({row['speedup']:.2f}x)")
+
+    # CI gate: never slower than the legacy full-C2C path.
+    floor = 1.0 if report["meta"]["ckernels"] else 0.85
+    if grid_speedup < floor:
+        print(f"FAIL: compiled real-transform path at {grid_speedup:.2f}x "
+              f"< {floor:.2f}x of legacy", file=sys.stderr)
+        return 1
+    print(f"OK: compiled real transforms >= {floor:.2f}x legacy on every "
+          f"case (worst {grid_speedup:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

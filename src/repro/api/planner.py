@@ -95,7 +95,7 @@ class ExecutionPlan:
             )
         return self._speedup
 
-    def compile_executor(self, weight):
+    def compile_executor(self, weight, symmetric: bool = False):
         """Build the compiled numeric executor for this plan's geometry.
 
         ``weight`` is the complex ``(C_in, C_out)`` spectral weight
@@ -108,6 +108,11 @@ class ExecutionPlan:
         ``repro.api.spectral_conv`` with the turbo engine; pass a custom
         ``k_tb`` to :func:`repro.core.compiled.compile_spectral_conv`
         directly if you want the accumulation grouped differently.
+
+        ``symmetric=True`` compiles the original-FNO rfft/irfft filter
+        convention instead: real input, half spectrum through the cached
+        packed-real R2C/C2R plans, real output (the training-stack hot
+        path of :mod:`repro.nn`).
         """
         from repro.core.compiled import compile_spectral_conv
 
@@ -118,7 +123,9 @@ class ExecutionPlan:
                 f"weight C_in={weight.shape[0]} does not match the "
                 f"problem's hidden dimension {hidden}"
             )
-        return compile_spectral_conv(weight, tuple(self.problem.modes_shape))
+        return compile_spectral_conv(
+            weight, tuple(self.problem.modes_shape), symmetric=symmetric
+        )
 
     def to_dict(self) -> dict:
         """JSON-ready summary (problem geometry, stage, device, timings)."""

@@ -30,9 +30,17 @@ from repro.fft.compiled import (
     decomp_reduce,
     expand_mul,
     get_fft_plan,
+    get_irfft_plan,
+    get_rfft_plan,
     panel_contract,
 )
-from repro.fft.pruned import _validate_split, truncated_fft, truncated_ifft
+from repro.fft.pruned import (
+    _validate_split,
+    padded_ifft_auto,
+    truncated_fft,
+    truncated_fft_auto,
+    truncated_ifft,
+)
 from repro.fft.stockham import _check_length
 from repro.fft.twiddle import decomposition_twiddles
 
@@ -83,12 +91,8 @@ class _StagedFused1D:
         self.c_in = c_in
         self.c_out = c_out
         self.p = dim_x // modes
-        wc = weight.astype(dtype)  # the hoisted cast: once, not per tile
-        self.panels = [
-            (k0, min(k0 + k_tb, c_in),
-             np.ascontiguousarray(wc[k0:min(k0 + k_tb, c_in)]))
-            for k0 in range(0, c_in, k_tb)
-        ]
+        # the hoisted weight cast: once at staging, not per tile
+        self.panels = _weight_panels(weight, k_tb, dtype)
         self.fwd = get_fft_plan(modes, dtype, inverse=False)
         if self.p > 1:
             self.wd_f = np.ascontiguousarray(
@@ -208,6 +212,137 @@ class _StagedFused1D:
             panel_contract(a, wp, acc)
         return acc
 
+def _weight_panels(weight: np.ndarray, k_tb: int, dtype: np.dtype):
+    """Pre-cast contiguous k-panels of a (C_in, C_out) weight matrix."""
+    c_in = weight.shape[0]
+    wc = weight.astype(dtype)
+    return [
+        (k0, min(k0 + k_tb, c_in),
+         np.ascontiguousarray(wc[k0:min(k0 + k_tb, c_in)]))
+        for k0 in range(0, c_in, k_tb)
+    ]
+
+
+class _StagedSymmetric1D:
+    """Everything a symmetric (rfft/irfft) 1-D pass needs, staged once.
+
+    The original-FNO filter convention on real input: half spectrum via
+    the cached packed-real R2C plan, one shared CGEMM over the kept
+    modes (the same ``panel_contract`` k-panel accumulation the fused
+    path uses), then the C2R plan — the half spectrum is consumed
+    end-to-end, never Hermitian-completed.
+    """
+
+    def __init__(self, weight: np.ndarray, modes: int, dim_x: int,
+                 k_tb: int, dtype: np.dtype):
+        _check_length(dim_x)
+        if modes > dim_x // 2:
+            raise ValueError(
+                f"symmetric filtering needs modes <= X/2, got {modes} "
+                f"on a length-{dim_x} grid"
+            )
+        self.modes = modes
+        self.dim_x = dim_x
+        self.dtype = dtype
+        self.c_in, self.c_out = weight.shape
+        self.panels = _weight_panels(weight, k_tb, dtype)
+        self.rfft = get_rfft_plan(dim_x, dtype)
+        self.irfft = get_irfft_plan(dim_x, dtype)
+
+    def run(self, x: np.ndarray,
+            xk_trunc: np.ndarray | None = None) -> np.ndarray:
+        batch, c_in, n = x.shape
+        h = n // 2
+        m = self.modes
+        if xk_trunc is None:
+            flat = np.ascontiguousarray(
+                x, dtype=self.rfft.real_dtype
+            ).reshape(batch * c_in, n)
+            xk_trunc = self.rfft.execute(flat).reshape(
+                batch, c_in, h + 1
+            )[..., :m]
+        elif xk_trunc.shape != (batch, c_in, m):
+            raise ValueError(
+                f"xk_trunc must have shape {(batch, c_in, m)}, "
+                f"got {xk_trunc.shape}"
+            )
+        acc = np.zeros((batch, self.c_out, m), self.dtype)
+        for (k0, k1, wp) in self.panels:
+            a = np.ascontiguousarray(
+                xk_trunc[:, k0:k1, :m], dtype=self.dtype
+            )
+            panel_contract(a, wp, acc)
+        pad = np.zeros((batch, self.c_out, h + 1), self.dtype)
+        pad[..., :m] = acc
+        out = self.irfft.execute(pad.reshape(batch * self.c_out, h + 1))
+        return out.reshape(batch, self.c_out, n)
+
+
+class _StagedSymmetric2D:
+    """Symmetric 2-D pass: R2C along Y, pruned C2C along X, one shared
+    CGEMM over the kept corner, then the inverse chain (pruned C2C
+    inverse along X, C2R along Y)."""
+
+    def __init__(self, weight: np.ndarray, modes_x: int, modes_y: int,
+                 dim_x: int, dim_y: int, k_tb: int, dtype: np.dtype):
+        _check_length(dim_x)
+        _check_length(dim_y)
+        if modes_x > dim_x:
+            raise ValueError(
+                f"modes_x={modes_x} exceeds spatial size {dim_x}"
+            )
+        if modes_y > dim_y // 2:
+            raise ValueError(
+                f"symmetric filtering needs modes_y <= Y/2, got {modes_y} "
+                f"on a length-{dim_y} grid"
+            )
+        self.modes_x = modes_x
+        self.modes_y = modes_y
+        self.dim_x = dim_x
+        self.dim_y = dim_y
+        self.dtype = dtype
+        self.c_in, self.c_out = weight.shape
+        self.panels = _weight_panels(weight, k_tb, dtype)
+        self.rfft = get_rfft_plan(dim_y, dtype)
+        self.irfft = get_irfft_plan(dim_y, dtype)
+
+    def run(self, x: np.ndarray,
+            xk_trunc: np.ndarray | None = None) -> np.ndarray:
+        batch, c_in, dim_x, dim_y = x.shape
+        h = dim_y // 2
+        mx, my = self.modes_x, self.modes_y
+        if xk_trunc is None:
+            flat = np.ascontiguousarray(
+                x, dtype=self.rfft.real_dtype
+            ).reshape(batch * c_in * dim_x, dim_y)
+            xk_y = self.rfft.execute(flat).reshape(
+                batch, c_in, dim_x, h + 1
+            )
+            xk_trunc = truncated_fft_auto(
+                np.ascontiguousarray(xk_y[..., :my]), mx, axis=2
+            )
+        elif xk_trunc.shape != (batch, c_in, mx, my):
+            raise ValueError(
+                f"xk_trunc must have shape {(batch, c_in, mx, my)}, "
+                f"got {xk_trunc.shape}"
+            )
+        a_full = np.ascontiguousarray(
+            xk_trunc, dtype=self.dtype
+        ).reshape(batch, c_in, mx * my)
+        acc = np.zeros((batch, self.c_out, mx * my), self.dtype)
+        for (k0, k1, wp) in self.panels:
+            a = np.ascontiguousarray(a_full[:, k0:k1])
+            panel_contract(a, wp, acc)
+        yk = acc.reshape(batch, self.c_out, mx, my)
+        y_x = padded_ifft_auto(yk, dim_x, axis=2)
+        pad = np.zeros((batch, self.c_out, dim_x, h + 1), self.dtype)
+        pad[..., :my] = y_x
+        out = self.irfft.execute(
+            pad.reshape(batch * self.c_out * dim_x, h + 1)
+        )
+        return out.reshape(batch, self.c_out, dim_x, dim_y)
+
+
 class CompiledSpectralConv1D:
     """Reusable executor for the fused 1-D spectral convolution.
 
@@ -215,13 +350,20 @@ class CompiledSpectralConv1D:
     input.  Staging (weight casts, FFT plans, workspaces) is cached per
     (working dtype, X); outputs are byte-identical to
     :func:`repro.core.legacy.fused_fft_gemm_ifft_1d`.
+
+    ``symmetric=True`` selects the original FNO's rfft/irfft filter
+    convention instead of the paper's first-bins C2C filter: real input,
+    half spectrum via the cached packed-real plans, Hermitian-mirrored
+    kept modes — a genuine real->real low-pass operator returning a real
+    array.  Requires ``modes <= X/2``.
     """
 
     ndim = 1
 
     def __init__(self, weight: np.ndarray, modes: int,
                  k_tb: int = _DEFAULT_K_TB,
-                 signal_tile: int = _DEFAULT_SIGNAL_TILE):
+                 signal_tile: int = _DEFAULT_SIGNAL_TILE,
+                 symmetric: bool = False):
         weight = np.asarray(weight)
         if weight.ndim != 2:
             raise ValueError(
@@ -233,20 +375,31 @@ class CompiledSpectralConv1D:
         self.modes = modes
         self.k_tb = k_tb
         self.signal_tile = signal_tile
-        self._staged: dict[tuple, _StagedFused1D] = {}
+        self.symmetric = symmetric
+        self._staged: dict[tuple, object] = {}
 
-    def _stage_for(self, dtype: np.dtype, dim_x: int) -> _StagedFused1D:
+    def _stage_for(self, dtype: np.dtype, dim_x: int):
         key = (dtype, dim_x)
         staged = self._staged.get(key)
         if staged is None:
-            staged = _StagedFused1D(
-                self.weight, self.modes, dim_x,
-                self.k_tb, self.signal_tile, dtype,
-            )
+            if self.symmetric:
+                staged = _StagedSymmetric1D(
+                    self.weight, self.modes, dim_x, self.k_tb, dtype,
+                )
+            else:
+                staged = _StagedFused1D(
+                    self.weight, self.modes, dim_x,
+                    self.k_tb, self.signal_tile, dtype,
+                )
             self._staged[key] = staged
         return staged
 
-    def __call__(self, x: np.ndarray) -> np.ndarray:
+    def __call__(self, x: np.ndarray,
+                 xk_trunc: np.ndarray | None = None) -> np.ndarray:
+        """Run the convolution.  ``xk_trunc`` (symmetric mode only) is an
+        optional precomputed truncated half spectrum ``(batch, C_in,
+        modes)`` — callers that already hold it (the training layers
+        cache it for backward) skip the forward R2C pass."""
         x = np.asarray(x)
         _check_inputs(x, self.weight, 3)
         dim_x = x.shape[2]
@@ -254,7 +407,13 @@ class CompiledSpectralConv1D:
             raise ValueError(
                 f"modes must be in [1, {dim_x}], got {self.modes}"
             )
+        if self.symmetric and np.iscomplexobj(x):
+            raise ValueError("symmetric executor expects real input")
+        if xk_trunc is not None and not self.symmetric:
+            raise ValueError("xk_trunc applies to symmetric executors only")
         staged = self._stage_for(complex_dtype_for(x.dtype), dim_x)
+        if self.symmetric:
+            return staged.run(x, xk_trunc)
         return staged.run_fused(x)
 
 
@@ -265,13 +424,19 @@ class CompiledSpectralConv2D:
     the fused height pass reuses the 1-D tile machinery over the
     (batch x kept-row) pencils.  Byte-identical to
     :func:`repro.core.legacy.fused_fft_gemm_ifft_2d`.
+
+    ``symmetric=True`` selects the half-spectrum convention on real
+    input: R2C along Y (packed-real plans), the paper's first-bins C2C
+    filter along X, and a real-valued output via the C2R inverse.
+    Requires ``modes_y <= Y/2``.
     """
 
     ndim = 2
 
     def __init__(self, weight: np.ndarray, modes_x: int, modes_y: int,
                  k_tb: int = _DEFAULT_K_TB,
-                 signal_tile: int = _DEFAULT_SIGNAL_TILE):
+                 signal_tile: int = _DEFAULT_SIGNAL_TILE,
+                 symmetric: bool = False):
         weight = np.asarray(weight)
         if weight.ndim != 2:
             raise ValueError(
@@ -286,7 +451,8 @@ class CompiledSpectralConv2D:
         self.modes_y = modes_y
         self.k_tb = k_tb
         self.signal_tile = signal_tile
-        self._staged: dict[tuple, _StagedFused1D] = {}
+        self.symmetric = symmetric
+        self._staged: dict[tuple, object] = {}
 
     def _stage_for(self, dtype: np.dtype, dim_y: int) -> _StagedFused1D:
         key = (dtype, dim_y)
@@ -299,7 +465,24 @@ class CompiledSpectralConv2D:
             self._staged[key] = staged
         return staged
 
-    def __call__(self, x: np.ndarray) -> np.ndarray:
+    def _stage_symmetric(self, dtype: np.dtype, dim_x: int,
+                         dim_y: int) -> _StagedSymmetric2D:
+        key = (dtype, dim_x, dim_y, "sym")
+        staged = self._staged.get(key)
+        if staged is None:
+            staged = _StagedSymmetric2D(
+                self.weight, self.modes_x, self.modes_y,
+                dim_x, dim_y, self.k_tb, dtype,
+            )
+            self._staged[key] = staged
+        return staged
+
+    def __call__(self, x: np.ndarray,
+                 xk_trunc: np.ndarray | None = None) -> np.ndarray:
+        """Run the convolution.  ``xk_trunc`` (symmetric mode only) is an
+        optional precomputed truncated spectrum corner ``(batch, C_in,
+        modes_x, modes_y)``; callers that already hold it skip the
+        forward transforms."""
         x = np.asarray(x)
         _check_inputs(x, self.weight, 4)
         batch, c_in, dim_x, dim_y = x.shape
@@ -308,7 +491,13 @@ class CompiledSpectralConv2D:
                 f"modes ({self.modes_x}, {self.modes_y}) out of range for "
                 f"({dim_x}, {dim_y})"
             )
+        if xk_trunc is not None and not self.symmetric:
+            raise ValueError("xk_trunc applies to symmetric executors only")
         dtype = complex_dtype_for(x.dtype)
+        if self.symmetric:
+            if np.iscomplexobj(x):
+                raise ValueError("symmetric executor expects real input")
+            return self._stage_symmetric(dtype, dim_x, dim_y).run(x, xk_trunc)
         c_out = self.weight.shape[1]
 
         # Stage 1: width FFT with built-in truncation.
@@ -333,21 +522,28 @@ def compile_spectral_conv(
     modes: int | tuple[int, ...],
     k_tb: int = _DEFAULT_K_TB,
     signal_tile: int = _DEFAULT_SIGNAL_TILE,
+    symmetric: bool = False,
 ):
     """Build the executor matching ``modes``' dimensionality.
 
     An int (or 1-tuple) of kept modes gives a
     :class:`CompiledSpectralConv1D`; a 2-tuple gives a
-    :class:`CompiledSpectralConv2D`.
+    :class:`CompiledSpectralConv2D`.  ``symmetric=True`` selects the
+    rfft/irfft half-spectrum convention (real input, real output).
     """
     if isinstance(modes, tuple):
         if len(modes) == 1:
-            return CompiledSpectralConv1D(weight, modes[0], k_tb, signal_tile)
+            return CompiledSpectralConv1D(
+                weight, modes[0], k_tb, signal_tile, symmetric=symmetric
+            )
         if len(modes) == 2:
             return CompiledSpectralConv2D(
-                weight, modes[0], modes[1], k_tb, signal_tile
+                weight, modes[0], modes[1], k_tb, signal_tile,
+                symmetric=symmetric,
             )
         raise ValueError(
             f"modes must have 1 or 2 entries, got {len(modes)}"
         )
-    return CompiledSpectralConv1D(weight, int(modes), k_tb, signal_tile)
+    return CompiledSpectralConv1D(
+        weight, int(modes), k_tb, signal_tile, symmetric=symmetric
+    )

@@ -11,6 +11,10 @@ NumPy analogue of that kernel family:
   transforms via transform decomposition: numerically *identical* to
   "full FFT then slice" / "pad then full FFT" but computing only the
   surviving work, mirroring the kernel's built-in truncation/padding.
+* :mod:`repro.fft.real` — R2C/C2R transforms (``rfft``/``irfft``) via
+  the packed-real trick: one *half-length* Stockham pass through the
+  compiled plan caches plus a Hermitian recombination stage, halving
+  the FFT work for the training-side (original-FNO convention) layers.
 * :mod:`repro.fft.opcount` — exact butterfly-operation census over the
   Stockham dataflow graph, reproducing Figure 5's pruning ratios
   (37.5 % of ops at 25 % truncation, 75 % at 50 %).
@@ -30,14 +34,16 @@ from repro.fft.compiled import (
     clear_fft_plan_cache,
     fft_plan_cache_info,
     get_fft_plan,
+    get_irfft_plan,
     get_pruned_plan,
+    get_rfft_plan,
     kernels_available,
 )
 from repro.fft.opcount import butterfly_ops, pruned_fraction, PruneCensus
 from repro.fft.plan import FFTPlan
 from repro.fft.pruned import truncated_fft, truncated_ifft, zero_padded_fft
 from repro.fft.radix import fft_radix4, ifft_radix4
-from repro.fft.real import irfft, rfft
+from repro.fft.real import hermitian_pad, irfft, rfft
 from repro.fft.reference import dft, idft
 from repro.fft.stockham import fft, fft2, ifft, ifft2
 
@@ -52,6 +58,7 @@ __all__ = [
     "ifft_radix4",
     "rfft",
     "irfft",
+    "hermitian_pad",
     "truncated_fft",
     "truncated_ifft",
     "zero_padded_fft",
@@ -61,6 +68,8 @@ __all__ = [
     "FFTPlan",
     "get_fft_plan",
     "get_pruned_plan",
+    "get_rfft_plan",
+    "get_irfft_plan",
     "fft_plan_cache_info",
     "clear_fft_plan_cache",
     "kernels_available",

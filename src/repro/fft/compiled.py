@@ -22,11 +22,23 @@ same plan/execute split for the NumPy substrate:
     gather/expand workspaces, and the sub-transform's
     :class:`CompiledFFTPlan`.
 
+:class:`CompiledRFFTPlan` / :class:`CompiledIRFFTPlan`
+    Keyed on ``(length, dtype, direction)`` for real-input (R2C) and
+    real-output (C2R) transforms.  Both use the packed-real trick: a
+    real length-``n`` signal is viewed as a length-``n/2`` complex
+    array, one *half-length* Stockham transform runs through the cached
+    :class:`CompiledFFTPlan` machinery (same twiddle tables, ping-pong
+    workspaces and optional C kernels), and a single Hermitian
+    recombination stage produces the ``n/2 + 1`` non-redundant bins —
+    half the butterfly work of the full C2C transform the legacy path
+    computed, with no full Hermitian spectrum ever materialised.
+
 Plans live in process-wide caches (:func:`get_fft_plan`,
-:func:`get_pruned_plan`): two requests with the same key return the
-*same plan object*, so workspaces and tables are shared exactly like
-cuFFT plan handles.  The functional API (:mod:`repro.fft.stockham`,
-:mod:`repro.fft.pruned`) is now a thin wrapper over these caches.
+:func:`get_pruned_plan`, :func:`get_rfft_plan`, :func:`get_irfft_plan`):
+two requests with the same key return the *same plan object*, so
+workspaces and tables are shared exactly like cuFFT plan handles.  The
+functional API (:mod:`repro.fft.stockham`, :mod:`repro.fft.pruned`,
+:mod:`repro.fft.real`) is now a thin wrapper over these caches.
 
 Everything produced by a compiled plan is **byte-identical** to the
 legacy per-call path (:mod:`repro.fft.legacy`): the C kernels replay
@@ -53,8 +65,12 @@ from repro.fft.twiddle import decomposition_twiddles, stage_twiddles
 __all__ = [
     "CompiledFFTPlan",
     "CompiledPrunedPlan",
+    "CompiledRFFTPlan",
+    "CompiledIRFFTPlan",
     "get_fft_plan",
     "get_pruned_plan",
+    "get_rfft_plan",
+    "get_irfft_plan",
     "fft_plan_cache_info",
     "clear_fft_plan_cache",
     "kernels_available",
@@ -119,6 +135,29 @@ def expand_mul(x: np.ndarray, wd: np.ndarray, out: np.ndarray) -> None:
 # ---------------------------------------------------------------------------
 # FFT plans
 # ---------------------------------------------------------------------------
+
+class _WorkspaceOwner:
+    """Named, grow-only per-plan workspaces of the plan's dtype.
+
+    Buffers are retained across calls only below
+    :data:`WORKSPACE_RETAIN_BYTES` (plans live in process-wide caches,
+    so retained workspaces outlive calls); larger requests get one-shot
+    temporaries.  Subclasses call :meth:`_init_workspaces` after setting
+    ``self.dtype``.
+    """
+
+    def _init_workspaces(self) -> None:
+        self._lock = threading.Lock()
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def _ws(self, name: str, size: int) -> np.ndarray:
+        buf = self._buffers.get(name)
+        if buf is None or buf.size < size:
+            buf = np.empty(size, self.dtype)
+            if size * self.dtype.itemsize <= WORKSPACE_RETAIN_BYTES:
+                self._buffers[name] = buf  # else: one-shot temporary
+        return buf
+
 
 class CompiledFFTPlan:
     """One direction of one transform length in one precision.
@@ -220,7 +259,7 @@ class CompiledFFTPlan:
 # Pruned-transform plans
 # ---------------------------------------------------------------------------
 
-class CompiledPrunedPlan:
+class CompiledPrunedPlan(_WorkspaceOwner):
     """One transform-decomposition split in one precision.
 
     ``kind`` selects the dataflow: ``"trunc"`` (first ``part`` outputs),
@@ -245,22 +284,13 @@ class CompiledPrunedPlan:
             self._wd.setflags(write=False)
         else:
             self._wd = None
-        self._lock = threading.Lock()
-        self._buffers: dict[str, np.ndarray] = {}
+        self._init_workspaces()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"CompiledPrunedPlan({self.kind}, n={self.n}, part={self.part}, "
             f"{self.dtype.name})"
         )
-
-    def _ws(self, name: str, size: int) -> np.ndarray:
-        buf = self._buffers.get(name)
-        if buf is None or buf.size < size:
-            buf = np.empty(size, self.dtype)
-            if size * self.dtype.itemsize <= WORKSPACE_RETAIN_BYTES:
-                self._buffers[name] = buf  # else: one-shot temporary
-        return buf
 
     # -- axis-last entry point (callers have already done moveaxis) ----
 
@@ -346,6 +376,146 @@ class CompiledPrunedPlan:
 
 
 # ---------------------------------------------------------------------------
+# Real-input / real-output plans (the packed-real trick)
+# ---------------------------------------------------------------------------
+
+def _real_dtype_of(cdtype: np.dtype) -> np.dtype:
+    return np.dtype(np.float32 if np.dtype(cdtype) == np.complex64
+                    else np.float64)
+
+
+class CompiledRFFTPlan(_WorkspaceOwner):
+    """R2C transform of one length in one precision.
+
+    A real length-``n`` row is *viewed* as ``n/2`` complex samples
+    ``z[m] = x[2m] + i x[2m+1]`` (a free reinterpretation of the
+    contiguous buffer), one half-length forward transform runs through
+    the cached :class:`CompiledFFTPlan`, and the Hermitian recombination
+
+    ``X[k] = (Z[k] + conj(Z[h-k]))/2 - (i/2) W_n^k (Z[k] - conj(Z[h-k]))``
+
+    (indices mod ``h = n/2``) yields the ``h + 1`` non-redundant bins.
+    The recombination runs in NumPy under both executor backends, so
+    outputs are bit-identical across the C-kernel and fallback paths
+    (the sub-transform already is).
+    """
+
+    def __init__(self, n: int, dtype: np.dtype):
+        if not _is_power_of_two(n):
+            raise ValueError(f"n must be a power of two, got {n}")
+        self.n = n
+        self.dtype = np.dtype(dtype)
+        self.real_dtype = _real_dtype_of(self.dtype)
+        self.half = n // 2
+        if n > 1:
+            self._sub = get_fft_plan(self.half, self.dtype, inverse=False)
+            k = np.arange(self.half + 1)
+            # W_n^k pre-folded with the -i/2 of the odd-part term.
+            wm = (-0.5j * np.exp(-2j * np.pi * k / n)).astype(self.dtype)
+            wm.setflags(write=False)
+            self._wm = wm
+            self._idx = k % self.half            # Z[k mod h]
+            self._ridx = (self.half - k) % self.half  # Z[(h-k) mod h]
+        self._init_workspaces()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledRFFTPlan(n={self.n}, {self.real_dtype.name})"
+
+    def execute(self, flat: np.ndarray) -> np.ndarray:
+        """Half spectrum of every row of a contiguous real ``(rows, n)``
+        array; returns a new ``(rows, n//2 + 1)`` complex array."""
+        rows, n = flat.shape
+        if n != self.n:
+            raise ValueError(f"expected rows of length {self.n}, got {n}")
+        if flat.dtype != self.real_dtype or not flat.flags.c_contiguous:
+            raise ValueError(
+                f"expected contiguous {self.real_dtype.name} rows, "
+                f"got {flat.dtype.name}"
+            )
+        if n == 1:
+            return flat.astype(self.dtype)
+        h = self.half
+        with self._lock:
+            z = flat.view(self.dtype)  # free (rows, h) packing
+            zf = self._ws("fft", rows * h)[: rows * h].reshape(rows, h)
+            self._sub.execute(z, out=zf)
+            a = np.take(zf, self._idx, axis=1)
+            b = np.conj(np.take(zf, self._ridx, axis=1))
+            out = np.empty((rows, h + 1), self.dtype)
+            np.add(a, b, out=out)
+            out *= 0.5
+            np.subtract(a, b, out=a)
+            a *= self._wm
+            out += a
+        return out
+
+
+class CompiledIRFFTPlan(_WorkspaceOwner):
+    """C2R transform of one length in one precision.
+
+    The adjoint of :class:`CompiledRFFTPlan`'s recombination rebuilds
+    the packed half-length spectrum ``Z`` from the ``h + 1`` input bins,
+    one half-length *inverse* transform (with its ``1/h`` normalisation
+    chained into the final stage) recovers ``z``, and the real/imag
+    parts interleave straight into the even/odd output samples — the
+    full Hermitian spectrum the legacy ``hermitian_pad`` path built is
+    never materialised.  The imaginary parts of the DC and Nyquist bins
+    are discarded, matching ``numpy.fft.irfft`` and the legacy
+    take-the-real-part semantics.
+    """
+
+    def __init__(self, n: int, dtype: np.dtype):
+        if not _is_power_of_two(n):
+            raise ValueError(f"n must be a power of two, got {n}")
+        self.n = n
+        self.dtype = np.dtype(dtype)
+        self.real_dtype = _real_dtype_of(self.dtype)
+        self.half = n // 2
+        if n > 1:
+            self._sub = get_fft_plan(self.half, self.dtype, inverse=True)
+            k = np.arange(self.half)
+            # conj(W_n^k) pre-folded with the +i/2 of the odd-part term.
+            wj = (0.5j * np.exp(+2j * np.pi * k / n)).astype(self.dtype)
+            wj.setflags(write=False)
+            self._wj = wj
+        self._init_workspaces()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledIRFFTPlan(n={self.n}, {self.real_dtype.name})"
+
+    def execute(self, flat: np.ndarray) -> np.ndarray:
+        """Real signal of every row of a contiguous ``(rows, n//2 + 1)``
+        complex array; returns a new real ``(rows, n)`` array."""
+        rows, bins = flat.shape
+        if bins != self.half + 1:
+            raise ValueError(
+                f"expected {self.half + 1} half-spectrum bins, got {bins}"
+            )
+        if flat.dtype != self.dtype:
+            raise ValueError(
+                f"expected {self.dtype.name} bins, got {flat.dtype.name}"
+            )
+        if self.n == 1:
+            return np.ascontiguousarray(flat.real.astype(self.real_dtype))
+        h = self.half
+        with self._lock:
+            a = np.array(flat[:, :h])
+            a[:, 0] = flat[:, 0].real  # drop Im(DC)
+            b = np.conj(flat[:, h:0:-1])
+            b[:, 0] = flat[:, h].real  # drop Im(Nyquist)
+            zk = a + b
+            zk *= 0.5
+            d = a - b
+            d *= self._wj
+            zk += d
+            zbuf = self._ws("fft", rows * h)[: rows * h].reshape(rows, h)
+            self._sub.execute(zk, out=zbuf, div_by=float(h))
+            out = np.empty((rows, self.n), self.real_dtype)
+            out.view(self.dtype)[...] = zbuf  # unpack: even=Re, odd=Im
+        return out
+
+
+# ---------------------------------------------------------------------------
 # Global plan caches
 # ---------------------------------------------------------------------------
 
@@ -359,6 +529,11 @@ def _pruned_plan_cached(
     n: int, part: int, dtype: np.dtype, kind: str
 ) -> CompiledPrunedPlan:
     return CompiledPrunedPlan(n, part, dtype, kind)
+
+
+@lru_cache(maxsize=FFT_PLAN_CACHE_SIZE)
+def _rfft_plan_cached(n: int, dtype: np.dtype, inverse: bool):
+    return CompiledIRFFTPlan(n, dtype) if inverse else CompiledRFFTPlan(n, dtype)
 
 
 def get_fft_plan(
@@ -379,15 +554,34 @@ def get_pruned_plan(
     return _pruned_plan_cached(int(n), int(part), complex_dtype_for(dtype), kind)
 
 
+def get_rfft_plan(n: int, dtype=np.float32) -> CompiledRFFTPlan:
+    """The cached R2C plan for a length-``n`` real transform.
+
+    ``dtype`` may be real or complex; it is normalised to the working
+    precision, so e.g. float32 and complex64 share one plan.
+    """
+    return _rfft_plan_cached(int(n), complex_dtype_for(dtype), False)
+
+
+def get_irfft_plan(n: int, dtype=np.complex64) -> CompiledIRFFTPlan:
+    """The cached C2R plan for a length-``n`` real output."""
+    return _rfft_plan_cached(int(n), complex_dtype_for(dtype), True)
+
+
 def fft_plan_cache_info():
-    """Cache statistics: (fft plans, pruned plans)."""
-    return _fft_plan_cached.cache_info(), _pruned_plan_cached.cache_info()
+    """Cache statistics: (fft plans, pruned plans, r2c/c2r plans)."""
+    return (
+        _fft_plan_cached.cache_info(),
+        _pruned_plan_cached.cache_info(),
+        _rfft_plan_cached.cache_info(),
+    )
 
 
 def clear_fft_plan_cache() -> None:
     """Drop every cached plan and its workspaces."""
     _fft_plan_cached.cache_clear()
     _pruned_plan_cached.cache_clear()
+    _rfft_plan_cached.cache_clear()
 
 
 # ---------------------------------------------------------------------------
@@ -455,3 +649,26 @@ def execute_pruned(
     moved = np.moveaxis(x, axis, -1)
     out = plan.apply(moved)
     return np.moveaxis(out, -1, axis)
+
+
+def execute_rfft(x: np.ndarray, axis: int) -> np.ndarray:
+    """Plan-backed ``rfft`` along ``axis`` (validation upstream)."""
+    n = x.shape[axis]
+    plan = get_rfft_plan(n, x.dtype)
+    moved = np.moveaxis(x, axis, -1)
+    flat = np.ascontiguousarray(moved, dtype=plan.real_dtype).reshape(-1, n)
+    out = plan.execute(flat)
+    return np.moveaxis(
+        out.reshape(*moved.shape[:-1], n // 2 + 1), -1, axis
+    )
+
+
+def execute_irfft(xk: np.ndarray, n: int, axis: int) -> np.ndarray:
+    """Plan-backed ``irfft`` along ``axis`` (validation upstream)."""
+    plan = get_irfft_plan(n, xk.dtype)
+    moved = np.moveaxis(xk, axis, -1)
+    flat = np.ascontiguousarray(moved, dtype=plan.dtype).reshape(
+        -1, moved.shape[-1]
+    )
+    out = plan.execute(flat)
+    return np.moveaxis(out.reshape(*moved.shape[:-1], n), -1, axis)

@@ -28,6 +28,9 @@ __all__ = [
     "truncated_fft",
     "zero_padded_fft",
     "truncated_ifft",
+    "rfft",
+    "irfft",
+    "hermitian_pad",
 ]
 
 
@@ -151,6 +154,51 @@ def zero_padded_fft(x: np.ndarray, n_out: int, axis: int = -1) -> np.ndarray:
     y = fft(scaled, axis=-1)
     out = np.moveaxis(y, -2, -1).reshape(*moved.shape[:-1], n_out)
     return np.moveaxis(out, -1, axis)
+
+
+def rfft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Seed R2C strategy: full C2C transform, slice the half spectrum."""
+    x = np.asarray(x)
+    if np.iscomplexobj(x):
+        raise ValueError("rfft expects real input; use fft for complex data")
+    n = x.shape[axis]
+    full = fft(x, axis=axis)
+    sl = [slice(None)] * full.ndim
+    sl[axis] = slice(0, n // 2 + 1)
+    return np.ascontiguousarray(full[tuple(sl)])
+
+
+def hermitian_pad(xk_half: np.ndarray, n: int, axis: int = -1) -> np.ndarray:
+    """Seed Hermitian completion (full spectrum explicitly materialised)."""
+    xk_half = np.asarray(xk_half)
+    if not _is_power_of_two(n):
+        raise ValueError(f"n must be a power of two, got {n}")
+    half = n // 2 + 1
+    if xk_half.shape[axis] != half:
+        raise ValueError(
+            f"expected {half} half-spectrum bins along axis {axis}, "
+            f"got {xk_half.shape[axis]}"
+        )
+    moved = np.moveaxis(xk_half, axis, -1)
+    out = np.empty((*moved.shape[:-1], n), dtype=moved.dtype)
+    out[..., :half] = moved
+    out[..., half:] = np.conj(moved[..., -2:0:-1])
+    return np.moveaxis(out, -1, axis)
+
+
+def irfft(xk_half: np.ndarray, n: int | None = None, axis: int = -1) -> np.ndarray:
+    """Seed C2R strategy: Hermitian-complete, full inverse, take real.
+
+    Keeps the seed's dtype promotion (real-valued half spectra compute in
+    complex128) — the compiled path fixes that; this oracle must not.
+    """
+    xk_half = np.asarray(xk_half)
+    if n is None:
+        n = 2 * (xk_half.shape[axis] - 1)
+    full = hermitian_pad(xk_half.astype(
+        np.complex64 if xk_half.dtype == np.complex64 else np.complex128
+    ), n, axis=axis)
+    return ifft(full, axis=axis).real
 
 
 def truncated_ifft(xk: np.ndarray, n_out: int, axis: int = -1) -> np.ndarray:

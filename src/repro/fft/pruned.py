@@ -32,7 +32,13 @@ import numpy as np
 from repro.fft.compiled import execute_pruned
 from repro.fft.stockham import fft, ifft, is_power_of_two
 
-__all__ = ["truncated_fft", "zero_padded_fft", "truncated_ifft"]
+__all__ = [
+    "truncated_fft",
+    "zero_padded_fft",
+    "truncated_ifft",
+    "truncated_fft_auto",
+    "padded_ifft_auto",
+]
 
 
 def _validate_split(n: int, part: int, what: str) -> None:
@@ -70,6 +76,39 @@ def zero_padded_fft(x: np.ndarray, n_out: int, axis: int = -1) -> np.ndarray:
     if n_live == n_out:
         return fft(x, axis=axis)
     return execute_pruned(x, n_out, n_live, axis, "pad")
+
+
+def truncated_fft_auto(x: np.ndarray, modes: int, axis: int = -1) -> np.ndarray:
+    """First ``modes`` FFT outputs, pruned when the split applies.
+
+    Falls back to the full transform plus a slice when ``modes`` is not a
+    power of two dividing the length — numerically identical, just
+    without the work savings.  The one truncation helper shared by the
+    spectral layers (:mod:`repro.nn.modules`) and the compiled executors
+    (:mod:`repro.core.compiled`).
+    """
+    if is_power_of_two(modes) and modes <= x.shape[axis]:
+        return truncated_fft(x, modes, axis=axis)
+    sl = [slice(None)] * x.ndim
+    sl[axis] = slice(0, modes)
+    return fft(x, axis=axis)[tuple(sl)]
+
+
+def padded_ifft_auto(xk: np.ndarray, n_out: int, axis: int = -1) -> np.ndarray:
+    """Zero-padded inverse FFT, pruned when the split applies.
+
+    Falls back to an explicit pad plus the full inverse when the live
+    length is not a power of two dividing ``n_out``.
+    """
+    if is_power_of_two(xk.shape[axis]) and xk.shape[axis] <= n_out:
+        return truncated_ifft(xk, n_out, axis=axis)
+    shape = list(xk.shape)
+    shape[axis] = n_out
+    padded = np.zeros(shape, dtype=xk.dtype)
+    sl = [slice(None)] * xk.ndim
+    sl[axis] = slice(0, xk.shape[axis])
+    padded[tuple(sl)] = xk
+    return ifft(padded, axis=axis)
 
 
 def truncated_ifft(xk: np.ndarray, n_out: int, axis: int = -1) -> np.ndarray:

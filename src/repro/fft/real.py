@@ -1,42 +1,60 @@
 """Real-input (R2C) and real-output (C2R) transforms.
 
 The paper benchmarks C2C (as does this reproduction), but the original FNO
-code uses ``rfft``/``irfft``; these helpers provide that convention on top
-of the Stockham substrate so the training-side layers can match the
-upstream FNO exactly.
+code uses ``rfft``/``irfft``; these helpers provide that convention for
+the training-side layers so they can match the upstream FNO exactly.
 
-``rfft`` computes the full C2C transform and returns the non-redundant
-half spectrum (``n//2 + 1`` bins); ``irfft`` reconstructs the Hermitian
-completion explicitly and inverse-transforms.  Both match ``numpy.fft``
-to working precision (tested).
+Both directions are thin wrappers over the cached packed-real plans of
+:mod:`repro.fft.compiled` (:func:`~repro.fft.compiled.get_rfft_plan` /
+:func:`~repro.fft.compiled.get_irfft_plan`): the real length-``n`` signal
+is reinterpreted as ``n/2`` complex samples, one *half-length* Stockham
+transform runs through the compiled plan machinery (pre-cast twiddles,
+reusable workspaces, optional C kernels), and a single Hermitian
+recombination stage produces — or, inverted, consumes — the ``n//2 + 1``
+non-redundant bins.  That is half the butterfly work of the legacy
+strategy (full C2C transform, then slice the half spectrum; inverse via
+an explicitly materialised Hermitian completion), which is preserved
+verbatim in :mod:`repro.fft.legacy` as the benchmark baseline and
+tolerance oracle.  Both directions match ``numpy.fft`` to working
+precision and are bit-identical across the C-kernel and NumPy executor
+backends (tested).
+
+Outputs follow the package dtype policy (:mod:`repro.core.dtypes`):
+float32/complex64 inputs stay in single precision, everything else
+computes in double — ``irfft`` of a complex64 half spectrum returns
+float32.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.fft.stockham import fft, ifft, is_power_of_two
+from repro.fft.compiled import execute_irfft, execute_rfft
+from repro.fft.stockham import _check_length, is_power_of_two
 
 __all__ = ["rfft", "irfft", "hermitian_pad"]
 
 
 def rfft(x: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Half spectrum of a real signal (``numpy.fft.rfft`` conventions)."""
+    """Half spectrum of a real signal (``numpy.fft.rfft`` conventions).
+
+    The result is C-contiguous for every ``axis`` (as the legacy
+    slice-and-copy path guaranteed).
+    """
     x = np.asarray(x)
     if np.iscomplexobj(x):
         raise ValueError("rfft expects real input; use fft for complex data")
-    n = x.shape[axis]
-    full = fft(x, axis=axis)
-    sl = [slice(None)] * full.ndim
-    sl[axis] = slice(0, n // 2 + 1)
-    return np.ascontiguousarray(full[tuple(sl)])
+    _check_length(x.shape[axis])
+    return np.ascontiguousarray(execute_rfft(x, axis))
 
 
 def hermitian_pad(xk_half: np.ndarray, n: int, axis: int = -1) -> np.ndarray:
     """Expand a half spectrum to the full Hermitian-symmetric spectrum.
 
     ``xk_half`` holds bins ``0 .. n//2``; the returned array has length
-    ``n`` along ``axis`` with ``X[n - k] = conj(X[k])``.
+    ``n`` along ``axis`` with ``X[n - k] = conj(X[k])``.  The compiled
+    C2R path never needs this — it is kept for callers that want the
+    explicit completion (and for the legacy oracle's formulation).
     """
     xk_half = np.asarray(xk_half)
     if not is_power_of_two(n):
@@ -59,7 +77,11 @@ def irfft(xk_half: np.ndarray, n: int | None = None, axis: int = -1) -> np.ndarr
     xk_half = np.asarray(xk_half)
     if n is None:
         n = 2 * (xk_half.shape[axis] - 1)
-    full = hermitian_pad(xk_half.astype(
-        np.complex64 if xk_half.dtype == np.complex64 else np.complex128
-    ), n, axis=axis)
-    return ifft(full, axis=axis).real
+    if not is_power_of_two(n):
+        raise ValueError(f"n must be a power of two, got {n}")
+    if xk_half.shape[axis] != n // 2 + 1:
+        raise ValueError(
+            f"expected {n // 2 + 1} half-spectrum bins along axis {axis}, "
+            f"got {xk_half.shape[axis]}"
+        )
+    return execute_irfft(xk_half, n, axis)

@@ -21,37 +21,39 @@ from typing import Iterator
 import numpy as np
 
 from repro.core.fused import fused_fft_gemm_ifft_1d, fused_fft_gemm_ifft_2d
-from repro.fft.pruned import truncated_fft, truncated_ifft
-from repro.fft.stockham import fft, ifft, is_power_of_two
+from repro.fft.pruned import padded_ifft_auto as _pad_ifft
+from repro.fft.pruned import truncated_fft_auto as _trunc_fft
+from repro.fft.real import irfft, rfft
+from repro.fft.stockham import is_power_of_two
 
 __all__ = ["Parameter", "Module", "Dense", "GELU", "SpectralConv1d", "SpectralConv2d"]
 
 
 def _prunable(n: int, modes: int) -> bool:
     """True when the pruned transforms apply (power-of-two mode count
-    dividing the grid).  Otherwise the layer falls back to full transforms
+    dividing the grid).  Otherwise the layers fall back to full transforms
     plus slicing — numerically identical, just without the work savings."""
     return is_power_of_two(modes) and modes <= n
 
 
-def _trunc_fft(x: np.ndarray, modes: int, axis: int) -> np.ndarray:
-    if _prunable(x.shape[axis], modes):
-        return truncated_fft(x, modes, axis=axis)
+def _trunc_rfft(x: np.ndarray, modes: int, axis: int) -> np.ndarray:
+    """First ``modes`` bins of the half spectrum (compiled R2C plan)."""
     sl = [slice(None)] * x.ndim
     sl[axis] = slice(0, modes)
-    return fft(x, axis=axis)[tuple(sl)]
+    return rfft(x, axis=axis)[tuple(sl)]
 
 
-def _pad_ifft(xk: np.ndarray, n_out: int, axis: int) -> np.ndarray:
-    if _prunable(n_out, xk.shape[axis]):
-        return truncated_ifft(xk, n_out, axis=axis)
-    shape = list(xk.shape)
-    shape[axis] = n_out
-    padded = np.zeros(shape, dtype=xk.dtype)
-    sl = [slice(None)] * xk.ndim
-    sl[axis] = slice(0, xk.shape[axis])
-    padded[tuple(sl)] = xk
-    return ifft(padded, axis=axis)
+def _pad_irfft(yk: np.ndarray, n_out: int, axis: int) -> np.ndarray:
+    """Real signal from a truncated half spectrum: ``yk`` supplies the
+    first bins of the ``n_out//2 + 1`` half spectrum, the compiled C2R
+    plan inverts it without ever building the Hermitian completion."""
+    shape = list(yk.shape)
+    shape[axis] = n_out // 2 + 1
+    padded = np.zeros(shape, dtype=yk.dtype)
+    sl = [slice(None)] * yk.ndim
+    sl[axis] = slice(0, yk.shape[axis])
+    padded[tuple(sl)] = yk
+    return irfft(padded, n_out, axis=axis)
 
 
 class Parameter:
@@ -197,7 +199,12 @@ class SpectralConv1d(Module):
         FNO's convention: the kept low modes are Hermitian-mirrored into
         the negative frequencies (the rfft/irfft formulation), so the
         layer is a genuine real->real low-pass operator.  Requires
-        ``modes <= X/2``.
+        ``modes <= X/2``.  The symmetric path consumes half spectra
+        end-to-end through the compiled packed-real R2C/C2R plans
+        (:mod:`repro.fft.real`) — half the FFT butterfly work of the
+        former full-C2C formulation; ``per_mode=False`` dispatches to
+        the compiled :class:`repro.core.compiled.CompiledSpectralConv1D`
+        symmetric executor (shared-weight CGEMM on the half spectrum).
     """
 
     def __init__(
@@ -236,8 +243,29 @@ class SpectralConv1d(Module):
                 f"on a length-{dim_x} grid"
             )
         self._dim_x = dim_x
-        if (not self.per_mode and not self.symmetric
-                and _prunable(dim_x, self.modes)):
+        if self.symmetric:
+            # Original-FNO convention on the half spectrum: the compiled
+            # R2C plan replaces "full C2C then mirror-and-double".  The
+            # copy drops the full-half-spectrum base the slice would
+            # otherwise pin until backward.
+            xk = np.ascontiguousarray(_trunc_rfft(x, self.modes, axis=-1))
+            self._xk = xk
+            if not self.per_mode:
+                # One CGEMM shared across modes -> the compiled
+                # symmetric executor (panel CGEMM on the half spectrum,
+                # fed the spectrum already cached for backward).  Built
+                # per call: the optimizer mutates the weight buffer
+                # between steps, so held staging would go stale — same
+                # tradeoff as the fused functional path below.
+                from repro.core.compiled import CompiledSpectralConv1D
+
+                conv = CompiledSpectralConv1D(
+                    self.weight.value, self.modes, symmetric=True
+                )
+                return np.ascontiguousarray(conv(x, xk_trunc=xk))
+            yk = np.einsum("bim,iom->bom", xk, self.weight.value)
+            return _pad_irfft(yk, dim_x, axis=-1)
+        if not self.per_mode and _prunable(dim_x, self.modes):
             # The paper's formulation: one CGEMM shared across modes ->
             # use the fused FFT-CGEMM-iFFT dataflow directly.
             self._xk = _trunc_fft(x, self.modes, axis=-1)
@@ -249,29 +277,33 @@ class SpectralConv1d(Module):
             yk = np.einsum("bim,iom->bom", xk, self.weight.value)
         else:
             yk = np.einsum("bim,io->bom", xk, self.weight.value)
-        if self.symmetric:
-            # Hermitian completion: Y[N-k] = conj(Y[k]); realised as
-            # 2 Re(ifft(pad(yk))) with the double-counted DC term removed.
-            base = _pad_ifft(yk, dim_x, axis=-1).real
-            return 2.0 * base - yk[..., 0:1].real / dim_x
         return _pad_ifft(yk, dim_x, axis=-1).real
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._xk is None:
             raise RuntimeError("backward called before forward")
         dim_x = self._dim_x
-        # y = Re(ifft(pad(yk))) => g_yk = truncate(fft(grad)) / N.  The
-        # symmetric branch doubles every bin and removes the duplicated DC.
-        g_yk = _trunc_fft(grad, self.modes, axis=-1) / dim_x
         if self.symmetric:
-            g_yk = 2.0 * g_yk
-            g_yk[..., 0] -= np.sum(grad, axis=-1) / dim_x
+            # y = irfft(pad(yk)) => g_yk = (2/N) rfft(grad) with the DC
+            # bin un-doubled (it is never mirrored).
+            g_yk = _trunc_rfft(grad, self.modes, axis=-1)
+            g_yk *= 2.0 / dim_x
+            g_yk[..., 0] *= 0.5
+        else:
+            # y = Re(ifft(pad(yk))) => g_yk = truncate(fft(grad)) / N.
+            g_yk = _trunc_fft(grad, self.modes, axis=-1) / dim_x
         if self.per_mode:
             self.weight.grad += np.einsum("bim,bom->iom", np.conj(self._xk), g_yk)
             g_xk = np.einsum("bom,iom->bim", g_yk, np.conj(self.weight.value))
         else:
             self.weight.grad += np.einsum("bim,bom->io", np.conj(self._xk), g_yk)
             g_xk = np.einsum("bom,io->bim", g_yk, np.conj(self.weight.value))
+        if self.symmetric:
+            # xk = rfft(x)[..:m], x real => the R2C adjoint: halve every
+            # bin except DC, then the (unnormalised) C2R inverse.
+            g_xk *= 0.5
+            g_xk[..., 0] *= 2.0
+            return _pad_irfft(g_xk, dim_x, axis=-1) * dim_x
         # xk = truncate(fft(x)), x real => g_x = Re(N * ifft(pad(g_xk))).
         g_x = _pad_ifft(g_xk, dim_x, axis=-1).real * dim_x
         return g_x
@@ -282,6 +314,13 @@ class SpectralConv2d(Module):
 
     Same conventions as :class:`SpectralConv1d`, with a rectangular
     ``modes_x x modes_y`` low-frequency filter.
+
+    ``symmetric=True`` is the rfft2-style half-spectrum convention: the
+    last axis transforms through the compiled R2C plan (Hermitian
+    symmetry along Y), the X axis keeps the paper's first-bins C2C
+    filter, and the output is reconstructed with the C2R inverse — a
+    real->real operator whose half spectrum is consumed end-to-end.
+    Requires ``modes_y <= Y/2``.
     """
 
     def __init__(
@@ -292,6 +331,7 @@ class SpectralConv2d(Module):
         modes_y: int,
         rng: np.random.Generator,
         per_mode: bool = True,
+        symmetric: bool = False,
         name: str = "spectral2d",
     ) -> None:
         if min(c_in, c_out, modes_x, modes_y) <= 0:
@@ -301,6 +341,7 @@ class SpectralConv2d(Module):
         self.modes_x = modes_x
         self.modes_y = modes_y
         self.per_mode = per_mode
+        self.symmetric = symmetric
         self.weight = Parameter(
             _init_spectral_weight(c_in, c_out, (modes_x, modes_y), per_mode, rng),
             f"{name}.weight",
@@ -309,6 +350,9 @@ class SpectralConv2d(Module):
         self._shape: tuple[int, int] = (0, 0)
 
     def _truncate_fft2(self, x: np.ndarray) -> np.ndarray:
+        if self.symmetric:
+            xk = _trunc_rfft(x, self.modes_y, axis=3)
+            return _trunc_fft(xk, self.modes_x, axis=2)
         xk = _trunc_fft(x, self.modes_x, axis=2)
         return _trunc_fft(xk, self.modes_y, axis=3)
 
@@ -316,13 +360,37 @@ class SpectralConv2d(Module):
         y = _pad_ifft(yk, dim_y, axis=3)
         return _pad_ifft(y, dim_x, axis=2)
 
+    def _pad_irfft2(self, yk: np.ndarray, dim_x: int, dim_y: int) -> np.ndarray:
+        y = _pad_ifft(yk, dim_x, axis=2)
+        return _pad_irfft(y, dim_y, axis=3)
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 4 or x.shape[1] != self.c_in:
             raise ValueError(f"expected (batch, {self.c_in}, X, Y), got {x.shape}")
         dim_x, dim_y = x.shape[2], x.shape[3]
         if self.modes_x > dim_x or self.modes_y > dim_y:
             raise ValueError("modes exceed the spatial grid")
+        if self.symmetric and self.modes_y > dim_y // 2:
+            raise ValueError(
+                f"symmetric filtering needs modes_y <= Y/2, got "
+                f"{self.modes_y} on a length-{dim_y} grid"
+            )
         self._shape = (dim_x, dim_y)
+        if self.symmetric:
+            # contiguous copy: the fallback truncation path can return a
+            # view pinning the full spectrum until backward
+            xk = np.ascontiguousarray(self._truncate_fft2(x))
+            self._xk = xk
+            if not self.per_mode:
+                from repro.core.compiled import CompiledSpectralConv2D
+
+                conv = CompiledSpectralConv2D(
+                    self.weight.value, self.modes_x, self.modes_y,
+                    symmetric=True,
+                )
+                return np.ascontiguousarray(conv(x, xk_trunc=xk))
+            yk = np.einsum("bimn,iomn->bomn", xk, self.weight.value)
+            return self._pad_irfft2(yk, dim_x, dim_y)
         if not self.per_mode:
             self._xk = self._truncate_fft2(x)
             y = fused_fft_gemm_ifft_2d(x, self.weight.value, self.modes_x,
@@ -338,7 +406,15 @@ class SpectralConv2d(Module):
             raise RuntimeError("backward called before forward")
         dim_x, dim_y = self._shape
         n_total = dim_x * dim_y
-        g_yk = self._truncate_fft2(grad) / n_total
+        if self.symmetric:
+            # y = irfft_y(ifft_x(pad(yk))) => the Y adjoint doubles every
+            # kept bin except DC, the X adjoint is the plain 1/X FFT.
+            g_f = _trunc_rfft(grad, self.modes_y, axis=3)
+            g_f *= 2.0 / dim_y
+            g_f[..., 0] *= 0.5
+            g_yk = _trunc_fft(g_f, self.modes_x, axis=2) / dim_x
+        else:
+            g_yk = self._truncate_fft2(grad) / n_total
         if self.per_mode:
             self.weight.grad += np.einsum(
                 "bimn,bomn->iomn", np.conj(self._xk), g_yk
@@ -347,4 +423,11 @@ class SpectralConv2d(Module):
         else:
             self.weight.grad += np.einsum("bimn,bomn->io", np.conj(self._xk), g_yk)
             g_xk = np.einsum("bomn,io->bimn", g_yk, np.conj(self.weight.value))
+        if self.symmetric:
+            # xk = fft_x(rfft_y(x))[kept corner]: adjoint = X * ifft_x on
+            # the padded corner, then the halved-bins C2R inverse * Y.
+            t = _pad_ifft(g_xk, dim_x, axis=2) * dim_x
+            t *= 0.5
+            t[..., 0] *= 2.0
+            return _pad_irfft(t, dim_y, axis=3) * dim_y
         return self._pad_ifft2(g_xk, dim_x, dim_y).real * n_total

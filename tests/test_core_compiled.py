@@ -143,6 +143,143 @@ def test_compile_spectral_conv_factory():
     )
     with pytest.raises(ValueError):
         compile_spectral_conv(w, (8, 4, 2))
+    assert compile_spectral_conv(w, 8, symmetric=True).symmetric
+    assert compile_spectral_conv(w, (8, 4), symmetric=True).symmetric
+
+
+# ---------------------------------------------------------------------------
+# symmetric (half-spectrum) executors
+# ---------------------------------------------------------------------------
+
+def _sym_oracle_1d(x, w, modes):
+    n = x.shape[-1]
+    xk = np.fft.rfft(x, axis=-1)[..., :modes]
+    yk = np.einsum("bim,io->bom", xk, w)
+    out_ft = np.zeros((x.shape[0], w.shape[1], n // 2 + 1), dtype=complex)
+    out_ft[..., :modes] = yk
+    return np.fft.irfft(out_ft, n=n, axis=-1)
+
+
+def _sym_oracle_2d(x, w, mx, my):
+    b, _, dim_x, dim_y = x.shape
+    xk = np.fft.rfft(x, axis=3)[..., :my]
+    xk = np.fft.fft(xk, axis=2)[:, :, :mx]
+    yk = np.einsum("bimn,io->bomn", xk, w)
+    out_ft = np.zeros((b, w.shape[1], dim_x, dim_y // 2 + 1), dtype=complex)
+    out_ft[:, :, :mx, :my] = yk
+    return np.fft.irfft(np.fft.ifft(out_ft, axis=2), n=dim_y, axis=3)
+
+
+@pytest.mark.parametrize("dtype,atol", [(np.float32, 1e-3), (np.float64, 1e-9)])
+def test_symmetric_executor_1d_matches_oracle(backend, dtype, atol):
+    rng = np.random.default_rng(6)
+    w = _weight(5, 3, np.complex128, rng)
+    conv = CompiledSpectralConv1D(w, 8, symmetric=True)
+    x = _x((4, 5, 64), dtype, rng)
+    y = conv(x)
+    assert y.dtype == dtype  # real in, real out, same precision
+    np.testing.assert_allclose(
+        y, _sym_oracle_1d(x.astype(np.float64), w, 8), atol=atol
+    )
+
+
+@pytest.mark.parametrize("dtype,atol", [(np.float32, 1e-3), (np.float64, 1e-9)])
+def test_symmetric_executor_2d_matches_oracle(backend, dtype, atol):
+    rng = np.random.default_rng(7)
+    w = _weight(4, 6, np.complex128, rng)
+    conv = CompiledSpectralConv2D(w, 4, 8, symmetric=True)
+    x = _x((2, 4, 16, 32), dtype, rng)
+    y = conv(x)
+    assert y.dtype == dtype
+    np.testing.assert_allclose(
+        y, _sym_oracle_2d(x.astype(np.float64), w, 4, 8), atol=atol
+    )
+
+
+def test_symmetric_executor_reuse_bit_identical(backend):
+    """Staging is cached per (dtype, geometry); repeated and interleaved
+    calls through the shared rfft/irfft plans are deterministic."""
+    rng = np.random.default_rng(8)
+    w = _weight(3, 3, np.complex64, rng)
+    conv = CompiledSpectralConv1D(w, 4, symmetric=True)
+    xs = [_x((b, 3, 32), np.float32, rng) for b in (2, 7, 1)]
+    first = [conv(x) for x in xs]
+    second = [conv(x) for x in reversed(xs)][::-1]
+    for g1, g2 in zip(first, second):
+        assert _bit_equal(g1, g2)
+    assert len(conv._staged) == 1
+
+
+def test_symmetric_executor_validation():
+    w = np.ones((4, 4), np.complex64)
+    with pytest.raises(ValueError, match="modes <= X/2"):
+        CompiledSpectralConv1D(w, 12, symmetric=True)(
+            np.ones((2, 4, 16), np.float32)
+        )
+    with pytest.raises(ValueError, match="real input"):
+        CompiledSpectralConv1D(w, 4, symmetric=True)(
+            np.ones((2, 4, 16), np.complex64)
+        )
+    with pytest.raises(ValueError, match="modes_y <= Y/2"):
+        CompiledSpectralConv2D(w, 4, 12, symmetric=True)(
+            np.ones((2, 4, 16, 16), np.float32)
+        )
+
+
+def test_symmetric_executor_accepts_precomputed_spectrum(backend):
+    """Passing the truncated spectrum skips the forward R2C pass but
+    must produce the same result as computing it in the executor."""
+    rng = np.random.default_rng(10)
+    w = _weight(4, 3, np.complex128, rng)
+    x = _x((3, 4, 64), np.float64, rng)
+    conv = CompiledSpectralConv1D(w, 8, symmetric=True)
+    xk = np.fft.rfft(x, axis=-1)[..., :8]
+    np.testing.assert_allclose(conv(x, xk_trunc=xk), conv(x), atol=1e-9)
+    conv2 = CompiledSpectralConv2D(w, 4, 8, symmetric=True)
+    x2 = _x((2, 4, 16, 32), np.float64, rng)
+    xk2 = np.fft.fft(np.fft.rfft(x2, axis=3)[..., :8], axis=2)[:, :, :4]
+    np.testing.assert_allclose(conv2(x2, xk_trunc=xk2), conv2(x2), atol=1e-9)
+
+
+def test_symmetric_executor_rejects_malformed_xk_trunc():
+    rng = np.random.default_rng(11)
+    w = _weight(4, 3, np.complex64, rng)
+    x = _x((2, 4, 32), np.float32, rng)
+    conv = CompiledSpectralConv1D(w, 8, symmetric=True)
+    good = np.fft.rfft(x, axis=-1)[..., :8].astype(np.complex64)
+    with pytest.raises(ValueError, match="xk_trunc"):
+        conv(x, xk_trunc=good[..., :6])  # wrong mode count
+    with pytest.raises(ValueError, match="xk_trunc"):
+        conv(x, xk_trunc=good[:1])  # wrong batch
+    with pytest.raises(ValueError, match="symmetric"):
+        CompiledSpectralConv1D(w, 8)(x, xk_trunc=good)  # asymmetric mode
+    conv2 = CompiledSpectralConv2D(w, 4, 8, symmetric=True)
+    x2 = _x((2, 4, 16, 32), np.float32, rng)
+    with pytest.raises(ValueError, match="xk_trunc"):
+        conv2(x2, xk_trunc=np.zeros((2, 4, 8, 4), np.complex64))
+
+
+def test_symmetric_layer_spectrum_cache_owns_its_memory(backend):
+    """The cached activation spectrum must not pin the full half
+    spectrum (it is held across the whole optimizer step)."""
+    from repro.nn.modules import SpectralConv1d
+
+    rng = np.random.default_rng(12)
+    m = SpectralConv1d(2, 2, 4, rng, symmetric=True)
+    m(rng.standard_normal((1, 2, 256)))
+    assert m._xk.base is None or m._xk.base.shape == m._xk.shape
+
+
+def test_execution_plan_compile_executor_symmetric():
+    rng = np.random.default_rng(9)
+    p = plan(FNO1DProblem(batch=4, hidden=6, dim_x=64, modes=16))
+    w = _weight(6, 6, np.complex64, rng)
+    conv = p.compile_executor(w, symmetric=True)
+    assert isinstance(conv, CompiledSpectralConv1D) and conv.symmetric
+    x = _x((4, 6, 64), np.float32, rng)
+    np.testing.assert_allclose(
+        conv(x), _sym_oracle_1d(x.astype(np.float64), w, 16), atol=1e-3
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,407 @@
+"""Property tests for the compiled packed-real R2C/C2R plan family.
+
+The contract mirrors :mod:`tests.test_fft_compiled`: results are
+bit-identical *within the plan family* (across the C-kernel and NumPy
+executor backends, and across repeated executions through one cached
+plan), match ``numpy.fft.rfft/irfft`` to working precision, and match
+the legacy slice-the-full-spectrum oracle (:mod:`repro.fft.legacy`) to
+tolerance — across dtypes, axes, non-contiguous layouts and batch
+shapes.  Plan-cache semantics (same key -> same object, workspace reuse
+under interleaved 1-D/2-D calls) are held to the same bar as the C2C
+plans.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fft import compiled, legacy
+from repro.fft._ckernels import kernels_available
+from repro.fft.real import irfft, rfft
+
+REAL_DTYPES = (np.float32, np.float64)
+
+BACKENDS = ["ckernels", "numpy"] if kernels_available() else ["numpy"]
+
+#: absolute tolerance per working precision (vs numpy / the legacy oracle;
+#: the packed recombination reassociates, so this is not bitwise).
+ATOL = {np.dtype(np.float32): 1e-3, np.dtype(np.float64): 1e-10,
+        np.dtype(np.complex64): 1e-3, np.dtype(np.complex128): 1e-10}
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request, monkeypatch):
+    """Run a test under the C kernels and under the NumPy fallback."""
+    if request.param == "numpy":
+        from repro.fft import _ckernels
+
+        monkeypatch.setitem(_ckernels._state, "kernels", None)
+        monkeypatch.setitem(_ckernels._state, "tried", True)
+        compiled.clear_fft_plan_cache()
+    yield request.param
+    compiled.clear_fft_plan_cache()
+
+
+def _real_data(shape, dtype, rng, contiguity="C"):
+    x = rng.standard_normal(shape).astype(dtype)
+    if contiguity == "sliced":  # non-contiguous rows
+        x = np.repeat(x, 2, axis=0)[::2]
+    elif contiguity == "F":
+        x = np.asfortranarray(x)
+    return x
+
+
+def _half_spectrum(shape_lead, n, dtype, rng, valid=True):
+    """A random half spectrum with the given leading (batch) shape."""
+    bins = n // 2 + 1
+    xk = (rng.standard_normal((*shape_lead, bins))
+          + 1j * rng.standard_normal((*shape_lead, bins))).astype(dtype)
+    if valid:  # DC and Nyquist bins of a real signal are real
+        xk[..., 0] = xk[..., 0].real
+        xk[..., -1] = xk[..., -1].real
+    return xk
+
+
+def _bit_equal(a, b):
+    a = np.ascontiguousarray(a)
+    b = np.ascontiguousarray(b)
+    return a.dtype == b.dtype and np.array_equal(
+        a.view(a.real.dtype), b.view(b.real.dtype)
+    )
+
+
+# ---------------------------------------------------------------------------
+# round trips
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("dtype", REAL_DTYPES)
+@pytest.mark.parametrize("n", [1, 2, 4, 16, 128, 256])
+def test_roundtrip_identity(backend, dtype, n):
+    rng = np.random.default_rng(10)
+    x = _real_data((3, n), dtype, rng)
+    back = irfft(rfft(x), n)
+    assert back.dtype == x.dtype
+    np.testing.assert_allclose(back, x, atol=ATOL[x.dtype] * max(n, 1))
+
+
+@pytest.mark.parametrize("shape,axis", [((2, 4, 32), 1), ((16, 5), 0),
+                                        ((4, 64), -1), ((2, 8, 3), -2)])
+def test_roundtrip_any_axis(backend, shape, axis):
+    rng = np.random.default_rng(11)
+    x = _real_data(shape, np.float64, rng)
+    n = x.shape[axis]
+    back = irfft(rfft(x, axis=axis), n, axis=axis)
+    np.testing.assert_allclose(back, x, atol=1e-10)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_roundtrip_randomized(backend, seed):
+    """Seeded randomized round-trips across random shapes/axes/dtypes."""
+    rng = np.random.default_rng(1000 + seed)
+    n = 2 ** int(rng.integers(0, 9))
+    lead = tuple(int(rng.integers(1, 5)) for _ in range(int(rng.integers(0, 3))))
+    dtype = [np.float32, np.float64][seed % 2]
+    axis = int(rng.integers(0, len(lead) + 1))
+    shape = list(lead)
+    shape.insert(axis, n)
+    x = _real_data(tuple(shape), dtype, rng)
+    back = irfft(rfft(x, axis=axis), n, axis=axis)
+    np.testing.assert_allclose(back, x, atol=ATOL[x.dtype] * max(n, 1))
+
+
+# ---------------------------------------------------------------------------
+# equality vs numpy.fft and the legacy full-C2C oracle
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("dtype", REAL_DTYPES)
+@pytest.mark.parametrize("n", [2, 8, 64, 256])
+def test_rfft_matches_numpy(backend, dtype, n):
+    rng = np.random.default_rng(12)
+    x = _real_data((3, n), dtype, rng)
+    np.testing.assert_allclose(
+        rfft(x), np.fft.rfft(x.astype(np.float64)),
+        atol=ATOL[np.dtype(dtype)] * n,
+    )
+
+
+@pytest.mark.parametrize("dtype", REAL_DTYPES)
+@pytest.mark.parametrize("n", [2, 8, 64, 256])
+def test_rfft_matches_legacy_oracle(backend, dtype, n):
+    rng = np.random.default_rng(13)
+    x = _real_data((4, n), dtype, rng)
+    np.testing.assert_allclose(
+        rfft(x), legacy.rfft(x), atol=ATOL[np.dtype(dtype)] * n
+    )
+
+
+@pytest.mark.parametrize("dtype", (np.complex64, np.complex128))
+@pytest.mark.parametrize("n", [2, 8, 64, 256])
+def test_irfft_matches_numpy(backend, dtype, n):
+    rng = np.random.default_rng(14)
+    xk = _half_spectrum((3,), n, dtype, rng)
+    np.testing.assert_allclose(
+        irfft(xk, n), np.fft.irfft(xk.astype(np.complex128), n),
+        atol=ATOL[np.dtype(dtype)] * n,
+    )
+
+
+@pytest.mark.parametrize("valid", [True, False])
+@pytest.mark.parametrize("n", [4, 32, 128])
+def test_irfft_matches_legacy_oracle(backend, valid, n):
+    """Agreement with the seed path even for *invalid* half spectra
+    (complex DC/Nyquist bins, whose imaginary parts both paths drop)."""
+    rng = np.random.default_rng(15)
+    xk = _half_spectrum((2, 3), n, np.complex128, rng, valid=valid)
+    np.testing.assert_allclose(
+        irfft(xk, n), legacy.irfft(xk, n), atol=1e-10 * n
+    )
+
+
+@pytest.mark.parametrize("axis", [0, 1, -1, -2])
+def test_rfft_irfft_leading_and_negative_axes(backend, axis):
+    rng = np.random.default_rng(16)
+    x = _real_data((16, 4, 16), np.float64, rng)
+    n = x.shape[axis]
+    got = rfft(x, axis=axis)
+    assert got.flags.c_contiguous  # the legacy path's guarantee
+    np.testing.assert_allclose(got, np.fft.rfft(x, axis=axis), atol=1e-10)
+    xk = np.fft.rfft(x, axis=axis)
+    np.testing.assert_allclose(
+        irfft(xk, n, axis=axis), np.fft.irfft(xk, n, axis=axis), atol=1e-10
+    )
+
+
+@pytest.mark.parametrize("dtype", REAL_DTYPES)
+@pytest.mark.parametrize("contiguity", ["sliced", "F"])
+def test_rfft_non_contiguous_inputs(backend, dtype, contiguity):
+    rng = np.random.default_rng(17)
+    x = _real_data((6, 32), dtype, rng, contiguity)
+    for axis in (-1, 0):
+        if not compiled._is_power_of_two(x.shape[axis]):
+            continue
+        np.testing.assert_allclose(
+            rfft(x, axis=axis),
+            np.fft.rfft(x.astype(np.float64), axis=axis),
+            atol=ATOL[np.dtype(dtype)] * x.shape[axis],
+        )
+
+
+@pytest.mark.parametrize("contiguity", ["sliced", "F"])
+def test_irfft_non_contiguous_inputs(backend, contiguity):
+    rng = np.random.default_rng(18)
+    xk = _half_spectrum((6,), 32, np.complex128, rng)
+    if contiguity == "sliced":
+        xk = np.repeat(xk, 2, axis=0)[::2]
+    else:
+        xk = np.asfortranarray(xk)
+    np.testing.assert_allclose(
+        irfft(xk, 32), np.fft.irfft(xk, 32), atol=1e-10
+    )
+
+
+@pytest.mark.parametrize("shape,axis", [((8,), 0), ((2, 3, 4, 16), -1),
+                                        ((1, 64), -1), ((5, 2, 8), 2)])
+def test_batch_shapes(backend, shape, axis):
+    rng = np.random.default_rng(19)
+    x = _real_data(shape, np.float64, rng)
+    np.testing.assert_allclose(
+        rfft(x, axis=axis), np.fft.rfft(x, axis=axis), atol=1e-10
+    )
+
+
+# ---------------------------------------------------------------------------
+# bit-identity within the plan family
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("dtype", REAL_DTYPES)
+def test_repeated_executions_bit_identical(backend, dtype):
+    """One cached plan, reused workspaces -> identical bytes every call."""
+    rng = np.random.default_rng(20)
+    x = _real_data((5, 64), dtype, rng)
+    first = rfft(x)
+    for _ in range(3):
+        assert _bit_equal(rfft(x), first)
+    xk = _half_spectrum((5,), 64, np.complex128, rng)
+    firsti = irfft(xk, 64)
+    for _ in range(3):
+        assert _bit_equal(irfft(xk, 64), firsti)
+
+
+@pytest.mark.skipif(not kernels_available(), reason="needs the C kernels")
+@pytest.mark.parametrize("dtype", REAL_DTYPES)
+def test_backends_bit_identical(dtype, monkeypatch):
+    """C-kernel and NumPy-fallback paths produce the same bytes: the
+    recombination is shared and the half-length sub-transform is held to
+    the compiled layer's bit-identity contract."""
+    from repro.fft import _ckernels
+
+    rng = np.random.default_rng(21)
+    x = _real_data((4, 128), dtype, rng)
+    xk = _half_spectrum((4,), 128,
+                        np.complex64 if dtype == np.float32 else np.complex128,
+                        rng)
+    compiled.clear_fft_plan_cache()
+    with_kernels = (rfft(x), irfft(xk, 128))
+    monkeypatch.setitem(_ckernels._state, "kernels", None)
+    monkeypatch.setitem(_ckernels._state, "tried", True)
+    compiled.clear_fft_plan_cache()
+    without = (rfft(x), irfft(xk, 128))
+    assert _bit_equal(with_kernels[0], without[0])
+    assert _bit_equal(with_kernels[1], without[1])
+    compiled.clear_fft_plan_cache()
+
+
+# ---------------------------------------------------------------------------
+# plan-cache semantics
+# ---------------------------------------------------------------------------
+
+def test_same_key_returns_same_plan_object():
+    p1 = compiled.get_rfft_plan(128, np.float32)
+    assert compiled.get_rfft_plan(128, np.float32) is p1
+    # dtype normalisation: float32 and complex64 share one plan
+    assert compiled.get_rfft_plan(128, np.complex64) is p1
+    # direction and precision are distinct keys
+    assert compiled.get_irfft_plan(128, np.float32) is not p1
+    assert compiled.get_rfft_plan(128, np.float64) is not p1
+    assert compiled.get_rfft_plan(64, np.float32) is not p1
+    q1 = compiled.get_irfft_plan(64, np.complex64)
+    assert compiled.get_irfft_plan(64, np.float32) is q1
+
+
+def test_plans_share_the_half_length_c2c_plan():
+    """The packed-real trick runs through the cached C2C machinery: the
+    sub-transform *is* the cached half-length plan object."""
+    p = compiled.get_rfft_plan(128, np.float32)
+    assert p._sub is compiled.get_fft_plan(64, np.complex64, inverse=False)
+    q = compiled.get_irfft_plan(128, np.float32)
+    assert q._sub is compiled.get_fft_plan(64, np.complex64, inverse=True)
+
+
+def test_clear_plan_cache_resets_objects():
+    p1 = compiled.get_rfft_plan(32, np.float32)
+    compiled.clear_fft_plan_cache()
+    assert compiled.get_rfft_plan(32, np.float32) is not p1
+
+
+def test_cache_info_reports_rfft_plans():
+    compiled.clear_fft_plan_cache()
+    compiled.get_rfft_plan(16, np.float32)
+    compiled.get_irfft_plan(16, np.float32)
+    info = compiled.fft_plan_cache_info()
+    assert len(info) == 3
+    assert info[2].currsize == 2
+
+
+def test_plan_tables_are_readonly_and_precast():
+    p = compiled.get_rfft_plan(32, np.float32)
+    assert p._wm.dtype == np.complex64
+    assert not p._wm.flags.writeable
+    q = compiled.get_irfft_plan(32, np.float64)
+    assert q._wj.dtype == np.complex128
+    assert not q._wj.flags.writeable
+
+
+def test_workspace_reuse_interleaved_1d_2d(backend):
+    """Interleaved 1-D/2-D (and growing/shrinking batch) calls through
+    the same cached plans must not corrupt each other's workspaces."""
+    rng = np.random.default_rng(22)
+    xs = [
+        _real_data((3, 32), np.float64, rng),
+        _real_data((2, 5, 32), np.float64, rng),   # 2-D batch, same length
+        _real_data((1, 32), np.float64, rng),
+        _real_data((4, 2, 32), np.float64, rng),
+    ]
+    expected = [np.fft.rfft(x, axis=-1) for x in xs]
+    first = [rfft(x, axis=-1) for x in xs]
+    # reversed order re-runs over the warm, grown workspaces
+    second = [rfft(x, axis=-1) for x in reversed(xs)][::-1]
+    for e, g1, g2 in zip(expected, first, second):
+        np.testing.assert_allclose(g1, e, atol=1e-10)
+        assert _bit_equal(g1, g2)
+    ks = [np.fft.rfft(x, axis=-1) for x in xs]
+    iexpected = [np.fft.irfft(k, 32, axis=-1) for k in ks]
+    ifirst = [irfft(k, 32, axis=-1) for k in ks]
+    isecond = [irfft(k, 32, axis=-1) for k in reversed(ks)][::-1]
+    for e, g1, g2 in zip(iexpected, ifirst, isecond):
+        np.testing.assert_allclose(g1, e, atol=1e-10)
+        assert _bit_equal(g1, g2)
+
+
+def test_execution_does_not_mutate_input(backend):
+    rng = np.random.default_rng(23)
+    x = _real_data((4, 16), np.float64, rng)
+    kept = x.copy()
+    rfft(x)
+    assert np.array_equal(x, kept)
+    xk = _half_spectrum((4,), 16, np.complex128, rng)
+    kept_k = xk.copy()
+    irfft(xk, 16)
+    assert np.array_equal(xk, kept_k)
+
+
+# ---------------------------------------------------------------------------
+# dtype policy (regression: no silent complex128 promotion)
+# ---------------------------------------------------------------------------
+
+def test_irfft_complex64_in_float32_out():
+    rng = np.random.default_rng(24)
+    xk = np.fft.rfft(rng.standard_normal((2, 16))).astype(np.complex64)
+    out = irfft(xk, 16)
+    assert out.dtype == np.float32
+
+
+def test_irfft_real_valued_half_spectrum_keeps_precision():
+    """The seed promoted real-valued half spectra to complex128 no matter
+    the input precision; the compiled path follows the dtype policy."""
+    xk32 = np.ones((2, 9), dtype=np.float32)
+    assert irfft(xk32, 16).dtype == np.float32
+    xk64 = np.ones((2, 9), dtype=np.float64)
+    assert irfft(xk64, 16).dtype == np.float64
+
+
+def test_irfft_complex128_in_float64_out():
+    rng = np.random.default_rng(25)
+    xk = np.fft.rfft(rng.standard_normal((2, 16)))
+    assert irfft(xk, 16).dtype == np.float64
+
+
+def test_rfft_output_dtypes():
+    rng = np.random.default_rng(26)
+    assert rfft(rng.standard_normal((2, 8)).astype(np.float32)).dtype \
+        == np.complex64
+    assert rfft(rng.standard_normal((2, 8))).dtype == np.complex128
+    # integer input follows the "everything else is double" rule
+    assert rfft(np.arange(8).reshape(1, 8)).dtype == np.complex128
+
+
+# ---------------------------------------------------------------------------
+# validation
+# ---------------------------------------------------------------------------
+
+def test_rfft_rejects_complex_input():
+    with pytest.raises(ValueError):
+        rfft(np.zeros((2, 8), dtype=complex))
+
+
+def test_rfft_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        rfft(np.zeros((2, 12)))
+
+
+def test_irfft_rejects_wrong_bin_count():
+    with pytest.raises(ValueError):
+        irfft(np.zeros((2, 8), dtype=complex), 32)
+    with pytest.raises(ValueError):
+        irfft(np.zeros((2, 9), dtype=complex), 24)  # not a power of two
+
+
+def test_plan_execute_validates_geometry():
+    p = compiled.get_rfft_plan(16, np.float32)
+    with pytest.raises(ValueError):
+        p.execute(np.zeros((2, 8), dtype=np.float32))  # wrong length
+    with pytest.raises(ValueError):
+        p.execute(np.zeros((2, 16), dtype=np.float64))  # wrong precision
+    q = compiled.get_irfft_plan(16, np.float32)
+    with pytest.raises(ValueError):
+        q.execute(np.zeros((2, 16), dtype=np.complex64))  # wrong bin count
+    with pytest.raises(ValueError):
+        q.execute(np.zeros((2, 9), dtype=np.complex128))  # wrong precision
