@@ -8,11 +8,15 @@ the paper's CUDA kernels (see DESIGN.md for the substitution argument).
 Layout
 ------
 ``repro.api``
-    **The front door.**  A dimension-agnostic ``Problem`` protocol,
+    **The front door.**  The stateful ``Session`` execution context
+    (plan cache + FFT-plan caches + compiled-executor pool + batched
+    ``infer``/``infer_many`` serving, per-session backend/dtype
+    policy), a dimension-agnostic ``Problem`` protocol,
     ``plan(problem, stage=..., config=..., device=...)`` returning cached
-    ``ExecutionPlan`` objects, a batch ``Runner`` for sweeps, and the
-    device/stage/pipeline-builder registries.  New code goes through here;
-    everything below is the machinery the facade compiles against.
+    ``ExecutionPlan`` objects (a thin wrapper over the default session),
+    a batch ``Runner`` for sweeps, and the device/stage/pipeline-builder
+    registries.  New code goes through here; everything below is the
+    machinery the facade compiles against.
 ``repro.gpu``
     Execution-model substrate: device specs (A100 default, H100-class
     registered), occupancy, shared-memory bank conflicts, roofline kernel
@@ -50,7 +54,7 @@ import importlib
 import warnings
 
 from repro import api
-from repro.api import ExecutionPlan, Runner, plan, spectral_conv
+from repro.api import ExecutionPlan, Runner, Session, plan, spectral_conv
 from repro.core import (
     FNO1DProblem,
     FNO2DProblem,
@@ -64,6 +68,7 @@ __version__ = "1.1.0"
 __all__ = [
     "api",
     "plan",
+    "Session",
     "Runner",
     "ExecutionPlan",
     "spectral_conv",

@@ -13,6 +13,16 @@ Commands
 ``claims [--json]``
     Print the exact-arithmetic paper claims (Figs. 5/7/8) and their
     reproduced values.
+``serve-bench [--requests N] [--max-batch B] [--workers W]
+[--backend {auto,ckernels,numpy}] [--json]``
+    Micro-benchmark the :class:`repro.api.Session` serving path: a
+    mixed-geometry stream of Fourier-layer inference requests runs once
+    per request (the unbatched path) and once through
+    ``session.infer_many`` (geometry micro-batching over pooled
+    compiled executors), asserting bit-identical outputs and reporting
+    requests/sec for both.  ``--backend`` pins the executor substrate
+    for the session — per-session configuration where the seed only had
+    the process-global ``REPRO_NO_CKERNELS``.
 
 Commands resolve problems through the :mod:`repro.api` facade; ``ladder``'s
 ``--device h100`` (or any name added with ``repro.api.register_device``)
@@ -144,6 +154,82 @@ def _cmd_claims(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.api import Session, SpectralModel
+
+    try:
+        session = Session(backend=args.backend)
+    except (ValueError, RuntimeError) as exc:  # bad/unavailable backend
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(args.seed)
+    hidden = args.k
+    weight = (
+        (rng.standard_normal((hidden, hidden))
+         + 1j * rng.standard_normal((hidden, hidden))) / hidden
+    ).astype(np.complex64)
+    # A mixed-geometry request stream: two FFT sizes, shared weights —
+    # the shape of traffic the executor pool and micro-batcher target.
+    geometries = ((128, 64), (256, 64))
+    models = {
+        (n, m): SpectralModel(weight, m) for (n, m) in geometries
+    }
+    requests = []
+    for i in range(args.requests):
+        dim_x, modes = geometries[i % len(geometries)]
+        x = (
+            rng.standard_normal((args.signal_batch, hidden, dim_x))
+            + 1j * rng.standard_normal((args.signal_batch, hidden, dim_x))
+        ).astype(np.complex64)
+        requests.append((models[(dim_x, modes)], x))
+
+    session.warmup([])  # no-op geometry warmup; executors warm below
+    warm = session.infer_many(requests, max_batch=args.max_batch)
+
+    t0 = time.perf_counter()
+    unbatched = [session.infer(model, x) for model, x in requests]
+    t_unbatched = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    batched = session.infer_many(
+        requests, max_batch=args.max_batch, workers=args.workers
+    )
+    t_batched = time.perf_counter() - t0
+
+    if not all(
+        np.array_equal(a, b)
+        for a, b in zip(unbatched, batched)
+    ) or not all(np.array_equal(a, b) for a, b in zip(warm, batched)):
+        print("error: batched outputs != per-request outputs",
+              file=sys.stderr)
+        return 1
+
+    n = len(requests)
+    payload = {
+        "backend": session.backend,
+        "requests": n,
+        "max_batch": args.max_batch,
+        "workers": args.workers,
+        "unbatched_rps": n / t_unbatched,
+        "batched_rps": n / t_batched,
+        "speedup": t_unbatched / t_batched,
+        "stats": session.stats(),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"serve-bench: {n} requests, backend={session.backend}, "
+          f"max_batch={args.max_batch}")
+    print(f"  per-request : {payload['unbatched_rps']:8.1f} req/s")
+    print(f"  micro-batched: {payload['batched_rps']:8.1f} req/s "
+          f"({payload['speedup']:.2f}x)  [bit-identical]")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -177,6 +263,26 @@ def main(argv: list[str] | None = None) -> int:
     p_cl.add_argument("--json", action="store_true",
                       help="machine-readable claim values")
     p_cl.set_defaults(func=_cmd_claims)
+
+    p_sv = sub.add_parser("serve-bench",
+                          help="session batched-inference micro-benchmark")
+    p_sv.add_argument("--requests", type=int, default=64,
+                      help="number of inference requests (default 64)")
+    p_sv.add_argument("--signal-batch", type=int, default=4,
+                      help="signals per request (default 4)")
+    p_sv.add_argument("--k", type=int, default=32,
+                      help="hidden/channel dimension (default 32)")
+    p_sv.add_argument("--max-batch", type=int, default=16,
+                      help="micro-batch size in requests (default 16)")
+    p_sv.add_argument("--workers", type=int, default=None,
+                      help="threads draining the micro-batch queue")
+    p_sv.add_argument("--backend", default="auto",
+                      choices=("auto", "ckernels", "numpy"),
+                      help="session executor backend (default auto)")
+    p_sv.add_argument("--seed", type=int, default=0)
+    p_sv.add_argument("--json", action="store_true",
+                      help="machine-readable report incl. session stats")
+    p_sv.set_defaults(func=_cmd_serve_bench)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -105,14 +105,16 @@ class BreakdownResult:
 
 
 def fig01c(
-    problem: FNO1DProblem | None = None, cfg: TurboFNOConfig | None = None
+    problem: FNO1DProblem | None = None, cfg: TurboFNOConfig | None = None,
+    session=None,
 ) -> BreakdownResult:
     """The motivating bar chart: 5 separate kernels vs 1 fused kernel."""
     problem = problem or FNO1DProblem.from_m_spatial(
         2**20, hidden=64, dim_x=128, modes=64
     )
-    base = plan(problem, FusionStage.PYTORCH, cfg).report()
-    turbo = plan(problem, FusionStage.FUSED_ALL, cfg).report()
+    plan_fn = session.plan if session is not None else plan
+    base = plan_fn(problem, FusionStage.PYTORCH, cfg).report()
+    turbo = plan_fn(problem, FusionStage.FUSED_ALL, cfg).report()
     return BreakdownResult(base, turbo)
 
 
@@ -177,6 +179,7 @@ def _fig_1d(
     cfg: TurboFNOConfig | None,
     dim_x: int = 128,
     modes: int = 64,
+    session=None,
 ) -> list[SweepSeries]:
     stages = STAGES_BY_FIGURE[fig]
     panels = [
@@ -189,6 +192,7 @@ def _fig_1d(
             ],
             stages,
             cfg,
+            session=session,
         )
     ]
     bs_values = [64, 256, 1024, 4096] if fig > 10 else [
@@ -205,35 +209,41 @@ def _fig_1d(
                 ],
                 stages,
                 cfg,
+                session=session,
             )
         )
     return panels
 
 
-def fig10(dense: bool = False, cfg: TurboFNOConfig | None = None) -> list[SweepSeries]:
+def fig10(dense: bool = False, cfg: TurboFNOConfig | None = None,
+          session=None) -> list[SweepSeries]:
     """1-D FFT pruning/truncation/zero-padding (stage A)."""
-    return _fig_1d(10, dense, cfg)
+    return _fig_1d(10, dense, cfg, session=session)
 
 
-def fig11(dense: bool = False, cfg: TurboFNOConfig | None = None) -> list[SweepSeries]:
+def fig11(dense: bool = False, cfg: TurboFNOConfig | None = None,
+          session=None) -> list[SweepSeries]:
     """1-D fused FFT-CGEMM (stage B vs A)."""
-    return _fig_1d(11, dense, cfg)
+    return _fig_1d(11, dense, cfg, session=session)
 
 
-def fig12(dense: bool = False, cfg: TurboFNOConfig | None = None) -> list[SweepSeries]:
+def fig12(dense: bool = False, cfg: TurboFNOConfig | None = None,
+          session=None) -> list[SweepSeries]:
     """1-D fused CGEMM-iFFT (stage C vs A, B)."""
-    return _fig_1d(12, dense, cfg)
+    return _fig_1d(12, dense, cfg, session=session)
 
 
-def fig13(dense: bool = False, cfg: TurboFNOConfig | None = None) -> list[SweepSeries]:
+def fig13(dense: bool = False, cfg: TurboFNOConfig | None = None,
+          session=None) -> list[SweepSeries]:
     """1-D fully fused FFT-CGEMM-iFFT (stage D vs all)."""
-    return _fig_1d(13, dense, cfg)
+    return _fig_1d(13, dense, cfg, session=session)
 
 
 def fig14(
     dense: bool = False,
     cfg: TurboFNOConfig | None = None,
     workers: int | None = None,
+    session=None,
 ) -> list[HeatmapResult]:
     """1-D best-of heatmaps over K x log2(M), four (FFT size, N) panels.
 
@@ -248,6 +258,7 @@ def fig14(
                 heatmap_1d(
                     f"fig14 {dim_x}-pt FFT, N={modes}",
                     dim_x, modes, ks, log2_ms, cfg, workers=workers,
+                    session=session,
                 )
             )
     return panels
@@ -264,6 +275,7 @@ def _fig_2d(
     dim_x: int = 256,
     dim_y: int = 128,
     modes: int = 64,
+    session=None,
 ) -> list[SweepSeries]:
     stages = STAGES_BY_FIGURE[fig]
 
@@ -278,6 +290,7 @@ def _fig_2d(
             [(k, prob(8, k)) for k in _k_values(dense)],
             stages,
             cfg,
+            session=session,
         )
     ]
     bs_values = list(range(48, 145, 16)) if fig == 15 else [48, 64, 80, 96]
@@ -289,35 +302,41 @@ def _fig_2d(
                 [(bs, prob(bs, k)) for bs in bs_values],
                 stages,
                 cfg,
+                session=session,
             )
         )
     return panels
 
 
-def fig15(dense: bool = False, cfg: TurboFNOConfig | None = None) -> list[SweepSeries]:
+def fig15(dense: bool = False, cfg: TurboFNOConfig | None = None,
+          session=None) -> list[SweepSeries]:
     """2-D FFT pruning/truncation/zero-padding (stage A)."""
-    return _fig_2d(15, dense, cfg)
+    return _fig_2d(15, dense, cfg, session=session)
 
 
-def fig16(dense: bool = False, cfg: TurboFNOConfig | None = None) -> list[SweepSeries]:
+def fig16(dense: bool = False, cfg: TurboFNOConfig | None = None,
+          session=None) -> list[SweepSeries]:
     """2-D fused FFT-CGEMM (stage B vs A)."""
-    return _fig_2d(16, dense, cfg)
+    return _fig_2d(16, dense, cfg, session=session)
 
 
-def fig17(dense: bool = False, cfg: TurboFNOConfig | None = None) -> list[SweepSeries]:
+def fig17(dense: bool = False, cfg: TurboFNOConfig | None = None,
+          session=None) -> list[SweepSeries]:
     """2-D fused CGEMM-iFFT (stage C vs A, B)."""
-    return _fig_2d(17, dense, cfg)
+    return _fig_2d(17, dense, cfg, session=session)
 
 
-def fig18(dense: bool = False, cfg: TurboFNOConfig | None = None) -> list[SweepSeries]:
+def fig18(dense: bool = False, cfg: TurboFNOConfig | None = None,
+          session=None) -> list[SweepSeries]:
     """2-D fully fused FFT-CGEMM-iFFT (stage D vs all)."""
-    return _fig_2d(18, dense, cfg)
+    return _fig_2d(18, dense, cfg, session=session)
 
 
 def fig19(
     dense: bool = False,
     cfg: TurboFNOConfig | None = None,
     workers: int | None = None,
+    session=None,
 ) -> list[HeatmapResult]:
     """2-D best-of heatmaps over K x batch, four (grid, N) panels.
 
@@ -336,6 +355,7 @@ def fig19(
                 heatmap_2d(
                     f"fig19 256x{dim_y} 2DFFT, N={modes}",
                     256, dim_y, modes, ks, batches, cfg, workers=workers,
+                    session=session,
                 )
             )
     return panels

@@ -4,7 +4,9 @@ Every driver here is a thin shaping layer over :class:`repro.api.Runner`:
 the runner maps (problem, stage) pairs through the shared plan cache, so
 dense figure grids — and the heavy overlap between consecutive figures
 (Figs. 11-13 sweep the same problems with growing stage sets) — stop
-rebuilding identical pipelines.
+rebuilding identical pipelines.  Each driver accepts ``session=``: the
+sweep then plans through that :class:`repro.api.Session`'s cache
+(injected), falling back to the process-default session otherwise.
 
 The dimension-suffixed drivers (``ladder_speedups_1d``/``_2d``,
 ``sweep_1d``/``_2d``) are kept as conveniences; they share one generic
@@ -93,12 +95,15 @@ def ladder_speedups(
     stages: Sequence[FusionStage],
     cfg: TurboFNOConfig | None = None,
     device: DeviceSpec = A100_SPEC,
+    session=None,
 ) -> dict[FusionStage, float]:
     """Speedup of each requested stage over the PyTorch baseline.
 
     Dimension-agnostic: ``problem`` may be any :class:`repro.api.Problem`.
     """
-    return Runner(config=cfg, device=device).ladder(problem, stages)
+    return Runner(config=cfg, device=device, session=session).ladder(
+        problem, stages
+    )
 
 
 def ladder_speedups_1d(
@@ -128,14 +133,16 @@ def sweep(
     stages: Sequence[FusionStage],
     cfg: TurboFNOConfig | None = None,
     device: DeviceSpec = A100_SPEC,
+    session=None,
 ) -> SweepSeries:
     """Run the stage ladder over a sequence of (x, problem) pairs.
 
     Dimension-agnostic: each problem dispatches through the facade's
     pipeline-builder registry, so 1-D and 2-D (and future) workloads can
-    even be mixed in one series.
+    even be mixed in one series.  ``session`` routes planning through a
+    specific :class:`repro.api.Session`'s cache.
     """
-    runner = Runner(config=cfg, device=device)
+    runner = Runner(config=cfg, device=device, session=session)
     return SweepSeries(
         title,
         x_label,
@@ -174,13 +181,14 @@ def heatmap_1d(
     log2_ms: Sequence[int],
     cfg: TurboFNOConfig | None = None,
     workers: int | None = None,
+    session=None,
 ) -> HeatmapResult:
     """Fig. 14-style heatmap: stage-E speedup over K x log2(M).
 
     ``workers`` shards the grid over a process pool (identical values;
     see :meth:`repro.api.Runner.map_speedups`).
     """
-    runner = Runner(config=cfg)
+    runner = Runner(config=cfg, session=session)
     problems = [
         FNO1DProblem.from_m_spatial(max(2**lm, dim_x), k, dim_x, modes)
         for lm in log2_ms
@@ -201,12 +209,13 @@ def heatmap_2d(
     batches: Sequence[int],
     cfg: TurboFNOConfig | None = None,
     workers: int | None = None,
+    session=None,
 ) -> HeatmapResult:
     """Fig. 19-style heatmap: stage-E speedup over K x batch size.
 
     ``workers`` shards the grid over a process pool (identical values).
     """
-    runner = Runner(config=cfg)
+    runner = Runner(config=cfg, session=session)
     problems = [
         FNO2DProblem(
             batch=bs, hidden=k, dim_x=dim_x, dim_y=dim_y,

@@ -1,30 +1,44 @@
 """``repro.api`` — the single front door to the TurboFNO reproduction.
 
-Instead of picking one of the dimension-suffixed free functions
-(``build_pipeline_1d``/``_2d``, ``best_stage_1d``/``_2d``,
-``spectral_conv_1d``/``_2d``), callers describe *what* they want and the
-facade resolves *how*:
+The facade is organised around one object: the :class:`Session`.  A
+session is a stateful execution context that owns every cache and pool
+the stack uses — the plan cache behind :func:`plan`, the FFT/rfft plan
+caches (:class:`repro.fft.compiled.PlanCaches`), and a pool of compiled
+spectral-conv executors — and makes backend and dtype policy explicit
+configuration instead of process-global environment state:
 
 >>> from repro import api
 >>> from repro.core.config import FNO1DProblem
->>> p = api.plan(FNO1DProblem.from_m_spatial(2**20, 64, 128, 64))
->>> p.stage.value, round(p.speedup_vs_baseline())  # doctest: +SKIP
-('D', 150)
+>>> s = api.Session(backend="auto")          # doctest: +SKIP
+>>> p = s.plan(FNO1DProblem.from_m_spatial(2**20, 64, 128, 64))
+>>> s.warmup([p.problem])                    # pre-compile FFT plans
+>>> y = s.infer((weight, 64), x)             # pooled compiled executor
+>>> ys = s.infer_many(reqs, max_batch=32)    # geometry micro-batching
 
 Pieces
 ------
+:class:`Session`
+    Plans, warmup, batched inference (:meth:`Session.infer_many`
+    micro-batches requests by geometry and reuses one compiled executor
+    per weight matrix), cache statistics (:meth:`Session.stats`) and a
+    single teardown path (:meth:`Session.close` /
+    :meth:`Session.clear_all_caches`).  ``backend="auto"|"ckernels"|
+    "numpy"`` pins the executor substrate per session; outputs are
+    byte-identical across backends.
+:func:`plan` / :func:`plan_cache_info` / :func:`clear_plan_cache`
+    The PR 1 planning facade, preserved verbatim as thin wrappers over
+    a process-default session (:func:`default_session`).
+:func:`clear_all_caches`
+    Empties *every* default-session cache — plans, FFT/rfft plans and
+    their workspaces, compiled executors — where ``clear_plan_cache``
+    only drops plans.
 :class:`Problem`
-    Structural protocol every workload implements; dimensionality is data
-    (``problem.ndim``), not a function suffix.
-:func:`plan`
-    ``plan(problem, stage=..., config=..., device=...)`` compiles a kernel
-    :class:`~repro.gpu.timeline.Pipeline` into an :class:`ExecutionPlan`
-    (pipeline + memoised report + JSON summary).  Plans live in an LRU
-    cache keyed on (problem geometry, stage, config, device), so dense
-    figure sweeps stop rebuilding identical pipelines.
+    Structural protocol every workload implements; dimensionality is
+    data (``problem.ndim``), not a function suffix.
 :class:`Runner`
     Maps cached plans over iterables of problems/stages — the sweep hot
-    path behind :mod:`repro.analysis`.
+    path behind :mod:`repro.analysis`.  Pass ``session=`` to route a
+    sweep through a specific session's caches.
 registries
     Named devices (``"a100"`` — the paper's testbed and default — and an
     ``"h100"``-class part; extend with :func:`register_device`), tolerant
@@ -58,6 +72,13 @@ from repro.api.registry import (
     supported_ndims,
 )
 from repro.api.runner import Runner, default_workers
+from repro.api.session import (
+    DTYPE_POLICIES,
+    Session,
+    SpectralModel,
+    clear_all_caches,
+    default_session,
+)
 
 __all__ = [
     "default_workers",
@@ -67,6 +88,11 @@ __all__ = [
     "plan",
     "plan_cache_info",
     "clear_plan_cache",
+    "clear_all_caches",
+    "Session",
+    "SpectralModel",
+    "default_session",
+    "DTYPE_POLICIES",
     "Runner",
     "spectral_conv",
     "DEFAULT_DEVICE",

@@ -8,23 +8,24 @@ config and device, and memoises the modelled
 :class:`~repro.gpu.timeline.PipelineReport`.
 
 Plans are cached in an LRU keyed on ``(problem, stage, config, device)``
-(all frozen dataclasses, so the key *is* the geometry).  Dense figure
-sweeps hammer this cache hard: Figs. 11-13 sweep the same problem grids
-with growing stage sets, and every stage-E (BEST) resolution re-uses the
-A-D plans the ladder already built.  Cached plans are shared — treat a
-plan's ``pipeline`` as immutable.
+(all frozen dataclasses, so the key *is* the geometry).  The cache is
+owned by a :class:`repro.api.Session` — the module-level :func:`plan`,
+:func:`plan_cache_info` and :func:`clear_plan_cache` are thin wrappers
+over the process-default session, preserving the original facade API
+verbatim.  Dense figure sweeps hammer this cache hard: Figs. 11-13
+sweep the same problem grids with growing stage sets, and every stage-E
+(BEST) resolution re-uses the A-D plans the ladder already built.
+Cached plans are shared — treat a plan's ``pipeline`` as immutable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from functools import lru_cache
-
 import numpy as np
 
 from repro.api.problem import Problem, describe_problem
-from repro.api.registry import get_device, pipeline_builder_for, resolve_stage
+from repro.api.registry import pipeline_builder_for
 from repro.core.config import TurboFNOConfig
 from repro.core.stages import FusionStage
 from repro.gpu.device import DeviceSpec
@@ -32,6 +33,7 @@ from repro.gpu.timeline import Pipeline, PipelineReport, speedup_percent
 
 __all__ = [
     "ExecutionPlan",
+    "build_plan",
     "plan",
     "plan_cache_info",
     "clear_plan_cache",
@@ -63,6 +65,10 @@ class ExecutionPlan:
     pipeline: Pipeline
     _report: PipelineReport | None = field(default=None, repr=False)
     _speedup: float | None = field(default=None, repr=False)
+    #: The owning session (None for plans built outside any session);
+    #: sibling lookups (the baseline) and executor compilation route
+    #: through it so they share its caches and backend.
+    _session: object | None = field(default=None, repr=False)
 
     def report(self) -> PipelineReport:
         """Modelled execution report on this plan's device (memoised)."""
@@ -79,9 +85,21 @@ class ExecutionPlan:
     def launch_count(self) -> int:
         return self.report().launch_count
 
+    def _live_session(self):
+        """The owning session while it is open — plans outlive their
+        session (falling back to the default-session facade), matching
+        the standalone behaviour module-level plans always had."""
+        session = self._session
+        if session is not None and not session._closed:
+            return session
+        return None
+
     def baseline(self) -> "ExecutionPlan":
         """The PyTorch-baseline plan for the same problem/config/device."""
-        return plan(self.problem, FusionStage.PYTORCH, self.config, self.device)
+        session = self._live_session()
+        plan_fn = session.plan if session is not None else plan
+        return plan_fn(self.problem, FusionStage.PYTORCH, self.config,
+                       self.device)
 
     def speedup_vs_baseline(self) -> float:
         """Speedup over the PyTorch baseline in the paper's units
@@ -113,6 +131,9 @@ class ExecutionPlan:
         convention instead: real input, half spectrum through the cached
         packed-real R2C/C2R plans, real output (the training-stack hot
         path of :mod:`repro.nn`).
+
+        Plans built by a :class:`repro.api.Session` compile executors
+        against that session's plan caches and backend.
         """
         from repro.core.compiled import compile_spectral_conv
 
@@ -123,8 +144,11 @@ class ExecutionPlan:
                 f"weight C_in={weight.shape[0]} does not match the "
                 f"problem's hidden dimension {hidden}"
             )
+        session = self._live_session()
+        plans = session.plan_caches if session is not None else None
         return compile_spectral_conv(
-            weight, tuple(self.problem.modes_shape), symmetric=symmetric
+            weight, tuple(self.problem.modes_shape), symmetric=symmetric,
+            plans=plans,
         )
 
     def to_dict(self) -> dict:
@@ -148,20 +172,29 @@ class ExecutionPlan:
         }
 
 
-@lru_cache(maxsize=PLAN_CACHE_SIZE)
-def _cached_plan(
+def build_plan(
+    cached,
     problem: Problem,
     stage: FusionStage,
     config: TurboFNOConfig,
     device: DeviceSpec,
+    session: object | None = None,
 ) -> ExecutionPlan:
+    """Construct one plan (the body behind every session's plan cache).
+
+    ``cached`` is the memoised lookup of the owning cache — BEST
+    resolution recurses through it so a ladder sweep that already built
+    A-D pays nothing extra.  Arguments are pre-resolved (concrete stage,
+    config, device); :meth:`repro.api.Session.plan` does the spelling
+    and default resolution.
+    """
     if stage is FusionStage.BEST:
         # Stage E: the fastest of A-D, resolved through the same cache so
         # a ladder sweep that already built A-D pays nothing extra.  Ladder
         # order + strict '<' replicates best_stage_{1,2}d tie-breaking.
         best: ExecutionPlan | None = None
         for rung in FusionStage.ladder():
-            cand = _cached_plan(problem, rung, config, device)
+            cand = cached(problem, rung, config, device)
             if best is None or cand.total_time < best.total_time:
                 best = cand
         assert best is not None
@@ -170,7 +203,7 @@ def _cached_plan(
     pipeline = builder(problem, stage, config)
     return ExecutionPlan(
         problem=problem, stage=stage, config=config, device=device,
-        pipeline=pipeline,
+        pipeline=pipeline, _session=session,
     )
 
 
@@ -181,6 +214,10 @@ def plan(
     device: DeviceSpec | str | None = None,
 ) -> ExecutionPlan:
     """Compile (or fetch from cache) the execution plan for ``problem``.
+
+    A thin wrapper over the default :class:`repro.api.Session` — plans
+    land in (and are served from) its cache.  Hold your own session to
+    isolate caches, pin a backend, or batch inference.
 
     Parameters
     ----------
@@ -196,19 +233,23 @@ def plan(
         A :class:`DeviceSpec`, a registered name (``"a100"``, ``"h100"``),
         or ``None`` for the paper's A100.
     """
-    return _cached_plan(
-        problem,
-        resolve_stage(stage),
-        config if config is not None else TurboFNOConfig(),
-        get_device(device),
-    )
+    from repro.api.session import default_session
+
+    return default_session().plan(problem, stage, config, device)
 
 
 def plan_cache_info():
-    """``functools.lru_cache`` statistics of the plan cache."""
-    return _cached_plan.cache_info()
+    """``functools.lru_cache`` statistics of the default session's plan
+    cache."""
+    from repro.api.session import default_session
+
+    return default_session().plan_cache_info()
 
 
 def clear_plan_cache() -> None:
-    """Drop every cached plan (tests and memory-sensitive callers)."""
-    _cached_plan.cache_clear()
+    """Drop every plan cached by the default session (tests and
+    memory-sensitive callers).  :func:`repro.api.clear_all_caches` also
+    drops the FFT/rfft plan caches and the compiled-executor pool."""
+    from repro.api.session import default_session
+
+    default_session().clear_plan_cache()

@@ -131,9 +131,9 @@ def register_pipeline_builder(
                 f"a builder for ndim={ndim} is already registered; "
                 "pass overwrite=True to replace"
             )
-        from repro.api.planner import clear_plan_cache  # cycle-free at call time
+        from repro.api.session import clear_all_plan_caches  # cycle-free here
 
-        clear_plan_cache()
+        clear_all_plan_caches()  # every live session, not just the default
     _BUILDERS[ndim] = builder
 
 

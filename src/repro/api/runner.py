@@ -14,6 +14,11 @@ caches are per-process, so shards share nothing and results are
 deterministic — byte-identical to the serial path).  Worth it for dense
 figure/heatmap sweeps on multi-core machines; on a single core, or for
 small sweeps, leave ``workers=None``.
+
+A runner can be bound to a :class:`repro.api.Session`
+(``Runner(session=...)`` or :func:`Runner.for_session`): plans then
+land in that session's cache instead of the process default, and the
+runner inherits the session's config/device unless overridden.
 """
 
 from __future__ import annotations
@@ -34,7 +39,26 @@ __all__ = ["Runner", "default_workers"]
 
 
 def default_workers() -> int:
-    """A sensible worker count for sweep sharding (>= 1)."""
+    """A sensible worker count for sweep sharding (>= 1).
+
+    The ``REPRO_WORKERS`` environment variable overrides the CPU count
+    — so CI and containers can pin sweep parallelism without code
+    changes — and must hold a positive integer; anything else raises
+    :class:`ValueError` rather than silently running serial.
+    """
+    env = os.environ.get("REPRO_WORKERS")
+    if env is not None:
+        try:
+            workers = int(env.strip())
+        except ValueError:
+            raise ValueError(
+                f"REPRO_WORKERS must be a positive integer, got {env!r}"
+            ) from None
+        if workers < 1:
+            raise ValueError(
+                f"REPRO_WORKERS must be >= 1, got {workers}"
+            )
+        return workers
     return max(1, os.cpu_count() or 1)
 
 
@@ -79,17 +103,33 @@ class Runner:
     ----------
     config:
         Kernel/model configuration shared by every plan; ``None`` means
-        the default :class:`TurboFNOConfig`.
+        the session's (when bound) or the default :class:`TurboFNOConfig`.
     device:
-        Device spec or registered name; ``None`` means the paper's A100.
+        Device spec or registered name; ``None`` means the session's
+        (when bound) or the paper's A100.
+    session:
+        Optional :class:`repro.api.Session` to plan through: lookups
+        land in — and are served from — that session's plan cache
+        instead of the process default's.
     """
 
     config: TurboFNOConfig | None = None
     device: DeviceSpec | str | None = None
+    session: object | None = None
 
     def __post_init__(self) -> None:
+        if self.session is not None:
+            if self.config is None:
+                self.config = self.session.config
+            if self.device is None:
+                self.device = self.session.device
         self.config = self.config if self.config is not None else TurboFNOConfig()
         self.device = get_device(self.device)
+
+    @classmethod
+    def for_session(cls, session) -> "Runner":
+        """A runner inheriting ``session``'s config/device and cache."""
+        return cls(session=session)
 
     # -- single-problem entry points ------------------------------------
 
@@ -97,6 +137,8 @@ class Runner:
         self, problem: Problem, stage: FusionStage | str = FusionStage.BEST
     ) -> ExecutionPlan:
         """The cached plan for ``problem`` under this runner's context."""
+        if self.session is not None:
+            return self.session.plan(problem, stage, self.config, self.device)
         return plan(problem, stage, self.config, self.device)
 
     def best(self, problem: Problem) -> ExecutionPlan:

@@ -1,0 +1,730 @@
+"""``Session``: one stateful execution context for plans and inference.
+
+PR 1's planning facade and the compiled plan/executor layers of PRs 2-3
+were stitched together by callers: trainers, examples and the CLI each
+hand-managed plan lookups, executor compilation and backend selection
+through module-level globals.  A :class:`Session` is the single front
+door that owns all of it:
+
+* **its own plan cache** — the LRU behind :meth:`Session.plan`
+  (the module-level :func:`repro.api.plan` wraps a process-default
+  session, so the PR 1 API is unchanged);
+* **its own FFT/rfft plan caches** — one
+  :class:`repro.fft.compiled.PlanCaches` set pinned to the session's
+  ``backend`` (``"auto"`` | ``"ckernels"`` | ``"numpy"``); two sessions
+  with different backends never share plans or workspaces;
+* **a compiled-executor pool** — one
+  :class:`repro.core.compiled.CompiledSpectralConv1D`/``2D`` per served
+  weight matrix, staged against the session's caches and reused across
+  requests;
+* **the serving path** — :meth:`Session.infer` for one request,
+  :meth:`Session.infer_many` for a stream: requests are micro-batched
+  by (model, geometry, dtype), each micro-batch runs the pooled
+  executor once, and an optional thread pool drains a bounded request
+  queue.  Results are bit-identical to per-request execution (every
+  operator in the stack is row-independent along the batch axis);
+* **observability** — :meth:`Session.stats` (cache hit rates,
+  per-geometry throughput), :meth:`Session.warmup` (pre-compile plans
+  and FFT plans), and one teardown path
+  (:meth:`Session.clear_all_caches` / :meth:`Session.close`) that
+  empties *every* cache the session owns.
+
+Backend and dtype policy are explicit configuration here, not ambient
+process state: ``Session(backend="numpy")`` forces the pure-NumPy
+substrate for this session only, where the seed required the
+process-global ``REPRO_NO_CKERNELS`` environment variable.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import threading
+import time
+import weakref
+from collections import OrderedDict
+from contextlib import contextmanager
+from functools import lru_cache
+
+import numpy as np
+
+from repro.api.planner import PLAN_CACHE_SIZE, ExecutionPlan, build_plan
+from repro.api.problem import Problem
+from repro.api.registry import get_device, resolve_stage
+from repro.core.compiled import (
+    CompiledSpectralConv1D,
+    CompiledSpectralConv2D,
+    compile_spectral_conv,
+)
+from repro.core.config import TurboFNOConfig
+from repro.core.dtypes import complex_dtype_for
+from repro.core.stages import FusionStage
+from repro.fft.compiled import (
+    FFT_PLAN_CACHE_SIZE,
+    PlanCaches,
+    default_plan_caches,
+    plan_cache_scope,
+    resolve_backend_kernels,
+)
+from repro.fft.stockham import is_power_of_two
+from repro.gpu.device import DeviceSpec
+
+__all__ = [
+    "DTYPE_POLICIES",
+    "PLAN_CACHE_SIZE",
+    "Session",
+    "SpectralModel",
+    "default_session",
+    "clear_all_caches",
+]
+
+#: Working-precision policies.  ``"preserve"`` follows each input's
+#: dtype (the package default: float32/complex64 stays single,
+#: everything else computes in double); ``"float32"``/``"float64"``
+#: cast every request to the named precision on the way in.
+DTYPE_POLICIES = ("preserve", "float32", "float64")
+
+_COMPILED_EXECUTORS = (CompiledSpectralConv1D, CompiledSpectralConv2D)
+
+#: Executor-pool capacity: one entry per served weight matrix.  LRU
+#: eviction keeps a serving loop that materialises transient weight
+#: arrays per request from growing the pool without bound.
+EXECUTOR_POOL_SIZE = 256
+
+#: Every live session, so registry mutations that invalidate cached
+#: plans (builder overwrite) can drop all plan caches, not just the
+#: default session's.
+_live_sessions: "weakref.WeakSet[Session]" = weakref.WeakSet()
+
+#: Guards first-time creation of a served object's ``_serve_lock``.
+#: Module-level so two *sessions* handed the same executor/model still
+#: agree on one lock (a per-session guard would race).
+_serve_lock_creation = threading.Lock()
+
+
+class SpectralModel:
+    """One Fourier layer as a serving unit: a complex ``(C_in, C_out)``
+    weight shared across the kept ``modes`` (+ the symmetric flag).
+
+    The smallest thing :meth:`Session.infer` accepts that the session
+    can pool an executor for.  ``(weight, modes)`` /
+    ``(weight, modes, symmetric)`` tuples are accepted as shorthand.
+    """
+
+    __slots__ = ("weight", "modes", "symmetric")
+
+    def __init__(self, weight: np.ndarray, modes, symmetric: bool = False):
+        self.weight = np.asarray(weight)
+        if self.weight.ndim != 2:
+            raise ValueError(
+                f"weight must be (C_in, C_out), got {self.weight.shape}"
+            )
+        self.modes = (
+            tuple(int(m) for m in modes)
+            if isinstance(modes, (tuple, list))
+            else (int(modes),)
+        )
+        self.symmetric = bool(symmetric)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpectralModel(C_in={self.weight.shape[0]}, "
+            f"C_out={self.weight.shape[1]}, modes={self.modes}, "
+            f"symmetric={self.symmetric})"
+        )
+
+
+def _as_spectral_model(model) -> SpectralModel | None:
+    """Coerce a request's model to a poolable spec (None: not poolable)."""
+    if isinstance(model, SpectralModel):
+        return model
+    if isinstance(model, tuple) and len(model) in (2, 3):
+        return SpectralModel(*model)
+    return None
+
+
+class _GeometryStats:
+    """Mutable per-geometry serving counters (requests, batches, time)."""
+
+    __slots__ = ("requests", "batches", "seconds")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.batches = 0
+        self.seconds = 0.0
+
+    def as_dict(self) -> dict:
+        out = {
+            "requests": self.requests,
+            "batches": self.batches,
+            "seconds": self.seconds,
+        }
+        out["requests_per_s"] = (
+            self.requests / self.seconds if self.seconds > 0 else None
+        )
+        return out
+
+
+class Session:
+    """A stateful execution context: caches, executors, serving, stats.
+
+    Parameters
+    ----------
+    config:
+        Kernel/model configuration every plan defaults to; ``None``
+        means the default :class:`TurboFNOConfig`.
+    device:
+        Device spec or registered name; ``None`` means the paper's A100.
+    backend:
+        Executor substrate for every FFT plan and compiled executor the
+        session owns: ``"auto"`` (C kernels when available — the
+        default), ``"ckernels"`` (required; raises when the C layer is
+        unavailable) or ``"numpy"`` (forced pure-NumPy fallback).
+        Outputs are byte-identical across backends.
+    dtype_policy:
+        ``"preserve"`` (default), ``"float32"`` or ``"float64"`` — see
+        :data:`DTYPE_POLICIES`.
+    plan_cache_size:
+        LRU capacity of this session's plan cache.
+    fft_cache_size:
+        Capacity of the FFT plan caches when the session owns a private
+        set; ``None`` keeps the library default.
+    private_caches:
+        By default a ``backend="auto"`` session shares the process-wide
+        FFT plan-cache set (so the default session and the functional
+        API pool plans, exactly like the seed).  ``True`` — or any
+        non-auto backend — gives the session its own isolated set.
+
+    Sessions are context managers (``with api.Session() as s:``) and
+    :meth:`close` is idempotent.  The plan cache and executor pool are
+    thread-safe; micro-batches of :meth:`infer_many` serialise per
+    executor, so ``workers > 1`` parallelises across geometries.
+    """
+
+    def __init__(
+        self,
+        config: TurboFNOConfig | None = None,
+        device: DeviceSpec | str | None = None,
+        backend: str = "auto",
+        dtype_policy: str = "preserve",
+        plan_cache_size: int = PLAN_CACHE_SIZE,
+        fft_cache_size: int | None = None,
+        private_caches: bool = False,
+    ) -> None:
+        resolve_backend_kernels(backend)  # validate spelling/availability
+        if dtype_policy not in DTYPE_POLICIES:
+            raise ValueError(
+                f"unknown dtype_policy {dtype_policy!r}; expected one of "
+                f"{DTYPE_POLICIES}"
+            )
+        self.config = config if config is not None else TurboFNOConfig()
+        self.device = get_device(device)
+        self.backend = backend
+        self.dtype_policy = dtype_policy
+        if backend == "auto" and not private_caches and fft_cache_size is None:
+            self.plan_caches = default_plan_caches()
+            self._owns_plan_caches = False
+        else:
+            self.plan_caches = PlanCaches(
+                backend=backend,
+                maxsize=(
+                    fft_cache_size
+                    if fft_cache_size is not None
+                    else FFT_PLAN_CACHE_SIZE
+                ),
+            )
+            self._owns_plan_caches = True
+        self._plan_cache = lru_cache(maxsize=plan_cache_size)(self._build_plan)
+        self._pool_lock = threading.Lock()
+        self._executors: "OrderedDict[tuple, object]" = OrderedDict()
+        self._stats_lock = threading.Lock()
+        self._geometry_stats: dict[tuple, _GeometryStats] = {}
+        self._closed = False
+        _live_sessions.add(self)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def __enter__(self) -> "Session":
+        self._check_open()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return (
+            f"Session(device={self.device.name!r}, backend={self.backend!r}, "
+            f"dtype_policy={self.dtype_policy!r}, {state})"
+        )
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("session is closed")
+
+    def clear_plan_cache(self) -> None:
+        """Drop every cached :class:`ExecutionPlan` (plan cache only)."""
+        self._plan_cache.cache_clear()
+
+    def clear_all_caches(self) -> None:
+        """Empty *every* cache this session owns, through one path: the
+        plan cache, the FFT/pruned/rfft plan caches (and their
+        workspaces), and the compiled-executor pool.
+
+        A session that *shares* the process-wide FFT plan-cache set (the
+        ``backend="auto"`` default) leaves that set alone — clearing it
+        would cold-start every other session sharing it; use
+        :func:`repro.api.clear_all_caches` to flush the shared set too.
+        """
+        self._plan_cache.cache_clear()
+        if self._owns_plan_caches:
+            self.plan_caches.clear()
+        with self._pool_lock:
+            self._executors.clear()
+
+    def close(self) -> None:
+        """Release every cache and mark the session closed (idempotent).
+        Further ``plan``/``infer`` calls raise :class:`RuntimeError`."""
+        if self._closed:
+            return
+        self.clear_all_caches()
+        self._closed = True
+
+    @contextmanager
+    def activate(self):
+        """Make this session's plan caches (and backend) ambient for the
+        current thread.
+
+        Everything that resolves FFT plans through the module-level
+        getters — the functional FFT API, :mod:`repro.nn` layers,
+        throwaway executors — lands in this session's caches while the
+        scope is active.  This is how training loops and examples inject
+        a session without threading it through every call.
+        """
+        self._check_open()
+        with plan_cache_scope(self.plan_caches):
+            yield self
+
+    # -- planning -------------------------------------------------------
+
+    def _build_plan(self, problem, stage, config, device) -> ExecutionPlan:
+        return build_plan(
+            self._plan_cache, problem, stage, config, device, session=self
+        )
+
+    def plan(
+        self,
+        problem: Problem,
+        stage: FusionStage | str = FusionStage.BEST,
+        config: TurboFNOConfig | None = None,
+        device: DeviceSpec | str | None = None,
+    ) -> ExecutionPlan:
+        """Compile (or fetch from this session's cache) one plan.
+
+        Same contract as :func:`repro.api.plan`; ``config``/``device``
+        default to the session's.
+        """
+        self._check_open()
+        return self._plan_cache(
+            problem,
+            resolve_stage(stage),
+            config if config is not None else self.config,
+            get_device(device) if device is not None else self.device,
+        )
+
+    def plan_cache_info(self):
+        """``functools.lru_cache`` statistics of this session's plan
+        cache."""
+        return self._plan_cache.cache_info()
+
+    def warmup(self, problems, stages=(FusionStage.BEST,),
+               dtypes=(np.float32,)) -> dict:
+        """Pre-compile plans and FFT/rfft plans for ``problems``.
+
+        For every problem, every requested stage is planned, and the
+        FFT-plan family each geometry's executors will need — forward
+        and inverse transforms of the kept modes, the pruned splits, and
+        (where the half-spectrum convention applies) the packed-real
+        R2C/C2R plans — is built in this session's caches for each
+        working precision in ``dtypes``.  Returns
+        ``{"problems": ..., "plans": ..., "fft_plans": ...}`` counts.
+        """
+        self._check_open()
+        problems = list(problems)
+        fft_before = sum(i.currsize for i in self.plan_caches.cache_info())
+        plans = 0
+        for problem in problems:
+            for stage in stages:
+                self.plan(problem, stage)
+                plans += 1
+            spatial = tuple(problem.spatial_shape)
+            modes = tuple(problem.modes_shape)
+            for dt in dtypes:
+                cdt = complex_dtype_for(dt)
+                self._warm_geometry(spatial, modes, cdt)
+        fft_after = sum(i.currsize for i in self.plan_caches.cache_info())
+        return {
+            "problems": len(problems),
+            "plans": plans,
+            "fft_plans": fft_after - fft_before,
+        }
+
+    def _warm_geometry(self, spatial: tuple, modes: tuple, cdt) -> None:
+        caches = self.plan_caches
+        n_last, m_last = spatial[-1], modes[-1]
+        # The fused family along the innermost axis.
+        caches.fft(m_last, cdt, inverse=False)
+        caches.fft(m_last, cdt, inverse=True)
+        if m_last < n_last and is_power_of_two(m_last):
+            caches.pruned(n_last, m_last, cdt, "trunc")
+            caches.pruned(n_last, m_last, cdt, "itrunc")
+        # The symmetric (half-spectrum) family.
+        if m_last <= n_last // 2:
+            caches.rfft(n_last, cdt)
+            caches.irfft(n_last, cdt)
+        # 2-D: the width-axis pruned splits of the outer transform.
+        if len(spatial) == 2:
+            n_x, m_x = spatial[0], modes[0]
+            if m_x < n_x and is_power_of_two(m_x):
+                caches.pruned(n_x, m_x, cdt, "trunc")
+                caches.pruned(n_x, m_x, cdt, "itrunc")
+            elif m_x == n_x:
+                caches.fft(n_x, cdt, inverse=False)
+                caches.fft(n_x, cdt, inverse=True)
+
+    # -- executor pool --------------------------------------------------
+
+    def executor(self, weight: np.ndarray, modes, symmetric: bool = False):
+        """The pooled compiled executor for one weight matrix.
+
+        Keyed on the weight array's identity (plus modes and the
+        symmetric flag): serving the same layer again reuses the staged
+        executor — weight panels, FFT plans and tile workspaces are paid
+        once per (geometry, dtype).  The executor stages against this
+        session's plan caches and backend.  Weights are staged at first
+        execution; build a new executor (or :meth:`clear_all_caches`)
+        after mutating the array in place.
+        """
+        self._check_open()
+        model = SpectralModel(weight, modes, symmetric)
+        return self._pooled_executor(model)
+
+    def _model_key(self, model: SpectralModel) -> tuple:
+        return (id(model.weight), model.weight.shape, model.modes,
+                model.symmetric)
+
+    def _pooled_executor(self, model: SpectralModel):
+        key = self._model_key(model)
+        with self._pool_lock:
+            executor = self._executors.get(key)
+            if executor is None:
+                modes = (
+                    model.modes[0] if len(model.modes) == 1 else model.modes
+                )
+                executor = compile_spectral_conv(
+                    model.weight, modes, symmetric=model.symmetric,
+                    plans=self.plan_caches,
+                )
+                self._executors[key] = executor
+                if len(self._executors) > EXECUTOR_POOL_SIZE:
+                    self._executors.popitem(last=False)  # LRU eviction
+            else:
+                self._executors.move_to_end(key)
+            return executor
+
+    @staticmethod
+    def _serve_lock_for(obj) -> threading.Lock:
+        # The lock lives on the served object itself, so every holder —
+        # this session, another session, threaded micro-batches —
+        # serialises on the same lock no matter what any pool does
+        # (eviction, clear_all_caches) in between.
+        lock = getattr(obj, "_serve_lock", None)
+        if lock is None:
+            with _serve_lock_creation:
+                lock = getattr(obj, "_serve_lock", None)
+                if lock is None:
+                    lock = threading.Lock()
+                    try:
+                        obj._serve_lock = lock
+                    except AttributeError:
+                        # Slotted/frozen object: serialise every such
+                        # model on the shared creation lock instead of
+                        # running it unguarded.
+                        return _serve_lock_creation
+        return lock
+
+    def executor_pool_size(self) -> int:
+        """Number of compiled executors currently pooled."""
+        with self._pool_lock:
+            return len(self._executors)
+
+    # -- serving --------------------------------------------------------
+
+    def _apply_dtype_policy(self, x: np.ndarray) -> np.ndarray:
+        if self.dtype_policy == "preserve":
+            return x
+        if self.dtype_policy == "float32":
+            target = np.complex64 if np.iscomplexobj(x) else np.float32
+        else:
+            target = np.complex128 if np.iscomplexobj(x) else np.float64
+        return x.astype(target, copy=False)
+
+    def _record(self, geometry: tuple, requests: int, seconds: float) -> None:
+        with self._stats_lock:
+            stats = self._geometry_stats.get(geometry)
+            if stats is None:
+                stats = self._geometry_stats[geometry] = _GeometryStats()
+            stats.requests += requests
+            stats.batches += 1
+            stats.seconds += seconds
+
+    def _execute(self, model, x: np.ndarray) -> np.ndarray:
+        """Run one (possibly concatenated) batch through ``model``."""
+        spec = _as_spectral_model(model)
+        if spec is not None:
+            executor = self._pooled_executor(spec)
+        elif isinstance(model, _COMPILED_EXECUTORS):
+            executor = model
+        else:
+            # An arbitrary model (e.g. a repro.nn Module): run it under
+            # this session's cache scope so its spectral layers resolve
+            # plans from the session's caches and backend.  Serialised
+            # like an executor — nn modules cache forward state, so
+            # concurrent calls on one model would corrupt it.
+            if not callable(model):
+                raise TypeError(
+                    f"cannot serve model of type {type(model).__name__}; "
+                    "expected a SpectralModel, a (weight, modes[, symmetric]) "
+                    "tuple, a compiled executor, or a callable model"
+                )
+            with self._serve_lock_for(model), self.activate():
+                return model(x)
+        with self._serve_lock_for(executor):
+            return executor(x)
+
+    def infer(self, model, x: np.ndarray) -> np.ndarray:
+        """Serve one inference request.
+
+        ``model`` is a :class:`SpectralModel` (or the
+        ``(weight, modes[, symmetric])`` tuple shorthand, pooled by
+        weight identity), a prebuilt compiled executor, or any callable
+        model (a :mod:`repro.nn` network) — the latter runs under
+        :meth:`activate` so it hits this session's caches.
+        """
+        self._check_open()
+        x = self._apply_dtype_policy(np.asarray(x))
+        t0 = time.perf_counter()
+        out = self._execute(model, x)
+        self._record(x.shape[1:], 1, time.perf_counter() - t0)
+        return out
+
+    def infer_many(
+        self,
+        requests,
+        max_batch: int = 32,
+        workers: int | None = None,
+        queue_depth: int | None = None,
+    ) -> list[np.ndarray]:
+        """Serve a stream of ``(model, x)`` requests, micro-batched.
+
+        Requests sharing (model, spatial geometry, dtype) are
+        concatenated along the batch axis — up to ``max_batch`` requests
+        per micro-batch — and each micro-batch runs its pooled executor
+        *once*, amortising staging, plan lookups and Python dispatch
+        that the per-request path pays per call.  Grouping preserves
+        arrival order within a group and results are returned in request
+        order, **bit-identical** to serial per-request execution: every
+        operator in the stack is row-independent along the batch axis,
+        so concatenation changes where rows live, not one floating-point
+        operation.
+
+        ``workers > 1`` drains the micro-batch queue (bounded at
+        ``queue_depth``, default ``2 * workers``) with a thread pool;
+        batches sharing an executor serialise on its lock, so threads
+        help when the stream mixes geometries/models.  Results are
+        identical regardless of ``workers``.
+        """
+        self._check_open()
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        items = [
+            (model, self._apply_dtype_policy(np.asarray(x)))
+            for model, x in requests
+        ]
+        results: list[np.ndarray | None] = [None] * len(items)
+
+        # Deterministic micro-batching: group by (model, geometry, dtype)
+        # in arrival order, flushing a group at max_batch requests.
+        jobs: list[list[int]] = []
+        open_groups: dict[tuple, list[int]] = {}
+        for i, (model, x) in enumerate(items):
+            spec = _as_spectral_model(model)
+            if spec is not None:
+                mkey = self._model_key(spec)
+            elif isinstance(model, _COMPILED_EXECUTORS):
+                mkey = ("executor", id(model))
+            else:
+                mkey = ("opaque", id(model))
+            key = (mkey, x.shape[1:], x.dtype)
+            group = open_groups.setdefault(key, [])
+            group.append(i)
+            if len(group) >= max_batch:
+                jobs.append(group)
+                open_groups[key] = []
+        jobs.extend(g for g in open_groups.values() if g)
+
+        def run_job(idxs: list[int]) -> None:
+            model = items[idxs[0]][0]
+            xs = [items[i][1] for i in idxs]
+            t0 = time.perf_counter()
+            if len(xs) == 1:
+                outs = [self._execute(model, xs[0])]
+            else:
+                batch = np.concatenate(xs, axis=0)
+                out = self._execute(model, batch)
+                outs, off = [], 0
+                for x in xs:
+                    # Copy each request's rows out: a view would pin the
+                    # whole micro-batch output alive for as long as any
+                    # one result survives.
+                    outs.append(np.array(out[off : off + x.shape[0]]))
+                    off += x.shape[0]
+            seconds = time.perf_counter() - t0
+            self._record(xs[0].shape[1:], len(idxs), seconds)
+            for i, y in zip(idxs, outs):
+                results[i] = y
+
+        if workers is not None and workers > 1 and len(jobs) > 1:
+            self._drain_jobs(jobs, run_job, workers, queue_depth)
+        else:
+            for job in jobs:
+                run_job(job)
+        return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _drain_jobs(jobs, run_job, workers: int,
+                    queue_depth: int | None) -> None:
+        """Drain micro-batch jobs through a bounded queue + thread pool."""
+        workers = min(workers, len(jobs))
+        q: queue_mod.Queue = queue_mod.Queue(
+            maxsize=queue_depth if queue_depth else 2 * workers
+        )
+        errors: list[BaseException] = []
+
+        def worker() -> None:
+            while True:
+                job = q.get()
+                try:
+                    if job is None:
+                        return
+                    if not errors:  # fail fast: skip work after an error
+                        run_job(job)
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    errors.append(exc)
+                finally:
+                    q.task_done()
+
+        threads = [
+            threading.Thread(target=worker, daemon=True)
+            for _ in range(workers)
+        ]
+        for t in threads:
+            t.start()
+        for job in jobs:
+            q.put(job)  # blocks when the queue is full: bounded backlog
+        for _ in threads:
+            q.put(None)
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+
+    # -- observability --------------------------------------------------
+
+    def stats(self) -> dict:
+        """Serving and cache statistics (JSON-ready).
+
+        ``plan_cache`` / ``fft_plan_caches`` expose LRU hit/miss
+        accounting; ``per_geometry`` maps each served spatial geometry
+        to request/batch counts and measured throughput.
+        """
+        info = self.plan_cache_info()
+        fft_info = self.plan_caches.cache_info()
+        with self._stats_lock:
+            per_geometry = {
+                "x".join(map(str, key)): stats.as_dict()
+                for key, stats in self._geometry_stats.items()
+            }
+            requests = sum(
+                s.requests for s in self._geometry_stats.values()
+            )
+            batches = sum(s.batches for s in self._geometry_stats.values())
+        return {
+            "backend": self.backend,
+            "dtype_policy": self.dtype_policy,
+            "device": self.device.name,
+            "closed": self._closed,
+            "plan_cache": {
+                "hits": info.hits,
+                "misses": info.misses,
+                "currsize": info.currsize,
+                "maxsize": info.maxsize,
+            },
+            "fft_plan_caches": {
+                name: {
+                    "hits": i.hits,
+                    "misses": i.misses,
+                    "currsize": i.currsize,
+                }
+                for name, i in zip(("fft", "pruned", "real"), fft_info)
+            },
+            "executor_pool": self.executor_pool_size(),
+            "requests": requests,
+            "batches": batches,
+            "per_geometry": per_geometry,
+        }
+
+
+# ---------------------------------------------------------------------------
+# The process-default session (the module-level facade's backing store)
+# ---------------------------------------------------------------------------
+
+_default_session: Session | None = None
+_default_session_lock = threading.Lock()
+
+
+def default_session() -> Session:
+    """The lazily-created process-default session.
+
+    Backs the module-level :func:`repro.api.plan` /
+    :func:`repro.api.plan_cache_info` / :func:`repro.api.clear_plan_cache`
+    facade; shares the process-wide FFT plan caches, so the functional
+    FFT API and the default session pool plans exactly like the seed.
+    """
+    global _default_session
+    if _default_session is None or _default_session._closed:
+        with _default_session_lock:
+            if _default_session is None or _default_session._closed:
+                _default_session = Session()
+    return _default_session
+
+
+def clear_all_caches() -> None:
+    """One call that empties every cache of the default session: plans,
+    FFT/pruned/rfft plans (and their workspaces), compiled executors.
+
+    This is the fixed cache-clearing path — the seed's
+    ``clear_plan_cache()`` left the FFT plan caches and executor caches
+    populated.  The default session shares the process-wide FFT
+    plan-cache set, which is flushed here explicitly (per-session
+    ``clear_all_caches`` leaves shared sets alone).
+    """
+    default_session().clear_all_caches()
+    default_plan_caches().clear()
+
+
+def clear_all_plan_caches() -> None:
+    """Drop the *plan* cache of every live session (registry mutations
+    that invalidate cached pipelines call this)."""
+    for session in list(_live_sessions):
+        if not session._closed:
+            session.clear_plan_cache()

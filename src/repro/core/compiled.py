@@ -19,6 +19,14 @@ to amortise the staging across calls.
 
 Executors own mutable tile workspaces and are **not** thread-safe; share
 one per thread (the plan caches underneath serialise themselves).
+
+Every executor resolves its FFT/rfft plans from one
+:class:`repro.fft.compiled.PlanCaches` set — the one passed as
+``plans=``, else the set active on the building thread
+(:func:`repro.fft.compiled.current_plan_caches`).  A
+:class:`repro.api.Session` passes its own set, so pooled executors
+carry the session's backend and never share workspaces with other
+sessions; staging captures the set once per geometry.
 """
 
 from __future__ import annotations
@@ -27,11 +35,10 @@ import numpy as np
 
 from repro.core.dtypes import complex_dtype_for
 from repro.fft.compiled import (
+    PlanCaches,
+    current_plan_caches,
     decomp_reduce,
     expand_mul,
-    get_fft_plan,
-    get_irfft_plan,
-    get_rfft_plan,
     panel_contract,
 )
 from repro.fft.pruned import (
@@ -75,7 +82,8 @@ class _StagedFused1D:
     """
 
     def __init__(self, weight: np.ndarray, modes: int, dim_x: int,
-                 k_tb: int, signal_tile: int, dtype: np.dtype):
+                 k_tb: int, signal_tile: int, dtype: np.dtype,
+                 plans: PlanCaches | None = None):
         # Same split validation (and messages) the first inner
         # truncated_fft of the legacy loop would have raised.
         if modes == dim_x:
@@ -91,9 +99,10 @@ class _StagedFused1D:
         self.c_in = c_in
         self.c_out = c_out
         self.p = dim_x // modes
+        self.plans = plans if plans is not None else current_plan_caches()
         # the hoisted weight cast: once at staging, not per tile
         self.panels = _weight_panels(weight, k_tb, dtype)
-        self.fwd = get_fft_plan(modes, dtype, inverse=False)
+        self.fwd = self.plans.fft(modes, dtype, inverse=False)
         if self.p > 1:
             self.wd_f = np.ascontiguousarray(
                 decomposition_twiddles(dim_x, self.p, modes).astype(dtype)
@@ -112,7 +121,7 @@ class _StagedFused1D:
         if self._gather is not None:
             return
         dtype, modes = self.dtype, self.modes
-        self.inv = get_fft_plan(modes, dtype, inverse=True)
+        self.inv = self.plans.fft(modes, dtype, inverse=True)
         if self.p > 1:
             self.wd_i = np.ascontiguousarray(
                 decomposition_twiddles(
@@ -144,7 +153,8 @@ class _StagedFused1D:
         if p > 1:
             dec = self._dec[: bt * kt * modes].reshape(bt, kt, modes)
             decomp_reduce(fbuf.reshape(bt * kt, p, modes), self.wd_f,
-                          dec.reshape(bt * kt, modes))
+                          dec.reshape(bt * kt, modes),
+                          kernels=self.plans.kernels())
             return dec
         return fbuf.reshape(bt, kt, modes)
 
@@ -156,7 +166,8 @@ class _StagedFused1D:
         if p > 1:
             sc = self._gather[:rows]
             expand_mul(acc.reshape(bt * c_out, modes), self.wd_i,
-                       sc.reshape(bt * c_out, p, modes))
+                       sc.reshape(bt * c_out, p, modes),
+                       kernels=self.plans.kernels())
             y = self._fftbuf[:rows]
             self.inv.execute(sc, out=y, div_by=float(modes),
                              mul_by=float(modes / self.dim_x))
@@ -184,7 +195,7 @@ class _StagedFused1D:
             acc[...] = 0
             for (k0, k1, wp) in self.panels:
                 a = self._forward_panel(x, b0, b1, k0, k1, k1 - k0)
-                panel_contract(a, wp, acc)
+                panel_contract(a, wp, acc, kernels=self.plans.kernels())
             self._epilogue(acc, out, b0, b1)
         return out
 
@@ -206,10 +217,11 @@ class _StagedFused1D:
             if p > 1:
                 a = np.empty((batch, kt, modes), self.dtype)
                 decomp_reduce(fbuf.reshape(batch * kt, p, modes), self.wd_f,
-                              a.reshape(batch * kt, modes))
+                              a.reshape(batch * kt, modes),
+                              kernels=self.plans.kernels())
             else:
                 a = fbuf.reshape(batch, kt, modes)
-            panel_contract(a, wp, acc)
+            panel_contract(a, wp, acc, kernels=self.plans.kernels())
         return acc
 
 def _weight_panels(weight: np.ndarray, k_tb: int, dtype: np.dtype):
@@ -234,7 +246,8 @@ class _StagedSymmetric1D:
     """
 
     def __init__(self, weight: np.ndarray, modes: int, dim_x: int,
-                 k_tb: int, dtype: np.dtype):
+                 k_tb: int, dtype: np.dtype,
+                 plans: PlanCaches | None = None):
         _check_length(dim_x)
         if modes > dim_x // 2:
             raise ValueError(
@@ -245,9 +258,10 @@ class _StagedSymmetric1D:
         self.dim_x = dim_x
         self.dtype = dtype
         self.c_in, self.c_out = weight.shape
+        self.plans = plans if plans is not None else current_plan_caches()
         self.panels = _weight_panels(weight, k_tb, dtype)
-        self.rfft = get_rfft_plan(dim_x, dtype)
-        self.irfft = get_irfft_plan(dim_x, dtype)
+        self.rfft = self.plans.rfft(dim_x, dtype)
+        self.irfft = self.plans.irfft(dim_x, dtype)
 
     def run(self, x: np.ndarray,
             xk_trunc: np.ndarray | None = None) -> np.ndarray:
@@ -271,7 +285,7 @@ class _StagedSymmetric1D:
             a = np.ascontiguousarray(
                 xk_trunc[:, k0:k1, :m], dtype=self.dtype
             )
-            panel_contract(a, wp, acc)
+            panel_contract(a, wp, acc, kernels=self.plans.kernels())
         pad = np.zeros((batch, self.c_out, h + 1), self.dtype)
         pad[..., :m] = acc
         out = self.irfft.execute(pad.reshape(batch * self.c_out, h + 1))
@@ -284,7 +298,8 @@ class _StagedSymmetric2D:
     inverse along X, C2R along Y)."""
 
     def __init__(self, weight: np.ndarray, modes_x: int, modes_y: int,
-                 dim_x: int, dim_y: int, k_tb: int, dtype: np.dtype):
+                 dim_x: int, dim_y: int, k_tb: int, dtype: np.dtype,
+                 plans: PlanCaches | None = None):
         _check_length(dim_x)
         _check_length(dim_y)
         if modes_x > dim_x:
@@ -302,9 +317,10 @@ class _StagedSymmetric2D:
         self.dim_y = dim_y
         self.dtype = dtype
         self.c_in, self.c_out = weight.shape
+        self.plans = plans if plans is not None else current_plan_caches()
         self.panels = _weight_panels(weight, k_tb, dtype)
-        self.rfft = get_rfft_plan(dim_y, dtype)
-        self.irfft = get_irfft_plan(dim_y, dtype)
+        self.rfft = self.plans.rfft(dim_y, dtype)
+        self.irfft = self.plans.irfft(dim_y, dtype)
 
     def run(self, x: np.ndarray,
             xk_trunc: np.ndarray | None = None) -> np.ndarray:
@@ -319,7 +335,8 @@ class _StagedSymmetric2D:
                 batch, c_in, dim_x, h + 1
             )
             xk_trunc = truncated_fft_auto(
-                np.ascontiguousarray(xk_y[..., :my]), mx, axis=2
+                np.ascontiguousarray(xk_y[..., :my]), mx, axis=2,
+                caches=self.plans,
             )
         elif xk_trunc.shape != (batch, c_in, mx, my):
             raise ValueError(
@@ -332,9 +349,9 @@ class _StagedSymmetric2D:
         acc = np.zeros((batch, self.c_out, mx * my), self.dtype)
         for (k0, k1, wp) in self.panels:
             a = np.ascontiguousarray(a_full[:, k0:k1])
-            panel_contract(a, wp, acc)
+            panel_contract(a, wp, acc, kernels=self.plans.kernels())
         yk = acc.reshape(batch, self.c_out, mx, my)
-        y_x = padded_ifft_auto(yk, dim_x, axis=2)
+        y_x = padded_ifft_auto(yk, dim_x, axis=2, caches=self.plans)
         pad = np.zeros((batch, self.c_out, dim_x, h + 1), self.dtype)
         pad[..., :my] = y_x
         out = self.irfft.execute(
@@ -363,7 +380,8 @@ class CompiledSpectralConv1D:
     def __init__(self, weight: np.ndarray, modes: int,
                  k_tb: int = _DEFAULT_K_TB,
                  signal_tile: int = _DEFAULT_SIGNAL_TILE,
-                 symmetric: bool = False):
+                 symmetric: bool = False,
+                 plans: PlanCaches | None = None):
         weight = np.asarray(weight)
         if weight.ndim != 2:
             raise ValueError(
@@ -376,7 +394,11 @@ class CompiledSpectralConv1D:
         self.k_tb = k_tb
         self.signal_tile = signal_tile
         self.symmetric = symmetric
+        self._plans = plans
         self._staged: dict[tuple, object] = {}
+
+    def _plan_caches(self) -> PlanCaches:
+        return self._plans if self._plans is not None else current_plan_caches()
 
     def _stage_for(self, dtype: np.dtype, dim_x: int):
         key = (dtype, dim_x)
@@ -385,11 +407,13 @@ class CompiledSpectralConv1D:
             if self.symmetric:
                 staged = _StagedSymmetric1D(
                     self.weight, self.modes, dim_x, self.k_tb, dtype,
+                    plans=self._plan_caches(),
                 )
             else:
                 staged = _StagedFused1D(
                     self.weight, self.modes, dim_x,
                     self.k_tb, self.signal_tile, dtype,
+                    plans=self._plan_caches(),
                 )
             self._staged[key] = staged
         return staged
@@ -436,7 +460,8 @@ class CompiledSpectralConv2D:
     def __init__(self, weight: np.ndarray, modes_x: int, modes_y: int,
                  k_tb: int = _DEFAULT_K_TB,
                  signal_tile: int = _DEFAULT_SIGNAL_TILE,
-                 symmetric: bool = False):
+                 symmetric: bool = False,
+                 plans: PlanCaches | None = None):
         weight = np.asarray(weight)
         if weight.ndim != 2:
             raise ValueError(
@@ -452,7 +477,11 @@ class CompiledSpectralConv2D:
         self.k_tb = k_tb
         self.signal_tile = signal_tile
         self.symmetric = symmetric
+        self._plans = plans
         self._staged: dict[tuple, object] = {}
+
+    def _plan_caches(self) -> PlanCaches:
+        return self._plans if self._plans is not None else current_plan_caches()
 
     def _stage_for(self, dtype: np.dtype, dim_y: int) -> _StagedFused1D:
         key = (dtype, dim_y)
@@ -461,6 +490,7 @@ class CompiledSpectralConv2D:
             staged = _StagedFused1D(
                 self.weight, self.modes_y, dim_y,
                 self.k_tb, self.signal_tile, dtype,
+                plans=self._plan_caches(),
             )
             self._staged[key] = staged
         return staged
@@ -473,6 +503,7 @@ class CompiledSpectralConv2D:
             staged = _StagedSymmetric2D(
                 self.weight, self.modes_x, self.modes_y,
                 dim_x, dim_y, self.k_tb, dtype,
+                plans=self._plan_caches(),
             )
             self._staged[key] = staged
         return staged
@@ -499,9 +530,12 @@ class CompiledSpectralConv2D:
                 raise ValueError("symmetric executor expects real input")
             return self._stage_symmetric(dtype, dim_x, dim_y).run(x, xk_trunc)
         c_out = self.weight.shape[1]
+        plans = self._plan_caches()
 
         # Stage 1: width FFT with built-in truncation.
-        xk_x = truncated_fft(x.astype(dtype, copy=False), self.modes_x, axis=2)
+        xk_x = truncated_fft(
+            x.astype(dtype, copy=False), self.modes_x, axis=2, caches=plans
+        )
 
         # Fused stage along Y over (batch, kept-x-row) pencils.
         pencils = xk_x.transpose(0, 2, 1, 3).reshape(
@@ -514,7 +548,7 @@ class CompiledSpectralConv2D:
             batch, self.modes_x, c_out, dim_y
         ).transpose(0, 2, 1, 3)
         # Final stage: width iFFT with built-in zero padding.
-        return truncated_ifft(yk_x, dim_x, axis=2)
+        return truncated_ifft(yk_x, dim_x, axis=2, caches=plans)
 
 
 def compile_spectral_conv(
@@ -523,6 +557,7 @@ def compile_spectral_conv(
     k_tb: int = _DEFAULT_K_TB,
     signal_tile: int = _DEFAULT_SIGNAL_TILE,
     symmetric: bool = False,
+    plans: PlanCaches | None = None,
 ):
     """Build the executor matching ``modes``' dimensionality.
 
@@ -530,20 +565,24 @@ def compile_spectral_conv(
     :class:`CompiledSpectralConv1D`; a 2-tuple gives a
     :class:`CompiledSpectralConv2D`.  ``symmetric=True`` selects the
     rfft/irfft half-spectrum convention (real input, real output).
+    ``plans`` pins the executor to one plan-cache set (a session's);
+    ``None`` resolves the set active on the staging thread.
     """
     if isinstance(modes, tuple):
         if len(modes) == 1:
             return CompiledSpectralConv1D(
-                weight, modes[0], k_tb, signal_tile, symmetric=symmetric
+                weight, modes[0], k_tb, signal_tile, symmetric=symmetric,
+                plans=plans,
             )
         if len(modes) == 2:
             return CompiledSpectralConv2D(
                 weight, modes[0], modes[1], k_tb, signal_tile,
-                symmetric=symmetric,
+                symmetric=symmetric, plans=plans,
             )
         raise ValueError(
             f"modes must have 1 or 2 entries, got {len(modes)}"
         )
     return CompiledSpectralConv1D(
-        weight, int(modes), k_tb, signal_tile, symmetric=symmetric
+        weight, int(modes), k_tb, signal_tile, symmetric=symmetric,
+        plans=plans,
     )

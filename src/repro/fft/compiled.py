@@ -33,12 +33,19 @@ same plan/execute split for the NumPy substrate:
     half the butterfly work of the full C2C transform the legacy path
     computed, with no full Hermitian spectrum ever materialised.
 
-Plans live in process-wide caches (:func:`get_fft_plan`,
-:func:`get_pruned_plan`, :func:`get_rfft_plan`, :func:`get_irfft_plan`):
-two requests with the same key return the *same plan object*, so
-workspaces and tables are shared exactly like cuFFT plan handles.  The
-functional API (:mod:`repro.fft.stockham`, :mod:`repro.fft.pruned`,
-:mod:`repro.fft.real`) is now a thin wrapper over these caches.
+Plans live in :class:`PlanCaches` — an *instantiable* set of the three
+caches bound to one executor backend (``"auto"`` picks the C kernels
+when available, ``"numpy"`` forces the fallback, ``"ckernels"``
+requires the C layer).  A process-wide default set backs the
+module-level getters (:func:`get_fft_plan`, :func:`get_pruned_plan`,
+:func:`get_rfft_plan`, :func:`get_irfft_plan`): two requests with the
+same key return the *same plan object*, so workspaces and tables are
+shared exactly like cuFFT plan handles.  The functional API
+(:mod:`repro.fft.stockham`, :mod:`repro.fft.pruned`,
+:mod:`repro.fft.real`) is a thin wrapper over these caches, and an
+execution context (:class:`repro.api.Session`) can install its own set
+for the current thread with :func:`plan_cache_scope` — distinct cache
+sets never share plans or workspaces.
 
 Everything produced by a compiled plan is **byte-identical** to the
 legacy per-call path (:mod:`repro.fft.legacy`): the C kernels replay
@@ -54,19 +61,25 @@ if not parallel.
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 from functools import lru_cache
 
 import numpy as np
 
 from repro.core.dtypes import complex_dtype_for
-from repro.fft._ckernels import get_kernels, kernels_available
+from repro.fft._ckernels import build_info, get_kernels, kernels_available
 from repro.fft.twiddle import decomposition_twiddles, stage_twiddles
 
 __all__ = [
+    "BACKENDS",
     "CompiledFFTPlan",
     "CompiledPrunedPlan",
     "CompiledRFFTPlan",
     "CompiledIRFFTPlan",
+    "PlanCaches",
+    "current_plan_caches",
+    "default_plan_caches",
+    "plan_cache_scope",
     "get_fft_plan",
     "get_pruned_plan",
     "get_rfft_plan",
@@ -74,12 +87,16 @@ __all__ = [
     "fft_plan_cache_info",
     "clear_fft_plan_cache",
     "kernels_available",
+    "resolve_backend_kernels",
     "panel_contract",
     "decomp_reduce",
     "expand_mul",
     "workspace_empty",
     "workspace_zeros",
 ]
+
+#: Executor-backend spellings accepted everywhere a ``backend`` is taken.
+BACKENDS = ("auto", "ckernels", "numpy")
 
 #: Cached plans per (n, dtype, direction) / (n, part, dtype, kind).  A
 #: full figure sweep touches a handful of lengths; 256 is generous.
@@ -100,9 +117,46 @@ def _is_power_of_two(n: int) -> bool:
 # Kernel helpers with bit-exact NumPy fallbacks
 # ---------------------------------------------------------------------------
 
-def panel_contract(a: np.ndarray, w: np.ndarray, acc: np.ndarray) -> None:
+def resolve_backend_kernels(backend: str):
+    """Validate a backend spelling; return its pinned kernels (or None).
+
+    ``"numpy"`` pins the pure-NumPy substrate (returns ``None``) and
+    ``"ckernels"`` requires the C layer (returns it, or raises
+    :class:`RuntimeError` when it cannot be loaded).  ``"auto"`` returns
+    ``None`` *without* touching the kernel loader — auto resolution
+    happens lazily at execution time (:meth:`PlanCaches.kernels`), so
+    validating an auto backend (e.g. at ``import repro``) never invokes
+    the C compiler.  Both substrates produce identical bits; the
+    spelling only pins *which* one runs.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend in ("numpy", "auto"):
+        return None
+    kernels = get_kernels()
+    if kernels is None:
+        raise RuntimeError(
+            f"backend='ckernels' requested but the C executor kernels are "
+            f"unavailable ({build_info()})"
+        )
+    return kernels
+
+
+#: Sentinel: helpers resolve kernels from the current plan-cache scope.
+_SCOPED = object()
+
+
+def _scoped_kernels():
+    return current_plan_caches().kernels()
+
+
+def panel_contract(
+    a: np.ndarray, w: np.ndarray, acc: np.ndarray, kernels=_SCOPED
+) -> None:
     """``acc += einsum("bkm,ko->bom", a, w)`` (contiguous operands)."""
-    k = get_kernels()
+    k = _scoped_kernels() if kernels is _SCOPED else kernels
     bt, kt, m = a.shape
     o = w.shape[1]
     if k is not None:
@@ -111,9 +165,11 @@ def panel_contract(a: np.ndarray, w: np.ndarray, acc: np.ndarray) -> None:
         acc += np.einsum("bkm,ko->bom", a, w)
 
 
-def decomp_reduce(y: np.ndarray, wd: np.ndarray, out: np.ndarray) -> None:
+def decomp_reduce(
+    y: np.ndarray, wd: np.ndarray, out: np.ndarray, kernels=_SCOPED
+) -> None:
     """``out[...] = einsum("bpk,pk->bk", y, wd)`` (contiguous operands)."""
-    k = get_kernels()
+    k = _scoped_kernels() if kernels is _SCOPED else kernels
     batch, p, q = y.shape
     if k is not None:
         k.decomp_reduce(y, wd, out, batch, p, q)
@@ -121,9 +177,11 @@ def decomp_reduce(y: np.ndarray, wd: np.ndarray, out: np.ndarray) -> None:
         np.einsum("bpk,pk->bk", y, wd, out=out)
 
 
-def expand_mul(x: np.ndarray, wd: np.ndarray, out: np.ndarray) -> None:
+def expand_mul(
+    x: np.ndarray, wd: np.ndarray, out: np.ndarray, kernels=_SCOPED
+) -> None:
     """``out[...] = x[:, None, :] * wd`` (contiguous operands)."""
-    k = get_kernels()
+    k = _scoped_kernels() if kernels is _SCOPED else kernels
     batch, q = x.shape
     s = wd.shape[0]
     if k is not None:
@@ -169,12 +227,15 @@ class CompiledFFTPlan:
     roundings the legacy path applied in separate passes.
     """
 
-    def __init__(self, n: int, dtype: np.dtype, inverse: bool):
+    def __init__(self, n: int, dtype: np.dtype, inverse: bool,
+                 backend: str = "auto"):
         if not _is_power_of_two(n):
             raise ValueError(f"n must be a power of two, got {n}")
+        resolve_backend_kernels(backend)  # validate (and require ckernels)
         self.n = n
         self.dtype = np.dtype(dtype)
         self.inverse = inverse
+        self.backend = backend
         # Per-stage tables (NumPy path) and their concatenation (C path),
         # pre-cast once at plan time.
         self._stage_tw: list[np.ndarray] = []
@@ -216,7 +277,7 @@ class CompiledFFTPlan:
         if out is None:
             out = np.empty((rows, n), self.dtype)
         with self._lock:
-            kernels = get_kernels()
+            kernels = None if self.backend == "numpy" else get_kernels()
             if kernels is not None:
                 scratch = self._scratch_for(rows * n)
                 kernels.stockham(
@@ -266,9 +327,15 @@ class CompiledPrunedPlan(_WorkspaceOwner):
     ``"pad"`` (``part`` live inputs, zero-padded to ``n``) or
     ``"itrunc"`` (``part`` spectrum bins in, length-``n`` signal out).
     ``part == n`` degenerates to the plain transform.
+
+    ``caches`` names the owning :class:`PlanCaches`: the sub-transform's
+    plan is resolved from the same set (so a private cache set never
+    leaks plans into — or out of — the process-wide default), and the
+    helper kernels follow that set's backend.
     """
 
-    def __init__(self, n: int, part: int, dtype: np.dtype, kind: str):
+    def __init__(self, n: int, part: int, dtype: np.dtype, kind: str,
+                 caches: "PlanCaches | None" = None):
         if kind not in ("trunc", "pad", "itrunc"):
             raise ValueError(f"unknown pruned-plan kind {kind!r}")
         self.n = n
@@ -276,8 +343,10 @@ class CompiledPrunedPlan(_WorkspaceOwner):
         self.dtype = np.dtype(dtype)
         self.kind = kind
         self.split = n // part  # P (trunc) or S (pad/itrunc)
+        self._caches = caches
         inverse = kind == "itrunc"
-        self._fft = get_fft_plan(part, dtype, inverse)
+        fft_lookup = caches.fft if caches is not None else get_fft_plan
+        self._fft = fft_lookup(part, dtype, inverse)
         if part < n:
             wd = decomposition_twiddles(n, self.split, part, inverse=inverse)
             self._wd = np.ascontiguousarray(wd.astype(self.dtype))
@@ -291,6 +360,11 @@ class CompiledPrunedPlan(_WorkspaceOwner):
             f"CompiledPrunedPlan({self.kind}, n={self.n}, part={self.part}, "
             f"{self.dtype.name})"
         )
+
+    def _kernels(self):
+        if self._caches is not None:
+            return self._caches.kernels()
+        return _scoped_kernels()
 
     # -- axis-last entry point (callers have already done moveaxis) ----
 
@@ -330,7 +404,8 @@ class CompiledPrunedPlan(_WorkspaceOwner):
             fbuf = self._ws("fft", batch * n)[: batch * n].reshape(-1, q)
             self._fft.execute(buf[: batch * n].reshape(batch * p, q), out=fbuf)
             out = np.empty((batch, q), self.dtype)
-            decomp_reduce(fbuf.reshape(batch, p, q), self._wd, out)
+            decomp_reduce(fbuf.reshape(batch, p, q), self._wd, out,
+                          kernels=self._kernels())
         return out.reshape(*lead, q)
 
     def _pad(self, moved, lead, batch):
@@ -343,7 +418,8 @@ class CompiledPrunedPlan(_WorkspaceOwner):
         with self._lock:
             flat = self._full_flat(moved, batch, live)
             sc = self._ws("scaled", batch * n)[: batch * n]
-            expand_mul(flat, self._wd, sc.reshape(batch, s, live))
+            expand_mul(flat, self._wd, sc.reshape(batch, s, live),
+                       kernels=self._kernels())
             y = self._fft.execute(sc.reshape(batch * s, live))
         out = np.empty((*lead, n), self.dtype)
         # Interleave: out[..., ss + s*t] = y[..., ss, t].
@@ -362,7 +438,8 @@ class CompiledPrunedPlan(_WorkspaceOwner):
         with self._lock:
             flat = self._full_flat(moved, batch, live)
             sc = self._ws("scaled", batch * n)[: batch * n]
-            expand_mul(flat, self._wd, sc.reshape(batch, s, live))
+            expand_mul(flat, self._wd, sc.reshape(batch, s, live),
+                       kernels=self._kernels())
             y = self._fft.execute(
                 sc.reshape(batch * s, live),
                 div_by=float(live),
@@ -400,15 +477,17 @@ class CompiledRFFTPlan(_WorkspaceOwner):
     (the sub-transform already is).
     """
 
-    def __init__(self, n: int, dtype: np.dtype):
+    def __init__(self, n: int, dtype: np.dtype,
+                 caches: "PlanCaches | None" = None):
         if not _is_power_of_two(n):
             raise ValueError(f"n must be a power of two, got {n}")
         self.n = n
         self.dtype = np.dtype(dtype)
         self.real_dtype = _real_dtype_of(self.dtype)
         self.half = n // 2
+        fft_lookup = caches.fft if caches is not None else get_fft_plan
         if n > 1:
-            self._sub = get_fft_plan(self.half, self.dtype, inverse=False)
+            self._sub = fft_lookup(self.half, self.dtype, inverse=False)
             k = np.arange(self.half + 1)
             # W_n^k pre-folded with the -i/2 of the odd-part term.
             wm = (-0.5j * np.exp(-2j * np.pi * k / n)).astype(self.dtype)
@@ -464,15 +543,17 @@ class CompiledIRFFTPlan(_WorkspaceOwner):
     take-the-real-part semantics.
     """
 
-    def __init__(self, n: int, dtype: np.dtype):
+    def __init__(self, n: int, dtype: np.dtype,
+                 caches: "PlanCaches | None" = None):
         if not _is_power_of_two(n):
             raise ValueError(f"n must be a power of two, got {n}")
         self.n = n
         self.dtype = np.dtype(dtype)
         self.real_dtype = _real_dtype_of(self.dtype)
         self.half = n // 2
+        fft_lookup = caches.fft if caches is not None else get_fft_plan
         if n > 1:
-            self._sub = get_fft_plan(self.half, self.dtype, inverse=True)
+            self._sub = fft_lookup(self.half, self.dtype, inverse=True)
             k = np.arange(self.half)
             # conj(W_n^k) pre-folded with the +i/2 of the odd-part term.
             wj = (0.5j * np.exp(+2j * np.pi * k / n)).astype(self.dtype)
@@ -516,24 +597,137 @@ class CompiledIRFFTPlan(_WorkspaceOwner):
 
 
 # ---------------------------------------------------------------------------
-# Global plan caches
+# Plan caches: one instantiable set per execution context
 # ---------------------------------------------------------------------------
 
-@lru_cache(maxsize=FFT_PLAN_CACHE_SIZE)
-def _fft_plan_cached(n: int, dtype: np.dtype, inverse: bool) -> CompiledFFTPlan:
-    return CompiledFFTPlan(n, dtype, inverse)
+class PlanCaches:
+    """One set of FFT/pruned/R2C/C2R plan caches bound to one backend.
+
+    The cuFFT analogue of a *context*: plans requested through one set
+    are private to it — sub-plans (a pruned plan's half-length
+    transform, the packed-real plans' sub-FFT) resolve from the same
+    set, so two sets never share plan objects or workspaces.  A
+    process-wide default set (:func:`default_plan_caches`) backs the
+    module-level getters; :class:`repro.api.Session` owns a set per
+    session and installs it for the current thread with
+    :func:`plan_cache_scope`.
+
+    ``backend`` pins the executor substrate for every plan in the set:
+    ``"auto"`` (C kernels when available), ``"ckernels"`` (required; a
+    missing C layer raises at construction) or ``"numpy"`` (forced
+    fallback).  Outputs are byte-identical across backends.
+    """
+
+    def __init__(self, backend: str = "auto",
+                 maxsize: int = FFT_PLAN_CACHE_SIZE):
+        resolve_backend_kernels(backend)  # validate spelling/availability
+        self.backend = backend
+        self._fft_cached = lru_cache(maxsize=maxsize)(self._build_fft)
+        self._pruned_cached = lru_cache(maxsize=maxsize)(self._build_pruned)
+        self._real_cached = lru_cache(maxsize=maxsize)(self._build_real)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PlanCaches(backend={self.backend!r})"
+
+    # -- builders (one per cache; keys are already normalised) ----------
+
+    def _build_fft(self, n, dtype, inverse) -> CompiledFFTPlan:
+        return CompiledFFTPlan(n, dtype, inverse, backend=self.backend)
+
+    def _build_pruned(self, n, part, dtype, kind) -> CompiledPrunedPlan:
+        return CompiledPrunedPlan(n, part, dtype, kind, caches=self)
+
+    def _build_real(self, n, dtype, inverse):
+        cls = CompiledIRFFTPlan if inverse else CompiledRFFTPlan
+        return cls(n, dtype, caches=self)
+
+    # -- lookups --------------------------------------------------------
+
+    def fft(self, n: int, dtype=np.complex64,
+            inverse: bool = False) -> CompiledFFTPlan:
+        """The cached plan for a length-``n`` transform (see
+        :func:`get_fft_plan`)."""
+        return self._fft_cached(int(n), complex_dtype_for(dtype), bool(inverse))
+
+    def pruned(self, n: int, part: int, dtype=np.complex64,
+               kind: str = "trunc") -> CompiledPrunedPlan:
+        """The cached plan for one pruned-transform split."""
+        return self._pruned_cached(
+            int(n), int(part), complex_dtype_for(dtype), kind
+        )
+
+    def rfft(self, n: int, dtype=np.float32) -> CompiledRFFTPlan:
+        """The cached R2C plan for a length-``n`` real transform."""
+        return self._real_cached(int(n), complex_dtype_for(dtype), False)
+
+    def irfft(self, n: int, dtype=np.complex64) -> CompiledIRFFTPlan:
+        """The cached C2R plan for a length-``n`` real output."""
+        return self._real_cached(int(n), complex_dtype_for(dtype), True)
+
+    def kernels(self):
+        """The kernel bindings this set's backend resolves to (or None)."""
+        if self.backend == "numpy":
+            return None
+        return get_kernels()
+
+    # -- management -----------------------------------------------------
+
+    def cache_info(self):
+        """Cache statistics: (fft plans, pruned plans, r2c/c2r plans)."""
+        return (
+            self._fft_cached.cache_info(),
+            self._pruned_cached.cache_info(),
+            self._real_cached.cache_info(),
+        )
+
+    def clear(self) -> None:
+        """Drop every cached plan and its workspaces."""
+        self._fft_cached.cache_clear()
+        self._pruned_cached.cache_clear()
+        self._real_cached.cache_clear()
 
 
-@lru_cache(maxsize=FFT_PLAN_CACHE_SIZE)
-def _pruned_plan_cached(
-    n: int, part: int, dtype: np.dtype, kind: str
-) -> CompiledPrunedPlan:
-    return CompiledPrunedPlan(n, part, dtype, kind)
+#: The process-wide default set, shared by every caller that does not
+#: install its own scope (the seed behaviour).
+_DEFAULT_PLAN_CACHES = PlanCaches("auto")
+
+_scope_tls = threading.local()
 
 
-@lru_cache(maxsize=FFT_PLAN_CACHE_SIZE)
-def _rfft_plan_cached(n: int, dtype: np.dtype, inverse: bool):
-    return CompiledIRFFTPlan(n, dtype) if inverse else CompiledRFFTPlan(n, dtype)
+def default_plan_caches() -> PlanCaches:
+    """The process-wide default plan-cache set."""
+    return _DEFAULT_PLAN_CACHES
+
+
+def current_plan_caches() -> PlanCaches:
+    """The plan-cache set active on this thread.
+
+    The innermost :func:`plan_cache_scope` wins; with no scope active
+    this is :func:`default_plan_caches` — i.e. the seed behaviour.
+    """
+    stack = getattr(_scope_tls, "stack", None)
+    return stack[-1] if stack else _DEFAULT_PLAN_CACHES
+
+
+@contextmanager
+def plan_cache_scope(caches: PlanCaches):
+    """Route this thread's plan lookups through ``caches`` while active.
+
+    Everything downstream of the module-level getters — the functional
+    FFT API, the training layers, throwaway executors — resolves plans
+    from the scoped set, which is how a :class:`repro.api.Session`
+    injects its caches and backend without threading a parameter
+    through every call site.  Scopes nest; each thread has its own
+    stack.
+    """
+    stack = getattr(_scope_tls, "stack", None)
+    if stack is None:
+        stack = _scope_tls.stack = []
+    stack.append(caches)
+    try:
+        yield caches
+    finally:
+        stack.pop()
 
 
 def get_fft_plan(
@@ -543,15 +737,17 @@ def get_fft_plan(
 
     ``dtype`` may be any input dtype; it is normalised to the complex
     working precision, so e.g. float32 and complex64 share one plan.
+    Served from the current thread's plan-cache set
+    (:func:`current_plan_caches`).
     """
-    return _fft_plan_cached(int(n), complex_dtype_for(dtype), bool(inverse))
+    return current_plan_caches().fft(n, dtype, inverse)
 
 
 def get_pruned_plan(
     n: int, part: int, dtype=np.complex64, kind: str = "trunc"
 ) -> CompiledPrunedPlan:
     """The cached plan for one pruned-transform split (see class docs)."""
-    return _pruned_plan_cached(int(n), int(part), complex_dtype_for(dtype), kind)
+    return current_plan_caches().pruned(n, part, dtype, kind)
 
 
 def get_rfft_plan(n: int, dtype=np.float32) -> CompiledRFFTPlan:
@@ -560,28 +756,22 @@ def get_rfft_plan(n: int, dtype=np.float32) -> CompiledRFFTPlan:
     ``dtype`` may be real or complex; it is normalised to the working
     precision, so e.g. float32 and complex64 share one plan.
     """
-    return _rfft_plan_cached(int(n), complex_dtype_for(dtype), False)
+    return current_plan_caches().rfft(n, dtype)
 
 
 def get_irfft_plan(n: int, dtype=np.complex64) -> CompiledIRFFTPlan:
     """The cached C2R plan for a length-``n`` real output."""
-    return _rfft_plan_cached(int(n), complex_dtype_for(dtype), True)
+    return current_plan_caches().irfft(n, dtype)
 
 
 def fft_plan_cache_info():
-    """Cache statistics: (fft plans, pruned plans, r2c/c2r plans)."""
-    return (
-        _fft_plan_cached.cache_info(),
-        _pruned_plan_cached.cache_info(),
-        _rfft_plan_cached.cache_info(),
-    )
+    """Cache statistics of the current set: (fft, pruned, r2c/c2r)."""
+    return current_plan_caches().cache_info()
 
 
 def clear_fft_plan_cache() -> None:
-    """Drop every cached plan and its workspaces."""
-    _fft_plan_cached.cache_clear()
-    _pruned_plan_cached.cache_clear()
-    _rfft_plan_cached.cache_clear()
+    """Drop every plan (and workspace) of the current thread's set."""
+    current_plan_caches().clear()
 
 
 # ---------------------------------------------------------------------------
@@ -630,31 +820,40 @@ def workspace_zeros(tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
 # Functional execution (the bodies of repro.fft.stockham / .pruned)
 # ---------------------------------------------------------------------------
 
-def execute_fft(x: np.ndarray, axis: int, inverse: bool) -> np.ndarray:
+def execute_fft(
+    x: np.ndarray, axis: int, inverse: bool,
+    caches: PlanCaches | None = None,
+) -> np.ndarray:
     """Plan-backed ``fft``/``ifft`` along ``axis`` (validation upstream)."""
+    plans = caches if caches is not None else current_plan_caches()
     n = x.shape[axis]
     dtype = complex_dtype_for(x.dtype)
     moved = np.moveaxis(x, axis, -1)
     flat = np.ascontiguousarray(moved.reshape(-1, n)).astype(dtype, copy=False)
-    plan = get_fft_plan(n, dtype, inverse)
+    plan = plans.fft(n, dtype, inverse)
     out = plan.execute(flat, div_by=float(n) if inverse else None)
     return np.moveaxis(out.reshape(moved.shape), -1, axis)
 
 
 def execute_pruned(
-    x: np.ndarray, n: int, part: int, axis: int, kind: str
+    x: np.ndarray, n: int, part: int, axis: int, kind: str,
+    caches: PlanCaches | None = None,
 ) -> np.ndarray:
     """Plan-backed pruned transform along ``axis`` (validation upstream)."""
-    plan = get_pruned_plan(n, part, x.dtype, kind)
+    plans = caches if caches is not None else current_plan_caches()
+    plan = plans.pruned(n, part, x.dtype, kind)
     moved = np.moveaxis(x, axis, -1)
     out = plan.apply(moved)
     return np.moveaxis(out, -1, axis)
 
 
-def execute_rfft(x: np.ndarray, axis: int) -> np.ndarray:
+def execute_rfft(
+    x: np.ndarray, axis: int, caches: PlanCaches | None = None
+) -> np.ndarray:
     """Plan-backed ``rfft`` along ``axis`` (validation upstream)."""
+    plans = caches if caches is not None else current_plan_caches()
     n = x.shape[axis]
-    plan = get_rfft_plan(n, x.dtype)
+    plan = plans.rfft(n, x.dtype)
     moved = np.moveaxis(x, axis, -1)
     flat = np.ascontiguousarray(moved, dtype=plan.real_dtype).reshape(-1, n)
     out = plan.execute(flat)
@@ -663,9 +862,12 @@ def execute_rfft(x: np.ndarray, axis: int) -> np.ndarray:
     )
 
 
-def execute_irfft(xk: np.ndarray, n: int, axis: int) -> np.ndarray:
+def execute_irfft(
+    xk: np.ndarray, n: int, axis: int, caches: PlanCaches | None = None
+) -> np.ndarray:
     """Plan-backed ``irfft`` along ``axis`` (validation upstream)."""
-    plan = get_irfft_plan(n, xk.dtype)
+    plans = caches if caches is not None else current_plan_caches()
+    plan = plans.irfft(n, xk.dtype)
     moved = np.moveaxis(xk, axis, -1)
     flat = np.ascontiguousarray(moved, dtype=plan.dtype).reshape(
         -1, moved.shape[-1]

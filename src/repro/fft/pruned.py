@@ -50,21 +50,27 @@ def _validate_split(n: int, part: int, what: str) -> None:
         raise ValueError(f"{what} must be in [1, {n}], got {part}")
 
 
-def truncated_fft(x: np.ndarray, n_keep: int, axis: int = -1) -> np.ndarray:
+def truncated_fft(x: np.ndarray, n_keep: int, axis: int = -1,
+                  caches=None) -> np.ndarray:
     """First ``n_keep`` outputs of the FFT of ``x`` along ``axis``.
 
     Equivalent to ``fft(x, axis)[..., :n_keep]`` but computes only the
     surviving work.  ``n_keep`` must be a power of two dividing the length.
+    ``caches`` pins the plan lookups to one explicit
+    :class:`repro.fft.compiled.PlanCaches` set (default: the current
+    thread's) — how session-pooled executors keep their transforms in
+    their own caches.
     """
     x = np.asarray(x)
     n = x.shape[axis]
     _validate_split(n, n_keep, "n_keep")
     if n_keep == n:
-        return fft(x, axis=axis)
-    return execute_pruned(x, n, n_keep, axis, "trunc")
+        return fft(x, axis=axis, caches=caches)
+    return execute_pruned(x, n, n_keep, axis, "trunc", caches=caches)
 
 
-def zero_padded_fft(x: np.ndarray, n_out: int, axis: int = -1) -> np.ndarray:
+def zero_padded_fft(x: np.ndarray, n_out: int, axis: int = -1,
+                    caches=None) -> np.ndarray:
     """FFT of ``x`` zero-padded (on the right) to length ``n_out``.
 
     Equivalent to padding then ``fft`` but never touches the zeros.  The
@@ -74,11 +80,12 @@ def zero_padded_fft(x: np.ndarray, n_out: int, axis: int = -1) -> np.ndarray:
     n_live = x.shape[axis]
     _validate_split(n_out, n_live, "input length")
     if n_live == n_out:
-        return fft(x, axis=axis)
-    return execute_pruned(x, n_out, n_live, axis, "pad")
+        return fft(x, axis=axis, caches=caches)
+    return execute_pruned(x, n_out, n_live, axis, "pad", caches=caches)
 
 
-def truncated_fft_auto(x: np.ndarray, modes: int, axis: int = -1) -> np.ndarray:
+def truncated_fft_auto(x: np.ndarray, modes: int, axis: int = -1,
+                       caches=None) -> np.ndarray:
     """First ``modes`` FFT outputs, pruned when the split applies.
 
     Falls back to the full transform plus a slice when ``modes`` is not a
@@ -88,30 +95,32 @@ def truncated_fft_auto(x: np.ndarray, modes: int, axis: int = -1) -> np.ndarray:
     (:mod:`repro.core.compiled`).
     """
     if is_power_of_two(modes) and modes <= x.shape[axis]:
-        return truncated_fft(x, modes, axis=axis)
+        return truncated_fft(x, modes, axis=axis, caches=caches)
     sl = [slice(None)] * x.ndim
     sl[axis] = slice(0, modes)
-    return fft(x, axis=axis)[tuple(sl)]
+    return fft(x, axis=axis, caches=caches)[tuple(sl)]
 
 
-def padded_ifft_auto(xk: np.ndarray, n_out: int, axis: int = -1) -> np.ndarray:
+def padded_ifft_auto(xk: np.ndarray, n_out: int, axis: int = -1,
+                     caches=None) -> np.ndarray:
     """Zero-padded inverse FFT, pruned when the split applies.
 
     Falls back to an explicit pad plus the full inverse when the live
     length is not a power of two dividing ``n_out``.
     """
     if is_power_of_two(xk.shape[axis]) and xk.shape[axis] <= n_out:
-        return truncated_ifft(xk, n_out, axis=axis)
+        return truncated_ifft(xk, n_out, axis=axis, caches=caches)
     shape = list(xk.shape)
     shape[axis] = n_out
     padded = np.zeros(shape, dtype=xk.dtype)
     sl = [slice(None)] * xk.ndim
     sl[axis] = slice(0, xk.shape[axis])
     padded[tuple(sl)] = xk
-    return ifft(padded, axis=axis)
+    return ifft(padded, axis=axis, caches=caches)
 
 
-def truncated_ifft(xk: np.ndarray, n_out: int, axis: int = -1) -> np.ndarray:
+def truncated_ifft(xk: np.ndarray, n_out: int, axis: int = -1,
+                   caches=None) -> np.ndarray:
     """Inverse FFT of a truncated spectrum, zero-padded to ``n_out``.
 
     Input holds the first ``L`` frequency bins; output is the length
@@ -122,5 +131,5 @@ def truncated_ifft(xk: np.ndarray, n_out: int, axis: int = -1) -> np.ndarray:
     n_live = xk.shape[axis]
     _validate_split(n_out, n_live, "spectrum length")
     if n_live == n_out:
-        return ifft(xk, axis=axis)
-    return execute_pruned(xk, n_out, n_live, axis, "itrunc")
+        return ifft(xk, axis=axis, caches=caches)
+    return execute_pruned(xk, n_out, n_live, axis, "itrunc", caches=caches)

@@ -40,23 +40,26 @@ def _check_length(n: int) -> None:
         )
 
 
-def fft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+def fft(x: np.ndarray, axis: int = -1, caches=None) -> np.ndarray:
     """Forward FFT along ``axis`` (``numpy.fft.fft`` conventions).
 
     Accepts real or complex input of any shape; the transform axis must
     have power-of-two length.  float32/complex64 inputs stay in single
     precision (the paper's FP32 setting); other dtypes use complex128.
+    ``caches`` pins the plan lookup to one explicit
+    :class:`repro.fft.compiled.PlanCaches` set (default: the current
+    thread's).
     """
     x = np.asarray(x)
     _check_length(x.shape[axis])
-    return execute_fft(x, axis, inverse=False)
+    return execute_fft(x, axis, inverse=False, caches=caches)
 
 
-def ifft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+def ifft(x: np.ndarray, axis: int = -1, caches=None) -> np.ndarray:
     """Inverse FFT along ``axis`` (includes the ``1/N`` normalisation)."""
     x = np.asarray(x)
     _check_length(x.shape[axis])
-    return execute_fft(x, axis, inverse=True)
+    return execute_fft(x, axis, inverse=True, caches=caches)
 
 
 def fft2(x: np.ndarray, axes: tuple[int, int] = (-2, -1)) -> np.ndarray:

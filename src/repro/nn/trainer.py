@@ -1,7 +1,18 @@
-"""Minibatch training loop for the NumPy FNO."""
+"""Minibatch training loop for the NumPy FNO.
+
+Both entry points accept a :class:`repro.api.Session`: the loop then
+runs under :meth:`~repro.api.Session.activate`, so every FFT/rfft plan
+the spectral layers resolve comes from the session's caches and the
+session's backend — injected configuration instead of the process-global
+plan caches and ``REPRO_NO_CKERNELS`` ambient state.  Training numerics
+are identical with or without a session (backends are bit-identical by
+contract); the session only decides *where* plans live and *which*
+executor substrate runs them.
+"""
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -13,6 +24,11 @@ from repro.nn.modules import Module
 __all__ = ["TrainingHistory", "train", "evaluate"]
 
 LossFn = Callable[[np.ndarray, np.ndarray], tuple[float, np.ndarray]]
+
+
+def _session_scope(session):
+    """The session's activation scope, or a no-op when unbound."""
+    return session.activate() if session is not None else nullcontext()
 
 
 @dataclass
@@ -41,16 +57,22 @@ def evaluate(
     y: np.ndarray,
     loss_fn: LossFn = relative_l2_loss,
     batch_size: int = 32,
+    session=None,
 ) -> float:
-    """Average loss over a dataset (no gradient accumulation)."""
+    """Average loss over a dataset (no gradient accumulation).
+
+    ``session`` (a :class:`repro.api.Session`) injects the plan caches
+    and backend the model's spectral layers execute through.
+    """
     total = 0.0
     count = 0
-    for b0 in range(0, x.shape[0], batch_size):
-        xb = x[b0 : b0 + batch_size]
-        yb = y[b0 : b0 + batch_size]
-        loss, _ = loss_fn(model(xb), yb)
-        total += loss * xb.shape[0]
-        count += xb.shape[0]
+    with _session_scope(session):
+        for b0 in range(0, x.shape[0], batch_size):
+            xb = x[b0 : b0 + batch_size]
+            yb = y[b0 : b0 + batch_size]
+            loss, _ = loss_fn(model(xb), yb)
+            total += loss * xb.shape[0]
+            count += xb.shape[0]
     return total / max(count, 1)
 
 
@@ -66,11 +88,14 @@ def train(
     y_test: np.ndarray | None = None,
     shuffle_seed: int = 0,
     verbose: bool = False,
+    session=None,
 ) -> TrainingHistory:
     """Train ``model`` with ``optimizer``; returns the loss history.
 
     Data tensors are ``(n_samples, channels, *spatial)``.  When a test set
-    is supplied it is evaluated after every epoch.
+    is supplied it is evaluated after every epoch.  ``session`` (a
+    :class:`repro.api.Session`) injects the plan caches and backend the
+    model's spectral layers execute through for the whole run.
     """
     if x_train.shape[0] != y_train.shape[0]:
         raise ValueError("x_train and y_train disagree on sample count")
@@ -79,24 +104,30 @@ def train(
     rng = np.random.default_rng(shuffle_seed)
     history = TrainingHistory()
     n = x_train.shape[0]
-    for epoch in range(epochs):
-        order = rng.permutation(n)
-        epoch_loss = 0.0
-        for b0 in range(0, n, batch_size):
-            idx = order[b0 : b0 + batch_size]
-            xb, yb = x_train[idx], y_train[idx]
-            optimizer.zero_grad()
-            pred = model(xb)
-            loss, grad = loss_fn(pred, yb)
-            model.backward(grad)
-            optimizer.step()
-            epoch_loss += loss * xb.shape[0]
-        history.train_loss.append(epoch_loss / n)
-        if x_test is not None and y_test is not None:
-            history.test_loss.append(evaluate(model, x_test, y_test, loss_fn))
-        if verbose:  # pragma: no cover - console output
-            msg = f"epoch {epoch + 1}/{epochs}: train {history.train_loss[-1]:.4e}"
-            if history.test_loss:
-                msg += f"  test {history.test_loss[-1]:.4e}"
-            print(msg)
+    with _session_scope(session):
+        for epoch in range(epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for b0 in range(0, n, batch_size):
+                idx = order[b0 : b0 + batch_size]
+                xb, yb = x_train[idx], y_train[idx]
+                optimizer.zero_grad()
+                pred = model(xb)
+                loss, grad = loss_fn(pred, yb)
+                model.backward(grad)
+                optimizer.step()
+                epoch_loss += loss * xb.shape[0]
+            history.train_loss.append(epoch_loss / n)
+            if x_test is not None and y_test is not None:
+                history.test_loss.append(
+                    evaluate(model, x_test, y_test, loss_fn)
+                )
+            if verbose:  # pragma: no cover - console output
+                msg = (
+                    f"epoch {epoch + 1}/{epochs}: "
+                    f"train {history.train_loss[-1]:.4e}"
+                )
+                if history.test_loss:
+                    msg += f"  test {history.test_loss[-1]:.4e}"
+                print(msg)
     return history

@@ -87,6 +87,29 @@ class TestClaims:
         assert payload["fig08"]["epilogue_naive"] == pytest.approx(0.25)
 
 
+class TestServeBench:
+    def test_serve_bench_reports_bit_identity(self, capsys):
+        assert main(["serve-bench", "--requests", "12", "--k", "8",
+                     "--signal-batch", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical" in out
+        assert "req/s" in out
+
+    def test_serve_bench_json_with_backend_and_workers(self, capsys):
+        assert main(["serve-bench", "--requests", "8", "--k", "8",
+                     "--signal-batch", "1", "--backend", "numpy",
+                     "--workers", "2", "--max-batch", "4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "numpy"
+        assert payload["requests"] == 8
+        assert payload["stats"]["backend"] == "numpy"
+        assert payload["stats"]["executor_pool"] >= 1
+
+    def test_serve_bench_rejects_bad_backend(self):
+        with pytest.raises(SystemExit):  # argparse choices
+            main(["serve-bench", "--backend", "cuda"])
+
+
 class TestFigures:
     def test_figures_written(self, tmp_path, capsys):
         out_dir = tmp_path / "report"

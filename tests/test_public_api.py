@@ -60,6 +60,8 @@ class TestSubpackageExports:
                             "pipeline_roofline", "ridge_point"]),
         ("repro.api", ["Problem", "describe_problem", "ExecutionPlan",
                        "plan", "plan_cache_info", "clear_plan_cache",
+                       "clear_all_caches", "Session", "SpectralModel",
+                       "default_session",
                        "Runner", "spectral_conv", "get_device",
                        "register_device", "list_devices", "resolve_stage",
                        "list_stages", "register_pipeline_builder",
@@ -84,7 +86,8 @@ class TestSubpackageExports:
                        "repro.core.spectral", "repro.gpu.kernel",
                        "repro.nn.modules", "repro.pde.burgers",
                        "repro.api.planner", "repro.api.registry",
-                       "repro.api.runner", "repro.api.ops"):
+                       "repro.api.runner", "repro.api.ops",
+                       "repro.api.session"):
             mod = importlib.import_module(module)
             for name in getattr(mod, "__all__", []):
                 obj = getattr(mod, name)
