@@ -113,7 +113,8 @@ class ExecutionPlan:
             )
         return self._speedup
 
-    def compile_executor(self, weight, symmetric: bool = False):
+    def compile_executor(self, weight, symmetric: bool = False,
+                         tiles: object | None = None):
         """Build the compiled numeric executor for this plan's geometry.
 
         ``weight`` is the complex ``(C_in, C_out)`` spectral weight
@@ -132,8 +133,14 @@ class ExecutionPlan:
         packed-real R2C/C2R plans, real output (the training-stack hot
         path of :mod:`repro.nn`).
 
+        ``tiles`` selects the executor tiling: ``"default"``,
+        ``"auto"`` (plan-time tile autotuning, byte-identical — see
+        :mod:`repro.core.autotune`) or a concrete ``(signal_tile,
+        k_tb)`` pair.  ``None`` follows the owning session's
+        ``autotune`` setting (``"default"`` outside a session).
+
         Plans built by a :class:`repro.api.Session` compile executors
-        against that session's plan caches and backend.
+        against that session's plan caches, backend and tuner.
         """
         from repro.core.compiled import compile_spectral_conv
 
@@ -146,9 +153,15 @@ class ExecutionPlan:
             )
         session = self._live_session()
         plans = session.plan_caches if session is not None else None
+        tuner = session._tuner if session is not None else None
+        if tiles is None:
+            tiles = (
+                "auto" if session is not None and session.autotune
+                else "default"
+            )
         return compile_spectral_conv(
             weight, tuple(self.problem.modes_shape), symmetric=symmetric,
-            plans=plans,
+            plans=plans, tiles=tiles, tuner=tuner,
         )
 
     def to_dict(self) -> dict:

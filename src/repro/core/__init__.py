@@ -15,6 +15,10 @@
   executors over the compiled FFT plan layer (byte-identical to the
   functional path; :mod:`repro.core.legacy` preserves the original
   loops as oracle and benchmark baseline).
+* :mod:`repro.core.autotune` — plan-time tile autotuning for the
+  compiled executors (candidate grids seeded by an analytic
+  cache-footprint model, a persistent versioned tune store, and the
+  in-session :class:`~repro.core.autotune.Tuner`).
 * :mod:`repro.core.dtypes` — the shared complex-precision policy.
 * :mod:`repro.core.spectral` — the public spectral-convolution API with
   selectable engine.
@@ -23,6 +27,7 @@
   sequences; this is what regenerates the paper's figures.
 """
 
+from repro.core.autotune import Tiles, Tuner, TuneStore, default_tuner
 from repro.core.compiled import (
     CompiledSpectralConv1D,
     CompiledSpectralConv2D,
@@ -50,6 +55,10 @@ __all__ = [
     "CompiledSpectralConv1D",
     "CompiledSpectralConv2D",
     "compile_spectral_conv",
+    "Tiles",
+    "Tuner",
+    "TuneStore",
+    "default_tuner",
     "complex_dtype_for",
     "build_pipeline_1d",
     "build_pipeline_2d",

@@ -33,6 +33,18 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.autotune import (
+    Tiles,
+    TuneKey,
+    Tuner,
+    batch_bucket,
+    bucket_ladder,
+    candidate_tiles,
+    default_tuner,
+    measure_seconds,
+    probe_batch,
+    probe_signal,
+)
 from repro.core.dtypes import complex_dtype_for
 from repro.fft.compiled import (
     PlanCaches,
@@ -60,6 +72,10 @@ __all__ = [
 _DEFAULT_K_TB = 8
 _DEFAULT_SIGNAL_TILE = 16
 
+#: ``tiles=`` spellings accepted by the executors (besides a concrete
+#: ``(signal_tile, k_tb)`` pair).
+TILE_MODES = ("default", "auto")
+
 
 def _check_inputs(x: np.ndarray, weight: np.ndarray, ndim: int) -> None:
     if x.ndim != ndim:
@@ -79,21 +95,40 @@ class _StagedFused1D:
     with all per-call setup hoisted: pre-cast weight panels, cached FFT
     plans for the kept-mode length, pre-cast decomposition twiddles, and
     tile-sized reusable workspaces.
+
+    ``k_block`` widens the *staging* granularity without touching the
+    arithmetic: up to ``k_block`` channels (a whole multiple of the
+    accumulation width ``k_tb``) are gathered, transformed and
+    decomposition-reduced in one pass, then contracted panel-by-panel in
+    the canonical ``k_tb`` order.  The FFT and the decomposition reduce
+    are row-independent, so any legal ``k_block`` produces byte-identical
+    output — only the dispatch count and the staging working set change.
     """
 
     def __init__(self, weight: np.ndarray, modes: int, dim_x: int,
                  k_tb: int, signal_tile: int, dtype: np.dtype,
-                 plans: PlanCaches | None = None):
+                 plans: PlanCaches | None = None,
+                 k_block: int | None = None):
         # Same split validation (and messages) the first inner
         # truncated_fft of the legacy loop would have raised.
         if modes == dim_x:
             _check_length(dim_x)
         else:
             _validate_split(dim_x, modes, "n_keep")
+        if signal_tile < 1:
+            raise ValueError(
+                f"signal_tile must be positive, got {signal_tile}"
+            )
         c_in, c_out = weight.shape
         self.modes = modes
         self.dim_x = dim_x
         self.k_tb = k_tb
+        kb = k_tb if k_block is None else k_block
+        if kb < k_tb or kb % k_tb != 0:
+            raise ValueError(
+                f"k_block must be a whole multiple of k_tb={k_tb}, got {kb}"
+            )
+        self.k_block = kb
         self.signal_tile = signal_tile
         self.dtype = dtype
         self.c_in = c_in
@@ -102,6 +137,10 @@ class _StagedFused1D:
         self.plans = plans if plans is not None else current_plan_caches()
         # the hoisted weight cast: once at staging, not per tile
         self.panels = _weight_panels(weight, k_tb, dtype)
+        # Consecutive same-width panels grouped per staging pass.  Only
+        # the last panel can be ragged, so it always forms its own
+        # (singleton) group and every other group is uniform-width.
+        self.groups = _panel_groups(self.panels, kb // k_tb)
         self.fwd = self.plans.fft(modes, dtype, inverse=False)
         if self.p > 1:
             self.wd_f = np.ascontiguousarray(
@@ -129,34 +168,47 @@ class _StagedFused1D:
                 ).astype(dtype)
             )
         # Reusable ping-pong workspaces, sized for one signal tile.
-        rows = self.signal_tile * max(self.k_tb, self.c_out) * self.p
+        rows = self.signal_tile * max(self.k_block, self.c_out) * self.p
         self._gather = np.empty((rows, modes), dtype)
         self._fftbuf = np.empty((rows, modes), dtype)
         self._acc = np.empty((self.signal_tile, self.c_out, modes), dtype)
-        self._dec = np.empty(self.signal_tile * self.k_tb * modes, dtype)
+        self._dec = np.empty(self.signal_tile * self.k_block * modes, dtype)
 
     # -- one signal tile ------------------------------------------------
 
-    def _forward_panel(self, x, b0, b1, k0, k1, kt):
-        """Truncated FFT of one (tile, panel) slice -> (bt, kt, modes)."""
+    def _forward_group(self, x, b0, b1, group):
+        """Truncated FFT of one (tile, panel-group) slice.
+
+        Returns ``(nsub, bt, kt, modes)`` — one contiguous slab per
+        accumulation panel in the group.  One gather, one FFT execution
+        and one decomposition reduce cover the whole group; all three
+        are row-independent, so the per-panel slabs hold exactly the
+        values the panel-at-a-time path would have produced.
+        """
         bt = b1 - b0
+        k0, k1 = group[0][0], group[-1][1]
+        nsub = len(group)
+        kt = group[0][1] - group[0][0]
         p, modes = self.p, self.modes
-        rows = bt * kt * p
+        rows = bt * nsub * kt * p
         gat = self._gather[:rows]
         if p > 1:
-            src = x[b0:b1, k0:k1, :].reshape(bt, kt, modes, p)
-            gat.reshape(bt, kt, p, modes)[...] = src.transpose(0, 1, 3, 2)
+            src = x[b0:b1, k0:k1, :].reshape(bt, nsub, kt, modes, p)
+            gat.reshape(nsub, bt, kt, p, modes)[...] = (
+                src.transpose(1, 0, 2, 4, 3)
+            )
         else:
-            gat.reshape(bt, kt, modes)[...] = x[b0:b1, k0:k1, :]
+            src = x[b0:b1, k0:k1, :].reshape(bt, nsub, kt, modes)
+            gat.reshape(nsub, bt, kt, modes)[...] = src.transpose(1, 0, 2, 3)
         fbuf = self._fftbuf[:rows]
         self.fwd.execute(gat, out=fbuf)
         if p > 1:
-            dec = self._dec[: bt * kt * modes].reshape(bt, kt, modes)
-            decomp_reduce(fbuf.reshape(bt * kt, p, modes), self.wd_f,
-                          dec.reshape(bt * kt, modes),
+            dec = self._dec[: bt * nsub * kt * modes]
+            decomp_reduce(fbuf.reshape(bt * nsub * kt, p, modes), self.wd_f,
+                          dec.reshape(bt * nsub * kt, modes),
                           kernels=self.plans.kernels())
-            return dec
-        return fbuf.reshape(bt, kt, modes)
+            return dec.reshape(nsub, bt, kt, modes)
+        return fbuf.reshape(nsub, bt, kt, modes)
 
     def _epilogue(self, acc, out, b0, b1):
         """Pruned inverse transform of the accumulated C tile."""
@@ -193,9 +245,11 @@ class _StagedFused1D:
             b1 = min(b0 + self.signal_tile, batch)
             acc = self._acc[: b1 - b0]
             acc[...] = 0
-            for (k0, k1, wp) in self.panels:
-                a = self._forward_panel(x, b0, b1, k0, k1, k1 - k0)
-                panel_contract(a, wp, acc, kernels=self.plans.kernels())
+            for group in self.groups:
+                a = self._forward_group(x, b0, b1, group)
+                for s, (k0, k1, wp) in enumerate(group):
+                    panel_contract(a[s], wp, acc,
+                                   kernels=self.plans.kernels())
             self._epilogue(acc, out, b0, b1)
         return out
 
@@ -235,6 +289,29 @@ def _weight_panels(weight: np.ndarray, k_tb: int, dtype: np.dtype):
     ]
 
 
+def _panel_groups(panels, panels_per_group: int):
+    """Chunk consecutive *same-width* panels into staging groups.
+
+    Groups never mix widths (the single possibly-ragged tail panel ends
+    up alone), so one gather/FFT pass per group can view its slab as a
+    uniform ``(nsub, bt, kt, ...)`` block.
+    """
+    groups: list[list] = []
+    cur: list = []
+    for panel in panels:
+        width = panel[1] - panel[0]
+        if cur and (
+            len(cur) >= panels_per_group
+            or width != cur[0][1] - cur[0][0]
+        ):
+            groups.append(cur)
+            cur = []
+        cur.append(panel)
+    if cur:
+        groups.append(cur)
+    return groups
+
+
 class _StagedSymmetric1D:
     """Everything a symmetric (rfft/irfft) 1-D pass needs, staged once.
 
@@ -247,16 +324,22 @@ class _StagedSymmetric1D:
 
     def __init__(self, weight: np.ndarray, modes: int, dim_x: int,
                  k_tb: int, dtype: np.dtype,
-                 plans: PlanCaches | None = None):
+                 plans: PlanCaches | None = None,
+                 batch_tile: int = 0):
         _check_length(dim_x)
         if modes > dim_x // 2:
             raise ValueError(
                 f"symmetric filtering needs modes <= X/2, got {modes} "
                 f"on a length-{dim_x} grid"
             )
+        if batch_tile < 0:
+            raise ValueError(
+                f"batch_tile must be >= 0, got {batch_tile}"
+            )
         self.modes = modes
         self.dim_x = dim_x
         self.dtype = dtype
+        self.batch_tile = batch_tile  # 0 = whole batch (the default)
         self.c_in, self.c_out = weight.shape
         self.plans = plans if plans is not None else current_plan_caches()
         self.panels = _weight_panels(weight, k_tb, dtype)
@@ -265,6 +348,31 @@ class _StagedSymmetric1D:
 
     def run(self, x: np.ndarray,
             xk_trunc: np.ndarray | None = None) -> np.ndarray:
+        batch, c_in, n = x.shape
+        if xk_trunc is not None and xk_trunc.shape != (
+            batch, c_in, self.modes
+        ):
+            raise ValueError(
+                f"xk_trunc must have shape {(batch, c_in, self.modes)}, "
+                f"got {xk_trunc.shape}"
+            )
+        tile = self.batch_tile
+        if not tile or tile >= batch:
+            return self._run_block(x, xk_trunc)
+        # Every stage is row-independent along the batch axis, so batch
+        # tiling is a pure working-set knob: the output bits match the
+        # untiled pass exactly.
+        out = np.empty((batch, self.c_out, n), self.rfft.real_dtype)
+        for b0 in range(0, batch, tile):
+            b1 = min(b0 + tile, batch)
+            out[b0:b1] = self._run_block(
+                x[b0:b1],
+                None if xk_trunc is None else xk_trunc[b0:b1],
+            )
+        return out
+
+    def _run_block(self, x: np.ndarray,
+                   xk_trunc: np.ndarray | None) -> np.ndarray:
         batch, c_in, n = x.shape
         h = n // 2
         m = self.modes
@@ -275,11 +383,6 @@ class _StagedSymmetric1D:
             xk_trunc = self.rfft.execute(flat).reshape(
                 batch, c_in, h + 1
             )[..., :m]
-        elif xk_trunc.shape != (batch, c_in, m):
-            raise ValueError(
-                f"xk_trunc must have shape {(batch, c_in, m)}, "
-                f"got {xk_trunc.shape}"
-            )
         acc = np.zeros((batch, self.c_out, m), self.dtype)
         for (k0, k1, wp) in self.panels:
             a = np.ascontiguousarray(
@@ -299,7 +402,8 @@ class _StagedSymmetric2D:
 
     def __init__(self, weight: np.ndarray, modes_x: int, modes_y: int,
                  dim_x: int, dim_y: int, k_tb: int, dtype: np.dtype,
-                 plans: PlanCaches | None = None):
+                 plans: PlanCaches | None = None,
+                 batch_tile: int = 0):
         _check_length(dim_x)
         _check_length(dim_y)
         if modes_x > dim_x:
@@ -311,11 +415,16 @@ class _StagedSymmetric2D:
                 f"symmetric filtering needs modes_y <= Y/2, got {modes_y} "
                 f"on a length-{dim_y} grid"
             )
+        if batch_tile < 0:
+            raise ValueError(
+                f"batch_tile must be >= 0, got {batch_tile}"
+            )
         self.modes_x = modes_x
         self.modes_y = modes_y
         self.dim_x = dim_x
         self.dim_y = dim_y
         self.dtype = dtype
+        self.batch_tile = batch_tile  # 0 = whole batch (the default)
         self.c_in, self.c_out = weight.shape
         self.plans = plans if plans is not None else current_plan_caches()
         self.panels = _weight_panels(weight, k_tb, dtype)
@@ -324,6 +433,34 @@ class _StagedSymmetric2D:
 
     def run(self, x: np.ndarray,
             xk_trunc: np.ndarray | None = None) -> np.ndarray:
+        batch, c_in = x.shape[:2]
+        if xk_trunc is not None and xk_trunc.shape != (
+            batch, c_in, self.modes_x, self.modes_y
+        ):
+            raise ValueError(
+                f"xk_trunc must have shape "
+                f"{(batch, c_in, self.modes_x, self.modes_y)}, "
+                f"got {xk_trunc.shape}"
+            )
+        tile = self.batch_tile
+        if not tile or tile >= batch:
+            return self._run_block(x, xk_trunc)
+        # Row-independent along the batch axis: tiling changes the
+        # working set, never the bits.
+        out = np.empty(
+            (batch, self.c_out, x.shape[2], x.shape[3]),
+            self.rfft.real_dtype,
+        )
+        for b0 in range(0, batch, tile):
+            b1 = min(b0 + tile, batch)
+            out[b0:b1] = self._run_block(
+                x[b0:b1],
+                None if xk_trunc is None else xk_trunc[b0:b1],
+            )
+        return out
+
+    def _run_block(self, x: np.ndarray,
+                   xk_trunc: np.ndarray | None) -> np.ndarray:
         batch, c_in, dim_x, dim_y = x.shape
         h = dim_y // 2
         mx, my = self.modes_x, self.modes_y
@@ -337,11 +474,6 @@ class _StagedSymmetric2D:
             xk_trunc = truncated_fft_auto(
                 np.ascontiguousarray(xk_y[..., :my]), mx, axis=2,
                 caches=self.plans,
-            )
-        elif xk_trunc.shape != (batch, c_in, mx, my):
-            raise ValueError(
-                f"xk_trunc must have shape {(batch, c_in, mx, my)}, "
-                f"got {xk_trunc.shape}"
             )
         a_full = np.ascontiguousarray(
             xk_trunc, dtype=self.dtype
@@ -360,6 +492,140 @@ class _StagedSymmetric2D:
         return out.reshape(batch, self.c_out, dim_x, dim_y)
 
 
+# ---------------------------------------------------------------------------
+# Tile resolution (the autotune front end of the executors)
+# ---------------------------------------------------------------------------
+
+def _resolved_backend(plans: PlanCaches) -> str:
+    """The substrate a tune result is keyed on (never ``"auto"``)."""
+    return "ckernels" if plans.kernels() is not None else "numpy"
+
+
+def _normalise_tiles(tiles, k_tb: int, symmetric: bool):
+    """Validate a ``tiles=`` argument at construction time.
+
+    Returns ``"default"``, ``"auto"`` or a concrete :class:`Tiles`.
+    Concrete pairs are constrained to the bit-identical search space:
+    the staging ``k_tb`` must be a whole multiple of the accumulation
+    width (symmetric executors fix it there), and only the symmetric
+    executors accept ``signal_tile=0`` (whole batch).
+    """
+    if isinstance(tiles, str):
+        if tiles not in TILE_MODES:
+            raise ValueError(
+                f"unknown tiles mode {tiles!r}; expected one of "
+                f"{TILE_MODES} or a (signal_tile, k_tb) pair"
+            )
+        return tiles
+    if isinstance(tiles, (tuple, list)) and len(tiles) == 2:
+        st, ktb = int(tiles[0]), int(tiles[1])
+        if symmetric:
+            if st < 0:
+                raise ValueError(
+                    f"signal_tile must be >= 0, got {st}"
+                )
+            if ktb != k_tb:
+                raise ValueError(
+                    f"symmetric executors accumulate at k_tb={k_tb}; "
+                    f"tiles k_tb={ktb} would change the accumulation "
+                    f"order (and the bits)"
+                )
+        else:
+            if st < 1:
+                raise ValueError(
+                    f"signal_tile must be positive, got {st}"
+                )
+            if ktb < k_tb or ktb % k_tb != 0:
+                raise ValueError(
+                    f"tiles k_tb={ktb} must be a whole multiple of the "
+                    f"accumulation width k_tb={k_tb} (anything else "
+                    f"would change the accumulation order and the bits)"
+                )
+        return Tiles(st, ktb)
+    raise ValueError(
+        f"tiles must be 'default', 'auto' or a (signal_tile, k_tb) "
+        f"pair, got {tiles!r}"
+    )
+
+
+def _autotune_fused_tiles(weight, modes, dim_x, k_tb, default, dtype,
+                          plans, tuner, batch, retune=False) -> Tiles:
+    """Resolve (tuning on a miss) the fused-dataflow tiles for one
+    geometry.  Shared by the 1-D executor and the 2-D executor's
+    per-pencil fused stage (which is the same computation on a
+    ``batch * modes_x`` pencil batch)."""
+    c_in, c_out = weight.shape
+    p = dim_x // modes
+    dtype = np.dtype(dtype)
+    bucket = batch_bucket(batch)
+    key = TuneKey("fused1d", (dim_x,), (modes,), c_in, c_out, k_tb,
+                  bucket, dtype.name, _resolved_backend(plans))
+    cands = candidate_tiles(
+        batch=bucket, c_in=c_in, c_out=c_out, modes=modes, p=p,
+        k_tb=k_tb, itemsize=dtype.itemsize, default=default,
+    )
+    pb = probe_batch(bucket)
+    probe: dict = {}
+
+    def measure(tiles: Tiles) -> float:
+        if "x" not in probe:  # built once, only if a search runs
+            probe["x"] = probe_signal((pb, c_in, dim_x), dtype)
+        staged = _StagedFused1D(
+            weight, modes, dim_x, k_tb, tiles.signal_tile, dtype,
+            plans=plans, k_block=tiles.k_tb,
+        )
+        return measure_seconds(lambda: staged.run_fused(probe["x"]))
+
+    return tuner.tiles_for(
+        key, default, cands, measure,
+        is_valid=lambda t: (
+            t.signal_tile >= 1 and t.k_tb >= k_tb and t.k_tb % k_tb == 0
+        ),
+        retune=retune,
+    )
+
+
+def _autotune_symmetric_tiles(kind, weight, modes, spatial, k_tb, dtype,
+                              plans, tuner, batch, build,
+                              retune=False) -> Tiles:
+    """Resolve the batch tile for a symmetric (half-spectrum) executor.
+
+    Only ``signal_tile`` is searched (0 = whole batch, the seed
+    behaviour); the accumulation width is pinned, so every candidate is
+    byte-identical.  ``build(batch_tile)`` constructs the staged pass to
+    time; the probe input is real, matching the symmetric contract.
+    """
+    c_in, c_out = weight.shape
+    dtype = np.dtype(dtype)
+    bucket = batch_bucket(batch)
+    key = TuneKey(kind, tuple(spatial), tuple(modes), c_in, c_out,
+                  k_tb, bucket, dtype.name, _resolved_backend(plans))
+    eff_modes = 1
+    for m in modes:
+        eff_modes *= m
+    cands = candidate_tiles(
+        batch=bucket, c_in=c_in, c_out=c_out, modes=eff_modes, p=1,
+        k_tb=k_tb, itemsize=dtype.itemsize, allow_untiled=True,
+        k_multipliers=(1,), default=Tiles(0, k_tb),
+    )
+    pb = probe_batch(bucket)
+    probe: dict = {}
+
+    def measure(tiles: Tiles) -> float:
+        if "x" not in probe:
+            real = np.dtype(np.float32 if dtype == np.complex64
+                            else np.float64)
+            probe["x"] = probe_signal((pb, c_in, *spatial), real)
+        staged = build(tiles.signal_tile)
+        return measure_seconds(lambda: staged.run(probe["x"]))
+
+    return tuner.tiles_for(
+        key, Tiles(0, k_tb), cands, measure,
+        is_valid=lambda t: t.signal_tile >= 0 and t.k_tb == k_tb,
+        retune=retune,
+    )
+
+
 class CompiledSpectralConv1D:
     """Reusable executor for the fused 1-D spectral convolution.
 
@@ -373,6 +639,15 @@ class CompiledSpectralConv1D:
     half spectrum via the cached packed-real plans, Hermitian-mirrored
     kept modes — a genuine real->real low-pass operator returning a real
     array.  Requires ``modes <= X/2``.
+
+    ``tiles`` selects the tiling: ``"default"`` (the constructor's
+    ``signal_tile``/``k_tb``, the seed behaviour), a concrete
+    ``(signal_tile, k_tb)`` pair, or ``"auto"`` — resolve the tiles per
+    (geometry, dtype, backend, batch bucket) through ``tuner`` (the
+    process default when None), timing a small candidate grid on first
+    use and recalling the winner from the in-memory/persistent tune
+    stores afterwards.  Every legal tiling is **byte-identical**: tiles
+    move operands, never arithmetic.
     """
 
     ndim = 1
@@ -381,7 +656,9 @@ class CompiledSpectralConv1D:
                  k_tb: int = _DEFAULT_K_TB,
                  signal_tile: int = _DEFAULT_SIGNAL_TILE,
                  symmetric: bool = False,
-                 plans: PlanCaches | None = None):
+                 plans: PlanCaches | None = None,
+                 tiles="default",
+                 tuner: Tuner | None = None):
         weight = np.asarray(weight)
         if weight.ndim != 2:
             raise ValueError(
@@ -394,26 +671,81 @@ class CompiledSpectralConv1D:
         self.k_tb = k_tb
         self.signal_tile = signal_tile
         self.symmetric = symmetric
+        self.tiles = _normalise_tiles(tiles, k_tb, symmetric)
+        self._tuner = tuner
         self._plans = plans
         self._staged: dict[tuple, object] = {}
 
     def _plan_caches(self) -> PlanCaches:
         return self._plans if self._plans is not None else current_plan_caches()
 
-    def _stage_for(self, dtype: np.dtype, dim_x: int):
-        key = (dtype, dim_x)
+    def _tiles_for(self, dtype: np.dtype, dim_x: int, batch: int,
+                   retune: bool = False) -> Tiles:
+        if self.tiles == "default":
+            return (Tiles(0, self.k_tb) if self.symmetric
+                    else Tiles(self.signal_tile, self.k_tb))
+        if isinstance(self.tiles, Tiles):
+            return self.tiles
+        tuner = self._tuner if self._tuner is not None else default_tuner()
+        plans = self._plan_caches()
+        if self.symmetric:
+            return _autotune_symmetric_tiles(
+                "sym1d", self.weight, (self.modes,), (dim_x,), self.k_tb,
+                dtype, plans, tuner, batch,
+                build=lambda bt: _StagedSymmetric1D(
+                    self.weight, self.modes, dim_x, self.k_tb, dtype,
+                    plans=plans, batch_tile=bt,
+                ),
+                retune=retune,
+            )
+        return _autotune_fused_tiles(
+            self.weight, self.modes, dim_x, self.k_tb,
+            Tiles(self.signal_tile, self.k_tb), dtype, plans, tuner, batch,
+            retune=retune,
+        )
+
+    def resolve_tiles(self, batch: int, spatial,
+                      dtype=np.float32, retune: bool = False) -> Tiles:
+        """Resolve (and for ``tiles="auto"`` tune, on a miss) the tiling
+        this executor will use for one ``(batch, C_in, X)`` geometry —
+        the warmup hook :meth:`repro.api.Session.warmup` calls so
+        serving never pays the tune inline.  ``retune`` forces a fresh
+        timed search, overwriting memo and store."""
+        dim_x = spatial[0] if isinstance(spatial, (tuple, list)) else spatial
+        return self._tiles_for(
+            complex_dtype_for(dtype), int(dim_x), batch, retune=retune
+        )
+
+    def warm_tiles(self, batch: int, spatial, dtype=np.float32) -> int:
+        """Pre-tune *every* batch bucket a stream of up to ``batch``
+        signals can resolve to (micro-batching serves smaller
+        concatenations than the nominal problem batch), so no serving
+        call ever runs the timed search inline.  Returns the number of
+        resolutions; 0 unless ``tiles="auto"``."""
+        if self.tiles != "auto":
+            return 0
+        dim_x = spatial[0] if isinstance(spatial, (tuple, list)) else spatial
+        cdt = complex_dtype_for(dtype)
+        buckets = bucket_ladder(batch)
+        for bucket in buckets:
+            self._tiles_for(cdt, int(dim_x), bucket)
+        return len(buckets)
+
+    def _stage_for(self, dtype: np.dtype, dim_x: int, tiles: Tiles):
+        key = (dtype, dim_x, tiles)
         staged = self._staged.get(key)
         if staged is None:
             if self.symmetric:
                 staged = _StagedSymmetric1D(
                     self.weight, self.modes, dim_x, self.k_tb, dtype,
                     plans=self._plan_caches(),
+                    batch_tile=tiles.signal_tile,
                 )
             else:
                 staged = _StagedFused1D(
                     self.weight, self.modes, dim_x,
-                    self.k_tb, self.signal_tile, dtype,
-                    plans=self._plan_caches(),
+                    self.k_tb, tiles.signal_tile, dtype,
+                    plans=self._plan_caches(), k_block=tiles.k_tb,
                 )
             self._staged[key] = staged
         return staged
@@ -435,7 +767,9 @@ class CompiledSpectralConv1D:
             raise ValueError("symmetric executor expects real input")
         if xk_trunc is not None and not self.symmetric:
             raise ValueError("xk_trunc applies to symmetric executors only")
-        staged = self._stage_for(complex_dtype_for(x.dtype), dim_x)
+        dtype = complex_dtype_for(x.dtype)
+        tiles = self._tiles_for(dtype, dim_x, max(x.shape[0], 1))
+        staged = self._stage_for(dtype, dim_x, tiles)
         if self.symmetric:
             return staged.run(x, xk_trunc)
         return staged.run_fused(x)
@@ -453,6 +787,12 @@ class CompiledSpectralConv2D:
     input: R2C along Y (packed-real plans), the paper's first-bins C2C
     filter along X, and a real-valued output via the C2R inverse.
     Requires ``modes_y <= Y/2``.
+
+    ``tiles`` works exactly as on :class:`CompiledSpectralConv1D`; the
+    fused (non-symmetric) dataflow applies it to the per-pencil fused
+    stage along Y (a ``batch * modes_x`` pencil batch of the 1-D
+    computation, sharing its tune entries), the symmetric dataflow to
+    the whole-pass batch tile.
     """
 
     ndim = 2
@@ -461,7 +801,9 @@ class CompiledSpectralConv2D:
                  k_tb: int = _DEFAULT_K_TB,
                  signal_tile: int = _DEFAULT_SIGNAL_TILE,
                  symmetric: bool = False,
-                 plans: PlanCaches | None = None):
+                 plans: PlanCaches | None = None,
+                 tiles="default",
+                 tuner: Tuner | None = None):
         weight = np.asarray(weight)
         if weight.ndim != 2:
             raise ValueError(
@@ -477,33 +819,103 @@ class CompiledSpectralConv2D:
         self.k_tb = k_tb
         self.signal_tile = signal_tile
         self.symmetric = symmetric
+        self.tiles = _normalise_tiles(tiles, k_tb, symmetric)
+        self._tuner = tuner
         self._plans = plans
         self._staged: dict[tuple, object] = {}
 
     def _plan_caches(self) -> PlanCaches:
         return self._plans if self._plans is not None else current_plan_caches()
 
-    def _stage_for(self, dtype: np.dtype, dim_y: int) -> _StagedFused1D:
-        key = (dtype, dim_y)
+    def _tiles_for(self, dtype: np.dtype, dim_x: int, dim_y: int,
+                   batch: int, retune: bool = False) -> Tiles:
+        if self.tiles == "default":
+            return (Tiles(0, self.k_tb) if self.symmetric
+                    else Tiles(self.signal_tile, self.k_tb))
+        if isinstance(self.tiles, Tiles):
+            return self.tiles
+        tuner = self._tuner if self._tuner is not None else default_tuner()
+        plans = self._plan_caches()
+        if self.symmetric:
+            return _autotune_symmetric_tiles(
+                "sym2d", self.weight, (self.modes_x, self.modes_y),
+                (dim_x, dim_y), self.k_tb, dtype, plans, tuner, batch,
+                build=lambda bt: _StagedSymmetric2D(
+                    self.weight, self.modes_x, self.modes_y,
+                    dim_x, dim_y, self.k_tb, dtype, plans=plans,
+                    batch_tile=bt,
+                ),
+                retune=retune,
+            )
+        # The fused stage runs along Y over (batch * modes_x) pencils —
+        # tune exactly that 1-D computation.
+        return _autotune_fused_tiles(
+            self.weight, self.modes_y, dim_y, self.k_tb,
+            Tiles(self.signal_tile, self.k_tb), dtype, plans, tuner,
+            batch * self.modes_x,
+            retune=retune,
+        )
+
+    def resolve_tiles(self, batch: int, spatial,
+                      dtype=np.float32, retune: bool = False) -> Tiles:
+        """Resolve (and for ``tiles="auto"`` tune, on a miss) the tiling
+        for one ``(batch, C_in, X, Y)`` geometry — the
+        :meth:`repro.api.Session.warmup` hook.  ``retune`` forces a
+        fresh timed search."""
+        dim_x, dim_y = (int(spatial[0]), int(spatial[1]))
+        return self._tiles_for(
+            complex_dtype_for(dtype), dim_x, dim_y, batch, retune=retune
+        )
+
+    def warm_tiles(self, batch: int, spatial, dtype=np.float32) -> int:
+        """Pre-tune every batch bucket reachable by a stream of up to
+        ``batch`` requests (see :meth:`CompiledSpectralConv1D.warm_tiles`).
+        The fused dataflow enumerates *pencil*-batch buckets — the fused
+        stage runs over ``batch * modes_x`` pencils, and smaller
+        micro-batches land in smaller pencil buckets."""
+        if self.tiles != "auto":
+            return 0
+        dim_x, dim_y = (int(spatial[0]), int(spatial[1]))
+        cdt = complex_dtype_for(dtype)
+        if self.symmetric:
+            buckets = bucket_ladder(batch)
+            for bucket in buckets:
+                self._tiles_for(cdt, dim_x, dim_y, bucket)
+            return len(buckets)
+        tuner = self._tuner if self._tuner is not None else default_tuner()
+        plans = self._plan_caches()
+        buckets = bucket_ladder(batch * self.modes_x)
+        for bucket in buckets:
+            _autotune_fused_tiles(
+                self.weight, self.modes_y, dim_y, self.k_tb,
+                Tiles(self.signal_tile, self.k_tb), cdt, plans, tuner,
+                bucket,
+            )
+        return len(buckets)
+
+    def _stage_for(self, dtype: np.dtype, dim_y: int,
+                   tiles: Tiles) -> _StagedFused1D:
+        key = (dtype, dim_y, tiles)
         staged = self._staged.get(key)
         if staged is None:
             staged = _StagedFused1D(
                 self.weight, self.modes_y, dim_y,
-                self.k_tb, self.signal_tile, dtype,
-                plans=self._plan_caches(),
+                self.k_tb, tiles.signal_tile, dtype,
+                plans=self._plan_caches(), k_block=tiles.k_tb,
             )
             self._staged[key] = staged
         return staged
 
     def _stage_symmetric(self, dtype: np.dtype, dim_x: int,
-                         dim_y: int) -> _StagedSymmetric2D:
-        key = (dtype, dim_x, dim_y, "sym")
+                         dim_y: int, tiles: Tiles) -> _StagedSymmetric2D:
+        key = (dtype, dim_x, dim_y, tiles, "sym")
         staged = self._staged.get(key)
         if staged is None:
             staged = _StagedSymmetric2D(
                 self.weight, self.modes_x, self.modes_y,
                 dim_x, dim_y, self.k_tb, dtype,
                 plans=self._plan_caches(),
+                batch_tile=tiles.signal_tile,
             )
             self._staged[key] = staged
         return staged
@@ -525,10 +937,13 @@ class CompiledSpectralConv2D:
         if xk_trunc is not None and not self.symmetric:
             raise ValueError("xk_trunc applies to symmetric executors only")
         dtype = complex_dtype_for(x.dtype)
+        tiles = self._tiles_for(dtype, dim_x, dim_y, max(batch, 1))
         if self.symmetric:
             if np.iscomplexobj(x):
                 raise ValueError("symmetric executor expects real input")
-            return self._stage_symmetric(dtype, dim_x, dim_y).run(x, xk_trunc)
+            return self._stage_symmetric(
+                dtype, dim_x, dim_y, tiles
+            ).run(x, xk_trunc)
         c_out = self.weight.shape[1]
         plans = self._plan_caches()
 
@@ -541,7 +956,7 @@ class CompiledSpectralConv2D:
         pencils = xk_x.transpose(0, 2, 1, 3).reshape(
             batch * self.modes_x, c_in, dim_y
         )
-        staged = self._stage_for(dtype, dim_y)
+        staged = self._stage_for(dtype, dim_y, tiles)
         out_pencils = staged.run_fused(pencils)
 
         yk_x = out_pencils.reshape(
@@ -558,6 +973,8 @@ def compile_spectral_conv(
     signal_tile: int = _DEFAULT_SIGNAL_TILE,
     symmetric: bool = False,
     plans: PlanCaches | None = None,
+    tiles="default",
+    tuner: Tuner | None = None,
 ):
     """Build the executor matching ``modes``' dimensionality.
 
@@ -567,22 +984,25 @@ def compile_spectral_conv(
     rfft/irfft half-spectrum convention (real input, real output).
     ``plans`` pins the executor to one plan-cache set (a session's);
     ``None`` resolves the set active on the staging thread.
+    ``tiles``/``tuner`` select the tiling (``"auto"`` autotunes per
+    geometry — byte-identical output, see
+    :mod:`repro.core.autotune`).
     """
     if isinstance(modes, tuple):
         if len(modes) == 1:
             return CompiledSpectralConv1D(
                 weight, modes[0], k_tb, signal_tile, symmetric=symmetric,
-                plans=plans,
+                plans=plans, tiles=tiles, tuner=tuner,
             )
         if len(modes) == 2:
             return CompiledSpectralConv2D(
                 weight, modes[0], modes[1], k_tb, signal_tile,
-                symmetric=symmetric, plans=plans,
+                symmetric=symmetric, plans=plans, tiles=tiles, tuner=tuner,
             )
         raise ValueError(
             f"modes must have 1 or 2 entries, got {len(modes)}"
         )
     return CompiledSpectralConv1D(
         weight, int(modes), k_tb, signal_tile, symmetric=symmetric,
-        plans=plans,
+        plans=plans, tiles=tiles, tuner=tuner,
     )

@@ -482,6 +482,68 @@ class TestWarmupAndStats:
         s.close()
 
 
+class TestThreadedStatsConsistency:
+    """Satellite: per-geometry serving counters and autotune hit/miss
+    counts stay consistent under threaded ``infer_many`` stress.
+
+    Every pooled-executor micro-batch resolves its tiles through the
+    session tuner exactly once, so across any interleaving of worker
+    threads the invariants are: ``requests`` equals the number of
+    requests served, ``hits + misses`` equals the number of micro-batch
+    jobs, and ``misses`` equals the number of distinct tune keys
+    (geometries) — a torn counter or a double-tune breaks one of them.
+    """
+
+    def test_threaded_infer_many_stress(self, rng, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TUNE_CACHE", str(tmp_path / "t.json"))
+        w = _weight(rng)
+        geometries = ((64, 16), (32, 8))
+        s = api.Session(private_caches=True, autotune=True)
+        reqs = _requests(rng, w, n_requests=24, batch=2,
+                         geometries=geometries)
+        serial = s.infer_many(reqs, max_batch=4)  # also pre-tunes
+        threads = 4
+        rounds = 3
+        results: dict[int, list] = {}
+        errors: list[BaseException] = []
+
+        def worker(idx: int) -> None:
+            try:
+                out = []
+                for _ in range(rounds):
+                    out.append(s.infer_many(reqs, max_batch=4, workers=2))
+                results[idx] = out
+            except BaseException as exc:  # pragma: no cover - fail fast
+                errors.append(exc)
+
+        pool = [threading.Thread(target=worker, args=(i,))
+                for i in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert not errors
+        for out_rounds in results.values():
+            for outs in out_rounds:
+                assert all(
+                    np.array_equal(a, b) for a, b in zip(outs, serial)
+                )
+        stats = s.stats()
+        total_requests = len(reqs) * (1 + threads * rounds)
+        assert stats["requests"] == total_requests
+        per_geo_requests = sum(
+            g["requests"] for g in stats["per_geometry"].values()
+        )
+        assert per_geo_requests == total_requests
+        tune = stats["autotune"]
+        # one tiles_for resolution per micro-batch job, exactly
+        assert tune["hits"] + tune["misses"] == stats["batches"]
+        # one timed search per distinct geometry, no double-tunes
+        assert tune["misses"] == len(geometries)
+        assert tune["entries"] == len(geometries)
+        s.close()
+
+
 class TestReproWorkersOverride:
     """Satellite: REPRO_WORKERS pins sweep parallelism."""
 
