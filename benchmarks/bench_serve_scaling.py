@@ -1,0 +1,236 @@
+#!/usr/bin/env python
+"""ServePool worker-scaling curve vs the serial in-process session.
+
+Measures the multi-process serving tentpole: one warm
+``repro.api.Session`` per worker process, geometry-hash sharding,
+shared-memory tensor transport.  A mixed-geometry stream of
+Fourier-layer inference requests is served
+
+1. **serial** — ``Session.infer_many`` on one warm in-process session
+   (the PR 4 path; the single-core reference), and
+2. **pool xN** — ``ServePool(workers=N).infer_many`` for each N on the
+   scaling curve, after one warmup pass per pool.
+
+Every pool run hard-asserts ``np.array_equal`` against the serial
+results: sharding and process hops must not change a single bit.  The
+request grid (three FFT sizes x three mode counts) is chosen so its
+geometry hashes cover every shard at ``workers=4`` — the curve
+measures real multi-worker traffic, not one hot shard.
+
+Exit status is the CI gate: with ``--quick``, non-zero when the
+4-worker pool fails to reach ``--gate``x (default 1.7x) the throughput
+of the 1-worker pool.  The gate only arms on hosts with >= 4 CPUs
+(GitHub runners qualify); below that the scaling claim is physically
+untestable and the gate reports SKIP while bit-identity stays
+hard-asserted.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve_scaling.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro import api
+from repro.api.serve import ServePool, geometry_key, shard_for
+from repro.fft._ckernels import build_info, kernels_available
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+#: (signal batch, hidden K, [dim_x...], [modes...], requests).  The
+#: 3x3 geometry grid hashes onto all four shards at workers=4.
+CASES = {
+    "quick": [(4, 16, [512, 1024, 2048], [64, 128, 256], 72)],
+    "full": [
+        (4, 16, [512, 1024, 2048], [64, 128, 256], 216),
+        (8, 32, [512, 1024, 2048], [64, 128, 256], 144),
+    ],
+}
+
+
+def _build_requests(signal_batch, hidden, dims, modes_list, n_requests, rng):
+    weight = (
+        (rng.standard_normal((hidden, hidden))
+         + 1j * rng.standard_normal((hidden, hidden))) / hidden
+    ).astype(np.complex64)
+    geometries = [(d, m) for d in dims for m in modes_list]
+    models = {m: api.SpectralModel(weight, m) for m in modes_list}
+    requests = []
+    for i in range(n_requests):
+        dim_x, modes = geometries[i % len(geometries)]
+        x = (
+            rng.standard_normal((signal_batch, hidden, dim_x))
+            + 1j * rng.standard_normal((signal_batch, hidden, dim_x))
+        ).astype(np.complex64)
+        requests.append((models[modes], x))
+    return requests
+
+
+def _shard_coverage(requests, workers: int) -> int:
+    return len({
+        shard_for(geometry_key(model, x), workers) for model, x in requests
+    })
+
+
+def _timeit(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_case(case, backend, worker_counts, max_batch, repeats, rng):
+    signal_batch, hidden, dims, modes_list, n_requests = case
+    requests = _build_requests(
+        signal_batch, hidden, dims, modes_list, n_requests, rng
+    )
+    n = len(requests)
+
+    session = api.Session(backend=backend, private_caches=True)
+    refs = session.infer_many(requests, max_batch=max_batch)  # warm
+    t_serial = _timeit(
+        lambda: session.infer_many(requests, max_batch=max_batch), repeats
+    )
+    session.close()
+
+    curve = []
+    for workers in worker_counts:
+        with ServePool(workers=workers, backend=backend,
+                       max_batch=max_batch) as pool:
+            outs = pool.infer_many(requests, timeout=600)  # warm every shard
+            for i, (a, b) in enumerate(zip(refs, outs)):
+                if a.dtype != b.dtype or not np.array_equal(a, b):
+                    raise SystemExit(
+                        f"pool x{workers} request {i} != serial session "
+                        f"(backend={backend})"
+                    )
+            t_pool = _timeit(
+                lambda: pool.infer_many(requests, timeout=600), repeats
+            )
+            stats = pool.stats()
+        shards_hit = len({
+            entry["worker"] for entry in stats["per_geometry"].values()
+        })
+        curve.append({
+            "workers": workers,
+            "pool_ms": t_pool * 1e3,
+            "pool_rps": n / t_pool,
+            "speedup_vs_serial": t_serial / t_pool,
+            "shards_active": shards_hit,
+            "admission": stats["admission"],
+            "outputs_equal": True,
+        })
+    return {
+        "case": (
+            f"BS={signal_batch} K={hidden} "
+            f"dims={'/'.join(map(str, dims))} "
+            f"modes={'/'.join(map(str, modes_list))} requests={n}"
+        ),
+        "backend": backend,
+        "serial_ms": t_serial * 1e3,
+        "serial_rps": n / t_serial,
+        "shard_coverage_at_4": _shard_coverage(requests, 4),
+        "curve": curve,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help="small case + the 4-worker CI gate")
+    ap.add_argument("--repeats", type=int, default=None)
+    ap.add_argument("--max-batch", type=int, default=16)
+    ap.add_argument("--workers", type=int, nargs="+", default=None,
+                    help="worker counts on the curve (default 1 2 4)")
+    ap.add_argument("--gate", type=float, default=1.7,
+                    help="required 4-worker speedup over the 1-worker "
+                         "pool (default 1.7)")
+    ap.add_argument("--out", default=str(RESULTS / "serve_scaling.json"))
+    args = ap.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    repeats = args.repeats or (3 if args.quick else 5)
+    worker_counts = args.workers or [1, 2, 4]
+    rng = np.random.default_rng(0)
+    cpu_count = os.cpu_count() or 1
+
+    backends = (
+        ["auto"] if kernels_available() and mode == "quick"
+        else (["numpy"] + (["auto"] if kernels_available() else []))
+    )
+    rows = [
+        bench_case(case, backend, worker_counts, args.max_batch, repeats, rng)
+        for case in CASES[mode]
+        for backend in backends
+    ]
+
+    report = {
+        "meta": {
+            "mode": mode,
+            "repeats": repeats,
+            "max_batch": args.max_batch,
+            "worker_counts": worker_counts,
+            "gate": args.gate,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": cpu_count,
+            "ckernels": kernels_available(),
+            "ckernels_info": build_info(),
+            "backends": backends,
+        },
+        "scaling": rows,
+    }
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"# serve pool scaling ({mode}; cpus: {cpu_count}; C kernels: "
+          f"{report['meta']['ckernels_info']})")
+    for row in rows:
+        print(f"  [{row['backend']:>6s}] {row['case']}: "
+              f"serial {row['serial_rps']:7.1f} req/s")
+        for point in row["curve"]:
+            print(f"      pool x{point['workers']}: "
+                  f"{point['pool_rps']:7.1f} req/s "
+                  f"({point['speedup_vs_serial']:.2f}x serial; "
+                  f"{point['shards_active']} shards)  [bit-identical]")
+
+    # CI gate: at >= 4 CPUs the 4-worker pool must scale over the
+    # 1-worker pool.  (Pool-vs-pool isolates process-parallel speedup
+    # from the constant IPC overhead both sides of the curve pay.)
+    gated = args.quick and 4 in worker_counts and 1 in worker_counts
+    if not gated:
+        print("gate: not armed (needs --quick with 1 and 4 on the curve)")
+        return 0
+    if cpu_count < 4:
+        print(f"gate: SKIP — {cpu_count} CPU(s) < 4; scaling is "
+              f"physically untestable here (bit-identity still asserted)")
+        return 0
+    failed = False
+    for row in rows:
+        by_workers = {p["workers"]: p for p in row["curve"]}
+        scale = by_workers[4]["pool_rps"] / by_workers[1]["pool_rps"]
+        if scale < args.gate:
+            print(f"FAIL: [{row['backend']}] 4-worker pool at {scale:.2f}x "
+                  f"the 1-worker pool < {args.gate:.2f}x", file=sys.stderr)
+            failed = True
+        else:
+            print(f"OK: [{row['backend']}] 4-worker pool {scale:.2f}x the "
+                  f"1-worker pool (gate {args.gate:.2f}x)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

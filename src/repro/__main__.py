@@ -22,16 +22,19 @@ Commands
     default-vs-tuned speedup.  Tiling never changes output bits; a
     warmed store means ``Session(autotune=True)`` serving never pays
     the timed search inline.  ``--retune`` overwrites stored winners.
-``serve-bench [--requests N] [--max-batch B] [--workers W]
+``serve-bench [--requests N] [--max-batch B] [--workers W] [--procs P]
 [--backend {auto,ckernels,numpy}] [--json]``
-    Micro-benchmark the :class:`repro.api.Session` serving path: a
-    mixed-geometry stream of Fourier-layer inference requests runs once
-    per request (the unbatched path) and once through
-    ``session.infer_many`` (geometry micro-batching over pooled
-    compiled executors), asserting bit-identical outputs and reporting
-    requests/sec for both.  ``--backend`` pins the executor substrate
-    for the session — per-session configuration where the seed only had
-    the process-global ``REPRO_NO_CKERNELS``.
+    Micro-benchmark the serving paths: a mixed-geometry stream of
+    Fourier-layer inference requests runs once per request (the
+    unbatched path) and once through ``session.infer_many`` (geometry
+    micro-batching over pooled compiled executors), asserting
+    bit-identical outputs and reporting requests/sec for both.
+    ``--procs P`` additionally drives the same stream through a
+    ``repro.api.ServePool`` of P shared-nothing worker processes
+    (geometry-hash sharded, shared-memory tensors) and reports its
+    requests/sec — still hard-asserted bit-identical.  ``--backend``
+    pins the executor substrate — per-session configuration where the
+    seed only had the process-global ``REPRO_NO_CKERNELS``.
 
 Commands resolve problems through the :mod:`repro.api` facade; ``ladder``'s
 ``--device h100`` (or any name added with ``repro.api.register_device``)
@@ -228,6 +231,28 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         "speedup": t_unbatched / t_batched,
         "stats": session.stats(),
     }
+
+    if args.procs:
+        from repro.api import ServePool
+
+        with ServePool(
+            workers=args.procs, backend=args.backend,
+            max_batch=args.max_batch,
+        ) as pool:
+            pool.infer_many(requests)  # warm every shard
+            t0 = time.perf_counter()
+            pooled = pool.infer_many(requests)
+            t_pool = time.perf_counter() - t0
+            pool_stats = pool.stats()
+        if not all(np.array_equal(a, b) for a, b in zip(batched, pooled)):
+            print("error: pooled outputs != in-process outputs",
+                  file=sys.stderr)
+            return 1
+        payload["procs"] = args.procs
+        payload["pool_rps"] = n / t_pool
+        payload["pool_speedup"] = t_unbatched / t_pool
+        payload["pool_stats"] = pool_stats
+
     if args.json:
         print(json.dumps(payload, indent=2))
         return 0
@@ -236,6 +261,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     print(f"  per-request : {payload['unbatched_rps']:8.1f} req/s")
     print(f"  micro-batched: {payload['batched_rps']:8.1f} req/s "
           f"({payload['speedup']:.2f}x)  [bit-identical]")
+    if args.procs:
+        print(f"  pool x{args.procs:<4d}  : {payload['pool_rps']:8.1f} req/s "
+              f"({payload['pool_speedup']:.2f}x)  [bit-identical]")
     return 0
 
 
@@ -399,6 +427,9 @@ def main(argv: list[str] | None = None) -> int:
                       help="micro-batch size in requests (default 16)")
     p_sv.add_argument("--workers", type=int, default=None,
                       help="threads draining the micro-batch queue")
+    p_sv.add_argument("--procs", type=int, default=None,
+                      help="also run the stream through a ServePool of "
+                           "this many worker processes")
     p_sv.add_argument("--backend", default="auto",
                       choices=("auto", "ckernels", "numpy"),
                       help="session executor backend (default auto)")

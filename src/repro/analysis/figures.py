@@ -24,6 +24,7 @@ heatmaps) to keep a full-figure regeneration interactive; pass
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro.analysis.sweeps import (
@@ -86,6 +87,23 @@ STAGES_BY_FIGURE[18] = STAGES_BY_FIGURE[13]
 
 def _k_values(dense: bool) -> list[int]:
     return list(range(16, 137, 8)) if dense else list(range(16, 137, 16))
+
+
+def _env_workers() -> int | None:
+    """Heatmap process-pool width when the environment asks for one.
+
+    ``REPRO_WORKERS > 1`` makes the dense heatmap figures shard their
+    grids over a process pool by default (the CI figures path sets it);
+    unset, or ``1``, keeps the serial path.  Parsing lives in
+    :func:`repro.api.runner.default_workers` — the single source of
+    truth for that variable, shared with ``repro.api.serve``.
+    """
+    if os.environ.get("REPRO_WORKERS") is None:
+        return None
+    from repro.api.runner import default_workers
+
+    workers = default_workers()
+    return workers if workers > 1 else None
 
 
 # ---------------------------------------------------------------------------
@@ -247,8 +265,11 @@ def fig14(
 ) -> list[HeatmapResult]:
     """1-D best-of heatmaps over K x log2(M), four (FFT size, N) panels.
 
-    ``workers`` shards each panel's grid over a process pool.
+    ``workers`` shards each panel's grid over a process pool; ``None``
+    defaults from ``REPRO_WORKERS`` (serial when unset or 1).
     """
+    if workers is None:
+        workers = _env_workers()
     ks = list(range(8, 121, 16)) if dense else list(range(8, 121, 32))
     log2_ms = list(range(7, 21, 1 if dense else 2))
     panels = []
@@ -340,8 +361,11 @@ def fig19(
 ) -> list[HeatmapResult]:
     """2-D best-of heatmaps over K x batch, four (grid, N) panels.
 
-    ``workers`` shards each panel's grid over a process pool.
+    ``workers`` shards each panel's grid over a process pool; ``None``
+    defaults from ``REPRO_WORKERS`` (serial when unset or 1).
     """
+    if workers is None:
+        workers = _env_workers()
     ks = list(range(8, 121, 16)) if dense else list(range(8, 121, 32))
     batches = (
         [1, 16, 32, 48, 64, 80, 96, 112, 128]

@@ -72,6 +72,13 @@ from repro.api.registry import (
     supported_ndims,
 )
 from repro.api.runner import Runner, default_workers
+from repro.api.serve import (
+    PoolSaturated,
+    ServeError,
+    ServeFuture,
+    ServePool,
+    WorkerCrashed,
+)
 from repro.api.session import (
     DTYPE_POLICIES,
     Session,
@@ -93,6 +100,11 @@ __all__ = [
     "SpectralModel",
     "default_session",
     "DTYPE_POLICIES",
+    "ServePool",
+    "ServeFuture",
+    "ServeError",
+    "WorkerCrashed",
+    "PoolSaturated",
     "Runner",
     "spectral_conv",
     "DEFAULT_DEVICE",

@@ -1,0 +1,52 @@
+"""``repro.api.serve`` — shared-nothing multi-process serving.
+
+The multi-core counterpart of :class:`repro.api.Session`'s in-process
+serving path.  A :class:`ServePool` forks N worker processes, each
+owning one warm session; requests route by a stable geometry hash so
+every worker's plan/tune/executor caches stay hot, and tensors move
+through shared-memory ring segments instead of pipes.
+
+>>> from repro.api.serve import ServePool            # doctest: +SKIP
+>>> with ServePool(workers=4, backend="auto") as pool:
+...     ys = pool.infer_many(requests)   # bit-identical to one Session
+...     pool.stats()["per_geometry"]     # each geometry: one worker
+
+Modules
+-------
+:mod:`~repro.api.serve.router`
+    Geometry key/hash and shard assignment (stable across processes).
+:mod:`~repro.api.serve.shm`
+    Ring-segment allocator, backpressure, segment bookkeeping.
+:mod:`~repro.api.serve.worker`
+    The worker-process body: one warm session, opportunistic
+    micro-batching, warmup-handoff protocol.
+:mod:`~repro.api.serve.pool`
+    :class:`ServePool` itself: routing, admission, lifecycle, stats.
+"""
+
+from repro.api.serve.pool import (
+    ServeError,
+    ServeFuture,
+    ServePool,
+    WorkerCrashed,
+)
+from repro.api.serve.router import (
+    format_geometry,
+    geometry_hash,
+    geometry_key,
+    shard_for,
+)
+from repro.api.serve.shm import DEFAULT_RING_BYTES, PoolSaturated
+
+__all__ = [
+    "ServePool",
+    "ServeFuture",
+    "ServeError",
+    "WorkerCrashed",
+    "PoolSaturated",
+    "DEFAULT_RING_BYTES",
+    "geometry_key",
+    "geometry_hash",
+    "shard_for",
+    "format_geometry",
+]

@@ -1,0 +1,883 @@
+"""``ServePool``: the shared-nothing multi-process serving front-end.
+
+PR 4's ``Session.infer_many`` micro-batches inside one process — thread
+drains under the GIL, so the compiled-kernel and autotune wins of PRs
+2-5 never scale past one core at serve time.  A :class:`ServePool`
+converts those per-core wins into multi-core throughput:
+
+* **N worker processes, shared-nothing** — each worker owns one warm
+  :class:`repro.api.Session` (plan cache, FFT/rfft plan caches,
+  executor pool, autotune memo) and shares only its request queue and
+  two ring segments with the parent;
+* **geometry-hash sharding** — requests route by the stable hash of
+  ``(ndim, spatial_shape, modes, dtype)`` (:mod:`repro.api.serve.router`),
+  so a given geometry always lands on the same worker and that worker's
+  caches stay hot for the life of the pool;
+* **zero-copy tensors** — request/response arrays move through
+  ``multiprocessing.shared_memory`` rings (:mod:`repro.api.serve.shm`):
+  workers read input slabs and write outputs in place, only a small
+  pickled header crosses the queue;
+* **backpressure** — bounded per-worker queues and ring arenas;
+  ``submit`` blocks (default) or raises :class:`PoolSaturated`
+  (``saturation="raise"``);
+* **graceful lifecycle** — workers recycle after
+  ``max_requests_per_worker`` requests or on crash, and every
+  replacement is *warmed first*: it pre-builds (and, with autotune,
+  pre-tunes) the geometries its predecessor served before taking
+  traffic.  In-flight requests on a crashed worker are retried once on
+  the replacement (``on_crash="retry"``) or failed with
+  :class:`WorkerCrashed` (``"fail"``) — deterministically either way.
+
+Results are **bit-identical** to a serial one-worker
+:class:`~repro.api.Session` on the same request set: workers execute
+through the same session machinery, every operator is row-independent,
+and sharding only changes *where* a request runs, never its arithmetic.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import queue as queue_mod
+import threading
+import time
+import weakref
+
+import numpy as np
+
+from repro.api.runner import default_workers
+from repro.api.serve.router import format_geometry, geometry_key, shard_for
+from repro.api.serve.shm import (
+    DEFAULT_RING_BYTES,
+    PoolSaturated,
+    RingArena,
+    SegmentRegistry,
+)
+from repro.api.serve.worker import worker_main
+from repro.api.session import DTYPE_POLICIES, SpectralModel, _as_spectral_model
+from repro.core.dtypes import complex_dtype_for
+from repro.fft.compiled import resolve_backend_kernels
+
+__all__ = ["ServePool", "ServeFuture", "ServeError", "WorkerCrashed"]
+
+#: How long the parent waits for a worker to come up / warm / drain.
+_LIFECYCLE_TIMEOUT = 120.0
+
+
+class ServeError(RuntimeError):
+    """A request failed inside a worker (the worker itself survived)."""
+
+
+class WorkerCrashed(ServeError):
+    """The worker died with this request in flight and the pool's
+    ``on_crash`` policy (or the retry budget) said fail, not retry."""
+
+
+class _HandleDead(Exception):
+    """Internal: dispatch raced a worker death; re-route and retry."""
+
+
+class ServeFuture:
+    """Handle to one in-flight request; ``result()`` blocks for it."""
+
+    __slots__ = ("geometry", "worker", "_event", "_value", "_exc")
+
+    def __init__(self, geometry: str, worker: int) -> None:
+        self.geometry = geometry  #: formatted routing key
+        self.worker = worker  #: shard index the geometry maps to
+        self._event = threading.Event()
+        self._value: np.ndarray | None = None
+        self._exc: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request on worker {self.worker} ({self.geometry}) still "
+                f"in flight after {timeout}s"
+            )
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def _set_result(self, value: np.ndarray) -> None:
+        self._value = value
+        self._event.set()
+
+    def _set_exception(self, exc: BaseException) -> None:
+        self._exc = exc
+        self._event.set()
+
+
+class _Pending:
+    """Parent-side record of one in-flight request (retry source of truth)."""
+
+    __slots__ = (
+        "rid", "spec", "mid", "x", "gkey", "shard", "future", "req_off",
+        "resp_off", "resp_cap", "allocated", "t_submit", "retries",
+    )
+
+    def __init__(self, rid, spec, mid, x, gkey, shard, future):
+        self.rid = rid
+        self.spec = spec
+        self.mid = mid
+        self.x = x
+        self.gkey = gkey
+        self.shard = shard
+        self.future = future
+        self.req_off = self.resp_off = self.resp_cap = 0
+        self.allocated = False  # slab offsets valid (crash path frees them)
+        self.t_submit = time.perf_counter()
+        self.retries = 0
+
+
+class _GeoStats:
+    """Parent-side per-geometry admission/latency counters."""
+
+    __slots__ = ("worker", "requests", "seconds", "retried", "failed")
+
+    def __init__(self, worker: int) -> None:
+        self.worker = worker
+        self.requests = 0
+        self.seconds = 0.0
+        self.retried = 0
+        self.failed = 0
+
+    def as_dict(self) -> dict:
+        out = {
+            "requests": self.requests,
+            "seconds": self.seconds,
+            "requests_per_s": (
+                self.requests / self.seconds if self.seconds > 0 else None
+            ),
+            "worker": self.worker,
+            "retried": self.retried,
+            "failed": self.failed,
+        }
+        return out
+
+
+class _WorkerHandle:
+    """Everything the parent holds for one worker process."""
+
+    def __init__(self, shard, process, queue, conn, rings):
+        self.shard = shard
+        self.process = process
+        self.queue = queue
+        self.conn = conn
+        self.req_shm, self.req_arena, self.resp_shm, self.resp_arena = rings
+        self.lock = threading.Lock()
+        #: Signalled whenever in-flight count drops (admission waits here).
+        self.depth = threading.Condition(self.lock)
+        self.pending: dict[int, _Pending] = {}
+        self.pushed: set[int] = set()
+        self.completed = 0
+        self.dead = False
+        self.closing = False
+        self.ready = threading.Event()
+        self.warmed = threading.Event()
+        self.pid: int | None = None
+        #: What this worker has served — the warmup-handoff inventory
+        #: its replacement is primed with before taking traffic.
+        self.warm_models: dict[int, tuple] = {}
+        self.warm_geoms: set[tuple] = set()
+        self.stats_waiters: dict[int, tuple[threading.Event, list]] = {}
+        self.collector: threading.Thread | None = None
+
+    def rings(self) -> tuple:
+        return (self.req_shm, self.req_arena, self.resp_shm, self.resp_arena)
+
+
+class ServePool:
+    """A pool of shared-nothing serving workers sharded by geometry.
+
+    Parameters
+    ----------
+    workers:
+        Worker-process count; ``None`` resolves through
+        :func:`repro.api.runner.default_workers` (the single
+        ``REPRO_WORKERS`` parser — serve does not re-implement it).
+    backend, autotune, dtype_policy:
+        Forwarded to each worker's :class:`~repro.api.Session`
+        (validated up front in the parent).
+    max_batch:
+        Micro-batch budget per worker drain (the same deterministic
+        grouping :meth:`Session.infer_many` applies in-process).
+    queue_depth:
+        Bound of each worker's request queue — with the ring arenas,
+        the backpressure surface.
+    saturation:
+        ``"block"`` (default): ``submit`` waits for queue/ring capacity;
+        ``"raise"``: a saturated shard raises :class:`PoolSaturated`
+        immediately.
+    max_requests_per_worker:
+        Recycle budget: after this many completed requests a worker is
+        replaced (between requests) by a freshly warmed successor.
+        ``None`` disables recycling.
+    on_crash:
+        ``"retry"`` (default): in-flight requests of a crashed worker
+        are re-executed on its warmed replacement (at most
+        ``max_retries`` times each, then failed); ``"fail"``: they fail
+        immediately with :class:`WorkerCrashed`.
+    ring_bytes:
+        Per-ring shared-memory capacity (two rings per worker).
+    start_method:
+        ``multiprocessing`` start method; default prefers ``"fork"``
+        and falls back to ``"spawn"`` where fork is unavailable.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        backend: str = "auto",
+        autotune: bool | str = False,
+        dtype_policy: str = "preserve",
+        max_batch: int = 32,
+        queue_depth: int = 8,
+        saturation: str = "block",
+        max_requests_per_worker: int | None = None,
+        on_crash: str = "retry",
+        max_retries: int = 1,
+        ring_bytes: int = DEFAULT_RING_BYTES,
+        start_method: str | None = None,
+    ) -> None:
+        resolve_backend_kernels(backend)  # fail in the parent, not N times
+        if dtype_policy not in DTYPE_POLICIES:
+            raise ValueError(
+                f"unknown dtype_policy {dtype_policy!r}; expected one of "
+                f"{DTYPE_POLICIES}"
+            )
+        if saturation not in ("block", "raise"):
+            raise ValueError(
+                f"unknown saturation policy {saturation!r}; expected "
+                f"'block' or 'raise'"
+            )
+        if on_crash not in ("retry", "fail"):
+            raise ValueError(
+                f"unknown on_crash policy {on_crash!r}; expected 'retry' "
+                f"or 'fail'"
+            )
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.workers = int(workers) if workers is not None else default_workers()
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.backend = backend
+        self.autotune = autotune
+        self.dtype_policy = dtype_policy
+        self.max_batch = int(max_batch)
+        self.queue_depth = int(queue_depth)
+        self.saturation = saturation
+        self.max_requests_per_worker = max_requests_per_worker
+        self.on_crash = on_crash
+        self.max_retries = int(max_retries)
+        self.ring_bytes = int(ring_bytes)
+        if start_method is None:
+            methods = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = mp.get_context(start_method)
+        self._registry = SegmentRegistry()
+        self._lock = threading.RLock()
+        self._stats_lock = threading.Lock()
+        self._closed = False
+        self._rid = itertools.count()
+        self._stats_token = itertools.count()
+        self._models: dict[tuple, tuple[int, SpectralModel]] = {}
+        self._geo_stats: dict[tuple, _GeoStats] = {}
+        self._admission = {
+            "submitted": 0, "completed": 0, "failed": 0, "rejected": 0,
+            "retried": 0, "crashes": 0, "recycles": 0,
+        }
+        self._handles: dict[int, _WorkerHandle] = {}
+        # Fork every worker before any collector thread exists, then
+        # start the collectors: forking a thread-free parent sidesteps
+        # the usual fork-with-threads hazards for the initial fleet.
+        try:
+            handles = [self._spawn_handle(i) for i in range(self.workers)]
+            for handle in handles:
+                self._start_collector(handle)
+                self._handles[handle.shard] = handle
+            for handle in handles:
+                self._await(handle.ready, f"worker {handle.shard} startup")
+        except BaseException:
+            self._closed = True
+            self._teardown(list(self._handles.values()))
+            raise
+        self._finalizer = weakref.finalize(
+            self, SegmentRegistry.close_all, self._registry
+        )
+
+    # -- lifecycle ------------------------------------------------------
+
+    def __enter__(self) -> "ServePool":
+        self._check_open()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return (
+            f"ServePool(workers={self.workers}, backend={self.backend!r}, "
+            f"{state})"
+        )
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("serve pool is closed")
+
+    @staticmethod
+    def _await(event: threading.Event, what: str) -> None:
+        if not event.wait(_LIFECYCLE_TIMEOUT):
+            raise RuntimeError(f"timed out waiting for {what}")
+
+    def _spawn_handle(self, shard: int, rings=None) -> _WorkerHandle:
+        if rings is None:
+            req_shm = self._registry.create(self.ring_bytes)
+            resp_shm = self._registry.create(self.ring_bytes)
+            rings = (req_shm, RingArena(req_shm), resp_shm, RingArena(resp_shm))
+        # Unbounded: the admission bound is the parent-side in-flight
+        # count (queue_depth), so control messages (model push, warmup,
+        # stats, drain sentinel) never contend with request backpressure.
+        queue = self._ctx.Queue()
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(
+                shard, queue, send_conn, rings[0].name, rings[2].name,
+                self.backend, self.autotune, self.dtype_policy,
+                self.max_batch,
+            ),
+            name=f"repro-serve-{shard}",
+            daemon=True,
+        )
+        process.start()
+        send_conn.close()  # child's end; closing ours makes EOF observable
+        return _WorkerHandle(shard, process, queue, recv_conn, rings)
+
+    def _start_collector(self, handle: _WorkerHandle) -> None:
+        thread = threading.Thread(
+            target=self._collect, args=(handle,),
+            name=f"repro-serve-collect-{handle.shard}", daemon=True,
+        )
+        handle.collector = thread
+        thread.start()
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop every worker and unlink every shared-memory segment.
+
+        Idempotent.  In-flight requests are failed with
+        :class:`ServeError`; further calls raise ``RuntimeError``.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            handles = list(self._handles.values())
+        self._teardown(handles, timeout)
+
+    def _teardown(self, handles, timeout: float = 10.0) -> None:
+        for handle in handles:
+            handle.closing = True
+            try:
+                handle.queue.put(None, block=True, timeout=1.0)
+            except (queue_mod.Full, ValueError, OSError):
+                pass
+        for handle in handles:
+            handle.process.join(timeout)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(1.0)
+            if handle.process.is_alive():  # pragma: no cover - last resort
+                handle.process.kill()
+                handle.process.join(1.0)
+        for handle in handles:
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            handle.queue.close()
+            handle.queue.cancel_join_thread()
+            with handle.depth:
+                drained = list(handle.pending.values())
+                handle.pending.clear()
+                handle.depth.notify_all()  # wake blocked admitters: closing
+            for pending in drained:
+                pending.future._set_exception(ServeError("pool closed"))
+        self._registry.close_all()
+
+    # -- routing / model registry --------------------------------------
+
+    def shard_of(self, model, x: np.ndarray) -> int:
+        """The worker index ``(model, x)`` routes to (pure function)."""
+        spec = self._spec_of(model)
+        return shard_for(geometry_key(spec, np.asarray(x)), self.workers)
+
+    @staticmethod
+    def _spec_of(model) -> SpectralModel:
+        spec = _as_spectral_model(model)
+        if spec is None:
+            raise TypeError(
+                f"cannot serve model of type {type(model).__name__}; the "
+                "pool serves SpectralModel (or (weight, modes[, symmetric]) "
+                "tuple) requests — arbitrary callables cannot cross a "
+                "process boundary"
+            )
+        return spec
+
+    def _model_id(self, spec: SpectralModel) -> tuple[int, SpectralModel]:
+        key = (id(spec.weight), spec.weight.shape, spec.modes, spec.symmetric)
+        entry = self._models.get(key)
+        if entry is None:
+            entry = (len(self._models), spec)
+            self._models[key] = entry
+        return entry
+
+    def _response_capacity(self, spec: SpectralModel, x: np.ndarray) -> int:
+        # Upper bound: batch x C_out x spatial at complex working
+        # precision (covers real->complex promotion and dtype policy).
+        if self.dtype_policy == "float32":
+            target = np.dtype(np.float32)
+        elif self.dtype_policy == "float64":
+            target = np.dtype(np.float64)
+        else:
+            target = x.dtype
+        itemsize = np.dtype(complex_dtype_for(target)).itemsize
+        spatial = int(np.prod(x.shape[2:], dtype=np.int64)) if x.ndim > 2 else 1
+        return int(x.shape[0]) * int(spec.weight.shape[1]) * spatial * itemsize
+
+    # -- submission -----------------------------------------------------
+
+    def submit(
+        self,
+        model,
+        x: np.ndarray,
+        block: bool | None = None,
+        timeout: float | None = None,
+    ) -> ServeFuture:
+        """Admit one request; returns a :class:`ServeFuture`.
+
+        ``block`` defaults from the pool's ``saturation`` policy.  The
+        input array must stay unmodified until the result is collected
+        (it is the retry source if the owning worker crashes).
+        """
+        self._check_open()
+        spec = self._spec_of(model)
+        x = np.asarray(x)
+        if x.ndim < 3:
+            raise ValueError(
+                f"request tensors are (batch, channels, *spatial); got "
+                f"shape {x.shape}"
+            )
+        if block is None:
+            block = self.saturation == "block"
+        gkey = geometry_key(spec, x)
+        shard = shard_for(gkey, self.workers)
+        with self._lock:
+            self._check_open()
+            mid, spec = self._model_id(spec)
+        with self._stats_lock:
+            self._admission["submitted"] += 1
+        future = ServeFuture(format_geometry(gkey), shard)
+        pending = _Pending(next(self._rid), spec, mid, x, gkey, shard, future)
+        try:
+            self._submit_pending(pending, block, timeout)
+        except PoolSaturated:
+            with self._stats_lock:
+                self._admission["rejected"] += 1
+            raise
+        return future
+
+    def _submit_pending(self, pending: _Pending, block, timeout) -> None:
+        while True:
+            with self._lock:
+                self._check_open()
+                handle = self._handles[pending.shard]
+                if (
+                    self.max_requests_per_worker is not None
+                    and handle.completed >= self.max_requests_per_worker
+                    and not handle.pending
+                ):
+                    handle = self._recycle(pending.shard)
+            try:
+                self._dispatch(handle, pending, block, timeout)
+                return
+            except _HandleDead:
+                continue  # the crash handler swapped the shard's worker
+
+    def _dispatch(self, handle, pending: _Pending, block, timeout) -> None:
+        x = pending.x
+        spec = pending.spec
+        # 1. Admission: take an in-flight slot (the queue_depth bound).
+        with handle.depth:
+            while len(handle.pending) >= self.queue_depth:
+                if handle.dead or handle.closing:
+                    raise _HandleDead
+                if not block:
+                    raise PoolSaturated(
+                        f"worker {handle.shard} at queue depth "
+                        f"{self.queue_depth}"
+                    )
+                if not handle.depth.wait(timeout):
+                    raise PoolSaturated(
+                        f"worker {handle.shard} still at queue depth "
+                        f"{self.queue_depth} after {timeout:.1f}s"
+                    )
+            if handle.dead or handle.closing:
+                raise _HandleDead
+            pending.allocated = False
+            handle.pending[pending.rid] = pending
+            push_model = pending.mid not in handle.pushed
+            if push_model:
+                handle.pushed.add(pending.mid)
+            handle.warm_models[pending.mid] = (
+                pending.mid, spec.weight, spec.modes, spec.symmetric
+            )
+            handle.warm_geoms.add((pending.mid, tuple(x.shape), str(x.dtype)))
+
+        def _abort(exc: BaseException | None):
+            with handle.depth:
+                owned = handle.pending.pop(pending.rid, None)
+                handle.depth.notify_all()
+            if owned is None:
+                return False  # a crash handler owns the retry now
+            if exc is not None:
+                raise exc
+            return True
+
+        # 2. Slabs: ring capacity is the second backpressure gate.
+        try:
+            req_off = handle.req_arena.alloc(x.nbytes, block, timeout)
+        except PoolSaturated as exc:
+            _abort(exc)
+            return
+        resp_cap = self._response_capacity(spec, x)
+        try:
+            resp_off = handle.resp_arena.alloc(resp_cap, block, timeout)
+        except PoolSaturated as exc:
+            handle.req_arena.free(req_off)
+            _abort(exc)
+            return
+        view = np.ndarray(
+            x.shape, x.dtype, buffer=handle.req_shm.buf, offset=req_off
+        )
+        view[...] = x  # the only parent-side copy: user array -> ring
+        del view
+        # 3. Publish offsets; a crash between admission and here retries
+        # through the pending entry, which never frees unallocated slabs.
+        with handle.lock:
+            if pending.rid not in handle.pending:
+                # Crash handler took ownership while we staged: it
+                # re-dispatches with fresh slabs; release ours.
+                handle.req_arena.free(req_off)
+                handle.resp_arena.free(resp_off)
+                return
+            if handle.dead or handle.closing:
+                del handle.pending[pending.rid]
+                handle.depth.notify_all()
+                handle.req_arena.free(req_off)
+                handle.resp_arena.free(resp_off)
+                raise _HandleDead
+            pending.req_off = req_off
+            pending.resp_off = resp_off
+            pending.resp_cap = resp_cap
+            pending.allocated = True
+        # 4. The header (the queue is unbounded: puts cannot block).
+        try:
+            if push_model:
+                handle.queue.put(
+                    ("model", pending.mid, spec.weight, spec.modes,
+                     spec.symmetric)
+                )
+            handle.queue.put(
+                ("req", pending.rid, pending.mid, tuple(x.shape),
+                 str(x.dtype), req_off, resp_off, resp_cap)
+            )
+        except (ValueError, OSError):  # queue closed: worker is gone
+            if _abort(None):
+                handle.req_arena.free(req_off)
+                handle.resp_arena.free(resp_off)
+                raise _HandleDead from None
+
+    # -- results --------------------------------------------------------
+
+    def _collect(self, handle: _WorkerHandle) -> None:
+        """Per-worker collector thread: drain the response pipe."""
+        while True:
+            try:
+                msg = handle.conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = msg[0]
+            if kind == "ready":
+                handle.pid = msg[1]
+                handle.ready.set()
+            elif kind == "warmed":
+                handle.warmed.set()
+            elif kind in ("res", "err"):
+                self._complete(handle, msg)
+            elif kind == "stats":
+                waiter = handle.stats_waiters.pop(msg[1], None)
+                if waiter is not None:
+                    waiter[1].append(msg[2])
+                    waiter[0].set()
+        if not (handle.closing or self._closed):
+            self._on_worker_death(handle)
+
+    def _complete(self, handle: _WorkerHandle, msg: tuple) -> None:
+        rid = msg[1]
+        with handle.depth:
+            pending = handle.pending.pop(rid, None)
+            if pending is not None:
+                handle.completed += 1
+                handle.depth.notify_all()  # an admission slot opened
+        if pending is None:
+            return  # raced a crash handover; the retry path owns it
+        if msg[0] == "res":
+            _, _, shape, dtype, _ = msg
+            out = np.array(np.ndarray(
+                shape, np.dtype(dtype), buffer=handle.resp_shm.buf,
+                offset=pending.resp_off,
+            ))
+            error = None
+        else:
+            out, error = None, ServeError(msg[2])
+        handle.req_arena.free(pending.req_off)
+        handle.resp_arena.free(pending.resp_off)
+        latency = time.perf_counter() - pending.t_submit
+        with self._stats_lock:
+            stats = self._geo_stats.get(pending.gkey)
+            if stats is None:
+                stats = self._geo_stats[pending.gkey] = _GeoStats(
+                    pending.shard
+                )
+            stats.requests += 1
+            stats.seconds += latency
+            if error is None:
+                self._admission["completed"] += 1
+            else:
+                stats.failed += 1
+                self._admission["failed"] += 1
+        if error is None:
+            pending.future._set_result(out)
+        else:
+            pending.future._set_exception(error)
+
+    # -- worker lifecycle -----------------------------------------------
+
+    def _warm_handoff(self, old: _WorkerHandle, new: _WorkerHandle) -> None:
+        """Prime ``new`` with everything ``old`` served, before traffic."""
+        self._await(new.ready, f"worker {new.shard} startup")
+        with old.lock:
+            models = list(old.warm_models.values())
+            geoms = sorted(old.warm_geoms)
+        new.warm_models = dict((m[0], m) for m in models)
+        new.warm_geoms = set(geoms)
+        if not geoms and not models:
+            return
+        new.queue.put(("warm", models, geoms), block=True,
+                      timeout=_LIFECYCLE_TIMEOUT)
+        self._await(new.warmed, f"worker {new.shard} warmup handoff")
+        new.pushed = {m[0] for m in models}
+
+    def _recycle(self, shard: int) -> _WorkerHandle:
+        """Replace an idle worker that hit its request budget.
+
+        Called with the pool lock held and no requests in flight on the
+        shard; the replacement is warmed before it is swapped in, so the
+        shard never serves cold.
+        """
+        old = self._handles[shard]
+        old.closing = True
+        new = self._spawn_handle(shard, rings=old.rings())
+        self._start_collector(new)
+        self._warm_handoff(old, new)
+        new.completed = 0
+        self._handles[shard] = new
+        self._admission["recycles"] += 1
+        try:
+            old.queue.put(None, block=True, timeout=1.0)
+        except (queue_mod.Full, ValueError, OSError):  # pragma: no cover
+            old.process.terminate()
+        old.process.join(_LIFECYCLE_TIMEOUT)
+        if old.process.is_alive():  # pragma: no cover - stuck drain
+            old.process.terminate()
+            old.process.join(1.0)
+        try:
+            old.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        old.queue.close()
+        old.queue.cancel_join_thread()
+        return new
+
+    def _on_worker_death(self, handle: _WorkerHandle) -> None:
+        """Crash path: spawn + warm a replacement, then retry-or-fail
+        the dead worker's in-flight requests (deterministic per policy)."""
+        with self._lock:
+            if self._closed or handle.closing or handle.dead:
+                return
+            with handle.depth:
+                handle.dead = True
+                drained = sorted(handle.pending.items())
+                handle.pending.clear()
+                handle.depth.notify_all()  # wake blocked admitters: dead
+            self._admission["crashes"] += 1
+            # Nothing reads these slabs any more: reclaim them.  (Not an
+            # arena-wide reset — a submit racing this handler still owns
+            # the slab it just allocated and frees it itself, and a
+            # drained request whose dispatch never reached the publish
+            # step has no slabs to free yet.)
+            for _, pending in drained:
+                if pending.allocated:
+                    handle.req_arena.free(pending.req_off)
+                    handle.resp_arena.free(pending.resp_off)
+                    pending.allocated = False
+            handle.process.join(1.0)
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            handle.queue.close()
+            handle.queue.cancel_join_thread()
+            new = self._spawn_handle(handle.shard, rings=handle.rings())
+            self._start_collector(new)
+            self._handles[handle.shard] = new
+        try:
+            self._warm_handoff(handle, new)
+        except RuntimeError:  # pragma: no cover - replacement also sick
+            pass
+        for _, pending in drained:
+            retry = (
+                self.on_crash == "retry"
+                and pending.retries < self.max_retries
+            )
+            if not retry:
+                with self._stats_lock:
+                    self._admission["failed"] += 1
+                    stats = self._geo_stats.get(pending.gkey)
+                    if stats is not None:
+                        stats.failed += 1
+                pending.future._set_exception(WorkerCrashed(
+                    f"worker {handle.shard} died with this request in "
+                    f"flight (policy {self.on_crash!r}, "
+                    f"retries {pending.retries}/{self.max_retries})"
+                ))
+                continue
+            pending.retries += 1
+            with self._stats_lock:
+                self._admission["retried"] += 1
+                stats = self._geo_stats.get(pending.gkey)
+                if stats is None:
+                    stats = self._geo_stats[pending.gkey] = _GeoStats(
+                        pending.shard
+                    )
+                stats.retried += 1
+            try:
+                self._submit_pending(pending, True, _LIFECYCLE_TIMEOUT)
+            except (PoolSaturated, RuntimeError) as exc:
+                pending.future._set_exception(exc)
+
+    # -- serving --------------------------------------------------------
+
+    def infer(self, model, x: np.ndarray,
+              timeout: float | None = None) -> np.ndarray:
+        """Serve one request synchronously (submit + wait)."""
+        return self.submit(model, x).result(timeout)
+
+    def infer_many(self, requests, timeout: float | None = None) -> list:
+        """Serve a stream of ``(model, x)`` requests.
+
+        Every request is admitted under the pool's backpressure policy
+        and routed to its geometry's worker; results return in request
+        order, bit-identical to a serial one-worker
+        :class:`~repro.api.Session` over the same stream.
+        """
+        futures = [self.submit(model, x) for model, x in requests]
+        return [f.result(timeout) for f in futures]
+
+    # -- observability --------------------------------------------------
+
+    def worker_pids(self) -> list[int | None]:
+        """Live worker PIDs by shard (``None`` while a shard restarts)."""
+        with self._lock:
+            return [
+                self._handles[i].process.pid for i in range(self.workers)
+            ]
+
+    def segment_names(self) -> list[str]:
+        """Every shared-memory segment name this pool ever created
+        (closed pools keep the list: the leak-audit surface)."""
+        return self._registry.names()
+
+    def live_segment_names(self) -> list[str]:
+        """Segment names not yet unlinked."""
+        return self._registry.live_names()
+
+    def stats(self, timeout: float = 5.0) -> dict:
+        """Pool statistics, shaped like :meth:`Session.stats`.
+
+        ``per_geometry`` carries the parent's admission/latency counters
+        per routing key — including ``worker``, the single shard that
+        geometry is pinned to — and ``per_worker`` embeds each live
+        worker's own ``Session.stats()`` snapshot (``None`` if the
+        worker was too busy to answer within ``timeout``).
+        """
+        with self._lock:
+            handles = (
+                [] if self._closed
+                else [self._handles[i] for i in range(self.workers)]
+            )
+            requests_polled = [
+                (handle, next(self._stats_token)) for handle in handles
+            ]
+        deadline = time.monotonic() + timeout
+        polls: list[tuple[_WorkerHandle, threading.Event, list]] = []
+        for handle, token in requests_polled:
+            event: threading.Event = threading.Event()
+            box: list = []
+            handle.stats_waiters[token] = (event, box)
+            try:
+                handle.queue.put(("stats", token), block=False)
+                polls.append((handle, event, box))
+            except (queue_mod.Full, ValueError, OSError):
+                handle.stats_waiters.pop(token, None)
+                polls.append((handle, event, box))  # reported as stale
+        per_worker = []
+        batches = 0
+        for handle, event, box in polls:
+            event.wait(max(0.0, deadline - time.monotonic()))
+            payload = box[0] if box else None
+            if payload is not None:
+                batches += payload["session"].get("batches", 0)
+            per_worker.append({
+                "shard": handle.shard,
+                "pid": handle.pid,
+                "alive": handle.process.is_alive(),
+                "completed": handle.completed,
+                "in_flight": len(handle.pending),
+                "served": payload["served"] if payload else None,
+                "session": payload["session"] if payload else None,
+            })
+        with self._stats_lock:
+            per_geometry = {
+                format_geometry(key): stats.as_dict()
+                for key, stats in self._geo_stats.items()
+            }
+            admission = dict(self._admission)
+        return {
+            "workers": self.workers,
+            "backend": self.backend,
+            "dtype_policy": self.dtype_policy,
+            "closed": self._closed,
+            "requests": admission["completed"],
+            "batches": batches,
+            "admission": admission,
+            "per_geometry": per_geometry,
+            "per_worker": per_worker,
+        }

@@ -1,0 +1,65 @@
+"""Geometry-hash request routing: the shard-affinity policy.
+
+The pool's whole performance story rests on one invariant: *a given
+geometry always lands on the same worker*.  Each worker owns one warm
+:class:`repro.api.Session`, and everything expensive in the stack —
+compiled executors, FFT/rfft plan families, autotune winners — is keyed
+on geometry, so stable routing means every worker's caches stay hot and
+no plan is ever built twice across the pool.
+
+The routing key is ``(ndim, spatial_shape, modes, dtype)`` — exactly the
+tuple the plan caches and the tune store key on (conf_sc_WuZDZHC25's
+plan/execute split is what makes "route by geometry, reuse the plan"
+work at all; this mirrors how cuFFT deployments pin plan caches per
+device context).  The hash is :func:`hashlib.blake2b`-based — stable
+across processes, interpreter runs and ``PYTHONHASHSEED``, unlike
+builtin ``hash()`` — so a recycled or restarted pool shards identically
+and on-disk tune stores warmed by one run serve the next.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["geometry_key", "geometry_hash", "shard_for", "format_geometry"]
+
+
+def geometry_key(model, x: np.ndarray) -> tuple:
+    """The routing key of one ``(model, x)`` request.
+
+    ``(ndim, spatial_shape, modes, dtype)``: the spatial axes are
+    everything past ``(batch, channels)``, matching the executor/plan
+    cache keys.  Two requests with equal keys hit the same compiled
+    executor geometry, so they must (and will) shard together.
+    """
+    spatial = tuple(int(s) for s in x.shape[2:])
+    return (len(spatial), spatial, tuple(model.modes), str(np.dtype(x.dtype)))
+
+
+def geometry_hash(key: tuple) -> int:
+    """A stable 64-bit hash of a :func:`geometry_key`.
+
+    Deterministic across processes and runs (``repr`` of the key tuple
+    through blake2b), so shard assignment is a pure function of the
+    geometry — never of interpreter state.
+    """
+    digest = hashlib.blake2b(repr(key).encode("ascii"), digest_size=8)
+    return int.from_bytes(digest.digest(), "big")
+
+
+def shard_for(key: tuple, workers: int) -> int:
+    """The worker index serving ``key`` in a ``workers``-wide pool."""
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return geometry_hash(key) % workers
+
+
+def format_geometry(key: tuple) -> str:
+    """A compact human/JSON key for one geometry: ``"1d:128:m64:complex64"``."""
+    ndim, spatial, modes, dtype = key
+    return (
+        f"{ndim}d:{'x'.join(map(str, spatial))}:"
+        f"m{'x'.join(map(str, modes))}:{dtype}"
+    )

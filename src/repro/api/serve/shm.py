@@ -1,0 +1,187 @@
+"""Shared-memory ring segments: zero-copy tensor transport.
+
+Request and response tensors never traverse a pipe.  Each worker owns
+two :class:`multiprocessing.shared_memory.SharedMemory` segments — a
+request ring the parent writes into and the worker reads *in place*
+(an ``np.ndarray`` view over the segment buffer, no deserialisation),
+and a response ring the worker writes outputs into for the parent to
+collect.  Only a small pickled header (geometry, dtype, segment
+offsets) crosses the queue per request.
+
+:class:`RingArena` is the allocator over one segment: first-fit over a
+sorted allocation list with adjacent-free-block coalescing, 64-byte
+aligned offsets, and *blocking* allocation — when the ring is full the
+allocator waits for a free (bounded backlog is the backpressure story,
+together with the bounded request queues), or raises
+:class:`PoolSaturated` under the non-blocking policy.
+
+Segment lifetime is bookkept explicitly: the parent creates every
+segment, :class:`SegmentRegistry` records the names, and
+``ServePool.close()`` closes **and unlinks** each one exactly once —
+tests assert no segment survives a close.  Worker-side attaches go
+through :func:`attach_segment`; because workers are ``multiprocessing``
+children they share the parent's ``resource_tracker``, so the child
+must *not* untrack the name (see the function docstring).
+"""
+
+from __future__ import annotations
+
+import threading
+from multiprocessing import shared_memory
+
+__all__ = [
+    "PoolSaturated",
+    "RingArena",
+    "SegmentRegistry",
+    "attach_segment",
+    "DEFAULT_RING_BYTES",
+]
+
+#: Per-ring default capacity.  Backed by tmpfs pages that are only
+#: committed on write, so an idle ring costs address space, not memory.
+DEFAULT_RING_BYTES = 32 << 20
+
+_ALIGN = 64  # cache-line aligned slabs
+
+
+class PoolSaturated(RuntimeError):
+    """The pool cannot admit this request right now.
+
+    Raised when a worker's bounded request queue is full or its ring
+    has no slab of the required size — under ``saturation="raise"``
+    immediately, under ``saturation="block"`` only after the submit
+    timeout (or for requests that could *never* fit the ring).
+    """
+
+
+class RingArena:
+    """First-fit slab allocator over one shared-memory segment.
+
+    Thread-safe; ``alloc(block=True)`` waits on a condition that every
+    ``free`` notifies, so backpressured producers wake exactly when the
+    consumer returns capacity.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory) -> None:
+        self.shm = shm
+        self.capacity = shm.size
+        self._cond = threading.Condition()
+        self._allocs: list[tuple[int, int]] = []  # sorted (offset, size)
+
+    def _find(self, size: int) -> int | None:
+        """First offset with a ``size``-byte gap, or None."""
+        cursor = 0
+        for off, sz in self._allocs:
+            if off - cursor >= size:
+                return cursor
+            cursor = max(cursor, off + sz)
+        if self.capacity - cursor >= size:
+            return cursor
+        return None
+
+    def alloc(
+        self, nbytes: int, block: bool = True, timeout: float | None = None
+    ) -> int:
+        """Reserve an aligned slab; returns its offset into the segment."""
+        size = max(_ALIGN, (int(nbytes) + _ALIGN - 1) // _ALIGN * _ALIGN)
+        if size > self.capacity:
+            raise PoolSaturated(
+                f"request of {nbytes} bytes exceeds the {self.capacity}-byte "
+                f"ring segment; raise ring_bytes"
+            )
+        with self._cond:
+            while True:
+                off = self._find(size)
+                if off is not None:
+                    self._allocs.append((off, size))
+                    self._allocs.sort()
+                    return off
+                if not block:
+                    raise PoolSaturated(
+                        f"ring segment full ({self.used} of "
+                        f"{self.capacity} bytes in flight)"
+                    )
+                if not self._cond.wait(timeout):
+                    raise PoolSaturated(
+                        f"ring segment still full after {timeout:.1f}s"
+                    )
+
+    def free(self, offset: int) -> None:
+        """Return a slab (idempotent: unknown offsets are ignored)."""
+        with self._cond:
+            for i, (off, _) in enumerate(self._allocs):
+                if off == offset:
+                    del self._allocs[i]
+                    self._cond.notify_all()
+                    return
+
+    def reset(self) -> None:
+        """Drop every allocation (worker died: nothing reads the ring)."""
+        with self._cond:
+            self._allocs.clear()
+            self._cond.notify_all()
+
+    @property
+    def used(self) -> int:
+        with self._cond:
+            return sum(sz for _, sz in self._allocs)
+
+    @property
+    def in_flight(self) -> int:
+        with self._cond:
+            return len(self._allocs)
+
+
+class SegmentRegistry:
+    """Every segment the pool ever created, closed/unlinked exactly once.
+
+    ``names()`` is the leak-audit surface: after ``close_all()`` no name
+    in it can be re-attached.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._released: set[str] = set()
+
+    def create(self, nbytes: int) -> shared_memory.SharedMemory:
+        shm = shared_memory.SharedMemory(create=True, size=int(nbytes))
+        with self._lock:
+            self._segments[shm.name] = shm
+        return shm
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(set(self._segments) | self._released)
+
+    def live_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._segments)
+
+    def close_all(self) -> None:
+        with self._lock:
+            segments, self._segments = self._segments, {}
+            self._released.update(segments)
+        for shm in segments.values():
+            try:
+                shm.close()
+            except BufferError:  # a straggling view; the unlink still lands
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # already gone: unlink stays idempotent
+                pass
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Worker-side attach to a parent-owned segment.
+
+    Workers are ``multiprocessing`` children, so they share the
+    parent's resource tracker (the tracker fd is inherited under both
+    fork and spawn): the child's attach registers into the same
+    name-set the parent's create did, and the parent's single
+    ``unlink()`` at ``pool.close()`` retires it.  Nothing to untrack
+    here — a child-side unregister would steal the parent's
+    registration instead.
+    """
+    return shared_memory.SharedMemory(name=name)

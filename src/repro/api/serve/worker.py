@@ -1,0 +1,231 @@
+"""The worker-process body: one warm :class:`~repro.api.Session` per shard.
+
+Shared-nothing by construction — a worker owns its session (plan cache,
+FFT/rfft plan caches, compiled-executor pool, autotune memo) and shares
+only the two ring segments and its request queue with the parent.  The
+geometry-hash router guarantees every geometry this worker ever sees is
+one it has served before, so after the first request (or a warmup
+directive) every plan lookup is a cache hit for the life of the process.
+
+Protocol (small pickled tuples; tensors stay in shared memory):
+
+Parent -> worker, over the bounded request queue
+    ``("model", mid, weight, modes, symmetric)``
+        register one served model (weights cross once per worker).
+    ``("req", rid, mid, shape, dtype, req_off, resp_off, resp_cap)``
+        one inference request; the input lives at ``req_off`` in the
+        request ring, the output must land at ``resp_off``.
+    ``("warm", models, geometries)``
+        warmup handoff: pre-build executors (and, on an autotune
+        session, pre-tune tiles) for the geometries the predecessor
+        served, *before* taking traffic.
+    ``("stats", token)``
+        snapshot request.
+    ``None``
+        drain and exit.
+
+Worker -> parent, over the response pipe
+    ``("ready", pid)`` | ``("res", rid, shape, dtype, nbytes)`` |
+    ``("err", rid, message)`` | ``("warmed", count)`` |
+    ``("stats", token, payload)``
+
+Consecutive ``"req"`` messages are drained opportunistically (up to
+``max_batch``) and flushed through ``session.infer_many`` — the same
+deterministic geometry micro-batcher the in-process serving path uses,
+so pooled results are bit-identical to a serial one-worker session no
+matter how requests interleave.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_mod
+import signal
+import time
+
+import numpy as np
+
+__all__ = ["worker_main"]
+
+
+def _probe_shape(shape: tuple) -> tuple:
+    """A 1-row probe of a recorded request shape (warmup input)."""
+    return (1,) + tuple(shape[1:])
+
+
+class _WorkerBody:
+    def __init__(self, session, models, req_shm, resp_shm, conn, max_batch):
+        self.session = session
+        self.models = models
+        self.req_shm = req_shm
+        self.resp_shm = resp_shm
+        self.conn = conn
+        self.max_batch = max_batch
+        self.served = 0
+
+    # -- request execution ---------------------------------------------
+
+    def flush(self, batch: list[tuple]) -> None:
+        """Run one drained micro-batch through the session."""
+        if not batch:
+            return
+        pairs = []
+        for _, rid, mid, shape, dtype, req_off, _, _ in batch:
+            x = np.ndarray(
+                shape, np.dtype(dtype), buffer=self.req_shm.buf, offset=req_off
+            )
+            pairs.append((self.models[mid], x))
+        try:
+            outs = self.session.infer_many(pairs, max_batch=self.max_batch)
+        except Exception:
+            # A poisoned micro-batch: fall back to per-request execution
+            # so one bad geometry fails alone instead of failing its
+            # whole batch.
+            outs = []
+            for model, x in pairs:
+                try:
+                    outs.append(self.session.infer(model, x))
+                except Exception as exc:  # noqa: BLE001 - reported per-request
+                    outs.append(exc)
+        for header, out in zip(batch, outs):
+            _, rid, _, _, _, _, resp_off, resp_cap = header
+            if isinstance(out, Exception):
+                self.conn.send(("err", rid, f"{type(out).__name__}: {out}"))
+                continue
+            if out.nbytes > resp_cap:
+                self.conn.send((
+                    "err", rid,
+                    f"output of {out.nbytes} bytes overflows the "
+                    f"{resp_cap}-byte response slab",
+                ))
+                continue
+            view = np.ndarray(
+                out.shape, out.dtype, buffer=self.resp_shm.buf, offset=resp_off
+            )
+            view[...] = out
+            del view
+            self.served += 1
+            self.conn.send(
+                ("res", rid, out.shape, str(out.dtype), out.nbytes)
+            )
+        del pairs  # release the request-ring views before the next drain
+
+    # -- control messages ----------------------------------------------
+
+    def warm(self, model_specs: list, geometries: list) -> None:
+        """Warmup handoff: stage executors for the predecessor's traffic.
+
+        Each (model, geometry, dtype) runs a 1-row probe through the
+        pooled executor — staging weight panels, building the FFT/rfft
+        plan family, and (on an ``autotune=True`` session) resolving the
+        tuned tiles — without touching serving stats.
+        """
+        for mid, weight, modes, symmetric in model_specs:
+            if mid not in self.models:
+                from repro.api.session import SpectralModel
+
+                self.models[mid] = SpectralModel(weight, modes, symmetric)
+        count = 0
+        for mid, shape, dtype in geometries:
+            model = self.models.get(mid)
+            if model is None:
+                continue
+            executor = self.session.executor(
+                model.weight, model.modes, model.symmetric
+            )
+            executor(np.zeros(_probe_shape(shape), np.dtype(dtype)))
+            count += 1
+        self.conn.send(("warmed", count))
+
+    def stats(self, token) -> None:
+        self.conn.send((
+            "stats",
+            token,
+            {
+                "pid": os.getpid(),
+                "served": self.served,
+                "session": self.session.stats(),
+            },
+        ))
+
+
+def worker_main(
+    index: int,
+    request_queue,
+    conn,
+    req_segment: str,
+    resp_segment: str,
+    backend: str,
+    autotune: bool,
+    dtype_policy: str,
+    max_batch: int,
+) -> None:
+    """Process entry point (module-level: spawn-picklable)."""
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent owns Ctrl-C
+    except (ValueError, OSError):  # pragma: no cover - exotic hosts
+        pass
+    # Imports happen here, not at module import: under the spawn start
+    # method the child pays them once, and the parent's import of this
+    # module stays light.
+    from repro.api.serve.shm import attach_segment
+    from repro.api.session import Session, SpectralModel
+
+    req_shm = attach_segment(req_segment)
+    resp_shm = attach_segment(resp_segment)
+    session = Session(
+        backend=backend, autotune=autotune, dtype_policy=dtype_policy
+    )
+    body = _WorkerBody(session, {}, req_shm, resp_shm, conn, max_batch)
+    conn.send(("ready", os.getpid()))
+    batch: list[tuple] = []
+    try:
+        while True:
+            if batch:
+                # Opportunistic micro-batching: drain whatever is
+                # already queued before executing, up to max_batch.
+                try:
+                    msg = request_queue.get_nowait()
+                except queue_mod.Empty:
+                    body.flush(batch)
+                    batch = []
+                    continue
+            else:
+                msg = request_queue.get()
+            if msg is None:
+                body.flush(batch)
+                batch = []
+                break
+            kind = msg[0]
+            if kind == "req":
+                batch.append(msg)
+                if len(batch) >= max_batch:
+                    body.flush(batch)
+                    batch = []
+            else:
+                body.flush(batch)  # controls are barriers
+                batch = []
+                if kind == "model":
+                    _, mid, weight, modes, symmetric = msg
+                    body.models[mid] = SpectralModel(weight, modes, symmetric)
+                elif kind == "warm":
+                    body.warm(msg[1], msg[2])
+                elif kind == "stats":
+                    body.stats(msg[1])
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass  # parent went away: nothing left to serve
+    finally:
+        try:
+            session.close()
+        except Exception:  # pragma: no cover - teardown best-effort
+            pass
+        time.sleep(0)  # let any exported views drop before unmapping
+        for shm in (req_shm, resp_shm):
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - straggling view
+                pass
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
