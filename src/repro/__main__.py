@@ -35,6 +35,18 @@ Commands
     requests/sec — still hard-asserted bit-identical.  ``--backend``
     pins the executor substrate — per-session configuration where the
     seed only had the process-global ``REPRO_NO_CKERNELS``.
+``chaos-soak [--requests N] [--workers W] [--seed S] [--backend B]
+[--faults SPEC] [--quick] [--json]``
+    Drive a seeded chaos soak through a ``repro.api.ServePool``: a
+    mixed-geometry request stream under a scripted fault plan
+    (crashes, hangs, latency, ring-allocation failures, corrupted
+    headers — ``FaultPlan.chaos(seed, N)`` by default, or an explicit
+    ``--faults "kind@index[:seconds][!];..."`` spec) with a short hang
+    timeout and a sprinkle of already-expired deadlines.  Exits
+    non-zero unless the three acceptance invariants hold: every future
+    resolves (result or typed error), every shared-memory segment
+    unlinks at close, and every successful result is bit-identical to
+    a serial one-worker session.  ``--quick`` is the CI-sized run.
 
 Commands resolve problems through the :mod:`repro.api` facade; ``ladder``'s
 ``--device h100`` (or any name added with ``repro.api.register_device``)
@@ -267,6 +279,42 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos_soak(args: argparse.Namespace) -> int:
+    from repro.api.serve import FaultPlan, run_soak
+
+    requests = 60 if args.quick else args.requests
+    workers = 2 if args.quick else args.workers
+    plan = None
+    if args.faults is not None:
+        try:
+            plan = FaultPlan.parse(args.faults)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    report = run_soak(
+        requests=requests, workers=workers, seed=args.seed,
+        backend=args.backend, hang_timeout=args.hang_timeout, plan=plan,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, default=str))
+    else:
+        print(f"chaos-soak: {report['requests']} requests, "
+              f"{report['workers']} workers, seed={report['seed']}, "
+              f"{report['faults']['planned']} planned faults")
+        print(f"  outcomes : {report['outcomes']}")
+        adm = report["admission"]
+        print(f"  recovery : crashes={adm['crashes']} hangs={adm['hangs']} "
+              f"retried={adm['retried']} corrupted={adm['corrupted']} "
+              f"expired={adm['expired']} degraded={adm['degraded']}")
+        print(f"  segments : created={report['segments']['created']} "
+              f"leaked={report['segments']['leaked']}")
+        for violation in report["violations"]:
+            print(f"  VIOLATION: {violation}")
+        print("  PASS: every future resolved, no leaked segments, "
+              "successes bit-identical" if report["ok"] else "  FAIL")
+    return 0 if report["ok"] else 1
+
+
 #: ``tune`` geometry grids: (kind, batch, hidden in/out, spatial, modes).
 #: Serving-shaped — many signals over few channels — plus one 2-D case
 #: and one symmetric (half-spectrum) case per grid.
@@ -437,6 +485,30 @@ def main(argv: list[str] | None = None) -> int:
     p_sv.add_argument("--json", action="store_true",
                       help="machine-readable report incl. session stats")
     p_sv.set_defaults(func=_cmd_serve_bench)
+
+    p_cs = sub.add_parser(
+        "chaos-soak",
+        help="fault-injection soak of the multi-process serving pool",
+    )
+    p_cs.add_argument("--requests", type=int, default=300,
+                      help="requests in the soak stream (default 300)")
+    p_cs.add_argument("--workers", type=int, default=4,
+                      help="pool worker processes (default 4)")
+    p_cs.add_argument("--seed", type=int, default=0,
+                      help="seeds both the stream and the chaos plan")
+    p_cs.add_argument("--backend", default="numpy",
+                      choices=("auto", "ckernels", "numpy"),
+                      help="worker session backend (default numpy)")
+    p_cs.add_argument("--hang-timeout", type=float, default=2.0,
+                      help="health-monitor hang timeout in seconds")
+    p_cs.add_argument("--faults", default=None,
+                      help="explicit fault spec 'kind@index[:seconds][!];...'"
+                           " (default: FaultPlan.chaos(seed, requests))")
+    p_cs.add_argument("--quick", action="store_true",
+                      help="CI-sized run (60 requests, 2 workers)")
+    p_cs.add_argument("--json", action="store_true",
+                      help="machine-readable soak report")
+    p_cs.set_defaults(func=_cmd_chaos_soak)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -73,7 +73,13 @@ from repro.api.registry import (
 )
 from repro.api.runner import Runner, default_workers
 from repro.api.serve import (
+    Cancelled,
+    CorruptedHeader,
+    DeadlineExceeded,
+    FaultPlan,
+    HealthPolicy,
     PoolSaturated,
+    ResultTimeout,
     ServeError,
     ServeFuture,
     ServePool,
@@ -104,7 +110,13 @@ __all__ = [
     "ServeFuture",
     "ServeError",
     "WorkerCrashed",
+    "DeadlineExceeded",
+    "ResultTimeout",
+    "Cancelled",
+    "CorruptedHeader",
     "PoolSaturated",
+    "FaultPlan",
+    "HealthPolicy",
     "Runner",
     "spectral_conv",
     "DEFAULT_DEVICE",

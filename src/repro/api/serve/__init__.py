@@ -11,19 +11,41 @@ through shared-memory ring segments instead of pipes.
 ...     ys = pool.infer_many(requests)   # bit-identical to one Session
 ...     pool.stats()["per_geometry"]     # each geometry: one worker
 
+Failure semantics are first-class: per-request deadlines, heartbeat
+monitoring with hung-worker escalation, per-shard circuit breakers
+with an in-parent degraded fallback, checksummed control headers, and
+a deterministic fault-injection layer that provokes every one of those
+paths on schedule (``ServePool(faults=...)`` / ``REPRO_FAULTS`` /
+``python -m repro chaos-soak``).
+
 Modules
 -------
 :mod:`~repro.api.serve.router`
-    Geometry key/hash and shard assignment (stable across processes).
+    Geometry key/hash and shard assignment (stable across processes),
+    plus the degradation route table.
 :mod:`~repro.api.serve.shm`
-    Ring-segment allocator, backpressure, segment bookkeeping.
+    Ring-segment allocator, backpressure, segment bookkeeping, header
+    checksums.
 :mod:`~repro.api.serve.worker`
     The worker-process body: one warm session, opportunistic
-    micro-batching, warmup-handoff protocol.
+    micro-batching, warmup-handoff protocol, heartbeats, fault hooks.
+:mod:`~repro.api.serve.health`
+    Typed failure vocabulary, health monitor, circuit breaker.
+:mod:`~repro.api.serve.faults`
+    Scripted fault plans, the chaos injector, and the soak harness.
 :mod:`~repro.api.serve.pool`
     :class:`ServePool` itself: routing, admission, lifecycle, stats.
 """
 
+from repro.api.serve.faults import ChaosInjector, Fault, FaultPlan, run_soak
+from repro.api.serve.health import (
+    Cancelled,
+    CircuitBreaker,
+    CorruptedHeader,
+    DeadlineExceeded,
+    HealthPolicy,
+    ResultTimeout,
+)
 from repro.api.serve.pool import (
     ServeError,
     ServeFuture,
@@ -31,22 +53,41 @@ from repro.api.serve.pool import (
     WorkerCrashed,
 )
 from repro.api.serve.router import (
+    FALLBACK,
+    RouteTable,
     format_geometry,
     geometry_hash,
     geometry_key,
     shard_for,
 )
-from repro.api.serve.shm import DEFAULT_RING_BYTES, PoolSaturated
+from repro.api.serve.shm import (
+    DEFAULT_RING_BYTES,
+    PoolSaturated,
+    header_checksum,
+)
 
 __all__ = [
     "ServePool",
     "ServeFuture",
     "ServeError",
     "WorkerCrashed",
+    "DeadlineExceeded",
+    "ResultTimeout",
+    "Cancelled",
+    "CorruptedHeader",
     "PoolSaturated",
+    "HealthPolicy",
+    "CircuitBreaker",
+    "Fault",
+    "FaultPlan",
+    "ChaosInjector",
+    "run_soak",
     "DEFAULT_RING_BYTES",
     "geometry_key",
     "geometry_hash",
     "shard_for",
     "format_geometry",
+    "FALLBACK",
+    "RouteTable",
+    "header_checksum",
 ]

@@ -16,22 +16,41 @@ converts those per-core wins into multi-core throughput:
 * **zero-copy tensors** — request/response arrays move through
   ``multiprocessing.shared_memory`` rings (:mod:`repro.api.serve.shm`):
   workers read input slabs and write outputs in place, only a small
-  pickled header crosses the queue;
+  *checksummed* pickled header crosses the queue;
 * **backpressure** — bounded per-worker queues and ring arenas;
   ``submit`` blocks (default) or raises :class:`PoolSaturated`
   (``saturation="raise"``);
+* **failure enforcement** (:mod:`repro.api.serve.health`) — workers
+  heartbeat over the control pipe; a monitor thread kills hung-but-
+  alive workers (deadlock, ``SIGSTOP``, runaway loop) so they take the
+  same warmed-replacement + retry-or-fail path as a crash, sweeps
+  per-request **deadlines** (``submit(deadline=)``) into typed
+  :class:`DeadlineExceeded` failures, and feeds a per-shard
+  :class:`~repro.api.serve.health.CircuitBreaker`;
+* **graceful degradation** — after ``breaker_threshold`` consecutive
+  crash/hang replacements a shard's breaker opens: its geometries
+  reroute to an in-parent fallback :class:`~repro.api.Session`
+  (bit-identical results, degraded throughput, visible in
+  ``stats()["degraded"]``) until a half-open probe succeeds;
 * **graceful lifecycle** — workers recycle after
   ``max_requests_per_worker`` requests or on crash, and every
   replacement is *warmed first*: it pre-builds (and, with autotune,
   pre-tunes) the geometries its predecessor served before taking
   traffic.  In-flight requests on a crashed worker are retried once on
   the replacement (``on_crash="retry"``) or failed with
-  :class:`WorkerCrashed` (``"fail"``) — deterministically either way.
+  :class:`WorkerCrashed` (``"fail"``) — deterministically either way;
+* **chaos testability** (:mod:`repro.api.serve.faults`) — a scripted
+  :class:`~repro.api.serve.faults.FaultPlan` (``ServePool(faults=...)``
+  or ``REPRO_FAULTS``) injects crash/hang/latency/ring-failure/header-
+  corruption faults at exact request indices, so every recovery path
+  above is provoked deterministically in tests and the
+  ``python -m repro chaos-soak`` harness.
 
 Results are **bit-identical** to a serial one-worker
-:class:`~repro.api.Session` on the same request set: workers execute
-through the same session machinery, every operator is row-independent,
-and sharding only changes *where* a request runs, never its arithmetic.
+:class:`~repro.api.Session` on the same request set: workers (and the
+degradation fallback) execute through the same session machinery, every
+operator is row-independent, and routing only changes *where* a request
+runs, never its arithmetic.
 """
 
 from __future__ import annotations
@@ -46,31 +65,51 @@ import weakref
 import numpy as np
 
 from repro.api.runner import default_workers
-from repro.api.serve.router import format_geometry, geometry_key, shard_for
+from repro.api.serve.faults import ChaosInjector, FaultPlan
+from repro.api.serve.health import (
+    Cancelled,
+    CircuitBreaker,
+    CorruptedHeader,
+    DeadlineExceeded,
+    HealthMonitor,
+    HealthPolicy,
+    ResultTimeout,
+    ServeError,
+    WorkerCrashed,
+)
+from repro.api.serve.router import (
+    FALLBACK,
+    RouteTable,
+    format_geometry,
+    geometry_key,
+    shard_for,
+)
 from repro.api.serve.shm import (
     DEFAULT_RING_BYTES,
     PoolSaturated,
     RingArena,
     SegmentRegistry,
+    header_checksum,
 )
 from repro.api.serve.worker import worker_main
-from repro.api.session import DTYPE_POLICIES, SpectralModel, _as_spectral_model
+from repro.api.session import DTYPE_POLICIES, Session, SpectralModel, \
+    _as_spectral_model
 from repro.core.dtypes import complex_dtype_for
 from repro.fft.compiled import resolve_backend_kernels
 
-__all__ = ["ServePool", "ServeFuture", "ServeError", "WorkerCrashed"]
+__all__ = [
+    "ServePool",
+    "ServeFuture",
+    "ServeError",
+    "WorkerCrashed",
+    "DeadlineExceeded",
+    "ResultTimeout",
+    "Cancelled",
+    "CorruptedHeader",
+]
 
 #: How long the parent waits for a worker to come up / warm / drain.
 _LIFECYCLE_TIMEOUT = 120.0
-
-
-class ServeError(RuntimeError):
-    """A request failed inside a worker (the worker itself survived)."""
-
-
-class WorkerCrashed(ServeError):
-    """The worker died with this request in flight and the pool's
-    ``on_crash`` policy (or the retry budget) said fail, not retry."""
 
 
 class _HandleDead(Exception):
@@ -78,37 +117,76 @@ class _HandleDead(Exception):
 
 
 class ServeFuture:
-    """Handle to one in-flight request; ``result()`` blocks for it."""
+    """Handle to one in-flight request; ``result()`` blocks for it.
 
-    __slots__ = ("geometry", "worker", "_event", "_value", "_exc")
+    ``result(timeout=)`` expiry raises :class:`ResultTimeout` — the
+    request is *still in flight* and keeps holding its ring slabs until
+    the worker answers (or dies); call :meth:`cancel` to abandon it and
+    let the pool reclaim the slabs at the worker's next answer.
+    Resolution is first-wins: whichever of the worker's answer, the
+    deadline sweep, a crash, or :meth:`cancel` lands first decides the
+    outcome, and everything later is bookkeeping only.
+    """
 
-    def __init__(self, geometry: str, worker: int) -> None:
+    __slots__ = ("geometry", "worker", "deadline", "_event", "_value",
+                 "_exc", "_lock", "_cancel_hook")
+
+    def __init__(self, geometry: str, worker: int,
+                 deadline: float | None = None) -> None:
         self.geometry = geometry  #: formatted routing key
         self.worker = worker  #: shard index the geometry maps to
+        self.deadline = deadline  #: absolute ``time.monotonic()`` (or None)
         self._event = threading.Event()
         self._value: np.ndarray | None = None
         self._exc: BaseException | None = None
+        self._lock = threading.Lock()
+        self._cancel_hook = None
 
     def done(self) -> bool:
         return self._event.is_set()
 
+    def cancelled(self) -> bool:
+        return isinstance(self._exc, Cancelled)
+
     def result(self, timeout: float | None = None) -> np.ndarray:
         if not self._event.wait(timeout):
-            raise TimeoutError(
+            raise ResultTimeout(
                 f"request on worker {self.worker} ({self.geometry}) still "
-                f"in flight after {timeout}s"
+                f"in flight after {timeout}s — it keeps holding its ring "
+                f"slabs; cancel() abandons it and releases them"
             )
         if self._exc is not None:
             raise self._exc
         return self._value
 
-    def _set_result(self, value: np.ndarray) -> None:
-        self._value = value
-        self._event.set()
+    def cancel(self) -> bool:
+        """Abandon the request; True when this call resolved the future.
 
-    def _set_exception(self, exc: BaseException) -> None:
-        self._exc = exc
-        self._event.set()
+        The future fails with :class:`Cancelled` immediately; the ring
+        slabs are reclaimed as soon as the owning worker answers for
+        the request (or dies) — never while it might still write them.
+        Already-resolved futures return False.
+        """
+        hook = self._cancel_hook
+        if hook is None or self.done():
+            return False
+        return hook()
+
+    def _set_result(self, value: np.ndarray) -> bool:
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._value = value
+            self._event.set()
+            return True
+
+    def _set_exception(self, exc: BaseException) -> bool:
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._exc = exc
+            self._event.set()
+            return True
 
 
 class _Pending:
@@ -116,10 +194,11 @@ class _Pending:
 
     __slots__ = (
         "rid", "spec", "mid", "x", "gkey", "shard", "future", "req_off",
-        "resp_off", "resp_cap", "allocated", "t_submit", "retries",
+        "resp_off", "resp_cap", "allocated", "t_submit", "t_dispatch",
+        "retries", "deadline", "abandoned",
     )
 
-    def __init__(self, rid, spec, mid, x, gkey, shard, future):
+    def __init__(self, rid, spec, mid, x, gkey, shard, future, deadline):
         self.rid = rid
         self.spec = spec
         self.mid = mid
@@ -130,13 +209,26 @@ class _Pending:
         self.req_off = self.resp_off = self.resp_cap = 0
         self.allocated = False  # slab offsets valid (crash path frees them)
         self.t_submit = time.perf_counter()
+        self.t_dispatch = time.monotonic()
         self.retries = 0
+        self.deadline = deadline  # absolute time.monotonic() or None
+        #: Future already resolved (deadline sweep / cancel); the worker
+        #: answer only frees slabs, never delivers.
+        self.abandoned = False
+
+    def expired(self, now: float | None = None) -> bool:
+        return (
+            self.deadline is not None
+            and (now if now is not None else time.monotonic())
+            >= self.deadline
+        )
 
 
 class _GeoStats:
     """Parent-side per-geometry admission/latency counters."""
 
-    __slots__ = ("worker", "requests", "seconds", "retried", "failed")
+    __slots__ = ("worker", "requests", "seconds", "retried", "failed",
+                 "expired", "degraded")
 
     def __init__(self, worker: int) -> None:
         self.worker = worker
@@ -144,6 +236,8 @@ class _GeoStats:
         self.seconds = 0.0
         self.retried = 0
         self.failed = 0
+        self.expired = 0
+        self.degraded = 0
 
     def as_dict(self) -> dict:
         out = {
@@ -155,6 +249,8 @@ class _GeoStats:
             "worker": self.worker,
             "retried": self.retried,
             "failed": self.failed,
+            "expired": self.expired,
+            "degraded": self.degraded,
         }
         return out
 
@@ -179,6 +275,12 @@ class _WorkerHandle:
         self.ready = threading.Event()
         self.warmed = threading.Event()
         self.pid: int | None = None
+        self.backend: str | None = None  #: actual substrate ("ready" reports)
+        #: Health bookkeeping (collector writes, monitor reads).
+        self.last_progress = time.monotonic()
+        self.last_heartbeat: float | None = None
+        self.hb_served = -1
+        self.hang_killed = False
         #: What this worker has served — the warmup-handoff inventory
         #: its replacement is primed with before taking traffic.
         self.warm_models: dict[int, tuple] = {}
@@ -201,7 +303,10 @@ class ServePool:
         ``REPRO_WORKERS`` parser — serve does not re-implement it).
     backend, autotune, dtype_policy:
         Forwarded to each worker's :class:`~repro.api.Session`
-        (validated up front in the parent).
+        (validated up front in the parent).  A worker whose C-kernel
+        self-check fails at startup falls back to the NumPy substrate
+        (identical bits) instead of crash-looping; ``stats()`` reports
+        each worker's actual backend.
     max_batch:
         Micro-batch budget per worker drain (the same deterministic
         grouping :meth:`Session.infer_many` applies in-process).
@@ -217,12 +322,27 @@ class ServePool:
         replaced (between requests) by a freshly warmed successor.
         ``None`` disables recycling.
     on_crash:
-        ``"retry"`` (default): in-flight requests of a crashed worker
-        are re-executed on its warmed replacement (at most
-        ``max_retries`` times each, then failed); ``"fail"``: they fail
-        immediately with :class:`WorkerCrashed`.
+        ``"retry"`` (default): in-flight requests of a crashed (or
+        hang-killed) worker are re-executed on its warmed replacement
+        (at most ``max_retries`` times each, then failed); ``"fail"``:
+        they fail immediately with :class:`WorkerCrashed`.  The same
+        policy governs checksum-rejected (corrupted) responses.
     ring_bytes:
         Per-ring shared-memory capacity (two rings per worker).
+    health:
+        :class:`~repro.api.serve.health.HealthPolicy` — heartbeat
+        cadence, ``hang_timeout`` (a busy worker with no progress for
+        this long is killed and replaced) and the deadline-sweep tick.
+    faults:
+        A :class:`~repro.api.serve.faults.FaultPlan` (or its string
+        spec) scripting injected faults; ``None`` reads
+        ``REPRO_FAULTS``.  Production pools run with no plan and pay
+        one ``None`` check per request.
+    breaker_threshold, breaker_cooldown:
+        Per-shard circuit breaker: after ``threshold`` *consecutive*
+        crash/hang replacements the shard's traffic reroutes to the
+        in-parent fallback session until a half-open probe (after
+        ``cooldown`` seconds) succeeds.
     start_method:
         ``multiprocessing`` start method; default prefers ``"fork"``
         and falls back to ``"spawn"`` where fork is unavailable.
@@ -241,6 +361,10 @@ class ServePool:
         on_crash: str = "retry",
         max_retries: int = 1,
         ring_bytes: int = DEFAULT_RING_BYTES,
+        health: HealthPolicy | None = None,
+        faults: FaultPlan | str | None = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 30.0,
         start_method: str | None = None,
     ) -> None:
         resolve_backend_kernels(backend)  # fail in the parent, not N times
@@ -276,6 +400,13 @@ class ServePool:
         self.on_crash = on_crash
         self.max_retries = int(max_retries)
         self.ring_bytes = int(ring_bytes)
+        self.health = health if health is not None else HealthPolicy()
+        if isinstance(faults, str):
+            faults = FaultPlan.parse(faults)
+        if faults is None:
+            faults = FaultPlan.from_env()
+        self._fault_plan = faults
+        self._injector = ChaosInjector(faults)
         if start_method is None:
             methods = mp.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
@@ -290,9 +421,23 @@ class ServePool:
         self._geo_stats: dict[tuple, _GeoStats] = {}
         self._admission = {
             "submitted": 0, "completed": 0, "failed": 0, "rejected": 0,
-            "retried": 0, "crashes": 0, "recycles": 0,
+            "retried": 0, "crashes": 0, "recycles": 0, "hangs": 0,
+            "expired": 0, "corrupted": 0, "cancelled": 0, "degraded": 0,
+            "breaker_opens": 0,
         }
         self._handles: dict[int, _WorkerHandle] = {}
+        self._routes = RouteTable(self.workers)
+        self._breakers = {
+            i: CircuitBreaker(breaker_threshold, breaker_cooldown)
+            for i in range(self.workers)
+        }
+        self._monitor: HealthMonitor | None = None
+        #: The graceful-degradation path: one in-parent session + drain
+        #: thread, created lazily the first time a breaker opens.
+        self._fallback_session: Session | None = None
+        self._fallback_thread: threading.Thread | None = None
+        self._fallback_queue: "queue_mod.Queue[_Pending | None]" = \
+            queue_mod.Queue()
         # Fork every worker before any collector thread exists, then
         # start the collectors: forking a thread-free parent sidesteps
         # the usual fork-with-threads hazards for the initial fleet.
@@ -307,6 +452,8 @@ class ServePool:
             self._closed = True
             self._teardown(list(self._handles.values()))
             raise
+        self._monitor = HealthMonitor(self.health, self._health_tick)
+        self._monitor.start()
         self._finalizer = weakref.finalize(
             self, SegmentRegistry.close_all, self._registry
         )
@@ -351,7 +498,8 @@ class ServePool:
             args=(
                 shard, queue, send_conn, rings[0].name, rings[2].name,
                 self.backend, self.autotune, self.dtype_policy,
-                self.max_batch,
+                self.max_batch, self.health.heartbeat_interval,
+                self._fault_plan,
             ),
             name=f"repro-serve-{shard}",
             daemon=True,
@@ -371,8 +519,13 @@ class ServePool:
     def close(self, timeout: float = 10.0) -> None:
         """Stop every worker and unlink every shared-memory segment.
 
-        Idempotent.  In-flight requests are failed with
-        :class:`ServeError`; further calls raise ``RuntimeError``.
+        Idempotent.  ``timeout`` is the *total* shutdown budget: every
+        internal wait (drain-sentinel puts, process joins, fallback
+        drain) is derived from the remaining budget rather than a fixed
+        per-step constant, so close-under-saturation completes within
+        ``timeout`` plus a small per-worker floor — deterministically.
+        In-flight requests are failed with :class:`ServeError`; further
+        calls raise ``RuntimeError``.
         """
         with self._lock:
             if self._closed:
@@ -382,17 +535,30 @@ class ServePool:
         self._teardown(handles, timeout)
 
     def _teardown(self, handles, timeout: float = 10.0) -> None:
+        deadline = time.monotonic() + max(0.1, timeout)
+
+        def remaining(floor: float = 0.05) -> float:
+            return max(floor, deadline - time.monotonic())
+
+        if self._monitor is not None:
+            self._monitor.stop(remaining(0.1))
         for handle in handles:
             handle.closing = True
             try:
-                handle.queue.put(None, block=True, timeout=1.0)
+                # Derived from the close budget (split across workers),
+                # not a hardcoded constant: a saturated pool's feeder
+                # can't eat the whole budget on the first worker.
+                handle.queue.put(
+                    None, block=True,
+                    timeout=min(1.0, remaining() / max(1, len(handles))),
+                )
             except (queue_mod.Full, ValueError, OSError):
                 pass
         for handle in handles:
-            handle.process.join(timeout)
+            handle.process.join(remaining())
             if handle.process.is_alive():
                 handle.process.terminate()
-                handle.process.join(1.0)
+                handle.process.join(remaining(0.5))
             if handle.process.is_alive():  # pragma: no cover - last resort
                 handle.process.kill()
                 handle.process.join(1.0)
@@ -409,6 +575,23 @@ class ServePool:
                 handle.depth.notify_all()  # wake blocked admitters: closing
             for pending in drained:
                 pending.future._set_exception(ServeError("pool closed"))
+        # The degradation path: stop the drain thread, fail anything
+        # still queued behind the sentinel, release the session.
+        if self._fallback_thread is not None:
+            self._fallback_queue.put(None)
+            self._fallback_thread.join(remaining())
+        while True:
+            try:
+                pending = self._fallback_queue.get_nowait()
+            except queue_mod.Empty:
+                break
+            if pending is not None:
+                pending.future._set_exception(ServeError("pool closed"))
+        if self._fallback_session is not None:
+            try:
+                self._fallback_session.close()
+            except Exception:  # pragma: no cover - teardown best-effort
+                pass
         self._registry.close_all()
 
     # -- routing / model registry --------------------------------------
@@ -459,12 +642,20 @@ class ServePool:
         x: np.ndarray,
         block: bool | None = None,
         timeout: float | None = None,
+        deadline: float | None = None,
     ) -> ServeFuture:
         """Admit one request; returns a :class:`ServeFuture`.
 
         ``block`` defaults from the pool's ``saturation`` policy.  The
         input array must stay unmodified until the result is collected
         (it is the retry source if the owning worker crashes).
+
+        ``deadline`` is an end-to-end budget in *seconds from now*: a
+        request still unfinished when it expires fails with
+        :class:`DeadlineExceeded` — parent-side via the health monitor
+        sweep, worker-side by skipping expired requests before
+        executing them (never served late).  ``deadline=0`` expires
+        immediately (useful to test the path).
         """
         self._check_open()
         spec = self._spec_of(model)
@@ -474,6 +665,8 @@ class ServePool:
                 f"request tensors are (batch, channels, *spatial); got "
                 f"shape {x.shape}"
             )
+        if deadline is not None and deadline < 0:
+            raise ValueError(f"deadline must be >= 0 seconds, got {deadline}")
         if block is None:
             block = self.saturation == "block"
         gkey = geometry_key(spec, x)
@@ -483,8 +676,13 @@ class ServePool:
             mid, spec = self._model_id(spec)
         with self._stats_lock:
             self._admission["submitted"] += 1
-        future = ServeFuture(format_geometry(gkey), shard)
-        pending = _Pending(next(self._rid), spec, mid, x, gkey, shard, future)
+        abs_deadline = (
+            None if deadline is None else time.monotonic() + deadline
+        )
+        future = ServeFuture(format_geometry(gkey), shard, abs_deadline)
+        pending = _Pending(next(self._rid), spec, mid, x, gkey, shard,
+                           future, abs_deadline)
+        future._cancel_hook = lambda: self._cancel_pending(pending)
         try:
             self._submit_pending(pending, block, timeout)
         except PoolSaturated:
@@ -493,10 +691,44 @@ class ServePool:
             raise
         return future
 
+    def _cancel_pending(self, pending: _Pending) -> bool:
+        """``ServeFuture.cancel()`` body: abandon one in-flight request."""
+        pending.abandoned = True
+        won = pending.future._set_exception(Cancelled(
+            f"request {pending.rid} ({format_geometry(pending.gkey)}) "
+            f"abandoned by cancel()"
+        ))
+        if won:
+            with self._stats_lock:
+                self._admission["cancelled"] += 1
+        return won
+
+    def _fail_expired(self, pending: _Pending, exc: DeadlineExceeded) -> None:
+        pending.abandoned = True
+        won = pending.future._set_exception(exc)
+        if won:
+            with self._stats_lock:
+                self._admission["expired"] += 1
+                self._geo(pending).expired += 1
+
+    def _geo(self, pending: _Pending) -> _GeoStats:
+        """Per-geometry counters (call with ``_stats_lock`` held)."""
+        stats = self._geo_stats.get(pending.gkey)
+        if stats is None:
+            stats = self._geo_stats[pending.gkey] = _GeoStats(pending.shard)
+        return stats
+
     def _submit_pending(self, pending: _Pending, block, timeout) -> None:
         while True:
             with self._lock:
                 self._check_open()
+                # Degradation reroute: an open breaker sends the shard's
+                # traffic to the in-parent fallback session — except the
+                # single half-open probe the breaker lets through.
+                if self._routes.route(pending.gkey) == FALLBACK:
+                    if not self._breakers[pending.shard].allow_worker():
+                        self._submit_degraded(pending)
+                        return
                 handle = self._handles[pending.shard]
                 if (
                     self.max_requests_per_worker is not None
@@ -509,25 +741,46 @@ class ServePool:
                 return
             except _HandleDead:
                 continue  # the crash handler swapped the shard's worker
+            except DeadlineExceeded as exc:
+                self._fail_expired(pending, exc)
+                return
 
     def _dispatch(self, handle, pending: _Pending, block, timeout) -> None:
         x = pending.x
         spec = pending.spec
+        now = time.monotonic()
+        if pending.expired(now):
+            raise DeadlineExceeded(
+                f"request {pending.rid} expired before dispatch"
+            )
+        pending.t_dispatch = now
+        t_limit = None if timeout is None else now + timeout
         # 1. Admission: take an in-flight slot (the queue_depth bound).
         with handle.depth:
             while len(handle.pending) >= self.queue_depth:
                 if handle.dead or handle.closing:
                     raise _HandleDead
+                now = time.monotonic()
+                if pending.expired(now):
+                    raise DeadlineExceeded(
+                        f"request {pending.rid} expired waiting for an "
+                        f"admission slot on worker {handle.shard}"
+                    )
                 if not block:
                     raise PoolSaturated(
                         f"worker {handle.shard} at queue depth "
                         f"{self.queue_depth}"
                     )
-                if not handle.depth.wait(timeout):
+                if t_limit is not None and now >= t_limit:
                     raise PoolSaturated(
                         f"worker {handle.shard} still at queue depth "
                         f"{self.queue_depth} after {timeout:.1f}s"
                     )
+                bounds = [b for b in (t_limit, pending.deadline)
+                          if b is not None]
+                handle.depth.wait(
+                    None if not bounds else max(0.0, min(bounds) - now)
+                )
             if handle.dead or handle.closing:
                 raise _HandleDead
             pending.allocated = False
@@ -550,18 +803,44 @@ class ServePool:
                 raise exc
             return True
 
-        # 2. Slabs: ring capacity is the second backpressure gate.
+        def _alloc_timeout() -> float | None:
+            bounds = [b for b in (t_limit, pending.deadline)
+                      if b is not None]
+            if not bounds:
+                return None
+            return max(0.001, min(bounds) - time.monotonic())
+
+        def _saturation(exc: PoolSaturated) -> BaseException:
+            # A deadline that lapsed while blocked on ring capacity is a
+            # deadline failure, not a saturation rejection.
+            if pending.expired():
+                return DeadlineExceeded(
+                    f"request {pending.rid} expired waiting for ring "
+                    f"capacity on worker {handle.shard}"
+                )
+            return exc
+
+        # 2. Slabs: ring capacity is the second backpressure gate (and
+        # the ring_fail chaos hook: an injected allocation failure).
+        if self._injector.fire("ring_fail", pending.rid,
+                               pending.retries) is not None:
+            _abort(PoolSaturated(
+                f"injected ring allocation failure for request "
+                f"{pending.rid}"
+            ))
+            return
         try:
-            req_off = handle.req_arena.alloc(x.nbytes, block, timeout)
+            req_off = handle.req_arena.alloc(x.nbytes, block, _alloc_timeout())
         except PoolSaturated as exc:
-            _abort(exc)
+            _abort(_saturation(exc))
             return
         resp_cap = self._response_capacity(spec, x)
         try:
-            resp_off = handle.resp_arena.alloc(resp_cap, block, timeout)
+            resp_off = handle.resp_arena.alloc(resp_cap, block,
+                                               _alloc_timeout())
         except PoolSaturated as exc:
             handle.req_arena.free(req_off)
-            _abort(exc)
+            _abort(_saturation(exc))
             return
         view = np.ndarray(
             x.shape, x.dtype, buffer=handle.req_shm.buf, offset=req_off
@@ -588,21 +867,132 @@ class ServePool:
             pending.resp_cap = resp_cap
             pending.allocated = True
         # 4. The header (the queue is unbounded: puts cannot block).
+        # Checksummed: the worker refuses to dereference ring offsets
+        # from a header that does not verify.
+        fields = (pending.rid, pending.mid, tuple(x.shape), str(x.dtype),
+                  req_off, resp_off, resp_cap, pending.deadline,
+                  pending.retries)
         try:
             if push_model:
                 handle.queue.put(
                     ("model", pending.mid, spec.weight, spec.modes,
                      spec.symmetric)
                 )
-            handle.queue.put(
-                ("req", pending.rid, pending.mid, tuple(x.shape),
-                 str(x.dtype), req_off, resp_off, resp_cap)
-            )
+            handle.queue.put(("req", *fields, header_checksum(fields)))
         except (ValueError, OSError):  # queue closed: worker is gone
             if _abort(None):
                 handle.req_arena.free(req_off)
                 handle.resp_arena.free(resp_off)
                 raise _HandleDead from None
+
+    # -- graceful degradation -------------------------------------------
+
+    def _submit_degraded(self, pending: _Pending) -> None:
+        """Reroute one request to the in-parent fallback session.
+
+        Called with the pool lock held.  Same machinery, same bits —
+        only throughput degrades (one parent thread instead of a warm
+        worker process).
+        """
+        self._ensure_fallback()
+        self._fallback_queue.put(pending)
+
+    def _ensure_fallback(self) -> None:
+        if self._fallback_thread is not None:
+            return
+        self._fallback_session = Session(
+            backend=self.backend, autotune=self.autotune,
+            dtype_policy=self.dtype_policy,
+        )
+        self._fallback_thread = threading.Thread(
+            target=self._fallback_loop, name="repro-serve-fallback",
+            daemon=True,
+        )
+        self._fallback_thread.start()
+
+    def _fallback_loop(self) -> None:
+        while True:
+            pending = self._fallback_queue.get()
+            if pending is None:
+                return
+            if self._closed:
+                pending.future._set_exception(ServeError("pool closed"))
+                continue
+            if pending.future.done():
+                continue  # cancelled while queued
+            if pending.expired():
+                self._fail_expired(pending, DeadlineExceeded(
+                    f"request {pending.rid} expired in the degraded queue"
+                ))
+                continue
+            try:
+                out = self._fallback_session.infer(pending.spec, pending.x)
+            except Exception as exc:  # noqa: BLE001 - typed per-request
+                won = pending.future._set_exception(
+                    ServeError(f"{type(exc).__name__}: {exc}")
+                )
+                if won:
+                    with self._stats_lock:
+                        self._admission["failed"] += 1
+                        self._geo(pending).failed += 1
+                continue
+            won = pending.future._set_result(out)
+            if won:
+                latency = time.perf_counter() - pending.t_submit
+                with self._stats_lock:
+                    self._admission["completed"] += 1
+                    self._admission["degraded"] += 1
+                    stats = self._geo(pending)
+                    stats.requests += 1
+                    stats.seconds += latency
+                    stats.degraded += 1
+
+    # -- health enforcement ---------------------------------------------
+
+    def _health_tick(self) -> None:
+        """One monitor sweep: expire deadlines, escalate hung workers."""
+        now = time.monotonic()
+        with self._lock:
+            if self._closed:
+                return
+            handles = list(self._handles.values())
+        for handle in handles:
+            if handle.dead or handle.closing:
+                continue
+            with handle.depth:
+                pendings = list(handle.pending.values())
+            expired = []
+            for p in pendings:
+                if p.expired(now) and not p.abandoned:
+                    expired.append(p)
+            for p in expired:
+                # Fail the future now; the slabs stay reserved until the
+                # worker answers (or dies) — it may still write them.
+                self._fail_expired(p, DeadlineExceeded(
+                    f"request {p.rid} ({format_geometry(p.gkey)}) "
+                    f"exceeded its deadline in flight on worker "
+                    f"{handle.shard}"
+                ))
+            # Hung-but-alive detection: in-flight work, no progress.
+            # Progress = completions, or heartbeats while idle / with a
+            # moving served count; a SIGSTOP silences beats entirely and
+            # a runaway loop beats without progress — both stall
+            # last_progress and get the worker killed, which routes the
+            # requests through the ordinary crash machinery.
+            if not pendings:
+                continue
+            oldest = min(p.t_dispatch for p in pendings)
+            if (
+                now - handle.last_progress > self.health.hang_timeout
+                and now - oldest > self.health.hang_timeout
+            ):
+                handle.hang_killed = True
+                with self._stats_lock:
+                    self._admission["hangs"] += 1
+                try:
+                    handle.process.kill()  # EOF -> _on_worker_death
+                except Exception:  # pragma: no cover - already gone
+                    pass
 
     # -- results --------------------------------------------------------
 
@@ -616,10 +1006,24 @@ class ServePool:
             kind = msg[0]
             if kind == "ready":
                 handle.pid = msg[1]
+                handle.backend = msg[2]
+                handle.last_progress = time.monotonic()
                 handle.ready.set()
+            elif kind == "hb":
+                served, busy_since = msg[1], msg[2]
+                now = time.monotonic()
+                handle.last_heartbeat = now
+                # A beat is progress only while idle or moving: a worker
+                # stuck inside one batch keeps beating but never moves
+                # its served count, and must still trip the monitor.
+                if busy_since is None or served != handle.hb_served:
+                    handle.last_progress = now
+                handle.hb_served = served
             elif kind == "warmed":
+                handle.last_progress = time.monotonic()
                 handle.warmed.set()
-            elif kind in ("res", "err"):
+            elif kind in ("res", "err", "exp"):
+                handle.last_progress = time.monotonic()
                 self._complete(handle, msg)
             elif kind == "stats":
                 waiter = handle.stats_waiters.pop(msg[1], None)
@@ -638,35 +1042,91 @@ class ServePool:
                 handle.depth.notify_all()  # an admission slot opened
         if pending is None:
             return  # raced a crash handover; the retry path owns it
-        if msg[0] == "res":
-            _, _, shape, dtype, _ = msg
-            out = np.array(np.ndarray(
-                shape, np.dtype(dtype), buffer=handle.resp_shm.buf,
-                offset=pending.resp_off,
-            ))
-            error = None
-        else:
-            out, error = None, ServeError(msg[2])
+        kind = msg[0]
+        out = error = None
+        corrupt = False
+        if kind == "res":
+            _, _, shape, dtype, nbytes, csum = msg
+            if csum != header_checksum((rid, shape, dtype, nbytes)):
+                corrupt = True  # never dereference a bad header
+            elif not pending.abandoned:
+                out = np.array(np.ndarray(
+                    shape, np.dtype(dtype), buffer=handle.resp_shm.buf,
+                    offset=pending.resp_off,
+                ))
+        elif kind == "exp":
+            error = DeadlineExceeded(
+                f"request {rid} ({format_geometry(pending.gkey)}) expired "
+                f"before execution on worker {handle.shard}"
+            )
+        else:  # "err"
+            _, _, name, message = msg
+            if name == "CorruptedHeader":
+                error = CorruptedHeader(message)
+            elif name == "ServeError":
+                error = ServeError(message)
+            else:
+                error = ServeError(f"{name}: {message}")
         handle.req_arena.free(pending.req_off)
         handle.resp_arena.free(pending.resp_off)
-        latency = time.perf_counter() - pending.t_submit
-        with self._stats_lock:
-            stats = self._geo_stats.get(pending.gkey)
-            if stats is None:
-                stats = self._geo_stats[pending.gkey] = _GeoStats(
-                    pending.shard
-                )
-            stats.requests += 1
-            stats.seconds += latency
-            if error is None:
-                self._admission["completed"] += 1
-            else:
-                stats.failed += 1
-                self._admission["failed"] += 1
+        pending.allocated = False
+        if corrupt:
+            self._reject_corrupt(pending)
+            return
         if error is None:
-            pending.future._set_result(out)
+            if out is not None:
+                won = pending.future._set_result(out)
+                if won:
+                    latency = time.perf_counter() - pending.t_submit
+                    with self._stats_lock:
+                        stats = self._geo(pending)
+                        stats.requests += 1
+                        stats.seconds += latency
+                        self._admission["completed"] += 1
+            # A worker answer is proof of life: feed the breaker.
+            self._breakers[pending.shard].record_success()
+            self._routes.restore(pending.shard)
+        elif isinstance(error, DeadlineExceeded):
+            self._fail_expired(pending, error)
         else:
-            pending.future._set_exception(error)
+            won = pending.future._set_exception(error)
+            if won:
+                with self._stats_lock:
+                    self._geo(pending).failed += 1
+                    self._admission["failed"] += 1
+
+    def _reject_corrupt(self, pending: _Pending) -> None:
+        """A response header failed its checksum: retry-or-fail.
+
+        Governed by the same ``on_crash``/``max_retries`` budget as a
+        worker death — a corrupted control message means the transport
+        (or a fault injector) is lying, and re-execution is the only
+        safe recovery; results stay bit-identical because retries
+        re-execute from the untouched parent-side input.
+        """
+        with self._stats_lock:
+            self._admission["corrupted"] += 1
+        if pending.abandoned:
+            return
+        if self.on_crash == "retry" and pending.retries < self.max_retries:
+            pending.retries += 1
+            with self._stats_lock:
+                self._admission["retried"] += 1
+                self._geo(pending).retried += 1
+            try:
+                self._submit_pending(pending, True, _LIFECYCLE_TIMEOUT)
+            except (PoolSaturated, RuntimeError) as exc:
+                pending.future._set_exception(exc)
+            return
+        won = pending.future._set_exception(CorruptedHeader(
+            f"response header for request {pending.rid} failed its "
+            f"checksum (policy {self.on_crash!r}, retries "
+            f"{pending.retries}/{self.max_retries})"
+        ))
+        if won:
+            with self._stats_lock:
+                self._geo(pending).failed += 1
+                self._admission["failed"] += 1
 
     # -- worker lifecycle -----------------------------------------------
 
@@ -717,8 +1177,9 @@ class ServePool:
         return new
 
     def _on_worker_death(self, handle: _WorkerHandle) -> None:
-        """Crash path: spawn + warm a replacement, then retry-or-fail
-        the dead worker's in-flight requests (deterministic per policy)."""
+        """Crash/hang path: spawn + warm a replacement, feed the shard's
+        circuit breaker, then retry-or-fail the dead worker's in-flight
+        requests (deterministic per policy)."""
         with self._lock:
             if self._closed or handle.closing or handle.dead:
                 return
@@ -728,6 +1189,14 @@ class ServePool:
                 handle.pending.clear()
                 handle.depth.notify_all()  # wake blocked admitters: dead
             self._admission["crashes"] += 1
+            opened = self._breakers[handle.shard].record_failure()
+            if opened:
+                # K consecutive replacements: stop crash-looping — the
+                # shard's geometries reroute to the in-parent fallback
+                # until a half-open probe succeeds.
+                self._routes.degrade(handle.shard)
+                with self._stats_lock:
+                    self._admission["breaker_opens"] += 1
             # Nothing reads these slabs any more: reclaim them.  (Not an
             # arena-wide reset — a submit racing this handler still owns
             # the slab it just allocated and frees it itself, and a
@@ -753,31 +1222,33 @@ class ServePool:
         except RuntimeError:  # pragma: no cover - replacement also sick
             pass
         for _, pending in drained:
+            if pending.abandoned or pending.future.done():
+                continue  # deadline sweep / cancel already resolved it
+            if pending.expired():
+                self._fail_expired(pending, DeadlineExceeded(
+                    f"request {pending.rid} expired during worker "
+                    f"{handle.shard} replacement"
+                ))
+                continue
             retry = (
                 self.on_crash == "retry"
                 and pending.retries < self.max_retries
             )
             if not retry:
-                with self._stats_lock:
-                    self._admission["failed"] += 1
-                    stats = self._geo_stats.get(pending.gkey)
-                    if stats is not None:
-                        stats.failed += 1
-                pending.future._set_exception(WorkerCrashed(
+                won = pending.future._set_exception(WorkerCrashed(
                     f"worker {handle.shard} died with this request in "
                     f"flight (policy {self.on_crash!r}, "
                     f"retries {pending.retries}/{self.max_retries})"
                 ))
+                if won:
+                    with self._stats_lock:
+                        self._admission["failed"] += 1
+                        self._geo(pending).failed += 1
                 continue
             pending.retries += 1
             with self._stats_lock:
                 self._admission["retried"] += 1
-                stats = self._geo_stats.get(pending.gkey)
-                if stats is None:
-                    stats = self._geo_stats[pending.gkey] = _GeoStats(
-                        pending.shard
-                    )
-                stats.retried += 1
+                self._geo(pending).retried += 1
             try:
                 self._submit_pending(pending, True, _LIFECYCLE_TIMEOUT)
             except (PoolSaturated, RuntimeError) as exc:
@@ -785,20 +1256,23 @@ class ServePool:
 
     # -- serving --------------------------------------------------------
 
-    def infer(self, model, x: np.ndarray,
-              timeout: float | None = None) -> np.ndarray:
+    def infer(self, model, x: np.ndarray, timeout: float | None = None,
+              deadline: float | None = None) -> np.ndarray:
         """Serve one request synchronously (submit + wait)."""
-        return self.submit(model, x).result(timeout)
+        return self.submit(model, x, deadline=deadline).result(timeout)
 
-    def infer_many(self, requests, timeout: float | None = None) -> list:
+    def infer_many(self, requests, timeout: float | None = None,
+                   deadline: float | None = None) -> list:
         """Serve a stream of ``(model, x)`` requests.
 
         Every request is admitted under the pool's backpressure policy
         and routed to its geometry's worker; results return in request
         order, bit-identical to a serial one-worker
-        :class:`~repro.api.Session` over the same stream.
+        :class:`~repro.api.Session` over the same stream.  ``deadline``
+        applies per request (seconds from its submission).
         """
-        futures = [self.submit(model, x) for model, x in requests]
+        futures = [self.submit(model, x, deadline=deadline)
+                   for model, x in requests]
         return [f.result(timeout) for f in futures]
 
     # -- observability --------------------------------------------------
@@ -826,7 +1300,10 @@ class ServePool:
         per routing key — including ``worker``, the single shard that
         geometry is pinned to — and ``per_worker`` embeds each live
         worker's own ``Session.stats()`` snapshot (``None`` if the
-        worker was too busy to answer within ``timeout``).
+        worker was too busy to answer within ``timeout``) plus its
+        actual ``backend`` and heartbeat age.  ``degraded`` reports the
+        graceful-degradation state: open shards, per-shard breaker
+        snapshots, and how many requests the fallback session served.
         """
         with self._lock:
             handles = (
@@ -855,12 +1332,18 @@ class ServePool:
             payload = box[0] if box else None
             if payload is not None:
                 batches += payload["session"].get("batches", 0)
+            now = time.monotonic()
             per_worker.append({
                 "shard": handle.shard,
                 "pid": handle.pid,
                 "alive": handle.process.is_alive(),
+                "backend": handle.backend,
                 "completed": handle.completed,
                 "in_flight": len(handle.pending),
+                "heartbeat_age": (
+                    None if handle.last_heartbeat is None
+                    else now - handle.last_heartbeat
+                ),
                 "served": payload["served"] if payload else None,
                 "session": payload["session"] if payload else None,
             })
@@ -878,6 +1361,19 @@ class ServePool:
             "requests": admission["completed"],
             "batches": batches,
             "admission": admission,
+            "health": self.health.as_dict(),
+            "faults": (
+                self._fault_plan.spec() if self._fault_plan is not None
+                else None
+            ),
+            "degraded": {
+                "requests": admission["degraded"],
+                "open_shards": list(self._routes.degraded),
+                "fallback_active": self._fallback_thread is not None,
+                "breakers": {
+                    str(i): b.as_dict() for i, b in self._breakers.items()
+                },
+            },
             "per_geometry": per_geometry,
             "per_worker": per_worker,
         }

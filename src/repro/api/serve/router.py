@@ -23,7 +23,17 @@ import hashlib
 
 import numpy as np
 
-__all__ = ["geometry_key", "geometry_hash", "shard_for", "format_geometry"]
+__all__ = [
+    "geometry_key",
+    "geometry_hash",
+    "shard_for",
+    "format_geometry",
+    "FALLBACK",
+    "RouteTable",
+]
+
+#: Sentinel shard index: "serve this in the parent's fallback session".
+FALLBACK = -1
 
 
 def geometry_key(model, x: np.ndarray) -> tuple:
@@ -54,6 +64,44 @@ def shard_for(key: tuple, workers: int) -> int:
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     return geometry_hash(key) % workers
+
+
+class RouteTable:
+    """Shard assignment with per-shard degradation overrides.
+
+    The pure hash (:func:`shard_for`) never changes — a degraded shard
+    keeps *owning* its geometries, so its worker's caches describe
+    exactly what to re-warm when the shard recovers.  The table only
+    answers the *routing* question: while a shard is marked degraded
+    (its circuit breaker is open), :meth:`route` reroutes that shard's
+    geometries to :data:`FALLBACK`, the in-parent fallback session.
+    Results are bit-identical either way; only throughput degrades.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self._degraded: set[int] = set()
+
+    def shard(self, key: tuple) -> int:
+        """The owning shard (ignores degradation; pure hash)."""
+        return shard_for(key, self.workers)
+
+    def route(self, key: tuple) -> int:
+        """The destination: the owning shard, or :data:`FALLBACK`."""
+        shard = shard_for(key, self.workers)
+        return FALLBACK if shard in self._degraded else shard
+
+    def degrade(self, shard: int) -> None:
+        self._degraded.add(shard)
+
+    def restore(self, shard: int) -> None:
+        self._degraded.discard(shard)
+
+    @property
+    def degraded(self) -> tuple[int, ...]:
+        return tuple(sorted(self._degraded))
 
 
 def format_geometry(key: tuple) -> str:

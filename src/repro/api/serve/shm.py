@@ -26,6 +26,7 @@ must *not* untrack the name (see the function docstring).
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from multiprocessing import shared_memory
 
@@ -34,6 +35,7 @@ __all__ = [
     "RingArena",
     "SegmentRegistry",
     "attach_segment",
+    "header_checksum",
     "DEFAULT_RING_BYTES",
 ]
 
@@ -42,6 +44,25 @@ __all__ = [
 DEFAULT_RING_BYTES = 32 << 20
 
 _ALIGN = 64  # cache-line aligned slabs
+
+
+def header_checksum(fields: tuple) -> int:
+    """A stable 64-bit checksum of one control-message header.
+
+    Request and response headers carry slab offsets and shapes that the
+    other side will *trust* to address shared memory — a corrupted
+    header means reading (or writing) the wrong slab.  Every ``"req"``
+    and ``"res"`` message therefore ends with this checksum over its
+    payload fields, and the receiver rejects mismatches instead of
+    dereferencing them (surfaced as ``CorruptedHeader``; the chaos
+    layer injects exactly this corruption to prove the rejection path).
+
+    blake2b over the ``repr`` of the field tuple — the same
+    process-stable construction the geometry router uses, so checksums
+    agree across fork/spawn and interpreter runs.
+    """
+    digest = hashlib.blake2b(repr(fields).encode("ascii"), digest_size=8)
+    return int.from_bytes(digest.digest(), "big")
 
 
 class PoolSaturated(RuntimeError):

@@ -9,12 +9,18 @@ directive) every plan lookup is a cache hit for the life of the process.
 
 Protocol (small pickled tuples; tensors stay in shared memory):
 
-Parent -> worker, over the bounded request queue
+Parent -> worker, over the request queue
     ``("model", mid, weight, modes, symmetric)``
         register one served model (weights cross once per worker).
-    ``("req", rid, mid, shape, dtype, req_off, resp_off, resp_cap)``
+    ``("req", rid, mid, shape, dtype, req_off, resp_off, resp_cap,
+    deadline, retries, csum)``
         one inference request; the input lives at ``req_off`` in the
         request ring, the output must land at ``resp_off``.
+        ``deadline`` is an absolute ``time.monotonic()`` instant (or
+        None); requests already past it are *skipped*, not executed
+        late.  ``csum`` is :func:`~repro.api.serve.shm.header_checksum`
+        over every preceding field — a mismatched header is rejected,
+        never dereferenced into the rings.
     ``("warm", models, geometries)``
         warmup handoff: pre-build executors (and, on an autotune
         session, pre-tune tiles) for the geometries the predecessor
@@ -25,9 +31,29 @@ Parent -> worker, over the bounded request queue
         drain and exit.
 
 Worker -> parent, over the response pipe
-    ``("ready", pid)`` | ``("res", rid, shape, dtype, nbytes)`` |
-    ``("err", rid, message)`` | ``("warmed", count)`` |
+    ``("ready", pid, backend)`` | ``("res", rid, shape, dtype, nbytes,
+    csum)`` | ``("err", rid, exc_name, message)`` | ``("exp", rid)`` |
+    ``("hb", served, busy_since)`` | ``("warmed", count)`` |
     ``("stats", token, payload)``
+
+Health: a worker-side timer thread heartbeats ``("hb", served,
+busy_since)`` every ``hb_interval`` seconds.  ``busy_since`` is the
+``time.monotonic()`` instant the in-progress batch started (None when
+idle) — the parent's monitor treats a *busy* worker whose served count
+stops moving as hung and escalates it through the crash machinery, so a
+deadlock, runaway loop or ``SIGSTOP`` (which silences the beats
+entirely) is detected the same way.
+
+Degradation: when the configured backend cannot come up (the C-kernel
+self-check fails, or the chaos layer injects exactly that), the worker
+falls back to the pure-NumPy substrate instead of crash-looping — bits
+are identical by the load-time self-check contract, only throughput
+changes — and reports its actual backend in ``"ready"``.
+
+Fault injection: a :class:`~repro.api.serve.faults.FaultPlan` shipped
+at spawn drives scripted crash/hang/latency/corruption at exact request
+indices (see :mod:`repro.api.serve.faults`); a worker with no plan pays
+one ``None`` check per request.
 
 Consecutive ``"req"`` messages are drained opportunistically (up to
 ``max_batch``) and flushed through ``session.infer_many`` — the same
@@ -41,9 +67,13 @@ from __future__ import annotations
 import os
 import queue as queue_mod
 import signal
+import threading
 import time
 
 import numpy as np
+
+from repro.api.serve.faults import ChaosInjector
+from repro.api.serve.shm import header_checksum
 
 __all__ = ["worker_main"]
 
@@ -54,14 +84,25 @@ def _probe_shape(shape: tuple) -> tuple:
 
 
 class _WorkerBody:
-    def __init__(self, session, models, req_shm, resp_shm, conn, max_batch):
+    def __init__(self, session, models, req_shm, resp_shm, conn, max_batch,
+                 injector: ChaosInjector):
         self.session = session
         self.models = models
         self.req_shm = req_shm
         self.resp_shm = resp_shm
         self.conn = conn
         self.max_batch = max_batch
+        self.injector = injector
         self.served = 0
+        #: monotonic instant the in-progress batch started (None: idle).
+        self.busy_since: float | None = None
+        # The response pipe is written from two threads (the serve loop
+        # and the heartbeat timer): serialise sends.
+        self._conn_lock = threading.Lock()
+
+    def send(self, msg: tuple) -> None:
+        with self._conn_lock:
+            self.conn.send(msg)
 
     # -- request execution ---------------------------------------------
 
@@ -69,10 +110,53 @@ class _WorkerBody:
         """Run one drained micro-batch through the session."""
         if not batch:
             return
+        self.busy_since = time.monotonic()
+        try:
+            self._flush(batch)
+        finally:
+            self.busy_since = None
+
+    def _admit(self, batch: list[tuple]) -> list[tuple]:
+        """Checksum/deadline/fault gate: the headers that will execute."""
+        live = []
+        for msg in batch:
+            (_, rid, mid, shape, dtype, req_off, resp_off, resp_cap,
+             deadline, retries, csum) = msg
+            if csum != header_checksum(
+                (rid, mid, shape, dtype, req_off, resp_off, resp_cap,
+                 deadline, retries)
+            ):
+                # Never dereference offsets from a corrupted header.
+                self.send(("err", rid, "CorruptedHeader",
+                           "request header failed its checksum"))
+                continue
+            if deadline is not None and time.monotonic() >= deadline:
+                self.send(("exp", rid))  # expired: skip, don't serve late
+                continue
+            fault = self.injector.fire("crash_before", rid, retries)
+            if fault is not None:
+                os._exit(70)  # scripted pre-execution crash
+            fault = self.injector.fire("hang", rid, retries)
+            if fault is not None:
+                # A hang the health monitor is expected to end; if it
+                # doesn't (long hang_timeout), this degrades to latency.
+                time.sleep(fault.seconds)
+            fault = self.injector.fire("latency", rid, retries)
+            if fault is not None:
+                time.sleep(fault.seconds)
+            live.append(msg)
+        return live
+
+    def _flush(self, batch: list[tuple]) -> None:
+        batch = self._admit(batch)
+        if not batch:
+            return
         pairs = []
-        for _, rid, mid, shape, dtype, req_off, _, _ in batch:
+        for msg in batch:
+            _, rid, mid, shape, dtype, req_off = msg[:6]
             x = np.ndarray(
-                shape, np.dtype(dtype), buffer=self.req_shm.buf, offset=req_off
+                shape, np.dtype(dtype), buffer=self.req_shm.buf,
+                offset=req_off,
             )
             pairs.append((self.models[mid], x))
         try:
@@ -87,27 +171,35 @@ class _WorkerBody:
                     outs.append(self.session.infer(model, x))
                 except Exception as exc:  # noqa: BLE001 - reported per-request
                     outs.append(exc)
-        for header, out in zip(batch, outs):
-            _, rid, _, _, _, _, resp_off, resp_cap = header
+        for msg, out in zip(batch, outs):
+            _, rid, _, _, _, _, resp_off, resp_cap, _, retries, _ = msg
             if isinstance(out, Exception):
-                self.conn.send(("err", rid, f"{type(out).__name__}: {out}"))
+                self.send(("err", rid, type(out).__name__, str(out)))
                 continue
             if out.nbytes > resp_cap:
-                self.conn.send((
-                    "err", rid,
+                self.send((
+                    "err", rid, "ServeError",
                     f"output of {out.nbytes} bytes overflows the "
                     f"{resp_cap}-byte response slab",
                 ))
                 continue
             view = np.ndarray(
-                out.shape, out.dtype, buffer=self.resp_shm.buf, offset=resp_off
+                out.shape, out.dtype, buffer=self.resp_shm.buf,
+                offset=resp_off,
             )
             view[...] = out
             del view
+            if self.injector.fire("crash_after", rid, retries) is not None:
+                os._exit(71)  # scripted post-execution crash: result lost
             self.served += 1
-            self.conn.send(
-                ("res", rid, out.shape, str(out.dtype), out.nbytes)
-            )
+            fields = (rid, out.shape, str(out.dtype), out.nbytes)
+            if self.injector.fire("corrupt_header", rid, retries) is not None:
+                # Corrupt the byte count but keep the checksum of the
+                # true fields: the parent's verification must catch it.
+                self.send(("res", rid, out.shape, str(out.dtype),
+                           out.nbytes + 1, header_checksum(fields)))
+            else:
+                self.send(("res", *fields, header_checksum(fields)))
         del pairs  # release the request-ring views before the next drain
 
     # -- control messages ----------------------------------------------
@@ -135,18 +227,46 @@ class _WorkerBody:
             )
             executor(np.zeros(_probe_shape(shape), np.dtype(dtype)))
             count += 1
-        self.conn.send(("warmed", count))
+        self.send(("warmed", count))
 
     def stats(self, token) -> None:
-        self.conn.send((
+        self.send((
             "stats",
             token,
             {
                 "pid": os.getpid(),
                 "served": self.served,
+                "backend": self.session.backend,
                 "session": self.session.stats(),
             },
         ))
+
+
+def _make_session(index: int, backend: str, autotune, dtype_policy,
+                  injector: ChaosInjector):
+    """Build the worker's session, degrading ckernels -> numpy.
+
+    The C kernels are rejected at load when their bit-identity
+    self-check fails; a worker whose host can't produce verified
+    kernels must not crash-loop its shard over it — the NumPy substrate
+    serves the same bits.  The chaos layer's ``backend_fail`` fault
+    simulates exactly that self-check failure.
+    """
+    from repro.api.session import Session
+
+    inject = injector.spawn_fault("backend_fail", index) is not None
+    if backend != "numpy":
+        try:
+            if inject:
+                raise RuntimeError(
+                    "injected backend_fail: C kernel self-check failed"
+                )
+            return Session(backend=backend, autotune=autotune,
+                           dtype_policy=dtype_policy)
+        except RuntimeError:
+            pass  # fall through to the numpy substrate
+    return Session(backend="numpy", autotune=autotune,
+                   dtype_policy=dtype_policy)
 
 
 def worker_main(
@@ -159,6 +279,8 @@ def worker_main(
     autotune: bool,
     dtype_policy: str,
     max_batch: int,
+    hb_interval: float = 0.25,
+    fault_plan=None,
 ) -> None:
     """Process entry point (module-level: spawn-picklable)."""
     try:
@@ -169,15 +291,30 @@ def worker_main(
     # method the child pays them once, and the parent's import of this
     # module stays light.
     from repro.api.serve.shm import attach_segment
-    from repro.api.session import Session, SpectralModel
+    from repro.api.session import SpectralModel
 
+    injector = ChaosInjector(fault_plan)
     req_shm = attach_segment(req_segment)
     resp_shm = attach_segment(resp_segment)
-    session = Session(
-        backend=backend, autotune=autotune, dtype_policy=dtype_policy
+    session = _make_session(index, backend, autotune, dtype_policy, injector)
+    body = _WorkerBody(session, {}, req_shm, resp_shm, conn, max_batch,
+                       injector)
+    body.send(("ready", os.getpid(), session.backend))
+
+    hb_stop = threading.Event()
+
+    def _heartbeat() -> None:
+        while not hb_stop.wait(hb_interval):
+            try:
+                body.send(("hb", body.served, body.busy_since))
+            except (OSError, ValueError, BrokenPipeError):
+                return  # parent went away; the main loop will notice too
+
+    hb_thread = threading.Thread(
+        target=_heartbeat, name=f"repro-serve-hb-{index}", daemon=True
     )
-    body = _WorkerBody(session, {}, req_shm, resp_shm, conn, max_batch)
-    conn.send(("ready", os.getpid()))
+    hb_thread.start()
+
     batch: list[tuple] = []
     try:
         while True:
@@ -215,6 +352,7 @@ def worker_main(
     except (EOFError, OSError, KeyboardInterrupt):
         pass  # parent went away: nothing left to serve
     finally:
+        hb_stop.set()
         try:
             session.close()
         except Exception:  # pragma: no cover - teardown best-effort

@@ -10,6 +10,11 @@ warmup handoff, SIGKILL mid-stream with deterministic retry-or-fail),
 and shared-memory hygiene (every segment the pool ever created is
 unlinked on ``close()``, asserted by re-attach failure).
 
+Failure *semantics* — fault injection, deadlines, hang detection,
+circuit-breaker degradation, ``ResultTimeout``/``cancel()`` — live in
+``test_api_serve_faults.py``; the raw-signal crash tests here remain as
+the transport-level safety net the scripted faults build on.
+
 Process pools are slow to start; the suite keeps pools small (1-4
 workers, numpy backend) and shares none between tests so a crashed
 worker cannot poison a neighbour.
