@@ -1,0 +1,217 @@
+#!/usr/bin/env python
+"""Autoregressive rollout serving vs the eager per-step loop.
+
+Measures the spectrum-resident rollout tentpole: ``Session.rollout``
+keeps each stream's autoregressive state inside the serving layer —
+one pooled executor steps a micro-batched state tensor, instead of N
+streams each paying a full ``Session.infer`` round trip per step.  A
+set of concurrent rollout streams is served
+
+1. **eager** — per stream, per step: ``state = session.infer(model,
+   state)`` on one warm session (the loop every caller wrote before
+   ``rollout`` existed), and
+2. **rollout** — ``session.rollout(streams=..., steps=...)``: streams
+   micro-batched by geometry, state resident across steps, and
+3. **rollout-fast** — the same with ``profile="fast"``: the
+   inverse/forward transform pair between steps elided (the linear
+   inter-step path stays in the spectrum), tolerance-asserted against
+   the exact loop.
+
+The default (exact) rollout hard-asserts ``np.array_equal`` against
+the eager loop per stream: keeping state resident must not change a
+single bit.  The fast profile asserts ``check_rtol=1e-3`` inside the
+session (it re-runs the exact loop and compares).
+
+Exit status is the CI gate: with ``--quick``, non-zero when the exact
+rollout fails to reach ``--gate``x (default 1.15x) the eager loop's
+throughput, or when any bit-identity assert trips.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_rollout.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import time
+
+import numpy as np
+
+from repro import api
+from repro.fft._ckernels import build_info, kernels_available
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+#: (streams, steps, signal batch, hidden K, dim_x, modes).  Many
+#: single-signal streams over one geometry — the serving shape the
+#: stream micro-batcher targets.
+CASES = {
+    "quick": [(8, 16, 1, 16, 512, 64)],
+    "full": [
+        (8, 16, 1, 16, 512, 64),
+        (16, 32, 1, 32, 1024, 128),
+        (4, 64, 2, 16, 2048, 256),
+    ],
+}
+
+
+def _build_streams(n_streams, signal_batch, hidden, dim_x, modes, rng):
+    weight = (
+        (rng.standard_normal((hidden, hidden))
+         + 1j * rng.standard_normal((hidden, hidden))) / hidden
+    ).astype(np.complex64)
+    model = api.SpectralModel(weight, modes)
+    return [
+        (model, rng.standard_normal(
+            (signal_batch, hidden, dim_x)
+        ).astype(np.float32))
+        for _ in range(n_streams)
+    ]
+
+
+def _timeit(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_case(case, backend, repeats, rng):
+    n_streams, steps, signal_batch, hidden, dim_x, modes = case
+    streams = _build_streams(
+        n_streams, signal_batch, hidden, dim_x, modes, rng
+    )
+    total_steps = n_streams * steps
+
+    session = api.Session(backend=backend, private_caches=True)
+    session.rollout(streams=streams, steps=1)  # warm the pooled executor
+
+    def eager():
+        outs = []
+        for model, x0 in streams:
+            state = x0
+            for _ in range(steps):
+                state = session.infer(model, state)
+            outs.append(state)
+        return outs
+
+    refs = eager()
+    t_eager = _timeit(eager, repeats)
+
+    rolled = session.rollout(streams=streams, steps=steps)
+    for i, (a, b) in enumerate(zip(refs, rolled)):
+        if a.dtype != b.dtype or not np.array_equal(a, b):
+            raise SystemExit(
+                f"rollout stream {i} != eager per-step loop "
+                f"(backend={backend})"
+            )
+    t_rollout = _timeit(
+        lambda: session.rollout(streams=streams, steps=steps), repeats
+    )
+
+    # The fast profile self-asserts: check_rtol re-runs the exact loop
+    # inside the session and raises on divergence.
+    session.rollout(streams=streams, steps=steps, profile="fast",
+                    check_rtol=1e-3)
+    t_fast = _timeit(
+        lambda: session.rollout(streams=streams, steps=steps,
+                                profile="fast"),
+        repeats,
+    )
+    latency = session.stats()["latency"]
+    session.close()
+
+    return {
+        "case": (
+            f"streams={n_streams} steps={steps} BS={signal_batch} "
+            f"K={hidden} dim_x={dim_x} modes={modes}"
+        ),
+        "backend": backend,
+        "eager_ms": t_eager * 1e3,
+        "eager_steps_per_s": total_steps / t_eager,
+        "rollout_ms": t_rollout * 1e3,
+        "rollout_steps_per_s": total_steps / t_rollout,
+        "rollout_speedup": t_eager / t_rollout,
+        "fast_ms": t_fast * 1e3,
+        "fast_steps_per_s": total_steps / t_fast,
+        "fast_speedup": t_eager / t_fast,
+        "step_latency": latency,
+        "outputs_equal": True,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help="small case + the CI speedup gate")
+    ap.add_argument("--repeats", type=int, default=None)
+    ap.add_argument("--gate", type=float, default=1.15,
+                    help="required exact-rollout speedup over the eager "
+                         "loop (default 1.15)")
+    ap.add_argument("--out", default=str(RESULTS / "rollout.json"))
+    args = ap.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    repeats = args.repeats or (3 if args.quick else 5)
+    rng = np.random.default_rng(0)
+
+    backends = (
+        ["auto"] if kernels_available() and mode == "quick"
+        else (["numpy"] + (["auto"] if kernels_available() else []))
+    )
+    rows = [
+        bench_case(case, backend, repeats, rng)
+        for case in CASES[mode]
+        for backend in backends
+    ]
+
+    report = {
+        "meta": {
+            "mode": mode,
+            "repeats": repeats,
+            "gate": args.gate,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count() or 1,
+            "ckernels": kernels_available(),
+            "ckernels_info": build_info(),
+            "backends": backends,
+        },
+        "rollout": rows,
+    }
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"# rollout serving ({mode}; C kernels: "
+          f"{report['meta']['ckernels_info']})")
+    for row in rows:
+        print(f"  [{row['backend']:>6s}] {row['case']}:")
+        print(f"      eager loop : {row['eager_steps_per_s']:8.1f} steps/s")
+        print(f"      rollout    : {row['rollout_steps_per_s']:8.1f} steps/s"
+              f" ({row['rollout_speedup']:.2f}x)  [bit-identical]")
+        print(f"      fast       : {row['fast_steps_per_s']:8.1f} steps/s"
+              f" ({row['fast_speedup']:.2f}x)  [rtol-checked]")
+
+    if not args.quick:
+        print("gate: not armed (needs --quick)")
+        return 0
+    worst = min(row["rollout_speedup"] for row in rows)
+    if worst < args.gate:
+        print(f"gate: FAIL — exact rollout {worst:.2f}x < {args.gate}x "
+              f"over the eager loop")
+        return 1
+    print(f"gate: PASS — exact rollout {worst:.2f}x >= {args.gate}x "
+          f"over the eager loop (bit-identity hard-asserted)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

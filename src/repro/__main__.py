@@ -35,6 +35,18 @@ Commands
     requests/sec — still hard-asserted bit-identical.  ``--backend``
     pins the executor substrate — per-session configuration where the
     seed only had the process-global ``REPRO_NO_CKERNELS``.
+``rollout [--streams N] [--steps S] [--profile {exact,fast}] [--procs P]
+[--backend {auto,ckernels,numpy}] [--json]``
+    Micro-benchmark autoregressive rollout serving: N concurrent
+    streams step S times through an eager per-step inference loop and
+    through ``session.rollout`` (state kept resident, streams
+    micro-batched by geometry), hard-asserting bit-identical final
+    states on the default ``exact`` profile and reporting steps/sec
+    plus p50/p95/p99 step latency.  ``--procs P`` additionally serves
+    the same streams through a ``repro.api.ServePool`` (each stream
+    pinned to its geometry shard).  ``--profile fast`` opts into the
+    spectrum-resident stepping loop (inverse/forward transform pairs
+    between steps elided).
 ``chaos-soak [--requests N] [--workers W] [--seed S] [--backend B]
 [--faults SPEC] [--quick] [--json]``
     Drive a seeded chaos soak through a ``repro.api.ServePool``: a
@@ -279,6 +291,109 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_rollout(args: argparse.Namespace) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.api import Session, SpectralModel
+
+    try:
+        session = Session(backend=args.backend)
+    except (ValueError, RuntimeError) as exc:  # bad/unavailable backend
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(args.seed)
+    hidden = args.k
+    weight = (
+        (rng.standard_normal((hidden, hidden))
+         + 1j * rng.standard_normal((hidden, hidden))) / hidden
+    ).astype(np.complex64)
+    model = SpectralModel(weight, args.modes)
+    streams = [
+        (model, rng.standard_normal(
+            (args.signal_batch, hidden, args.fft_x)
+        ).astype(np.float32))
+        for _ in range(args.streams)
+    ]
+
+    # Warm the pooled executor, then: eager per-step loop vs the
+    # state-resident stepping loop over the same streams.
+    session.rollout(streams=streams, steps=1)
+    t0 = time.perf_counter()
+    eager = []
+    for m, x0 in streams:
+        state = x0
+        for _ in range(args.steps):
+            state = session.infer(m, state)
+        eager.append(state)
+    t_eager = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    rolled = session.rollout(streams=streams, steps=args.steps,
+                             profile=args.profile)
+    t_rollout = time.perf_counter() - t0
+
+    if args.profile == "exact":
+        if not all(np.array_equal(a, b) for a, b in zip(eager, rolled)):
+            print("error: rollout outputs != eager per-step outputs",
+                  file=sys.stderr)
+            return 1
+
+    total_steps = args.streams * args.steps
+    payload = {
+        "backend": session.backend,
+        "streams": args.streams,
+        "steps": args.steps,
+        "profile": args.profile,
+        "eager_steps_per_s": total_steps / t_eager,
+        "rollout_steps_per_s": total_steps / t_rollout,
+        "speedup": t_eager / t_rollout,
+        "stats": session.stats(),
+    }
+
+    if args.procs:
+        from repro.api import ServePool
+
+        with ServePool(
+            workers=args.procs, backend=args.backend,
+        ) as pool:
+            pool.rollout_many(streams, steps=1)  # warm every shard
+            t0 = time.perf_counter()
+            pooled = pool.rollout_many(streams, steps=args.steps,
+                                       profile=args.profile)
+            t_pool = time.perf_counter() - t0
+            pool_stats = pool.stats()
+        if args.profile == "exact":
+            if not all(np.array_equal(a, b)
+                       for a, b in zip(rolled, pooled)):
+                print("error: pooled rollout != in-process rollout",
+                      file=sys.stderr)
+                return 1
+        payload["procs"] = args.procs
+        payload["pool_steps_per_s"] = total_steps / t_pool
+        payload["pool_speedup"] = t_eager / t_pool
+        payload["pool_stats"] = pool_stats
+
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    tag = "[bit-identical]" if args.profile == "exact" else "[fast profile]"
+    print(f"rollout: {args.streams} streams x {args.steps} steps, "
+          f"backend={session.backend}, profile={args.profile}")
+    print(f"  eager loop  : {payload['eager_steps_per_s']:8.1f} steps/s")
+    print(f"  rollout     : {payload['rollout_steps_per_s']:8.1f} steps/s "
+          f"({payload['speedup']:.2f}x)  {tag}")
+    if args.procs:
+        print(f"  pool x{args.procs:<5d} : {payload['pool_steps_per_s']:8.1f}"
+              f" steps/s ({payload['pool_speedup']:.2f}x)  {tag}")
+    p = payload["stats"]["latency"]
+    if p["count"]:
+        print(f"  step latency: p50={p['p50'] * 1e3:.3f} ms "
+              f"p95={p['p95'] * 1e3:.3f} ms p99={p['p99'] * 1e3:.3f} ms")
+    return 0
+
+
 def _cmd_chaos_soak(args: argparse.Namespace) -> int:
     from repro.api.serve import FaultPlan, run_soak
 
@@ -485,6 +600,37 @@ def main(argv: list[str] | None = None) -> int:
     p_sv.add_argument("--json", action="store_true",
                       help="machine-readable report incl. session stats")
     p_sv.set_defaults(func=_cmd_serve_bench)
+
+    p_ro = sub.add_parser(
+        "rollout",
+        help="autoregressive rollout serving micro-benchmark",
+    )
+    p_ro.add_argument("--streams", type=int, default=8,
+                      help="concurrent rollout streams (default 8)")
+    p_ro.add_argument("--steps", type=int, default=16,
+                      help="autoregressive steps per stream (default 16)")
+    p_ro.add_argument("--signal-batch", type=int, default=4,
+                      help="signals per stream (default 4)")
+    p_ro.add_argument("--k", type=int, default=32,
+                      help="hidden/channel dimension (default 32)")
+    p_ro.add_argument("--fft-x", type=int, default=128,
+                      help="spatial grid size (default 128)")
+    p_ro.add_argument("--modes", type=int, default=32,
+                      help="kept spectral modes (default 32)")
+    p_ro.add_argument("--profile", default="exact",
+                      choices=("exact", "fast"),
+                      help="stepping profile (exact: bit-identical to the "
+                           "eager loop; fast: spectrum-resident)")
+    p_ro.add_argument("--procs", type=int, default=None,
+                      help="also serve the streams through a ServePool of "
+                           "this many worker processes")
+    p_ro.add_argument("--backend", default="auto",
+                      choices=("auto", "ckernels", "numpy"),
+                      help="session executor backend (default auto)")
+    p_ro.add_argument("--seed", type=int, default=0)
+    p_ro.add_argument("--json", action="store_true",
+                      help="machine-readable report incl. latency stats")
+    p_ro.set_defaults(func=_cmd_rollout)
 
     p_cs = sub.add_parser(
         "chaos-soak",

@@ -20,7 +20,10 @@ Pieces
 :class:`Session`
     Plans, warmup, batched inference (:meth:`Session.infer_many`
     micro-batches requests by geometry and reuses one compiled executor
-    per weight matrix), cache statistics (:meth:`Session.stats`) and a
+    per weight matrix), autoregressive rollout serving
+    (:meth:`Session.rollout` keeps state resident across steps —
+    bit-identical to the eager loop by default, spectrum-resident with
+    ``profile="fast"``), cache statistics (:meth:`Session.stats`) and a
     single teardown path (:meth:`Session.close` /
     :meth:`Session.clear_all_caches`).  ``backend="auto"|"ckernels"|
     "numpy"`` pins the executor substrate per session; outputs are
@@ -87,6 +90,8 @@ from repro.api.serve import (
 )
 from repro.api.session import (
     DTYPE_POLICIES,
+    ROLLOUT_PROFILES,
+    LatencyReservoir,
     Session,
     SpectralModel,
     clear_all_caches,
@@ -106,6 +111,8 @@ __all__ = [
     "SpectralModel",
     "default_session",
     "DTYPE_POLICIES",
+    "ROLLOUT_PROFILES",
+    "LatencyReservoir",
     "ServePool",
     "ServeFuture",
     "ServeError",

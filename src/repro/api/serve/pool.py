@@ -20,6 +20,12 @@ converts those per-core wins into multi-core throughput:
 * **backpressure** — bounded per-worker queues and ring arenas;
   ``submit`` blocks (default) or raises :class:`PoolSaturated`
   (``saturation="raise"``);
+* **rollout serving** — :meth:`ServePool.rollout` /
+  :meth:`ServePool.rollout_many` route whole autoregressive streams to
+  their geometry's shard: one ``"roll"`` header crosses the queue per
+  stream, the worker's warm session steps the state in place (and
+  micro-batches concurrent same-geometry streams), and only the final
+  state crosses back through the ring;
 * **failure enforcement** (:mod:`repro.api.serve.health`) — workers
   heartbeat over the control pipe; a monitor thread kills hung-but-
   alive workers (deadlock, ``SIGSTOP``, runaway loop) so they take the
@@ -92,8 +98,8 @@ from repro.api.serve.shm import (
     header_checksum,
 )
 from repro.api.serve.worker import worker_main
-from repro.api.session import DTYPE_POLICIES, Session, SpectralModel, \
-    _as_spectral_model
+from repro.api.session import DTYPE_POLICIES, LatencyReservoir, \
+    ROLLOUT_PROFILES, Session, SpectralModel, _as_spectral_model
 from repro.core.dtypes import complex_dtype_for
 from repro.fft.compiled import resolve_backend_kernels
 
@@ -195,10 +201,11 @@ class _Pending:
     __slots__ = (
         "rid", "spec", "mid", "x", "gkey", "shard", "future", "req_off",
         "resp_off", "resp_cap", "allocated", "t_submit", "t_dispatch",
-        "retries", "deadline", "abandoned",
+        "retries", "deadline", "abandoned", "steps", "profile",
     )
 
-    def __init__(self, rid, spec, mid, x, gkey, shard, future, deadline):
+    def __init__(self, rid, spec, mid, x, gkey, shard, future, deadline,
+                 steps=None, profile=None):
         self.rid = rid
         self.spec = spec
         self.mid = mid
@@ -215,6 +222,9 @@ class _Pending:
         #: Future already resolved (deadline sweep / cancel); the worker
         #: answer only frees slabs, never delivers.
         self.abandoned = False
+        #: Rollout stream: step count + profile (None: plain inference).
+        self.steps = steps
+        self.profile = profile
 
     def expired(self, now: float | None = None) -> bool:
         return (
@@ -228,7 +238,7 @@ class _GeoStats:
     """Parent-side per-geometry admission/latency counters."""
 
     __slots__ = ("worker", "requests", "seconds", "retried", "failed",
-                 "expired", "degraded")
+                 "expired", "degraded", "latency")
 
     def __init__(self, worker: int) -> None:
         self.worker = worker
@@ -238,6 +248,8 @@ class _GeoStats:
         self.failed = 0
         self.expired = 0
         self.degraded = 0
+        #: End-to-end (submit -> result) latency reservoir.
+        self.latency = LatencyReservoir()
 
     def as_dict(self) -> dict:
         out = {
@@ -251,6 +263,7 @@ class _GeoStats:
             "failed": self.failed,
             "expired": self.expired,
             "degraded": self.degraded,
+            "latency": self.latency.percentiles(),
         }
         return out
 
@@ -419,6 +432,9 @@ class ServePool:
         self._stats_token = itertools.count()
         self._models: dict[tuple, tuple[int, SpectralModel]] = {}
         self._geo_stats: dict[tuple, _GeoStats] = {}
+        self._latency = LatencyReservoir()
+        self._rollout_streams = 0
+        self._rollout_steps = 0
         self._admission = {
             "submitted": 0, "completed": 0, "failed": 0, "rejected": 0,
             "retried": 0, "crashes": 0, "recycles": 0, "hangs": 0,
@@ -657,6 +673,40 @@ class ServePool:
         executing them (never served late).  ``deadline=0`` expires
         immediately (useful to test the path).
         """
+        return self._admit(model, x, block, timeout, deadline)
+
+    def submit_rollout(
+        self,
+        model,
+        x0: np.ndarray,
+        steps: int,
+        profile: str = "exact",
+        block: bool | None = None,
+        timeout: float | None = None,
+        deadline: float | None = None,
+    ) -> ServeFuture:
+        """Admit one autoregressive rollout stream; resolves to the
+        final state (``keep="last"``).
+
+        The whole stream routes to its geometry's shard — state stays
+        resident on one warm worker for all ``steps`` — and concurrent
+        streams sharing ``(steps, profile)`` micro-batch there through
+        :meth:`repro.api.Session.rollout`.  ``deadline`` covers the
+        entire stream.
+        """
+        steps = int(steps)
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        if profile not in ROLLOUT_PROFILES:
+            raise ValueError(
+                f"unknown rollout profile {profile!r}; expected one of "
+                f"{ROLLOUT_PROFILES}"
+            )
+        return self._admit(model, x0, block, timeout, deadline,
+                           steps=steps, profile=profile)
+
+    def _admit(self, model, x, block, timeout, deadline,
+               steps=None, profile=None) -> ServeFuture:
         self._check_open()
         spec = self._spec_of(model)
         x = np.asarray(x)
@@ -681,7 +731,8 @@ class ServePool:
         )
         future = ServeFuture(format_geometry(gkey), shard, abs_deadline)
         pending = _Pending(next(self._rid), spec, mid, x, gkey, shard,
-                           future, abs_deadline)
+                           future, abs_deadline, steps=steps,
+                           profile=profile)
         future._cancel_hook = lambda: self._cancel_pending(pending)
         try:
             self._submit_pending(pending, block, timeout)
@@ -869,16 +920,24 @@ class ServePool:
         # 4. The header (the queue is unbounded: puts cannot block).
         # Checksummed: the worker refuses to dereference ring offsets
         # from a header that does not verify.
-        fields = (pending.rid, pending.mid, tuple(x.shape), str(x.dtype),
-                  req_off, resp_off, resp_cap, pending.deadline,
-                  pending.retries)
+        if pending.steps is None:
+            kind = "req"
+            fields = (pending.rid, pending.mid, tuple(x.shape),
+                      str(x.dtype), req_off, resp_off, resp_cap,
+                      pending.deadline, pending.retries)
+        else:
+            kind = "roll"
+            fields = (pending.rid, pending.mid, tuple(x.shape),
+                      str(x.dtype), req_off, resp_off, resp_cap,
+                      pending.steps, pending.profile, pending.deadline,
+                      pending.retries)
         try:
             if push_model:
                 handle.queue.put(
                     ("model", pending.mid, spec.weight, spec.modes,
                      spec.symmetric)
                 )
-            handle.queue.put(("req", *fields, header_checksum(fields)))
+            handle.queue.put((kind, *fields, header_checksum(fields)))
         except (ValueError, OSError):  # queue closed: worker is gone
             if _abort(None):
                 handle.req_arena.free(req_off)
@@ -926,7 +985,15 @@ class ServePool:
                 ))
                 continue
             try:
-                out = self._fallback_session.infer(pending.spec, pending.x)
+                if pending.steps is None:
+                    out = self._fallback_session.infer(
+                        pending.spec, pending.x
+                    )
+                else:
+                    out = self._fallback_session.rollout(
+                        pending.spec, pending.x, pending.steps,
+                        profile=pending.profile,
+                    )
             except Exception as exc:  # noqa: BLE001 - typed per-request
                 won = pending.future._set_exception(
                     ServeError(f"{type(exc).__name__}: {exc}")
@@ -945,7 +1012,12 @@ class ServePool:
                     stats = self._geo(pending)
                     stats.requests += 1
                     stats.seconds += latency
+                    stats.latency.record(latency)
+                    self._latency.record(latency)
                     stats.degraded += 1
+                    if pending.steps is not None:
+                        self._rollout_streams += 1
+                        self._rollout_steps += pending.steps
 
     # -- health enforcement ---------------------------------------------
 
@@ -1082,7 +1154,12 @@ class ServePool:
                         stats = self._geo(pending)
                         stats.requests += 1
                         stats.seconds += latency
+                        stats.latency.record(latency)
+                        self._latency.record(latency)
                         self._admission["completed"] += 1
+                        if pending.steps is not None:
+                            self._rollout_streams += 1
+                            self._rollout_steps += pending.steps
             # A worker answer is proof of life: feed the breaker.
             self._breakers[pending.shard].record_success()
             self._routes.restore(pending.shard)
@@ -1275,6 +1352,38 @@ class ServePool:
                    for model, x in requests]
         return [f.result(timeout) for f in futures]
 
+    def rollout(self, model, x0: np.ndarray, steps: int = 1,
+                profile: str = "exact", timeout: float | None = None,
+                deadline: float | None = None) -> np.ndarray:
+        """Serve one autoregressive rollout synchronously.
+
+        Routes the whole stream to its geometry's shard and returns the
+        final state — bit-identical (default ``profile="exact"``) to
+        ``steps`` chained :meth:`infer` calls on the same pool, because
+        the worker's session steps through the exact same pooled
+        executor call per step.
+        """
+        return self.submit_rollout(
+            model, x0, steps, profile=profile, deadline=deadline
+        ).result(timeout)
+
+    def rollout_many(self, streams, steps: int = 1, profile: str = "exact",
+                     timeout: float | None = None,
+                     deadline: float | None = None) -> list:
+        """Serve concurrent ``(model, x0)`` rollout streams.
+
+        All streams are admitted before any result is awaited, so
+        streams sharing a geometry land on the same worker's drain and
+        micro-batch through one stepping loop; results return in stream
+        order.
+        """
+        futures = [
+            self.submit_rollout(model, x0, steps, profile=profile,
+                                deadline=deadline)
+            for model, x0 in streams
+        ]
+        return [f.result(timeout) for f in futures]
+
     # -- observability --------------------------------------------------
 
     def worker_pids(self) -> list[int | None]:
@@ -1298,7 +1407,11 @@ class ServePool:
 
         ``per_geometry`` carries the parent's admission/latency counters
         per routing key — including ``worker``, the single shard that
-        geometry is pinned to — and ``per_worker`` embeds each live
+        geometry is pinned to, and ``latency``, end-to-end
+        submit-to-result p50/p95/p99 seconds from a bounded reservoir
+        (``latency`` at the top level aggregates all geometries;
+        ``rollout`` counts streams/steps served) — and ``per_worker``
+        embeds each live
         worker's own ``Session.stats()`` snapshot (``None`` if the
         worker was too busy to answer within ``timeout``) plus its
         actual ``backend`` and heartbeat age.  ``degraded`` reports the
@@ -1353,6 +1466,11 @@ class ServePool:
                 for key, stats in self._geo_stats.items()
             }
             admission = dict(self._admission)
+            latency = self._latency.percentiles()
+            rollout = {
+                "streams": self._rollout_streams,
+                "steps": self._rollout_steps,
+            }
         return {
             "workers": self.workers,
             "backend": self.backend,
@@ -1360,6 +1478,8 @@ class ServePool:
             "closed": self._closed,
             "requests": admission["completed"],
             "batches": batches,
+            "latency": latency,
+            "rollout": rollout,
             "admission": admission,
             "health": self.health.as_dict(),
             "faults": (

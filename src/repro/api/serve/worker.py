@@ -21,6 +21,15 @@ Parent -> worker, over the request queue
         late.  ``csum`` is :func:`~repro.api.serve.shm.header_checksum`
         over every preceding field — a mismatched header is rejected,
         never dereferenced into the rings.
+    ``("roll", rid, mid, shape, dtype, req_off, resp_off, resp_cap,
+    steps, profile, deadline, retries, csum)``
+        one autoregressive rollout stream: the initial state lives at
+        ``req_off``, the *final* state (``keep="last"``) lands at
+        ``resp_off``.  Consecutive ``"roll"`` headers with the same
+        ``(steps, profile)`` drain into one
+        :meth:`~repro.api.Session.rollout` call, which micro-batches
+        the streams by geometry — the stepping loop stays warm and
+        state stays resident for the whole stream.
     ``("warm", models, geometries)``
         warmup handoff: pre-build executors (and, on an autotune
         session, pre-tune tiles) for the geometries the predecessor
@@ -117,15 +126,17 @@ class _WorkerBody:
             self.busy_since = None
 
     def _admit(self, batch: list[tuple]) -> list[tuple]:
-        """Checksum/deadline/fault gate: the headers that will execute."""
+        """Checksum/deadline/fault gate: the headers that will execute.
+
+        Layout-agnostic over ``"req"`` and ``"roll"`` headers: both end
+        in ``(..., deadline, retries, csum)`` with the checksum taken
+        over every field between the kind tag and itself.
+        """
         live = []
         for msg in batch:
-            (_, rid, mid, shape, dtype, req_off, resp_off, resp_cap,
-             deadline, retries, csum) = msg
-            if csum != header_checksum(
-                (rid, mid, shape, dtype, req_off, resp_off, resp_cap,
-                 deadline, retries)
-            ):
+            rid = msg[1]
+            deadline, retries, csum = msg[-3], msg[-2], msg[-1]
+            if csum != header_checksum(msg[1:-1]):
                 # Never dereference offsets from a corrupted header.
                 self.send(("err", rid, "CorruptedHeader",
                            "request header failed its checksum"))
@@ -151,28 +162,63 @@ class _WorkerBody:
         batch = self._admit(batch)
         if not batch:
             return
-        pairs = []
+        views = []
         for msg in batch:
             _, rid, mid, shape, dtype, req_off = msg[:6]
             x = np.ndarray(
                 shape, np.dtype(dtype), buffer=self.req_shm.buf,
                 offset=req_off,
             )
-            pairs.append((self.models[mid], x))
-        try:
-            outs = self.session.infer_many(pairs, max_batch=self.max_batch)
-        except Exception:
-            # A poisoned micro-batch: fall back to per-request execution
-            # so one bad geometry fails alone instead of failing its
-            # whole batch.
-            outs = []
-            for model, x in pairs:
-                try:
-                    outs.append(self.session.infer(model, x))
-                except Exception as exc:  # noqa: BLE001 - reported per-request
-                    outs.append(exc)
+            views.append((self.models[mid], x))
+        reqs = [i for i, msg in enumerate(batch) if msg[0] == "req"]
+        outs: list = [None] * len(batch)
+        if reqs:
+            pairs = [views[i] for i in reqs]
+            try:
+                results = self.session.infer_many(
+                    pairs, max_batch=self.max_batch
+                )
+            except Exception:
+                # A poisoned micro-batch: fall back to per-request
+                # execution so one bad geometry fails alone instead of
+                # failing its whole batch.
+                results = []
+                for model, x in pairs:
+                    try:
+                        results.append(self.session.infer(model, x))
+                    except Exception as exc:  # noqa: BLE001 - per-request
+                        results.append(exc)
+            for i, out in zip(reqs, results):
+                outs[i] = out
+        # Rollout streams: consecutive headers sharing (steps, profile)
+        # drain into one session.rollout call — the same geometry
+        # micro-batcher, state resident across the whole stream.
+        groups: dict[tuple, list[int]] = {}
+        for i, msg in enumerate(batch):
+            if msg[0] == "roll":
+                groups.setdefault((msg[8], msg[9]), []).append(i)
+        for (steps, profile), idxs in groups.items():
+            streams = [views[i] for i in idxs]
+            try:
+                results = self.session.rollout(
+                    streams=streams, steps=steps, profile=profile,
+                    max_batch=self.max_batch,
+                )
+            except Exception:
+                # Per-stream fallback, mirroring the infer path.
+                results = []
+                for model, x in streams:
+                    try:
+                        results.append(self.session.rollout(
+                            model, x, steps, profile=profile
+                        ))
+                    except Exception as exc:  # noqa: BLE001 - per-stream
+                        results.append(exc)
+            for i, out in zip(idxs, results):
+                outs[i] = out
         for msg, out in zip(batch, outs):
-            _, rid, _, _, _, _, resp_off, resp_cap, _, retries, _ = msg
+            rid = msg[1]
+            resp_off, resp_cap, retries = msg[6], msg[7], msg[-2]
             if isinstance(out, Exception):
                 self.send(("err", rid, type(out).__name__, str(out)))
                 continue
@@ -200,7 +246,7 @@ class _WorkerBody:
                            out.nbytes + 1, header_checksum(fields)))
             else:
                 self.send(("res", *fields, header_checksum(fields)))
-        del pairs  # release the request-ring views before the next drain
+        del views  # release the request-ring views before the next drain
 
     # -- control messages ----------------------------------------------
 
@@ -334,7 +380,7 @@ def worker_main(
                 batch = []
                 break
             kind = msg[0]
-            if kind == "req":
+            if kind in ("req", "roll"):
                 batch.append(msg)
                 if len(batch) >= max_batch:
                     body.flush(batch)

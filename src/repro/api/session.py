@@ -38,6 +38,7 @@ process-global ``REPRO_NO_CKERNELS`` environment variable.
 from __future__ import annotations
 
 import queue as queue_mod
+import random
 import threading
 import time
 import weakref
@@ -71,7 +72,9 @@ from repro.gpu.device import DeviceSpec
 
 __all__ = [
     "DTYPE_POLICIES",
+    "LatencyReservoir",
     "PLAN_CACHE_SIZE",
+    "ROLLOUT_PROFILES",
     "Session",
     "SpectralModel",
     "default_session",
@@ -83,6 +86,21 @@ __all__ = [
 #: everything else computes in double); ``"float32"``/``"float64"``
 #: cast every request to the named precision on the way in.
 DTYPE_POLICIES = ("preserve", "float32", "float64")
+
+#: :meth:`Session.rollout` stepping profiles.  ``"exact"`` (default)
+#: runs the pooled executor per step — bit-identical to the eager
+#: per-step loop.  ``"fast"`` keeps the state resident in the truncated
+#: spectrum between steps, skipping the inverse/forward transform pair
+#: where the inter-step path is linear — tolerance-asserted, not
+#: bit-identical (the ifft->fft round trip it elides rounds
+#: differently), mirroring how ``fft/legacy.py`` froze the seed as the
+#: oracle for the compiled paths.
+ROLLOUT_PROFILES = ("exact", "fast")
+
+#: Bounded-reservoir size for latency percentiles: large enough for
+#: stable p99 estimates, small enough that a month-long serving loop
+#: holds a few KiB per geometry.
+LATENCY_RESERVOIR_SIZE = 512
 
 _COMPILED_EXECUTORS = (CompiledSpectralConv1D, CompiledSpectralConv2D)
 
@@ -143,21 +161,70 @@ def _as_spectral_model(model) -> SpectralModel | None:
     return None
 
 
-class _GeometryStats:
-    """Mutable per-geometry serving counters (requests, batches, time)."""
+class LatencyReservoir:
+    """Bounded uniform sample of latency observations (Algorithm R)
+    with percentile readout.
 
-    __slots__ = ("requests", "batches", "seconds")
+    A seconds *sum* (what the serving counters kept before) cannot
+    answer the tail-latency question serving actually asks; a reservoir
+    keeps an unbiased sample of every recorded latency in
+    O(``capacity``) memory, so ``percentiles()`` stays meaningful after
+    millions of requests.  Seeded: two reservoirs fed the same stream
+    hold the same sample.  Not thread-safe — callers serialise behind
+    their stats lock.
+    """
+
+    __slots__ = ("capacity", "count", "_samples", "_rng")
+
+    def __init__(self, capacity: int = LATENCY_RESERVOIR_SIZE,
+                 seed: int = 0x5EED) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.count = 0
+        self._samples: list[float] = []
+        self._rng = random.Random(seed)
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        if len(self._samples) < self.capacity:
+            self._samples.append(float(seconds))
+            return
+        j = self._rng.randrange(self.count)
+        if j < self.capacity:
+            self._samples[j] = float(seconds)
+
+    def percentiles(self) -> dict:
+        """``{"p50", "p95", "p99", "samples", "count"}`` (seconds);
+        the percentile values are ``None`` until a sample lands."""
+        out: dict = {"samples": len(self._samples), "count": self.count}
+        if not self._samples:
+            out.update({"p50": None, "p95": None, "p99": None})
+            return out
+        arr = np.sort(np.asarray(self._samples, dtype=np.float64))
+        for name, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+            out[name] = float(np.quantile(arr, q))
+        return out
+
+
+class _GeometryStats:
+    """Mutable per-geometry serving counters (requests, batches, time,
+    latency reservoir)."""
+
+    __slots__ = ("requests", "batches", "seconds", "latency")
 
     def __init__(self) -> None:
         self.requests = 0
         self.batches = 0
         self.seconds = 0.0
+        self.latency = LatencyReservoir()
 
     def as_dict(self) -> dict:
         out = {
             "requests": self.requests,
             "batches": self.batches,
             "seconds": self.seconds,
+            "latency": self.latency.percentiles(),
         }
         out["requests_per_s"] = (
             self.requests / self.seconds if self.seconds > 0 else None
@@ -261,6 +328,9 @@ class Session:
         self._executors: "OrderedDict[tuple, object]" = OrderedDict()
         self._stats_lock = threading.Lock()
         self._geometry_stats: dict[tuple, _GeometryStats] = {}
+        self._latency = LatencyReservoir()
+        self._rollout_streams = 0
+        self._rollout_steps = 0
         self._closed = False
         _live_sessions.add(self)
 
@@ -545,6 +615,11 @@ class Session:
             stats.requests += requests
             stats.batches += 1
             stats.seconds += seconds
+            # One latency sample per serving call: every request in a
+            # micro-batch (every stream in a rollout step) experienced
+            # this wall time.
+            stats.latency.record(seconds)
+            self._latency.record(seconds)
 
     def _execute(self, model, x: np.ndarray) -> np.ndarray:
         """Run one (possibly concatenated) batch through ``model``."""
@@ -615,31 +690,16 @@ class Session:
         self._check_open()
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if queue_depth is not None and queue_depth < 1:
+            raise ValueError(
+                f"queue_depth must be >= 1, got {queue_depth}"
+            )
         items = [
             (model, self._apply_dtype_policy(np.asarray(x)))
             for model, x in requests
         ]
         results: list[np.ndarray | None] = [None] * len(items)
-
-        # Deterministic micro-batching: group by (model, geometry, dtype)
-        # in arrival order, flushing a group at max_batch requests.
-        jobs: list[list[int]] = []
-        open_groups: dict[tuple, list[int]] = {}
-        for i, (model, x) in enumerate(items):
-            spec = _as_spectral_model(model)
-            if spec is not None:
-                mkey = self._model_key(spec)
-            elif isinstance(model, _COMPILED_EXECUTORS):
-                mkey = ("executor", id(model))
-            else:
-                mkey = ("opaque", id(model))
-            key = (mkey, x.shape[1:], x.dtype)
-            group = open_groups.setdefault(key, [])
-            group.append(i)
-            if len(group) >= max_batch:
-                jobs.append(group)
-                open_groups[key] = []
-        jobs.extend(g for g in open_groups.values() if g)
+        jobs = self._group_requests(items, max_batch)
 
         def run_job(idxs: list[int]) -> None:
             model = items[idxs[0]][0]
@@ -669,13 +729,36 @@ class Session:
                 run_job(job)
         return results  # type: ignore[return-value]
 
+    def _group_requests(self, items, max_batch: int) -> list[list[int]]:
+        """Deterministic micro-batching: group by (model, geometry,
+        dtype) in arrival order, flushing a group at ``max_batch``
+        requests.  Shared by :meth:`infer_many` and :meth:`rollout`."""
+        jobs: list[list[int]] = []
+        open_groups: dict[tuple, list[int]] = {}
+        for i, (model, x) in enumerate(items):
+            spec = _as_spectral_model(model)
+            if spec is not None:
+                mkey = self._model_key(spec)
+            elif isinstance(model, _COMPILED_EXECUTORS):
+                mkey = ("executor", id(model))
+            else:
+                mkey = ("opaque", id(model))
+            key = (mkey, x.shape[1:], x.dtype)
+            group = open_groups.setdefault(key, [])
+            group.append(i)
+            if len(group) >= max_batch:
+                jobs.append(group)
+                open_groups[key] = []
+        jobs.extend(g for g in open_groups.values() if g)
+        return jobs
+
     @staticmethod
     def _drain_jobs(jobs, run_job, workers: int,
                     queue_depth: int | None) -> None:
         """Drain micro-batch jobs through a bounded queue + thread pool."""
         workers = min(workers, len(jobs))
         q: queue_mod.Queue = queue_mod.Queue(
-            maxsize=queue_depth if queue_depth else 2 * workers
+            maxsize=queue_depth if queue_depth is not None else 2 * workers
         )
         errors: list[BaseException] = []
 
@@ -707,6 +790,284 @@ class Session:
         if errors:
             raise errors[0]
 
+    # -- autoregressive rollout -----------------------------------------
+
+    def rollout(
+        self,
+        model=None,
+        x0=None,
+        steps: int = 1,
+        *,
+        streams=None,
+        profile: str = "exact",
+        keep: str = "last",
+        max_batch: int = 32,
+        workers: int | None = None,
+        check_rtol: float | None = None,
+    ):
+        """Autoregressive stepping over this session's pooled executors:
+        each step's output is the next step's input, and the state stays
+        session-resident between model applications.
+
+        Either one stream (``model``, ``x0``, returning the final state
+        — or the whole trajectory with ``keep="all"``) or many
+        (``streams=[(model, x0), ...]``, returning a list in stream
+        order).  Concurrent streams sharing (model, geometry, dtype) are
+        micro-batched along the batch axis exactly like
+        :meth:`infer_many` — up to ``max_batch`` streams step together
+        through one executor call, and ``workers > 1`` drains stream
+        groups with a thread pool.
+
+        ``profile="exact"`` (default) applies the model once per step —
+        **bit-identical** to the eager per-step loop
+        (``for _ in range(steps): x = model(x)``): it is the same
+        computation through the same pooled executor, and micro-batched
+        streams stay bit-identical because every operator is
+        row-independent along the batch axis.
+
+        ``profile="fast"`` keeps the state resident in the truncated
+        spectrum: one forward transform up front, then only the spectral
+        CGEMM per step, and one inverse transform per *kept* state —
+        the redundant inverse/forward pair between consecutive steps is
+        skipped outright.  Valid where the inter-step path is linear: a
+        :class:`SpectralModel` / compiled executor (either filter
+        convention; the spectrum of each step's output *is* the stepped
+        spectrum) or a symmetric ``SpectralConv1d/2d`` layer.
+        Non-symmetric nn layers project onto the real part between
+        steps and arbitrary callables are opaque — both must use
+        ``"exact"``.  Fast results match exact to rounding error, not
+        bit-for-bit; ``check_rtol`` re-runs the exact loop and raises
+        ``ValueError`` when the final states disagree beyond the given
+        relative tolerance (the same tolerance-asserted pattern
+        ``fft/legacy.py`` uses to freeze the seed as oracle).
+
+        ``keep="last"`` returns the final state per stream;
+        ``keep="all"`` the whole ``(steps, *state.shape)`` trajectory.
+        Per-step latencies land in the stats reservoirs
+        (:meth:`stats` ``["latency"]`` / ``["per_geometry"][g]["latency"]``).
+        """
+        self._check_open()
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        if profile not in ROLLOUT_PROFILES:
+            raise ValueError(
+                f"unknown rollout profile {profile!r}; expected one of "
+                f"{ROLLOUT_PROFILES}"
+            )
+        if keep not in ("last", "all"):
+            raise ValueError(
+                f"keep must be 'last' or 'all', got {keep!r}"
+            )
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if check_rtol is not None and profile != "fast":
+            raise ValueError(
+                "check_rtol asserts the fast profile against the exact "
+                "loop; it does not apply to profile='exact'"
+            )
+        if streams is None:
+            if model is None or x0 is None:
+                raise ValueError(
+                    "rollout needs (model, x0) or streams=[(model, x0), ...]"
+                )
+            return self._rollout_streams_impl(
+                [(model, x0)], steps, profile, keep, max_batch, workers,
+                check_rtol,
+            )[0]
+        if model is not None or x0 is not None:
+            raise ValueError(
+                "pass either (model, x0) or streams=, not both"
+            )
+        return self._rollout_streams_impl(
+            list(streams), steps, profile, keep, max_batch, workers,
+            check_rtol,
+        )
+
+    def rollout_many(self, streams, steps: int = 1, **kwargs):
+        """Serve many concurrent rollout streams (see :meth:`rollout`);
+        returns the per-stream results in stream order."""
+        return self.rollout(steps=steps, streams=streams, **kwargs)
+
+    def _rollout_streams_impl(self, streams, steps, profile, keep,
+                              max_batch, workers, check_rtol) -> list:
+        items = [
+            (model, self._apply_dtype_policy(np.asarray(x0)))
+            for model, x0 in streams
+        ]
+        for _, x0 in items:
+            if x0.ndim < 3:
+                raise ValueError(
+                    f"rollout state must be (batch, C, *spatial), "
+                    f"got shape {x0.shape}"
+                )
+        results: list = [None] * len(items)
+        jobs = self._group_requests(items, max_batch)
+
+        def run_job(idxs: list[int]) -> None:
+            model = items[idxs[0]][0]
+            xs = [items[i][1] for i in idxs]
+            state0 = xs[0] if len(xs) == 1 else np.concatenate(xs, axis=0)
+            if profile == "fast":
+                kept = self._rollout_fast(model, state0, steps, keep)
+                if check_rtol is not None:
+                    ref = self._rollout_exact(model, state0, steps, "last")
+                    if not np.allclose(kept[-1], ref[-1], rtol=check_rtol,
+                                       atol=check_rtol):
+                        raise ValueError(
+                            f"fast rollout diverged from the exact loop "
+                            f"beyond rtol={check_rtol} after {steps} steps"
+                        )
+            else:
+                kept = self._rollout_exact(model, state0, steps, keep)
+            with self._stats_lock:
+                self._rollout_streams += len(idxs)
+                self._rollout_steps += steps * len(idxs)
+            offs = [0]
+            for x in xs:
+                offs.append(offs[-1] + x.shape[0])
+            for j, i in enumerate(idxs):
+                if len(xs) == 1:
+                    results[i] = (np.stack(kept) if keep == "all"
+                                  else kept[-1])
+                    continue
+                sl = slice(offs[j], offs[j + 1])
+                # Copy each stream's rows out: a view would pin the
+                # whole concatenated state alive per surviving result.
+                if keep == "all":
+                    results[i] = np.stack([np.array(s[sl]) for s in kept])
+                else:
+                    results[i] = np.array(kept[-1][sl])
+
+        if workers is not None and workers > 1 and len(jobs) > 1:
+            self._drain_jobs(jobs, run_job, workers, None)
+        else:
+            for job in jobs:
+                run_job(job)
+        return results
+
+    def _rollout_exact(self, model, state: np.ndarray, steps: int,
+                       keep: str) -> list[np.ndarray]:
+        """The default stepping loop: the model applied once per step
+        through :meth:`_execute` — the same pooled-executor call the
+        eager loop makes, hence bit-identical to it."""
+        geometry = state.shape[1:]
+        n = state.shape[0]
+        kept: list[np.ndarray] = []
+        for step in range(steps):
+            t0 = time.perf_counter()
+            out = self._execute(model, state)
+            self._record(geometry, n, time.perf_counter() - t0)
+            out = np.asarray(out)
+            if out.shape != state.shape:
+                raise ValueError(
+                    f"rollout requires a shape-preserving model: step "
+                    f"{step + 1} mapped {state.shape} -> {out.shape}"
+                )
+            state = out
+            if keep == "all":
+                kept.append(state)
+        if keep == "last":
+            kept.append(state)
+        return kept
+
+    def _fast_stepper(self, model):
+        """Resolve ``model`` to its spectrum-resident stepper.
+
+        Returns ``(executor, None)`` for poolable/compiled executors or
+        ``(None, layer)`` for a symmetric nn spectral layer; raises
+        ``ValueError`` for models whose inter-step path is not linear in
+        the spectrum.
+        """
+        spec = _as_spectral_model(model)
+        if spec is not None:
+            executor = self._pooled_executor(spec)
+        elif isinstance(model, _COMPILED_EXECUTORS):
+            executor = model
+        else:
+            executor = None
+        if executor is not None:
+            c_in, c_out = executor.weight.shape
+            if c_in != c_out:
+                raise ValueError(
+                    f"profile='fast' feeds the output spectrum back in, "
+                    f"which needs a square (C, C) weight; got "
+                    f"({c_in}, {c_out})"
+                )
+            return executor, None
+        from repro.nn.modules import SpectralConv1d, SpectralConv2d
+
+        if isinstance(model, (SpectralConv1d, SpectralConv2d)):
+            if not model.symmetric:
+                # The non-symmetric layer takes Re(ifft(...)) between
+                # steps — a genuine projection the spectrum-resident
+                # loop cannot reproduce (fft(Re(ifft(pad(yk)))) != pad(yk)).
+                raise ValueError(
+                    "profile='fast' supports symmetric spectral layers "
+                    "only: the non-symmetric convention projects onto "
+                    "the real part between steps; use profile='exact'"
+                )
+            if model.c_in != model.c_out:
+                raise ValueError(
+                    f"profile='fast' needs a square layer "
+                    f"(c_in == c_out), got ({model.c_in}, {model.c_out})"
+                )
+            return None, model
+        raise ValueError(
+            "profile='fast' requires a spectrum-capable model (a "
+            "SpectralModel / (weight, modes[, symmetric]) tuple, a "
+            "compiled executor, or a symmetric SpectralConv1d/2d "
+            "layer); arbitrary callables must use profile='exact'"
+        )
+
+    def _rollout_fast(self, model, state: np.ndarray, steps: int,
+                      keep: str) -> list[np.ndarray]:
+        """The spectrum-resident loop: forward transform once, CGEMM
+        per step, inverse transform only at kept states."""
+        executor, layer = self._fast_stepper(model)
+        geometry = state.shape[1:]
+        spatial = state.shape[2:]
+        n = state.shape[0]
+        kept: list[np.ndarray] = []
+        # Per step: synthesize kept output from the *pre-projection*
+        # output spectrum yk, then feed forward its reanalysis — the
+        # spectrum the next step's forward transform would compute from
+        # the synthesized field.  The skipped inverse/forward pair is
+        # not the identity for the symmetric convention (it projects the
+        # DC bin real in 1D and Hermitian-symmetrises the y-DC column in
+        # 2D), and projecting *before* synthesis would change the kept
+        # output, so the order matters.
+        if executor is not None:
+            spatial_arg = spatial if executor.ndim == 2 else spatial[0]
+            with self._serve_lock_for(executor):
+                sk = executor.forward_spectrum(state)
+                yk = sk
+                for _ in range(steps):
+                    t0 = time.perf_counter()
+                    yk = executor.step_spectrum(sk)
+                    self._record(geometry, n, time.perf_counter() - t0)
+                    if keep == "all":
+                        kept.append(
+                            executor.inverse_spectrum(yk, spatial_arg)
+                        )
+                    sk = executor.reanalyze_spectrum(yk, spatial_arg)
+                if keep == "last":
+                    kept.append(executor.inverse_spectrum(yk, spatial_arg))
+            return kept
+        spatial_arg = spatial if len(spatial) == 2 else spatial[0]
+        with self._serve_lock_for(layer), self.activate():
+            sk = layer.spectrum(state)
+            yk = sk
+            for _ in range(steps):
+                t0 = time.perf_counter()
+                yk = layer.apply_modes(sk)
+                self._record(geometry, n, time.perf_counter() - t0)
+                if keep == "all":
+                    kept.append(layer.from_spectrum(yk, spatial_arg))
+                sk = layer.reanalyze_spectrum(yk, spatial_arg)
+            if keep == "last":
+                kept.append(layer.from_spectrum(yk, spatial_arg))
+        return kept
+
     # -- observability --------------------------------------------------
 
     def stats(self) -> dict:
@@ -717,7 +1078,11 @@ class Session:
         (every pooled-executor call on an ``autotune=True`` session
         resolves its tiles through the tuner exactly once);
         ``per_geometry`` maps each served spatial geometry to
-        request/batch counts and measured throughput.
+        request/batch counts, measured throughput and latency
+        percentiles (p50/p95/p99 seconds from a bounded reservoir — one
+        sample per executed micro-batch or rollout step); ``latency``
+        aggregates the same across all geometries; ``rollout`` counts
+        streams and stream-steps served by :meth:`rollout`.
         """
         info = self.plan_cache_info()
         fft_info = self.plan_caches.cache_info()
@@ -730,6 +1095,11 @@ class Session:
                 s.requests for s in self._geometry_stats.values()
             )
             batches = sum(s.batches for s in self._geometry_stats.values())
+            latency = self._latency.percentiles()
+            rollout = {
+                "streams": self._rollout_streams,
+                "steps": self._rollout_steps,
+            }
         return {
             "backend": self.backend,
             "dtype_policy": self.dtype_policy,
@@ -753,6 +1123,8 @@ class Session:
             "autotune": {"enabled": self.autotune, **self._tuner.stats()},
             "requests": requests,
             "batches": batches,
+            "latency": latency,
+            "rollout": rollout,
             "per_geometry": per_geometry,
         }
 
@@ -774,11 +1146,15 @@ def default_session() -> Session:
     FFT API and the default session pool plans exactly like the seed.
     """
     global _default_session
-    if _default_session is None or _default_session._closed:
-        with _default_session_lock:
-            if _default_session is None or _default_session._closed:
-                _default_session = Session()
-    return _default_session
+    # The check must hold the lock: an unlocked fast-path read of
+    # ``_closed`` racing a concurrent close()-and-recreate could hand
+    # two callers different "default" sessions (one of them already
+    # closed).  Session construction is cheap and happens once, so the
+    # double-checked fast path buys nothing worth the race.
+    with _default_session_lock:
+        if _default_session is None or _default_session._closed:
+            _default_session = Session()
+        return _default_session
 
 
 def clear_all_caches() -> None:

@@ -278,6 +278,35 @@ class _StagedFused1D:
             panel_contract(a, wp, acc, kernels=self.plans.kernels())
         return acc
 
+def _project_dc_real(sk: np.ndarray) -> np.ndarray:
+    """The half-spectrum irfft->rfft round trip, as a spectrum-resident
+    map: a real signal's DC bin is real, so re-analysing the synthesised
+    signal projects ``Im(DC)`` away and leaves every other kept bin
+    untouched (kept modes never reach the Nyquist bin)."""
+    sk = sk.copy()
+    sk[..., 0] = sk[..., 0].real
+    return sk
+
+
+def _project_herm_x(sk: np.ndarray, dim_x: int) -> np.ndarray:
+    """The symmetric-2D inverse/forward round trip on the kept corner.
+
+    Along Y the C2R/R2C pair projects the y-DC plane; re-analysing that
+    now-real plane along X (the first-bins C2C filter) Hermitian-
+    symmetrises its X-spectrum — ``v[k] -> (v[k] + conj(v[(N-k) % N]))
+    / 2`` over the padded length before truncating back to the kept
+    bins.  Every ``my > 0`` bin passes through untouched.
+    """
+    sk = sk.copy()
+    col = sk[..., 0]
+    mx = col.shape[-1]
+    full = np.zeros(col.shape[:-1] + (dim_x,), dtype=sk.dtype)
+    full[..., :mx] = col
+    herm = 0.5 * (full + np.conj(np.roll(full[..., ::-1], 1, axis=-1)))
+    sk[..., 0] = herm[..., :mx]
+    return sk
+
+
 def _weight_panels(weight: np.ndarray, k_tb: int, dtype: np.dtype):
     """Pre-cast contiguous k-panels of a (C_in, C_out) weight matrix."""
     c_in = weight.shape[0]
@@ -675,9 +704,110 @@ class CompiledSpectralConv1D:
         self._tuner = tuner
         self._plans = plans
         self._staged: dict[tuple, object] = {}
+        self._spec_panels: dict = {}
 
     def _plan_caches(self) -> PlanCaches:
         return self._plans if self._plans is not None else current_plan_caches()
+
+    def _spectrum_panels(self, dtype: np.dtype):
+        panels = self._spec_panels.get(dtype)
+        if panels is None:
+            panels = _weight_panels(self.weight, self.k_tb, dtype)
+            self._spec_panels[dtype] = panels
+        return panels
+
+    # -- spectrum-in / spectrum-out entry points (rollout serving) ------
+
+    def forward_spectrum(self, x: np.ndarray) -> np.ndarray:
+        """Truncated spectrum of ``x`` — the state a spectrum-resident
+        rollout (:meth:`repro.api.Session.rollout`) keeps between steps.
+
+        ``inverse_spectrum(step_spectrum(forward_spectrum(x)), X)``
+        computes the same convolution as ``self(x)`` without paying the
+        inverse/forward transform pair between consecutive steps.
+        """
+        x = np.asarray(x)
+        _check_inputs(x, self.weight, 3)
+        dim_x = x.shape[2]
+        if not (1 <= self.modes <= dim_x):
+            raise ValueError(
+                f"modes must be in [1, {dim_x}], got {self.modes}"
+            )
+        dtype = complex_dtype_for(x.dtype)
+        plans = self._plan_caches()
+        if self.symmetric:
+            if np.iscomplexobj(x):
+                raise ValueError("symmetric executor expects real input")
+            batch, c_in, n = x.shape
+            rfft = plans.rfft(dim_x, dtype)
+            flat = np.ascontiguousarray(
+                x, dtype=rfft.real_dtype
+            ).reshape(batch * c_in, n)
+            xk = rfft.execute(flat).reshape(batch, c_in, n // 2 + 1)
+            return np.ascontiguousarray(xk[..., : self.modes])
+        return truncated_fft_auto(
+            x.astype(dtype, copy=False), self.modes, axis=2, caches=plans
+        )
+
+    def step_spectrum(self, sk: np.ndarray) -> np.ndarray:
+        """One spectral-conv application entirely in the spectrum: the
+        k-panel CGEMM over the kept modes, no transforms.
+
+        ``sk`` is a ``(batch, C_in, modes)`` truncated spectrum; returns
+        the ``(batch, C_out, modes)`` spectrum of the convolved signal —
+        exactly the quantity the fused pass accumulates before its
+        inverse transform.
+        """
+        sk = np.asarray(sk)
+        c_in, c_out = self.weight.shape
+        if sk.ndim != 3 or sk.shape[1] != c_in or sk.shape[2] != self.modes:
+            raise ValueError(
+                f"expected spectrum of shape (batch, {c_in}, "
+                f"{self.modes}), got {sk.shape}"
+            )
+        dtype = complex_dtype_for(sk.dtype)
+        plans = self._plan_caches()
+        acc = np.zeros((sk.shape[0], c_out, self.modes), dtype)
+        for (k0, k1, wp) in self._spectrum_panels(dtype):
+            a = np.ascontiguousarray(sk[:, k0:k1], dtype=dtype)
+            panel_contract(a, wp, acc, kernels=plans.kernels())
+        return acc
+
+    def inverse_spectrum(self, sk: np.ndarray, spatial) -> np.ndarray:
+        """Spatial-domain signal of a spectral state: the pruned
+        zero-padded inverse (complex output, like the fused pass), or —
+        symmetric — the C2R half-spectrum inverse (real output)."""
+        sk = np.asarray(sk)
+        dim_x = (int(spatial[0]) if isinstance(spatial, (tuple, list))
+                 else int(spatial))
+        dtype = complex_dtype_for(sk.dtype)
+        plans = self._plan_caches()
+        if self.symmetric:
+            if self.modes > dim_x // 2:
+                raise ValueError(
+                    f"symmetric filtering needs modes <= X/2, got "
+                    f"{self.modes} on a length-{dim_x} grid"
+                )
+            batch, c = sk.shape[0], sk.shape[1]
+            h = dim_x // 2
+            irfft = plans.irfft(dim_x, dtype)
+            pad = np.zeros((batch, c, h + 1), dtype)
+            pad[..., : self.modes] = np.ascontiguousarray(sk, dtype=dtype)
+            out = irfft.execute(pad.reshape(batch * c, h + 1))
+            return out.reshape(batch, c, dim_x)
+        return padded_ifft_auto(
+            sk.astype(dtype, copy=False), dim_x, axis=2, caches=plans
+        )
+
+    def reanalyze_spectrum(self, sk: np.ndarray, spatial=None) -> np.ndarray:
+        """The output spectrum as the *next* step's forward analysis
+        would see it — the exact linear map the skipped inverse/forward
+        transform pair applies between rollout steps.  Identity for the
+        paper's C2C convention (complex output, nothing discarded); the
+        symmetric convention projects the DC bin real."""
+        if not self.symmetric:
+            return sk
+        return _project_dc_real(np.asarray(sk))
 
     def _tiles_for(self, dtype: np.dtype, dim_x: int, batch: int,
                    retune: bool = False) -> Tiles:
@@ -823,9 +953,120 @@ class CompiledSpectralConv2D:
         self._tuner = tuner
         self._plans = plans
         self._staged: dict[tuple, object] = {}
+        self._spec_panels: dict = {}
 
     def _plan_caches(self) -> PlanCaches:
         return self._plans if self._plans is not None else current_plan_caches()
+
+    def _spectrum_panels(self, dtype: np.dtype):
+        panels = self._spec_panels.get(dtype)
+        if panels is None:
+            panels = _weight_panels(self.weight, self.k_tb, dtype)
+            self._spec_panels[dtype] = panels
+        return panels
+
+    # -- spectrum-in / spectrum-out entry points (rollout serving) ------
+
+    def forward_spectrum(self, x: np.ndarray) -> np.ndarray:
+        """Truncated ``(batch, C_in, modes_x, modes_y)`` spectrum corner
+        of ``x`` — the rollout state (see
+        :meth:`CompiledSpectralConv1D.forward_spectrum`)."""
+        x = np.asarray(x)
+        _check_inputs(x, self.weight, 4)
+        batch, c_in, dim_x, dim_y = x.shape
+        if not (1 <= self.modes_x <= dim_x) or not (
+            1 <= self.modes_y <= dim_y
+        ):
+            raise ValueError(
+                f"modes ({self.modes_x}, {self.modes_y}) out of range "
+                f"for ({dim_x}, {dim_y})"
+            )
+        dtype = complex_dtype_for(x.dtype)
+        plans = self._plan_caches()
+        if self.symmetric:
+            if np.iscomplexobj(x):
+                raise ValueError("symmetric executor expects real input")
+            h = dim_y // 2
+            rfft = plans.rfft(dim_y, dtype)
+            flat = np.ascontiguousarray(
+                x, dtype=rfft.real_dtype
+            ).reshape(batch * c_in * dim_x, dim_y)
+            xk_y = rfft.execute(flat).reshape(batch, c_in, dim_x, h + 1)
+            return truncated_fft_auto(
+                np.ascontiguousarray(xk_y[..., : self.modes_y]),
+                self.modes_x, axis=2, caches=plans,
+            )
+        xk_x = truncated_fft_auto(
+            x.astype(dtype, copy=False), self.modes_x, axis=2, caches=plans
+        )
+        return truncated_fft_auto(
+            xk_x, self.modes_y, axis=3, caches=plans
+        )
+
+    def step_spectrum(self, sk: np.ndarray) -> np.ndarray:
+        """One spectral-conv application entirely in the spectrum: the
+        shared CGEMM over the flattened kept corner, no transforms."""
+        sk = np.asarray(sk)
+        c_in, c_out = self.weight.shape
+        if sk.ndim != 4 or sk.shape[1:] != (
+            c_in, self.modes_x, self.modes_y
+        ):
+            raise ValueError(
+                f"expected spectrum of shape (batch, {c_in}, "
+                f"{self.modes_x}, {self.modes_y}), got {sk.shape}"
+            )
+        dtype = complex_dtype_for(sk.dtype)
+        plans = self._plan_caches()
+        batch = sk.shape[0]
+        m = self.modes_x * self.modes_y
+        flat = np.ascontiguousarray(sk, dtype=dtype).reshape(batch, c_in, m)
+        acc = np.zeros((batch, c_out, m), dtype)
+        for (k0, k1, wp) in self._spectrum_panels(dtype):
+            a = np.ascontiguousarray(flat[:, k0:k1])
+            panel_contract(a, wp, acc, kernels=plans.kernels())
+        return acc.reshape(batch, c_out, self.modes_x, self.modes_y)
+
+    def inverse_spectrum(self, sk: np.ndarray, spatial) -> np.ndarray:
+        """Spatial-domain signal of a spectral state (complex output;
+        symmetric executors return the real C2R inverse)."""
+        sk = np.asarray(sk)
+        dim_x, dim_y = int(spatial[0]), int(spatial[1])
+        dtype = complex_dtype_for(sk.dtype)
+        plans = self._plan_caches()
+        if self.symmetric:
+            if self.modes_y > dim_y // 2:
+                raise ValueError(
+                    f"symmetric filtering needs modes_y <= Y/2, got "
+                    f"{self.modes_y} on a length-{dim_y} grid"
+                )
+            batch, c = sk.shape[0], sk.shape[1]
+            h = dim_y // 2
+            y_x = padded_ifft_auto(
+                np.ascontiguousarray(sk, dtype=dtype), dim_x, axis=2,
+                caches=plans,
+            )
+            pad = np.zeros((batch, c, dim_x, h + 1), dtype)
+            pad[..., : self.modes_y] = y_x
+            irfft = plans.irfft(dim_y, dtype)
+            out = irfft.execute(pad.reshape(batch * c * dim_x, h + 1))
+            return out.reshape(batch, c, dim_x, dim_y)
+        y_y = padded_ifft_auto(
+            sk.astype(dtype, copy=False), dim_y, axis=3, caches=plans
+        )
+        return padded_ifft_auto(y_y, dim_x, axis=2, caches=plans)
+
+    def reanalyze_spectrum(self, sk: np.ndarray, spatial=None) -> np.ndarray:
+        """The output spectrum as the next step's forward analysis would
+        see it (see :meth:`CompiledSpectralConv1D.reanalyze_spectrum`).
+        The symmetric convention needs ``spatial`` — the Hermitian
+        projection of the y-DC column depends on the padded X length."""
+        if not self.symmetric:
+            return sk
+        if spatial is None:
+            raise ValueError(
+                "symmetric reanalysis needs the spatial shape (dim_x, dim_y)"
+            )
+        return _project_herm_x(np.asarray(sk), int(spatial[0]))
 
     def _tiles_for(self, dtype: np.dtype, dim_x: int, dim_y: int,
                    batch: int, retune: bool = False) -> Tiles:

@@ -85,6 +85,22 @@ class _FNOBase(Module):
             total += 2 * n if np.iscomplexobj(p.value) else n
         return total
 
+    def spectral_layers(self):
+        """The spectral convolution of each Fourier block, in order —
+        the split step (:meth:`SpectralConv1d.spectrum` /
+        ``apply_modes`` / ``from_spectrum``) a spectrum-resident loop
+        hands state across."""
+        for block in self.blocks:
+            yield block.spectral
+
+    @property
+    def shape_preserving(self) -> bool:
+        """True when the model maps a field to one of the same shape —
+        the precondition :meth:`repro.api.Session.rollout` checks before
+        feeding the output of one step back in as the next input."""
+        return (self.lift.weight.value.shape[0]
+                == self.proj2.weight.value.shape[1])
+
 
 class FNO1d(_FNOBase):
     """1-D Fourier Neural Operator on ``(batch, in_channels, X)`` input.

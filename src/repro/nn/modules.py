@@ -231,6 +231,50 @@ class SpectralConv1d(Module):
         self._xk: np.ndarray | None = None
         self._dim_x: int = 0
 
+    # -- spectral-step split --------------------------------------------
+    # The three stages of the Fourier layer as separate entry points, so
+    # a spectrum-resident rollout (repro.api.Session.rollout) can hand
+    # the truncated spectrum from one step to the next without paying
+    # the inverse/forward transform pair in between.  ``forward`` is
+    # exactly ``from_spectrum(apply_modes(spectrum(x)), X)`` on the
+    # non-executor paths.
+
+    def spectrum(self, x: np.ndarray) -> np.ndarray:
+        """Truncated spectrum of ``x`` under this layer's convention."""
+        if self.symmetric:
+            return np.ascontiguousarray(_trunc_rfft(x, self.modes, axis=-1))
+        return _trunc_fft(x, self.modes, axis=-1)
+
+    def apply_modes(self, xk: np.ndarray) -> np.ndarray:
+        """Apply the layer weight to a truncated spectrum — the step
+        that stays resident in the spectrum across rollout steps."""
+        if self.per_mode:
+            return np.einsum("bim,iom->bom", xk, self.weight.value)
+        return np.einsum("bim,io->bom", xk, self.weight.value)
+
+    def from_spectrum(self, yk: np.ndarray, n_out: int) -> np.ndarray:
+        """Spatial-domain output from a truncated output spectrum."""
+        if self.symmetric:
+            return _pad_irfft(yk, n_out, axis=-1)
+        return _pad_ifft(yk, n_out, axis=-1).real
+
+    def reanalyze_spectrum(self, yk: np.ndarray, n_out: int = 0) -> np.ndarray:
+        """The output spectrum as the next step's ``spectrum`` would see
+        it.  The skipped irfft->rfft pair is not the identity: the real
+        synthesis discards Im(DC), so reanalysis projects the DC bin
+        real.  Only the symmetric convention has a spectrum-resident
+        form — the non-symmetric layer takes ``.real`` in the spatial
+        domain, which mixes every bin."""
+        if not self.symmetric:
+            raise ValueError(
+                "non-symmetric SpectralConv1d has no spectrum-resident "
+                "reanalysis (the spatial .real projection mixes bins); "
+                "use the exact rollout profile"
+            )
+        yk = np.asarray(yk).copy()
+        yk[..., 0] = yk[..., 0].real
+        return yk
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 3 or x.shape[1] != self.c_in:
             raise ValueError(f"expected (batch, {self.c_in}, X), got {x.shape}")
@@ -248,7 +292,7 @@ class SpectralConv1d(Module):
             # R2C plan replaces "full C2C then mirror-and-double".  The
             # copy drops the full-half-spectrum base the slice would
             # otherwise pin until backward.
-            xk = np.ascontiguousarray(_trunc_rfft(x, self.modes, axis=-1))
+            xk = self.spectrum(x)
             self._xk = xk
             if not self.per_mode:
                 # One CGEMM shared across modes -> the compiled
@@ -263,21 +307,16 @@ class SpectralConv1d(Module):
                     self.weight.value, self.modes, symmetric=True
                 )
                 return np.ascontiguousarray(conv(x, xk_trunc=xk))
-            yk = np.einsum("bim,iom->bom", xk, self.weight.value)
-            return _pad_irfft(yk, dim_x, axis=-1)
+            return self.from_spectrum(self.apply_modes(xk), dim_x)
         if not self.per_mode and _prunable(dim_x, self.modes):
             # The paper's formulation: one CGEMM shared across modes ->
             # use the fused FFT-CGEMM-iFFT dataflow directly.
-            self._xk = _trunc_fft(x, self.modes, axis=-1)
+            self._xk = self.spectrum(x)
             y = fused_fft_gemm_ifft_1d(x, self.weight.value, self.modes)
             return np.ascontiguousarray(y.real)
-        xk = _trunc_fft(x, self.modes, axis=-1)
+        xk = self.spectrum(x)
         self._xk = xk
-        if self.per_mode:
-            yk = np.einsum("bim,iom->bom", xk, self.weight.value)
-        else:
-            yk = np.einsum("bim,io->bom", xk, self.weight.value)
-        return _pad_ifft(yk, dim_x, axis=-1).real
+        return self.from_spectrum(self.apply_modes(xk), dim_x)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._xk is None:
@@ -364,6 +403,47 @@ class SpectralConv2d(Module):
         y = _pad_ifft(yk, dim_x, axis=2)
         return _pad_irfft(y, dim_y, axis=3)
 
+    # -- spectral-step split (see SpectralConv1d) -----------------------
+
+    def spectrum(self, x: np.ndarray) -> np.ndarray:
+        """Truncated spectrum corner of ``x`` under this layer's
+        convention."""
+        if self.symmetric:
+            # contiguous copy: the fallback truncation path can return a
+            # view pinning the full spectrum until backward
+            return np.ascontiguousarray(self._truncate_fft2(x))
+        return self._truncate_fft2(x)
+
+    def apply_modes(self, xk: np.ndarray) -> np.ndarray:
+        """Apply the layer weight to a truncated spectrum corner."""
+        if self.per_mode:
+            return np.einsum("bimn,iomn->bomn", xk, self.weight.value)
+        return np.einsum("bimn,io->bomn", xk, self.weight.value)
+
+    def from_spectrum(self, yk: np.ndarray, shape) -> np.ndarray:
+        """Spatial-domain output from a truncated output spectrum."""
+        dim_x, dim_y = int(shape[0]), int(shape[1])
+        if self.symmetric:
+            return self._pad_irfft2(yk, dim_x, dim_y)
+        return self._pad_ifft2(yk, dim_x, dim_y).real
+
+    def reanalyze_spectrum(self, yk: np.ndarray, shape) -> np.ndarray:
+        """The output spectrum corner as the next step's ``spectrum``
+        would see it.  The skipped C2R/R2C pair along Y projects the
+        y-DC plane real in the spatial domain; re-analysis along X then
+        Hermitian-symmetrises that column's X-spectrum (over the padded
+        X length, truncated back to the kept corner).  Non-symmetric
+        layers have no spectrum-resident form (spatial ``.real``)."""
+        if not self.symmetric:
+            raise ValueError(
+                "non-symmetric SpectralConv2d has no spectrum-resident "
+                "reanalysis (the spatial .real projection mixes bins); "
+                "use the exact rollout profile"
+            )
+        from repro.core.compiled import _project_herm_x
+
+        return _project_herm_x(np.asarray(yk), int(shape[0]))
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 4 or x.shape[1] != self.c_in:
             raise ValueError(f"expected (batch, {self.c_in}, X, Y), got {x.shape}")
@@ -377,9 +457,7 @@ class SpectralConv2d(Module):
             )
         self._shape = (dim_x, dim_y)
         if self.symmetric:
-            # contiguous copy: the fallback truncation path can return a
-            # view pinning the full spectrum until backward
-            xk = np.ascontiguousarray(self._truncate_fft2(x))
+            xk = self.spectrum(x)
             self._xk = xk
             if not self.per_mode:
                 from repro.core.compiled import CompiledSpectralConv2D
@@ -389,17 +467,15 @@ class SpectralConv2d(Module):
                     symmetric=True,
                 )
                 return np.ascontiguousarray(conv(x, xk_trunc=xk))
-            yk = np.einsum("bimn,iomn->bomn", xk, self.weight.value)
-            return self._pad_irfft2(yk, dim_x, dim_y)
+            return self.from_spectrum(self.apply_modes(xk), (dim_x, dim_y))
         if not self.per_mode:
-            self._xk = self._truncate_fft2(x)
+            self._xk = self.spectrum(x)
             y = fused_fft_gemm_ifft_2d(x, self.weight.value, self.modes_x,
                                        self.modes_y)
             return np.ascontiguousarray(y.real)
-        xk = self._truncate_fft2(x)
+        xk = self.spectrum(x)
         self._xk = xk
-        yk = np.einsum("bimn,iomn->bomn", xk, self.weight.value)
-        return self._pad_ifft2(yk, dim_x, dim_y).real
+        return self.from_spectrum(self.apply_modes(xk), (dim_x, dim_y))
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._xk is None:
