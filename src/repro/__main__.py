@@ -59,6 +59,12 @@ Commands
     resolves (result or typed error), every shared-memory segment
     unlinks at close, and every successful result is bit-identical to
     a serial one-worker session.  ``--quick`` is the CI-sized run.
+``lint [--json] [--rule NAME] [--root DIR] [--list-rules]``
+    Run the project-invariant static analyzer (:mod:`repro.tools.lint`):
+    AST-based rules enforcing the determinism, cache-scope,
+    shared-memory-lifecycle, lock-order, typed-failure and
+    worker-protocol contracts, gated at zero findings in CI.  Exits
+    non-zero on any finding.
 
 Commands resolve problems through the :mod:`repro.api` facade; ``ladder``'s
 ``--device h100`` (or any name added with ``repro.api.register_device``)
@@ -530,6 +536,21 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.tools.lint import main as lint_main
+
+    argv = []
+    if args.json:
+        argv.append("--json")
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.root is not None:
+        argv += ["--root", args.root]
+    for rule in args.rule or []:
+        argv += ["--rule", rule]
+    return lint_main(argv)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -655,6 +676,21 @@ def main(argv: list[str] | None = None) -> int:
     p_cs.add_argument("--json", action="store_true",
                       help="machine-readable soak report")
     p_cs.set_defaults(func=_cmd_chaos_soak)
+
+    p_li = sub.add_parser(
+        "lint",
+        help="project-invariant static analysis (CI gate: zero findings)",
+    )
+    p_li.add_argument("--rule", action="append", default=None,
+                      metavar="NAME",
+                      help="run only this rule (repeatable)")
+    p_li.add_argument("--root", default=None,
+                      help="tree to lint (default: this repo)")
+    p_li.add_argument("--list-rules", action="store_true",
+                      help="print the rule registry and exit")
+    p_li.add_argument("--json", action="store_true",
+                      help="machine-readable findings report")
+    p_li.set_defaults(func=_cmd_lint)
 
     args = parser.parse_args(argv)
     return args.func(args)

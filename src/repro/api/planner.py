@@ -210,7 +210,8 @@ def build_plan(
             cand = cached(problem, rung, config, device)
             if best is None or cand.total_time < best.total_time:
                 best = cand
-        assert best is not None
+        if best is None:
+            raise RuntimeError("FusionStage.ladder() is empty")
         return best
     builder = pipeline_builder_for(problem)
     pipeline = builder(problem, stage, config)

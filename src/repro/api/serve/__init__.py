@@ -44,6 +44,7 @@ from repro.api.serve.health import (
     CorruptedHeader,
     DeadlineExceeded,
     HealthPolicy,
+    InfrastructureError,
     ResultTimeout,
 )
 from repro.api.serve.pool import (
@@ -75,6 +76,7 @@ __all__ = [
     "ResultTimeout",
     "Cancelled",
     "CorruptedHeader",
+    "InfrastructureError",
     "PoolSaturated",
     "HealthPolicy",
     "CircuitBreaker",

@@ -44,6 +44,9 @@ failures from request-level ones:
 :class:`Cancelled`       ``ServeFuture.cancel()`` abandoned the request
 :class:`CorruptedHeader`  a request/response header failed its checksum
                          and the retry budget is spent
+:class:`InfrastructureError`  the worker hit a substrate fault (OOM, OS,
+                         shared-memory buffer) executing the request —
+                         retry-worthy, unlike a model error
 =======================  ==================================================
 """
 
@@ -59,6 +62,7 @@ __all__ = [
     "ResultTimeout",
     "Cancelled",
     "CorruptedHeader",
+    "InfrastructureError",
     "HealthPolicy",
     "HealthMonitor",
     "CircuitBreaker",
@@ -105,6 +109,17 @@ class CorruptedHeader(ServeError):
     """A request/response header failed its checksum and the retry
     budget is spent (checksummed headers are how a half-written or
     fault-injected control message is rejected instead of trusted)."""
+
+
+class InfrastructureError(ServeError):
+    """The worker hit a substrate fault (out-of-memory, OS error,
+    shared-memory buffer failure) while executing this request.
+
+    The failure is about the *worker's environment*, not the request:
+    the same request may well succeed on another worker or after a
+    recycle, where a model/geometry error (which arrives as a plain
+    :class:`ServeError`) would fail identically everywhere.  Keeping
+    the two distinguishable is the point of the typed taxonomy."""
 
 
 class HealthPolicy:

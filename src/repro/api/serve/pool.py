@@ -79,6 +79,7 @@ from repro.api.serve.health import (
     DeadlineExceeded,
     HealthMonitor,
     HealthPolicy,
+    InfrastructureError,
     ResultTimeout,
     ServeError,
     WorkerCrashed,
@@ -1135,6 +1136,10 @@ class ServePool:
             _, _, name, message = msg
             if name == "CorruptedHeader":
                 error = CorruptedHeader(message)
+            elif name == "InfrastructureError":
+                # Substrate fault on the worker: keep it typed so the
+                # caller can tell retry-worthy failures from model ones.
+                error = InfrastructureError(message)
             elif name == "ServeError":
                 error = ServeError(message)
             else:

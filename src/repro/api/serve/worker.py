@@ -82,9 +82,15 @@ import time
 import numpy as np
 
 from repro.api.serve.faults import ChaosInjector
+from repro.api.serve.health import InfrastructureError
 from repro.api.serve.shm import header_checksum
 
 __all__ = ["worker_main"]
+
+#: Substrate failures: about the worker's environment, not the request.
+#: Mapped to the typed ``InfrastructureError`` so the parent (and the
+#: caller's future) can tell a retry-worthy fault from a model error.
+_INFRA_ERRORS = (MemoryError, OSError, BufferError)
 
 
 def _probe_shape(shape: tuple) -> tuple:
@@ -158,6 +164,18 @@ class _WorkerBody:
             live.append(msg)
         return live
 
+    def _serve_one(self, fn):
+        """Execute one request/stream, mapping failures to the typed
+        taxonomy: substrate faults become :class:`InfrastructureError`;
+        model/geometry errors are returned as-is (they would fail the
+        same way on any worker, so they are not worth retrying)."""
+        try:
+            return fn()
+        except _INFRA_ERRORS as exc:
+            return InfrastructureError(f"{type(exc).__name__}: {exc}")
+        except Exception as exc:  # noqa: BLE001 - per-request isolation
+            return exc
+
     def _flush(self, batch: list[tuple]) -> None:
         batch = self._admit(batch)
         if not batch:
@@ -178,16 +196,23 @@ class _WorkerBody:
                 results = self.session.infer_many(
                     pairs, max_batch=self.max_batch
                 )
-            except Exception:
+            except _INFRA_ERRORS as exc:
+                # A substrate fault (OOM, OS, shm buffer) poisons the
+                # whole batch and retrying per-request would just repeat
+                # it: fail every request with the typed error instead of
+                # masking it as a per-request model error.
+                err = InfrastructureError(f"{type(exc).__name__}: {exc}")
+                results = [err] * len(pairs)
+            except Exception:  # noqa: BLE001 - per-request fallback below
                 # A poisoned micro-batch: fall back to per-request
                 # execution so one bad geometry fails alone instead of
                 # failing its whole batch.
-                results = []
-                for model, x in pairs:
-                    try:
-                        results.append(self.session.infer(model, x))
-                    except Exception as exc:  # noqa: BLE001 - per-request
-                        results.append(exc)
+                results = [
+                    self._serve_one(
+                        lambda m=model, a=x: self.session.infer(m, a)
+                    )
+                    for model, x in pairs
+                ]
             for i, out in zip(reqs, results):
                 outs[i] = out
         # Rollout streams: consecutive headers sharing (steps, profile)
@@ -204,16 +229,20 @@ class _WorkerBody:
                     streams=streams, steps=steps, profile=profile,
                     max_batch=self.max_batch,
                 )
-            except Exception:
+            except _INFRA_ERRORS as exc:
+                # Substrate fault: fail the whole stream group typed.
+                err = InfrastructureError(f"{type(exc).__name__}: {exc}")
+                results = [err] * len(streams)
+            except Exception:  # noqa: BLE001 - per-stream fallback below
                 # Per-stream fallback, mirroring the infer path.
-                results = []
-                for model, x in streams:
-                    try:
-                        results.append(self.session.rollout(
-                            model, x, steps, profile=profile
-                        ))
-                    except Exception as exc:  # noqa: BLE001 - per-stream
-                        results.append(exc)
+                results = [
+                    self._serve_one(
+                        lambda m=model, a=x: self.session.rollout(
+                            m, a, steps, profile=profile
+                        )
+                    )
+                    for model, x in streams
+                ]
             for i, out in zip(idxs, results):
                 outs[i] = out
         for msg, out in zip(batch, outs):

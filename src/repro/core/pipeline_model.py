@@ -383,7 +383,8 @@ def best_stage_1d(
         t = build_pipeline_1d(problem, stage, cfg).total_time(device)
         if best is None or t < best[1]:
             best = (stage, t)
-    assert best is not None
+    if best is None:
+        raise RuntimeError("FusionStage.ladder() is empty")
     return best
 
 
@@ -519,5 +520,6 @@ def best_stage_2d(
         t = build_pipeline_2d(problem, stage, cfg).total_time(device)
         if best is None or t < best[1]:
             best = (stage, t)
-    assert best is not None
+    if best is None:
+        raise RuntimeError("FusionStage.ladder() is empty")
     return best

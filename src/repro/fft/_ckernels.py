@@ -20,6 +20,20 @@ Environment knobs
 ``REPRO_CKERNEL_DIR``
     Override the build cache directory (default: a per-user directory
     under the system temp dir).
+``REPRO_CKERNELS_SANITIZE=1``
+    Compile every flag variant with AddressSanitizer + UBSan and the
+    full warning set promoted to errors (``-fsanitize=address,undefined
+    -fno-sanitize-recover=all -Wall -Wextra -Werror``).  CI runs the
+    FFT oracle suites under this mode so C-side memory bugs fail loudly
+    instead of corrupting bits.  Loading an ASan-instrumented library
+    into an uninstrumented Python requires the ASan runtime first in
+    the process — run with ``LD_PRELOAD=$(gcc -print-file-name=
+    libasan.so)`` (and typically ``ASAN_OPTIONS=detect_leaks=0``, since
+    CPython itself is not leak-clean).  ASan *aborts the process* when
+    it initialises late, so the loader refuses to even attempt the
+    ``dlopen`` unless an ASan runtime is visible in ``LD_PRELOAD``; it
+    falls back to NumPy instead — never to silently-unsanitized
+    kernels.
 """
 
 from __future__ import annotations
@@ -47,6 +61,33 @@ _FLAG_VARIANTS = [
     ([], "generic"),
 ]
 _BASE_CFLAGS = ["-O3", "-ffp-contract=off", "-shared", "-fPIC"]
+
+#: The sanitized tier: ASan + UBSan with no recovery, full warnings as
+#: errors, and debug info for usable reports.  ``-ffp-contract=off``
+#: from the base flags still applies, so bit-identity holds under the
+#: sanitizers too and the oracle suites can run unchanged.
+_SANITIZE_CFLAGS = [
+    "-fsanitize=address,undefined",
+    "-fno-sanitize-recover=all",
+    "-Wall",
+    "-Wextra",
+    "-Werror",
+    "-g",
+]
+
+
+def _flag_variants() -> list[tuple[list[str], str]]:
+    """The flag variants to try, honouring ``REPRO_CKERNELS_SANITIZE``.
+
+    Sanitized builds get a distinct cache tag so a sanitize run never
+    reuses (or poisons) the plain build cache.
+    """
+    if not os.environ.get("REPRO_CKERNELS_SANITIZE"):
+        return _FLAG_VARIANTS
+    return [
+        (extra + _SANITIZE_CFLAGS, f"{tag}-sanitize")
+        for extra, tag in _FLAG_VARIANTS
+    ]
 
 _state: dict = {"kernels": None, "tried": False, "info": "not loaded"}
 
@@ -214,7 +255,19 @@ def get_kernels() -> _Kernels | None:
     if cc is None:
         _state["info"] = "no C compiler found"
         return None
-    for extra, tag in _FLAG_VARIANTS:
+    if os.environ.get("REPRO_CKERNELS_SANITIZE") and (
+        "asan" not in os.environ.get("LD_PRELOAD", "")
+    ):
+        # dlopen-ing an ASan-instrumented library into a process whose
+        # runtime initialised without ASan doesn't raise — ASan aborts
+        # the whole interpreter.  Refuse up front and fall back to
+        # NumPy (never to silently-unsanitized kernels).
+        _state["info"] = (
+            "REPRO_CKERNELS_SANITIZE=1 but no ASan runtime in LD_PRELOAD; "
+            "run with LD_PRELOAD=$(gcc -print-file-name=libasan.so)"
+        )
+        return None
+    for extra, tag in _flag_variants():
         lib_path = _compile(cc, extra, tag)
         if lib_path is None:
             continue

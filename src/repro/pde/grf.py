@@ -42,7 +42,8 @@ def grf_1d(
         raise ValueError("n_samples must be positive")
     if alpha <= 0.5:
         raise ValueError("alpha must exceed 1/2 for a valid 1-D covariance")
-    rng = rng or np.random.default_rng()
+    if rng is None:
+        rng = np.random.default_rng()
     if sigma is None:
         sigma = tau ** (alpha - 0.5)
     k = np.fft.fftfreq(n, d=1.0 / n)  # integer wavenumbers
@@ -74,7 +75,8 @@ def grf_2d(
         raise ValueError("n_samples must be positive")
     if alpha <= 1.0:
         raise ValueError("alpha must exceed 1 for a valid 2-D covariance")
-    rng = rng or np.random.default_rng()
+    if rng is None:
+        rng = np.random.default_rng()
     if sigma is None:
         sigma = tau ** (alpha - 1.0)
     kx = np.fft.fftfreq(nx, d=1.0 / nx)[:, None]

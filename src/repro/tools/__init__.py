@@ -1,0 +1,36 @@
+"""``repro.tools`` — project-invariant enforcement tooling.
+
+The codebase's correctness contracts (bit-identity determinism, plan
+cache-scope discipline, shared-memory lifecycle, lock ordering, the
+typed serving-failure taxonomy, the worker wire protocol) started life
+as *conventions*: documented in docstrings, enforced by review.  This
+package makes them load-bearing:
+
+:mod:`repro.tools.lint`
+    AST-based static analysis with a rule registry, per-rule
+    allowlists, and a ``python -m repro lint`` CLI gated at zero
+    findings in CI.
+:mod:`repro.tools.locks`
+    A runtime lock-order detector: instrumented ``Lock``/``RLock``
+    wrappers record the acquisition graph while the serve suite runs
+    and fail on cycles or documented-order inversions.
+"""
+
+from repro.tools.lint import Finding, Rule, rule_names, run_lint
+from repro.tools.locks import (
+    InstrumentedLock,
+    LockOrderError,
+    LockOrderRecorder,
+    instrument_pool,
+)
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "rule_names",
+    "run_lint",
+    "InstrumentedLock",
+    "LockOrderError",
+    "LockOrderRecorder",
+    "instrument_pool",
+]

@@ -1,0 +1,226 @@
+"""Runtime lock-order detection for the serving pool.
+
+The static ``lock-order`` rule in :mod:`repro.tools.lint` catches the
+*textual* inversion (``with self._stats_lock: ... self._lock``), but
+the PR 8 ``default_session`` race showed orders can invert across call
+boundaries that no single-file AST walk sees.  This module closes that
+gap dynamically: :class:`InstrumentedLock` wraps a real
+``threading.Lock``/``RLock`` and reports every acquisition to a
+:class:`LockOrderRecorder`, which maintains the *acquisition graph* —
+a directed edge ``A -> B`` meaning "some thread acquired B while
+holding A".  After a test run:
+
+* a **cycle** in the graph means two threads can each hold the lock
+  the other wants — a deadlock that merely hasn't scheduled yet;
+* a **forbidden edge** (``_stats_lock -> _lock`` for the pool) means
+  the documented order was inverted even if no compliant thread raced
+  it during the run.
+
+Usage in the serve suite::
+
+    rec = LockOrderRecorder(forbidden=[POOL_LOCK_ORDER[::-1]])
+    instrument_pool(pool, rec)
+    ... drive traffic ...
+    rec.assert_clean()
+
+Instrumentation is plain attribute replacement — no global
+monkeypatching — so only the pool under test pays the (tiny)
+bookkeeping cost, and production code paths are untouched.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+
+__all__ = [
+    "POOL_LOCK_ORDER",
+    "LockOrderError",
+    "LockOrderRecorder",
+    "InstrumentedLock",
+    "instrument_pool",
+]
+
+#: ServePool's documented acquisition order: the coarse state RLock
+#: first, the stats Lock (if needed) nested inside it.
+POOL_LOCK_ORDER = ("_lock", "_stats_lock")
+
+
+class LockOrderError(AssertionError):
+    """A lock-order violation observed at runtime (cycle or forbidden
+    edge in the acquisition graph)."""
+
+
+class LockOrderRecorder:
+    """Collects the lock-acquisition graph across all threads.
+
+    ``forbidden`` is a list of ``(held, acquired)`` name pairs that are
+    violations even when they don't (yet) complete a cycle — e.g. the
+    pool's ``("_stats_lock", "_lock")`` inversion.
+    """
+
+    def __init__(self, forbidden=None):
+        self._graph_lock = threading.Lock()
+        # edge -> list of "thread-name" witnesses (capped per edge)
+        self._edges: dict[tuple[str, str], list[str]] = defaultdict(list)
+        self._forbidden = [tuple(pair) for pair in (forbidden or [])]
+        self._held = threading.local()
+        self._acquired = 0
+
+    # -- instrumentation hooks -------------------------------------------
+
+    def wrap(self, lock, name: str) -> "InstrumentedLock":
+        return InstrumentedLock(lock, name, self)
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = self._held.stack = []
+        return stack
+
+    def _on_acquire(self, name: str) -> None:
+        stack = self._stack()
+        with self._graph_lock:
+            self._acquired += 1
+            for held in stack:
+                if held == name:
+                    continue  # RLock re-entry is not an ordering edge
+                witnesses = self._edges[(held, name)]
+                if len(witnesses) < 8:
+                    witnesses.append(threading.current_thread().name)
+        stack.append(name)
+
+    def _on_release(self, name: str) -> None:
+        stack = self._stack()
+        # Pop the last occurrence: RLocks release in LIFO per level.
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == name:
+                del stack[i]
+                return
+
+    # -- analysis --------------------------------------------------------
+
+    def edges(self) -> set[tuple[str, str]]:
+        with self._graph_lock:
+            return set(self._edges)
+
+    def total_acquisitions(self) -> int:
+        """How many acquisitions the instrumented locks saw — lets a
+        test assert the instrumentation actually carried traffic (an
+        empty edge set from zero acquisitions proves nothing)."""
+        with self._graph_lock:
+            return self._acquired
+
+    def has_edge(self, held: str, acquired: str) -> bool:
+        return (held, acquired) in self.edges()
+
+    def cycles(self) -> list[list[str]]:
+        """Every elementary cycle reachable in the acquisition graph
+        (DFS with a colour map; good enough at lock-graph sizes)."""
+        graph: dict[str, set[str]] = defaultdict(set)
+        for held, acquired in self.edges():
+            graph[held].add(acquired)
+        found: list[list[str]] = []
+        seen_keys: set[tuple[str, ...]] = set()
+
+        def visit(node: str, path: list[str], on_path: set[str]) -> None:
+            for nxt in sorted(graph.get(node, ())):
+                if nxt in on_path:
+                    cycle = path[path.index(nxt):] + [nxt]
+                    # canonicalize rotation so each cycle reports once
+                    body = cycle[:-1]
+                    pivot = body.index(min(body))
+                    key = tuple(body[pivot:] + body[:pivot])
+                    if key not in seen_keys:
+                        seen_keys.add(key)
+                        found.append(cycle)
+                elif len(path) <= len(graph):
+                    visit(nxt, path + [nxt], on_path | {nxt})
+
+        for start in sorted(graph):
+            visit(start, [start], {start})
+        return found
+
+    def violations(self) -> list[str]:
+        """Human-readable descriptions of every cycle and forbidden
+        edge observed so far (empty list == clean)."""
+        problems = []
+        for cycle in self.cycles():
+            problems.append(
+                "acquisition cycle: " + " -> ".join(cycle)
+            )
+        edge_set = self.edges()
+        for held, acquired in self._forbidden:
+            if (held, acquired) in edge_set:
+                with self._graph_lock:
+                    witnesses = list(self._edges[(held, acquired)])
+                problems.append(
+                    f"forbidden edge: acquired {acquired!r} while holding "
+                    f"{held!r} (threads: {', '.join(witnesses)})"
+                )
+        return problems
+
+    def assert_clean(self) -> None:
+        problems = self.violations()
+        if problems:
+            raise LockOrderError(
+                "lock-order violations detected:\n  "
+                + "\n  ".join(problems)
+            )
+
+
+class InstrumentedLock:
+    """Duck-typed stand-in for ``threading.Lock``/``RLock`` that
+    reports acquisitions/releases to a :class:`LockOrderRecorder`.
+
+    Supports the full surface the pool uses: context manager,
+    ``acquire(blocking=, timeout=)``, ``release()``, ``locked()``.
+    """
+
+    def __init__(self, lock, name: str, recorder: LockOrderRecorder):
+        self._lock = lock
+        self._name = name
+        self._recorder = recorder
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._lock.acquire(blocking, timeout)
+        if got:
+            self._recorder._on_acquire(self._name)
+        return got
+
+    def release(self) -> None:
+        self._lock.release()
+        self._recorder._on_release(self._name)
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc):
+        self.release()
+        return False
+
+    def __repr__(self):
+        return f"InstrumentedLock({self._name!r}, {self._lock!r})"
+
+
+def instrument_pool(pool, recorder: LockOrderRecorder | None = None):
+    """Swap a ``ServePool``'s ``_lock``/``_stats_lock`` for instrumented
+    wrappers and return the recorder.
+
+    The pool's documented order inversion (``_stats_lock`` held while
+    taking ``_lock``) is pre-registered as a forbidden edge, so
+    ``recorder.assert_clean()`` fails on it even without a completing
+    cycle.
+    """
+    if recorder is None:
+        recorder = LockOrderRecorder(forbidden=[POOL_LOCK_ORDER[::-1]])
+    for name in POOL_LOCK_ORDER:
+        current = getattr(pool, name)
+        if isinstance(current, InstrumentedLock):
+            continue
+        setattr(pool, name, recorder.wrap(current, name))
+    return recorder

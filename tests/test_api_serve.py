@@ -415,3 +415,50 @@ class TestSegmentHygiene:
         for name in before:
             with pytest.raises(FileNotFoundError):
                 shared_memory.SharedMemory(name=name)
+
+
+class TestInfrastructureError:
+    """The typed-failure audit: substrate faults in the worker must
+    surface as ``InfrastructureError`` (retry-worthy), never as the
+    generic ``ServeError`` a model/geometry failure produces."""
+
+    def test_is_a_typed_serve_error(self):
+        from repro.api.serve import InfrastructureError, ServeError
+
+        assert issubclass(InfrastructureError, ServeError)
+
+    def test_serve_one_maps_substrate_faults(self):
+        from repro.api.serve.health import InfrastructureError
+        from repro.api.serve.worker import _WorkerBody
+
+        body = _WorkerBody.__new__(_WorkerBody)  # _serve_one needs no state
+
+        def oom():
+            raise MemoryError("allocation of 2 GiB failed")
+
+        out = body._serve_one(oom)
+        assert isinstance(out, InfrastructureError)
+        assert "MemoryError" in str(out)
+
+    def test_serve_one_returns_model_errors_unwrapped(self):
+        from repro.api.serve.health import InfrastructureError
+        from repro.api.serve.worker import _WorkerBody
+
+        body = _WorkerBody.__new__(_WorkerBody)
+
+        def bad_geometry():
+            raise ValueError("modes exceed n//2")
+
+        out = body._serve_one(bad_geometry)
+        assert isinstance(out, ValueError)
+        assert not isinstance(out, InfrastructureError)
+
+    def test_pool_reconstructs_the_type_from_the_wire(self):
+        """The worker ships ``("err", rid, "InfrastructureError", msg)``;
+        the parent's completion path must rebuild the typed error, not
+        flatten it into ServeError."""
+        import repro.api.serve.pool as pool_mod
+        import inspect
+
+        src = inspect.getsource(pool_mod.ServePool._complete)
+        assert "InfrastructureError(message)" in src

@@ -124,3 +124,36 @@ class TestFigures:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestLint:
+    def test_repo_lints_clean(self, capsys):
+        assert main(["lint"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_json_report_with_rule_filter(self, capsys):
+        assert main(["lint", "--json", "--rule", "no-assert"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 0
+        assert payload["rules"] == ["no-assert"]
+        assert payload["findings"] == []
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in ("determinism", "cache-scope", "shm-lifecycle",
+                     "lock-order", "serve-except", "worker-protocol",
+                     "no-assert", "rng-truthiness"):
+            assert name in out
+        assert "allow src/repro/core/autotune.py" in out
+
+    def test_findings_exit_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "core"
+        bad.mkdir(parents=True)
+        (bad / "bad.py").write_text("assert True\n")
+        assert main(["lint", "--root", str(tmp_path)]) == 1
+        assert "[no-assert]" in capsys.readouterr().out
+
+    def test_unknown_rule_rejected(self, capsys):
+        assert main(["lint", "--rule", "made-up"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
