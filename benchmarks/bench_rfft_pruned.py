@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Pruned R2C/C2R plans vs the full compiled transform plus slice/pad.
+
+The pruned real-transform family
+(:class:`repro.fft.compiled.CompiledPrunedRFFTPlan` /
+``CompiledPrunedIRFFTPlan``) fuses spectrum truncation *into* the
+half-length packed-real decomposition: with ``modes`` kept bins out of
+``n//2 + 1``, the forward path runs ``n/2 / q``-way sub-transforms of
+length ``q = next_pow2(modes)`` and recombines only the kept bins; the
+inverse synthesises from the truncated half spectrum without ever
+materialising the Hermitian completion.  The baseline here is the best
+non-fused strategy this repo has: the *compiled* full R2C plan plus a
+slice (forward) and zero-padding plus the compiled full C2R plan
+(inverse) — i.e. the win measured is pruning alone, not plan caching.
+
+Every case hard-asserts agreement with ``numpy.fft`` and the legacy
+oracle (:mod:`repro.fft.legacy`) to working precision, and determinism
+(byte-identical repeat executions) within the pruned plan family.
+
+Exit status is the CI gate: non-zero when the geometric-mean speedup
+over the grid (forward and inverse cases pooled, all at
+``modes <= n/8``) falls below 1.3x (0.9x when the C kernels are
+unavailable and everything runs the slower NumPy substrate, where the
+per-stage overheads weigh more against the pruned work savings).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_rfft_pruned.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import pathlib
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.fft import legacy
+from repro.fft._ckernels import build_info, kernels_available
+from repro.fft.real import irfft, padded_irfft, rfft, truncated_rfft
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+#: (rows, n, modes) — serving-scale grid lengths at deep truncation
+#: (modes <= n/8, the regime the symmetric rollout layers run in).
+CASES = {
+    "quick": [(256, 2048, 32), (128, 1024, 16)],
+    "full": [(128, 1024, 16), (128, 1024, 32), (128, 1024, 64),
+             (64, 2048, 32), (64, 2048, 128), (256, 2048, 32),
+             (32, 4096, 32)],
+}
+
+DTYPES = {"quick": [np.float32], "full": [np.float32, np.float64]}
+
+
+def _timeit(fn, repeats: int) -> float:
+    fn()  # warm (plan build / workspace growth outside the timing)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _assert_close(got, ref, dtype, what):
+    atol = 1e-3 if np.dtype(dtype) in (np.dtype(np.float32),
+                                       np.dtype(np.complex64)) else 1e-9
+    if not np.allclose(got, ref, atol=atol):
+        raise SystemExit(
+            f"{what}: pruned output disagrees with the oracle "
+            f"(max err {np.abs(got - ref).max():.3g})"
+        )
+
+
+def _assert_deterministic(fn, what):
+    a, b = fn(), fn()
+    if not np.array_equal(a.view(a.real.dtype), b.view(b.real.dtype)):
+        raise SystemExit(f"{what}: repeat execution not byte-identical")
+
+
+def _pad(yk, n):
+    padded = np.zeros((yk.shape[0], n // 2 + 1), yk.dtype)
+    padded[:, : yk.shape[1]] = yk
+    return padded
+
+
+def bench_direction(cases, dtypes, repeats, rng, inverse: bool):
+    rows_out = []
+    for (rows, n, modes) in cases:
+        for dtype in dtypes:
+            cdtype = np.complex64 if dtype == np.float32 else np.complex128
+            if inverse:
+                yk = np.fft.rfft(rng.standard_normal((rows, n)))[
+                    :, :modes
+                ].astype(cdtype)
+                yk = np.ascontiguousarray(yk)
+                pruned_fn = lambda: padded_irfft(yk, n)
+                full_fn = lambda: irfft(_pad(yk, n), n)
+                ref = np.fft.irfft(_pad(yk.astype(np.complex128), n), n)
+                oracle = legacy.irfft(_pad(yk.astype(np.complex128), n), n)
+            else:
+                x = rng.standard_normal((rows, n)).astype(dtype)
+                pruned_fn = lambda: truncated_rfft(x, modes)
+                full_fn = lambda: np.ascontiguousarray(rfft(x)[:, :modes])
+                ref = np.fft.rfft(x.astype(np.float64))[:, :modes]
+                oracle = legacy.rfft(x)[:, :modes]
+            got = pruned_fn()
+            name = (f"{'padded_irfft' if inverse else 'truncated_rfft'} "
+                    f"rows={rows} n={n} m={modes} {np.dtype(dtype).name}")
+            _assert_close(got, ref, dtype, f"{name} vs numpy")
+            _assert_close(got, oracle, dtype, f"{name} vs legacy")
+            _assert_deterministic(pruned_fn, name)
+            t_full = _timeit(full_fn, repeats)
+            t_pruned = _timeit(pruned_fn, repeats)
+            rows_out.append({
+                "case": name,
+                "full_ms": t_full * 1e3,
+                "pruned_ms": t_pruned * 1e3,
+                "speedup": t_full / t_pruned,
+                "oracle_agreement": True,
+            })
+    return rows_out
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help="small grid (the CI gate)")
+    ap.add_argument("--repeats", type=int, default=None)
+    ap.add_argument("--out", default=str(RESULTS / "rfft_pruned.json"))
+    args = ap.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    repeats = args.repeats or (5 if args.quick else 9)
+    rng = np.random.default_rng(0)
+
+    fwd = bench_direction(CASES[mode], DTYPES[mode], repeats, rng,
+                          inverse=False)
+    inv = bench_direction(CASES[mode], DTYPES[mode], repeats, rng,
+                          inverse=True)
+    all_rows = fwd + inv
+    geomean = math.exp(
+        sum(math.log(r["speedup"]) for r in all_rows) / len(all_rows)
+    )
+
+    report = {
+        "meta": {
+            "mode": mode,
+            "repeats": repeats,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+            "ckernels": kernels_available(),
+            "ckernels_info": build_info(),
+        },
+        "truncated_rfft": fwd,
+        "padded_irfft": inv,
+        "grid_speedup_geomean": geomean,
+        "grid_speedup_min": min(r["speedup"] for r in all_rows),
+    }
+
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"# pruned vs full-R2C+slice / pad+full-C2R ({mode}; C kernels: "
+          f"{report['meta']['ckernels_info']})")
+    for row in all_rows:
+        print(f"  {row['case']}: {row['full_ms']:8.2f} ms -> "
+              f"{row['pruned_ms']:8.2f} ms ({row['speedup']:.2f}x)")
+
+    # CI gate: pruning must pay for itself at deep truncation.
+    floor = 1.3 if report["meta"]["ckernels"] else 0.9
+    if geomean < floor:
+        print(f"FAIL: pruned real-transform path at {geomean:.2f}x "
+              f"(geomean) < {floor:.2f}x of full-transform+slice",
+              file=sys.stderr)
+        return 1
+    print(f"OK: pruned real transforms at {geomean:.2f}x (geomean) >= "
+          f"{floor:.2f}x of full-transform+slice")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -440,8 +440,9 @@ class Session:
         FFT-plan family each geometry's executors will need — forward
         and inverse transforms of the kept modes, the pruned splits, and
         (where the half-spectrum convention applies) the packed-real
-        R2C/C2R plans — is built in this session's caches for each
-        working precision in ``dtypes``.  On an ``autotune=True``
+        R2C/C2R plans plus their pruned variants (truncation fused into
+        the half-length decomposition) — is built in this session's
+        caches for each working precision in ``dtypes``.  On an ``autotune=True``
         session the tiling of each problem geometry is resolved (tuned
         on a miss) here too — every reachable batch bucket, fused and
         (where applicable) symmetric dataflows — so serving never pays
@@ -514,10 +515,14 @@ class Session:
         if m_last < n_last and is_power_of_two(m_last):
             caches.pruned(n_last, m_last, cdt, "trunc")
             caches.pruned(n_last, m_last, cdt, "itrunc")
-        # The symmetric (half-spectrum) family.
+        # The symmetric (half-spectrum) family — the pruned-R2C plans
+        # the staged executors run, plus the full packed-real plans
+        # their degenerate/fallback strategies and legacy callers use.
         if m_last <= n_last // 2:
             caches.rfft(n_last, cdt)
             caches.irfft(n_last, cdt)
+            caches.pruned_rfft(n_last, m_last, cdt)
+            caches.pruned_irfft(n_last, m_last, cdt)
         # 2-D: the width-axis pruned splits of the outer transform.
         if len(spatial) == 2:
             n_x, m_x = spatial[0], modes[0]

@@ -48,6 +48,7 @@ from repro.core.autotune import (
 from repro.core.dtypes import complex_dtype_for
 from repro.fft.compiled import (
     PlanCaches,
+    PrunedPartMismatchError,
     current_plan_caches,
     decomp_reduce,
     expand_mul,
@@ -341,14 +342,30 @@ def _panel_groups(panels, panels_per_group: int):
     return groups
 
 
+def _require_part(plan, modes: int, what: str) -> None:
+    """Typed guard: a staged pruned real plan must truncate to exactly
+    the executor's kept modes — a disagreement means the truncation the
+    CGEMM assumes and the truncation the transform performs have
+    drifted apart, which the old slice-after-transform path could only
+    mis-slice silently."""
+    if plan.part != modes:
+        raise PrunedPartMismatchError(
+            f"{what}: staged plan truncates to part={plan.part} but the "
+            f"executor keeps modes={modes}"
+        )
+
+
 class _StagedSymmetric1D:
     """Everything a symmetric (rfft/irfft) 1-D pass needs, staged once.
 
-    The original-FNO filter convention on real input: half spectrum via
-    the cached packed-real R2C plan, one shared CGEMM over the kept
-    modes (the same ``panel_contract`` k-panel accumulation the fused
-    path uses), then the C2R plan — the half spectrum is consumed
-    end-to-end, never Hermitian-completed.
+    The original-FNO filter convention on real input: truncated half
+    spectrum straight from the cached pruned-R2C plan (truncation fused
+    into the packed-real decomposition — the discarded bins are never
+    recombined), one shared CGEMM over the kept modes (the same
+    ``panel_contract`` k-panel accumulation the fused path uses), then
+    the pruned C2R plan synthesising from exactly those modes — the
+    half spectrum is consumed end-to-end, never Hermitian-completed and
+    never materialised beyond the kept bins.
     """
 
     def __init__(self, weight: np.ndarray, modes: int, dim_x: int,
@@ -372,12 +389,19 @@ class _StagedSymmetric1D:
         self.c_in, self.c_out = weight.shape
         self.plans = plans if plans is not None else current_plan_caches()
         self.panels = _weight_panels(weight, k_tb, dtype)
-        self.rfft = self.plans.rfft(dim_x, dtype)
-        self.irfft = self.plans.irfft(dim_x, dtype)
+        self.rfft = self.plans.pruned_rfft(dim_x, modes, dtype)
+        self.irfft = self.plans.pruned_irfft(dim_x, modes, dtype)
+        _require_part(self.rfft, modes, "symmetric 1-D forward")
+        _require_part(self.irfft, modes, "symmetric 1-D inverse")
 
     def run(self, x: np.ndarray,
             xk_trunc: np.ndarray | None = None) -> np.ndarray:
         batch, c_in, n = x.shape
+        if xk_trunc is not None and xk_trunc.shape[-1] != self.rfft.part:
+            raise PrunedPartMismatchError(
+                f"xk_trunc carries {xk_trunc.shape[-1]} bins but the "
+                f"staged plans truncate to part={self.rfft.part}"
+            )
         if xk_trunc is not None and xk_trunc.shape != (
             batch, c_in, self.modes
         ):
@@ -403,31 +427,28 @@ class _StagedSymmetric1D:
     def _run_block(self, x: np.ndarray,
                    xk_trunc: np.ndarray | None) -> np.ndarray:
         batch, c_in, n = x.shape
-        h = n // 2
         m = self.modes
         if xk_trunc is None:
             flat = np.ascontiguousarray(
                 x, dtype=self.rfft.real_dtype
             ).reshape(batch * c_in, n)
-            xk_trunc = self.rfft.execute(flat).reshape(
-                batch, c_in, h + 1
-            )[..., :m]
+            xk_trunc = self.rfft.execute(flat).reshape(batch, c_in, m)
         acc = np.zeros((batch, self.c_out, m), self.dtype)
         for (k0, k1, wp) in self.panels:
             a = np.ascontiguousarray(
                 xk_trunc[:, k0:k1, :m], dtype=self.dtype
             )
             panel_contract(a, wp, acc, kernels=self.plans.kernels())
-        pad = np.zeros((batch, self.c_out, h + 1), self.dtype)
-        pad[..., :m] = acc
-        out = self.irfft.execute(pad.reshape(batch * self.c_out, h + 1))
+        out = self.irfft.execute(acc.reshape(batch * self.c_out, m))
         return out.reshape(batch, self.c_out, n)
 
 
 class _StagedSymmetric2D:
-    """Symmetric 2-D pass: R2C along Y, pruned C2C along X, one shared
+    """Symmetric 2-D pass: pruned R2C along Y (truncation fused into
+    the packed-real decomposition), pruned C2C along X, one shared
     CGEMM over the kept corner, then the inverse chain (pruned C2C
-    inverse along X, C2R along Y)."""
+    inverse along X, pruned C2R along Y — synthesised straight from the
+    kept modes, no Hermitian-half zero-pad)."""
 
     def __init__(self, weight: np.ndarray, modes_x: int, modes_y: int,
                  dim_x: int, dim_y: int, k_tb: int, dtype: np.dtype,
@@ -457,12 +478,19 @@ class _StagedSymmetric2D:
         self.c_in, self.c_out = weight.shape
         self.plans = plans if plans is not None else current_plan_caches()
         self.panels = _weight_panels(weight, k_tb, dtype)
-        self.rfft = self.plans.rfft(dim_y, dtype)
-        self.irfft = self.plans.irfft(dim_y, dtype)
+        self.rfft = self.plans.pruned_rfft(dim_y, modes_y, dtype)
+        self.irfft = self.plans.pruned_irfft(dim_y, modes_y, dtype)
+        _require_part(self.rfft, modes_y, "symmetric 2-D forward")
+        _require_part(self.irfft, modes_y, "symmetric 2-D inverse")
 
     def run(self, x: np.ndarray,
             xk_trunc: np.ndarray | None = None) -> np.ndarray:
         batch, c_in = x.shape[:2]
+        if xk_trunc is not None and xk_trunc.shape[-1] != self.rfft.part:
+            raise PrunedPartMismatchError(
+                f"xk_trunc carries {xk_trunc.shape[-1]} bins but the "
+                f"staged plans truncate to part={self.rfft.part}"
+            )
         if xk_trunc is not None and xk_trunc.shape != (
             batch, c_in, self.modes_x, self.modes_y
         ):
@@ -491,18 +519,14 @@ class _StagedSymmetric2D:
     def _run_block(self, x: np.ndarray,
                    xk_trunc: np.ndarray | None) -> np.ndarray:
         batch, c_in, dim_x, dim_y = x.shape
-        h = dim_y // 2
         mx, my = self.modes_x, self.modes_y
         if xk_trunc is None:
             flat = np.ascontiguousarray(
                 x, dtype=self.rfft.real_dtype
             ).reshape(batch * c_in * dim_x, dim_y)
-            xk_y = self.rfft.execute(flat).reshape(
-                batch, c_in, dim_x, h + 1
-            )
+            xk_y = self.rfft.execute(flat).reshape(batch, c_in, dim_x, my)
             xk_trunc = truncated_fft_auto(
-                np.ascontiguousarray(xk_y[..., :my]), mx, axis=2,
-                caches=self.plans,
+                xk_y, mx, axis=2, caches=self.plans,
             )
         a_full = np.ascontiguousarray(
             xk_trunc, dtype=self.dtype
@@ -513,10 +537,10 @@ class _StagedSymmetric2D:
             panel_contract(a, wp, acc, kernels=self.plans.kernels())
         yk = acc.reshape(batch, self.c_out, mx, my)
         y_x = padded_ifft_auto(yk, dim_x, axis=2, caches=self.plans)
-        pad = np.zeros((batch, self.c_out, dim_x, h + 1), self.dtype)
-        pad[..., :my] = y_x
         out = self.irfft.execute(
-            pad.reshape(batch * self.c_out * dim_x, h + 1)
+            np.ascontiguousarray(y_x, dtype=self.dtype).reshape(
+                batch * self.c_out * dim_x, my
+            )
         )
         return out.reshape(batch, self.c_out, dim_x, dim_y)
 
@@ -739,12 +763,11 @@ class CompiledSpectralConv1D:
             if np.iscomplexobj(x):
                 raise ValueError("symmetric executor expects real input")
             batch, c_in, n = x.shape
-            rfft = plans.rfft(dim_x, dtype)
+            rfft = plans.pruned_rfft(dim_x, self.modes, dtype)
             flat = np.ascontiguousarray(
                 x, dtype=rfft.real_dtype
             ).reshape(batch * c_in, n)
-            xk = rfft.execute(flat).reshape(batch, c_in, n // 2 + 1)
-            return np.ascontiguousarray(xk[..., : self.modes])
+            return rfft.execute(flat).reshape(batch, c_in, self.modes)
         return truncated_fft_auto(
             x.astype(dtype, copy=False), self.modes, axis=2, caches=plans
         )
@@ -789,11 +812,11 @@ class CompiledSpectralConv1D:
                     f"{self.modes} on a length-{dim_x} grid"
                 )
             batch, c = sk.shape[0], sk.shape[1]
-            h = dim_x // 2
-            irfft = plans.irfft(dim_x, dtype)
-            pad = np.zeros((batch, c, h + 1), dtype)
-            pad[..., : self.modes] = np.ascontiguousarray(sk, dtype=dtype)
-            out = irfft.execute(pad.reshape(batch * c, h + 1))
+            irfft = plans.pruned_irfft(dim_x, self.modes, dtype)
+            flat = np.ascontiguousarray(sk, dtype=dtype).reshape(
+                batch * c, sk.shape[2]
+            )
+            out = irfft.execute(flat)
             return out.reshape(batch, c, dim_x)
         return padded_ifft_auto(
             sk.astype(dtype, copy=False), dim_x, axis=2, caches=plans
@@ -986,15 +1009,15 @@ class CompiledSpectralConv2D:
         if self.symmetric:
             if np.iscomplexobj(x):
                 raise ValueError("symmetric executor expects real input")
-            h = dim_y // 2
-            rfft = plans.rfft(dim_y, dtype)
+            rfft = plans.pruned_rfft(dim_y, self.modes_y, dtype)
             flat = np.ascontiguousarray(
                 x, dtype=rfft.real_dtype
             ).reshape(batch * c_in * dim_x, dim_y)
-            xk_y = rfft.execute(flat).reshape(batch, c_in, dim_x, h + 1)
+            xk_y = rfft.execute(flat).reshape(
+                batch, c_in, dim_x, self.modes_y
+            )
             return truncated_fft_auto(
-                np.ascontiguousarray(xk_y[..., : self.modes_y]),
-                self.modes_x, axis=2, caches=plans,
+                xk_y, self.modes_x, axis=2, caches=plans,
             )
         xk_x = truncated_fft_auto(
             x.astype(dtype, copy=False), self.modes_x, axis=2, caches=plans
@@ -1040,15 +1063,16 @@ class CompiledSpectralConv2D:
                     f"{self.modes_y} on a length-{dim_y} grid"
                 )
             batch, c = sk.shape[0], sk.shape[1]
-            h = dim_y // 2
             y_x = padded_ifft_auto(
                 np.ascontiguousarray(sk, dtype=dtype), dim_x, axis=2,
                 caches=plans,
             )
-            pad = np.zeros((batch, c, dim_x, h + 1), dtype)
-            pad[..., : self.modes_y] = y_x
-            irfft = plans.irfft(dim_y, dtype)
-            out = irfft.execute(pad.reshape(batch * c * dim_x, h + 1))
+            irfft = plans.pruned_irfft(dim_y, self.modes_y, dtype)
+            out = irfft.execute(
+                np.ascontiguousarray(y_x, dtype=dtype).reshape(
+                    batch * c * dim_x, y_x.shape[-1]
+                )
+            )
             return out.reshape(batch, c, dim_x, dim_y)
         y_y = padded_ifft_auto(
             sk.astype(dtype, copy=False), dim_y, axis=3, caches=plans

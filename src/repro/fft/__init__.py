@@ -15,6 +15,9 @@ NumPy analogue of that kernel family:
   the packed-real trick: one *half-length* Stockham pass through the
   compiled plan caches plus a Hermitian recombination stage, halving
   the FFT work for the training-side (original-FNO convention) layers.
+  ``truncated_rfft``/``padded_irfft`` compound this with transform
+  decomposition — truncation fused *into* the half-length pass, so a
+  ``modes << n/2`` symmetric layer never computes the bins it discards.
 * :mod:`repro.fft.opcount` — exact butterfly-operation census over the
   Stockham dataflow graph, reproducing Figure 5's pruning ratios
   (37.5 % of ops at 25 % truncation, 75 % at 50 %).
@@ -35,7 +38,9 @@ from repro.fft.compiled import (
     fft_plan_cache_info,
     get_fft_plan,
     get_irfft_plan,
+    get_pruned_irfft_plan,
     get_pruned_plan,
+    get_pruned_rfft_plan,
     get_rfft_plan,
     kernels_available,
 )
@@ -43,7 +48,13 @@ from repro.fft.opcount import butterfly_ops, pruned_fraction, PruneCensus
 from repro.fft.plan import FFTPlan
 from repro.fft.pruned import truncated_fft, truncated_ifft, zero_padded_fft
 from repro.fft.radix import fft_radix4, ifft_radix4
-from repro.fft.real import hermitian_pad, irfft, rfft
+from repro.fft.real import (
+    hermitian_pad,
+    irfft,
+    padded_irfft,
+    rfft,
+    truncated_rfft,
+)
 from repro.fft.reference import dft, idft
 from repro.fft.stockham import fft, fft2, ifft, ifft2
 
@@ -59,6 +70,8 @@ __all__ = [
     "rfft",
     "irfft",
     "hermitian_pad",
+    "truncated_rfft",
+    "padded_irfft",
     "truncated_fft",
     "truncated_ifft",
     "zero_padded_fft",
@@ -70,6 +83,8 @@ __all__ = [
     "get_pruned_plan",
     "get_rfft_plan",
     "get_irfft_plan",
+    "get_pruned_rfft_plan",
+    "get_pruned_irfft_plan",
     "fft_plan_cache_info",
     "clear_fft_plan_cache",
     "kernels_available",

@@ -33,7 +33,21 @@ same plan/execute split for the NumPy substrate:
     half the butterfly work of the full C2C transform the legacy path
     computed, with no full Hermitian spectrum ever materialised.
 
-Plans live in :class:`PlanCaches` — an *instantiable* set of the three
+:class:`CompiledPrunedRFFTPlan` / :class:`CompiledPrunedIRFFTPlan`
+    Keyed on ``(length, part, dtype, direction)``: the compounding of
+    the two families above.  Spectrum truncation (``part`` kept bins of
+    the ``n/2 + 1``) is fused *into* the half-length packed-real
+    decomposition, so the forward path runs sub-transforms of length
+    ``q = next_pow2(part)`` and recombines only the kept bins, and the
+    C2R adjoint synthesises a real signal from the truncated half
+    spectrum without ever materialising the full Hermitian half.
+    ``part == n//2 + 1`` degenerates to the plain packed-real plans
+    (bit-exact alias); ``part > n//4`` falls back to transform-then-
+    slice (bit-exact vs :class:`CompiledRFFTPlan` plus a slice), since
+    the decomposition only saves work once a whole sub-transform stage
+    can be dropped.
+
+Plans live in :class:`PlanCaches` — an *instantiable* set of the four
 caches bound to one executor backend (``"auto"`` picks the C kernels
 when available, ``"numpy"`` forces the fallback, ``"ckernels"``
 requires the C layer).  A process-wide default set backs the
@@ -76,6 +90,9 @@ __all__ = [
     "CompiledPrunedPlan",
     "CompiledRFFTPlan",
     "CompiledIRFFTPlan",
+    "CompiledPrunedRFFTPlan",
+    "CompiledPrunedIRFFTPlan",
+    "PrunedPartMismatchError",
     "PlanCaches",
     "current_plan_caches",
     "default_plan_caches",
@@ -84,6 +101,8 @@ __all__ = [
     "get_pruned_plan",
     "get_rfft_plan",
     "get_irfft_plan",
+    "get_pruned_rfft_plan",
+    "get_pruned_irfft_plan",
     "fft_plan_cache_info",
     "clear_fft_plan_cache",
     "kernels_available",
@@ -597,11 +616,307 @@ class CompiledIRFFTPlan(_WorkspaceOwner):
 
 
 # ---------------------------------------------------------------------------
+# Pruned real-transform plans (truncation fused into the packed-real trick)
+# ---------------------------------------------------------------------------
+
+class PrunedPartMismatchError(ValueError):
+    """A truncated half spectrum's bin count disagrees with the plan's
+    ``part``.
+
+    Raised by the pruned-R2C/C2R plans when an executed array does not
+    carry exactly ``part`` bins, and by the symmetric spectral-conv
+    executors when a caller-supplied truncation width disagrees with
+    the plan they staged — the typed replacement for what was
+    previously an unchecked slice-after-transform assumption.
+    """
+
+
+def _next_pow2(m: int) -> int:
+    return 1 << (max(int(m), 1) - 1).bit_length()
+
+
+def _validate_rfft_part(n: int, part: int) -> int:
+    if not _is_power_of_two(n):
+        raise ValueError(f"n must be a power of two, got {n}")
+    bins = n // 2 + 1
+    if not 1 <= part <= bins:
+        raise ValueError(
+            f"part must be in [1, {bins}] (the non-redundant half-"
+            f"spectrum bins of n={n}), got {part}"
+        )
+    return bins
+
+
+class CompiledPrunedRFFTPlan(_WorkspaceOwner):
+    """R2C transform keeping only the first ``part`` half-spectrum bins.
+
+    The packed-real trick needs *two* spectra of the length-``h = n/2``
+    packing ``z[m] = x[2m] + i x[2m+1]``: ``Z[k]`` and the reversed
+    conjugate ``conj(Z[(h-k) mod h])``.  Both come from one shared set
+    of Sorensen sub-transforms — with ``q = next_pow2(part)`` and
+    ``P = h/q``, the length-``q`` spectra ``Y[p] = FFT_q(z[p::P])``
+    give ``Z[k] = sum_p W_h^{pk} Y[p, k]`` and (because
+    ``conj(Z[(h-k) mod h]) = FFT_h(conj z)[k]``) the mirror series
+    ``sum_p W_h^{pk} conj(Y[p, (q-k) mod q])``.  Folding the Hermitian
+    recombination weights into the decomposition twiddles turns the
+    whole forward path into one gather, one half-length-``q`` Stockham
+    batch, and two ``decomp_reduce`` contractions:
+
+    ``X[k] = sum_p U[p,k] Y[p,k] + sum_p V[p,k] conj(Y[p,(q-k)%q])``
+
+    with ``U = W_h^{pk} (1/2 + w_m[k])``, ``V = W_h^{pk} (1/2 - w_m[k])``
+    and ``w_m[k] = -(i/2) W_n^k`` — only the kept bins are ever
+    recombined, and the sub-transforms stop ``log2(h/q)`` stages early.
+
+    ``part == n//2 + 1`` delegates to the plain
+    :class:`CompiledRFFTPlan` (bit-exact alias); ``q > h/2`` (no whole
+    stage to drop) falls back to transform-then-slice, bit-exact versus
+    the full plan plus a slice.  Outputs are bit-identical across
+    executor backends and repeat executions; versus the full transform
+    the decomposition reassociates, so equality with ``rfft`` + slice
+    is to working precision (like every pruned family).
+    """
+
+    def __init__(self, n: int, part: int, dtype: np.dtype,
+                 caches: "PlanCaches | None" = None):
+        bins = _validate_rfft_part(n, part)
+        self.n = n
+        self.part = part
+        self.dtype = np.dtype(dtype)
+        self.real_dtype = _real_dtype_of(self.dtype)
+        self.half = n // 2
+        self._caches = caches
+        h = self.half
+        real_lookup = caches.rfft if caches is not None else get_rfft_plan
+        fft_lookup = caches.fft if caches is not None else get_fft_plan
+        self._full = None
+        self._sub = None
+        if part == bins or n == 1:
+            self._strategy = "full"
+            self._full = real_lookup(n, self.dtype)
+        elif _next_pow2(part) > h // 2:
+            self._strategy = "slice"
+            self._full = real_lookup(n, self.dtype)
+        else:
+            self._strategy = "decomp"
+            q = _next_pow2(part)
+            p = h // q
+            self._q = q
+            self._split = p
+            self._sub = fft_lookup(q, self.dtype, inverse=False)
+            wd = decomposition_twiddles(h, p, q, inverse=False)
+            k = np.arange(q)
+            wm = -0.5j * np.exp(-2j * np.pi * k / n)
+            u = np.ascontiguousarray((wd * (0.5 + wm)).astype(self.dtype))
+            v = np.ascontiguousarray((wd * (0.5 - wm)).astype(self.dtype))
+            u.setflags(write=False)
+            v.setflags(write=False)
+            self._u = u
+            self._v = v
+            self._ridx = (q - k) % q  # Y[(q-k) mod q] gather
+        self._init_workspaces()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledPrunedRFFTPlan(n={self.n}, part={self.part}, "
+            f"{self.real_dtype.name}, {self._strategy})"
+        )
+
+    def _kernels(self):
+        if self._caches is not None:
+            return self._caches.kernels()
+        return _scoped_kernels()
+
+    def execute(self, flat: np.ndarray) -> np.ndarray:
+        """First ``part`` half-spectrum bins of every row of a
+        contiguous real ``(rows, n)`` array; returns a new
+        ``(rows, part)`` complex array."""
+        rows, n = flat.shape
+        if n != self.n:
+            raise ValueError(f"expected rows of length {self.n}, got {n}")
+        if self._strategy == "full":
+            return self._full.execute(flat)
+        if self._strategy == "slice":
+            full = self._full.execute(flat)
+            return np.ascontiguousarray(full[:, : self.part])
+        if flat.dtype != self.real_dtype or not flat.flags.c_contiguous:
+            raise ValueError(
+                f"expected contiguous {self.real_dtype.name} rows, "
+                f"got {flat.dtype.name}"
+            )
+        h, q, p, m = self.half, self._q, self._split, self.part
+        with self._lock:
+            z = flat.view(self.dtype)  # free (rows, h) packing
+            # Gather the P subsequences: g[b, p, t] = z[b, t*P + p].
+            g = self._ws("gather", rows * h)[: rows * h]
+            gv = g.reshape(rows, p, q)
+            gv[...] = np.swapaxes(z.reshape(rows, q, p), -1, -2)
+            y = self._ws("fft", rows * h)[: rows * h].reshape(rows * p, q)
+            self._sub.execute(g.reshape(rows * p, q), out=y)
+            yv = y.reshape(rows, p, q)
+            # Mirror spectra: yr[b, p, k] = conj(Y[b, p, (q-k) mod q]).
+            yr = self._ws("rev", rows * h)[: rows * h].reshape(rows, p, q)
+            np.take(yv, self._ridx, axis=2, out=yr)
+            np.conjugate(yr, out=yr)
+            acc = np.empty((rows, q), self.dtype)
+            decomp_reduce(yv, self._u, acc, kernels=self._kernels())
+            acc2 = self._ws("acc", rows * q)[: rows * q].reshape(rows, q)
+            decomp_reduce(yr, self._v, acc2, kernels=self._kernels())
+            acc += acc2
+            out = np.ascontiguousarray(acc[:, :m]) if m < q else acc
+        return out
+
+
+class CompiledPrunedIRFFTPlan(_WorkspaceOwner):
+    """C2R transform synthesising from ``part`` half-spectrum bins.
+
+    The adjoint of :class:`CompiledPrunedRFFTPlan`: the packed spectrum
+    ``Z`` rebuilt from a truncated half spectrum is supported on just
+    two blocks — ``Z[j] = (1/2 + w_j[j]) X[j]`` for ``j < part`` (head)
+    and ``Z[h-r] = (1/2 - w_j[h-r]) conj(X[r])`` for ``0 < r < part``
+    (tail), with ``w_j[j] = (i/2) W_n^{-j}`` and Im(DC) dropped — so
+    the input-pruned inverse decomposition scatters those ``2*part - 1``
+    live bins into ``S = h/q`` weighted length-``q`` rows
+    (two ``expand_mul`` passes: ``W_h^{+s t}`` for the head,
+    ``W_h^{+s (t - q)}`` for the tail aliases), runs the sub-inverse
+    batch with the ``1/h`` normalisation chained in, interleaves, and
+    unpacks even=Re / odd=Im into the real output.  The full Hermitian
+    half is never materialised and the inverse butterflies stop
+    ``log2(h/q)`` stages early.
+
+    Degenerate/fallback strategies and the bit-identity contract mirror
+    the forward plan (``part == n//2 + 1`` aliases
+    :class:`CompiledIRFFTPlan` bit-exactly; large ``part`` falls back
+    to zero-pad + full C2R, bit-exact versus that composition).
+    """
+
+    def __init__(self, n: int, part: int, dtype: np.dtype,
+                 caches: "PlanCaches | None" = None):
+        bins = _validate_rfft_part(n, part)
+        self.n = n
+        self.part = part
+        self.dtype = np.dtype(dtype)
+        self.real_dtype = _real_dtype_of(self.dtype)
+        self.half = n // 2
+        self._caches = caches
+        h = self.half
+        real_lookup = caches.irfft if caches is not None else get_irfft_plan
+        fft_lookup = caches.fft if caches is not None else get_fft_plan
+        self._full = None
+        self._sub = None
+        if part == bins or n == 1:
+            self._strategy = "full"
+            self._full = real_lookup(n, self.dtype)
+        elif _next_pow2(part) > h // 2:
+            self._strategy = "pad"
+            self._full = real_lookup(n, self.dtype)
+        else:
+            self._strategy = "decomp"
+            q = _next_pow2(part)
+            s = h // q
+            self._q = q
+            self._split = s
+            self._sub = fft_lookup(q, self.dtype, inverse=True)
+            j = np.arange(part)
+            wj = 0.5j * np.exp(+2j * np.pi * j / n)
+            ch = (0.5 + wj).astype(self.dtype)       # head: Z[j] = ch[j] X[j]
+            r = np.arange(1, part)
+            wjt = 0.5j * np.exp(+2j * np.pi * (h - r) / n)
+            ct = (0.5 - wjt).astype(self.dtype)  # tail: Z[h-r] = ct conj(X[r])
+            ch.setflags(write=False)
+            ct.setflags(write=False)
+            self._ch = ch
+            self._ct = ct
+            self._tidx = q - r  # tail alias t = (h - r) mod q = q - r
+            ss, t = np.ogrid[0:s, 0:q]
+            wdh = np.exp(+2j * np.pi * ss * t / h)
+            wdt = np.exp(+2j * np.pi * ss * (t - q) / h)
+            self._wdh = np.ascontiguousarray(wdh.astype(self.dtype))
+            self._wdt = np.ascontiguousarray(wdt.astype(self.dtype))
+            self._wdh.setflags(write=False)
+            self._wdt.setflags(write=False)
+        self._init_workspaces()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledPrunedIRFFTPlan(n={self.n}, part={self.part}, "
+            f"{self.real_dtype.name}, {self._strategy})"
+        )
+
+    def _kernels(self):
+        if self._caches is not None:
+            return self._caches.kernels()
+        return _scoped_kernels()
+
+    def _check_bins(self, flat: np.ndarray) -> None:
+        rows, bins = flat.shape
+        if bins != self.part:
+            raise PrunedPartMismatchError(
+                f"expected {self.part} truncated half-spectrum bins, "
+                f"got {bins}"
+            )
+        if flat.dtype != self.dtype:
+            raise ValueError(
+                f"expected {self.dtype.name} bins, got {flat.dtype.name}"
+            )
+
+    def _padded_full(self, flat: np.ndarray) -> np.ndarray:
+        rows = flat.shape[0]
+        pad = np.zeros((rows, self.half + 1), self.dtype)
+        pad[:, : self.part] = flat
+        return self._full.execute(pad)
+
+    def execute(self, flat: np.ndarray) -> np.ndarray:
+        """Real signal of every row of a ``(rows, part)`` truncated
+        half spectrum (bins ``part..n//2`` implicitly zero); returns a
+        new real ``(rows, n)`` array."""
+        self._check_bins(flat)
+        if self._strategy == "full":
+            return self._full.execute(flat)
+        if self._strategy == "pad":
+            return self._padded_full(flat)
+        rows = flat.shape[0]
+        h, q, s, m = self.half, self._q, self._split, self.part
+        with self._lock:
+            # Head block: hb[b, t] = ch[t] X[b, t] for t < part (Im(DC)
+            # dropped), zero-padded to the q sub-transform bins.
+            hb = self._ws("head", rows * q)[: rows * q].reshape(rows, q)
+            hb[:, m:] = 0
+            np.multiply(flat, self._ch, out=hb[:, :m])
+            hb[:, 0] = flat[:, 0].real * self._ch[0]
+            # Tail block: tb[b, q-r] = ct[r] conj(X[b, r]), r in [1, part).
+            tb = self._ws("tail", rows * q)[: rows * q].reshape(rows, q)
+            tb[...] = 0
+            if m > 1:
+                tb[:, self._tidx] = np.conj(flat[:, 1:m]) * self._ct
+            # Scatter both blocks into the S weighted sub-rows.
+            sc = self._ws("scaled", rows * h)[: rows * h]
+            scv = sc.reshape(rows, s, q)
+            sc2 = self._ws("scaled2", rows * h)[: rows * h].reshape(rows, s, q)
+            expand_mul(hb, self._wdh, scv, kernels=self._kernels())
+            expand_mul(tb, self._wdt, sc2, kernels=self._kernels())
+            scv += sc2
+            y = self._ws("fft", rows * h)[: rows * h].reshape(rows * s, q)
+            self._sub.execute(
+                sc.reshape(rows * s, q), out=y,
+                div_by=float(q), mul_by=float(q / h),
+            )
+            out = np.empty((rows, self.n), self.real_dtype)
+            z = out.view(self.dtype)  # packed (rows, h): even=Re, odd=Im
+            # Interleave: z[b, ss + S*t] = y[b, ss, t].
+            z.reshape(rows, q, s)[...] = np.swapaxes(
+                y.reshape(rows, s, q), -1, -2
+            )
+        return out
+
+
+# ---------------------------------------------------------------------------
 # Plan caches: one instantiable set per execution context
 # ---------------------------------------------------------------------------
 
 class PlanCaches:
-    """One set of FFT/pruned/R2C/C2R plan caches bound to one backend.
+    """One set of FFT/pruned/R2C/C2R/pruned-R2C plan caches bound to
+    one backend.
 
     The cuFFT analogue of a *context*: plans requested through one set
     are private to it — sub-plans (a pruned plan's half-length
@@ -625,6 +940,9 @@ class PlanCaches:
         self._fft_cached = lru_cache(maxsize=maxsize)(self._build_fft)
         self._pruned_cached = lru_cache(maxsize=maxsize)(self._build_pruned)
         self._real_cached = lru_cache(maxsize=maxsize)(self._build_real)
+        self._pruned_real_cached = lru_cache(maxsize=maxsize)(
+            self._build_pruned_real
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PlanCaches(backend={self.backend!r})"
@@ -640,6 +958,10 @@ class PlanCaches:
     def _build_real(self, n, dtype, inverse):
         cls = CompiledIRFFTPlan if inverse else CompiledRFFTPlan
         return cls(n, dtype, caches=self)
+
+    def _build_pruned_real(self, n, part, dtype, inverse):
+        cls = CompiledPrunedIRFFTPlan if inverse else CompiledPrunedRFFTPlan
+        return cls(n, part, dtype, caches=self)
 
     # -- lookups --------------------------------------------------------
 
@@ -664,6 +986,20 @@ class PlanCaches:
         """The cached C2R plan for a length-``n`` real output."""
         return self._real_cached(int(n), complex_dtype_for(dtype), True)
 
+    def pruned_rfft(self, n: int, part: int,
+                    dtype=np.float32) -> CompiledPrunedRFFTPlan:
+        """The cached truncated-R2C plan (first ``part`` bins)."""
+        return self._pruned_real_cached(
+            int(n), int(part), complex_dtype_for(dtype), False
+        )
+
+    def pruned_irfft(self, n: int, part: int,
+                     dtype=np.complex64) -> CompiledPrunedIRFFTPlan:
+        """The cached truncated-C2R plan (``part`` bins in)."""
+        return self._pruned_real_cached(
+            int(n), int(part), complex_dtype_for(dtype), True
+        )
+
     def kernels(self):
         """The kernel bindings this set's backend resolves to (or None)."""
         if self.backend == "numpy":
@@ -673,11 +1009,13 @@ class PlanCaches:
     # -- management -----------------------------------------------------
 
     def cache_info(self):
-        """Cache statistics: (fft plans, pruned plans, r2c/c2r plans)."""
+        """Cache statistics: (fft plans, pruned plans, r2c/c2r plans,
+        pruned r2c/c2r plans)."""
         return (
             self._fft_cached.cache_info(),
             self._pruned_cached.cache_info(),
             self._real_cached.cache_info(),
+            self._pruned_real_cached.cache_info(),
         )
 
     def clear(self) -> None:
@@ -685,6 +1023,7 @@ class PlanCaches:
         self._fft_cached.cache_clear()
         self._pruned_cached.cache_clear()
         self._real_cached.cache_clear()
+        self._pruned_real_cached.cache_clear()
 
 
 #: The process-wide default set, shared by every caller that does not
@@ -764,8 +1103,27 @@ def get_irfft_plan(n: int, dtype=np.complex64) -> CompiledIRFFTPlan:
     return current_plan_caches().irfft(n, dtype)
 
 
+def get_pruned_rfft_plan(
+    n: int, part: int, dtype=np.float32
+) -> CompiledPrunedRFFTPlan:
+    """The cached truncated-R2C plan: the first ``part`` of the
+    ``n//2 + 1`` half-spectrum bins, truncation fused into the
+    packed-real decomposition.  ``dtype`` may be real or complex; it is
+    normalised to the working precision."""
+    return current_plan_caches().pruned_rfft(n, part, dtype)
+
+
+def get_pruned_irfft_plan(
+    n: int, part: int, dtype=np.complex64
+) -> CompiledPrunedIRFFTPlan:
+    """The cached truncated-C2R plan: a real length-``n`` signal from
+    ``part`` half-spectrum bins (the rest implicitly zero)."""
+    return current_plan_caches().pruned_irfft(n, part, dtype)
+
+
 def fft_plan_cache_info():
-    """Cache statistics of the current set: (fft, pruned, r2c/c2r)."""
+    """Cache statistics of the current set: (fft, pruned, r2c/c2r,
+    pruned r2c/c2r)."""
     return current_plan_caches().cache_info()
 
 
@@ -872,5 +1230,33 @@ def execute_irfft(
     flat = np.ascontiguousarray(moved, dtype=plan.dtype).reshape(
         -1, moved.shape[-1]
     )
+    out = plan.execute(flat)
+    return np.moveaxis(out.reshape(*moved.shape[:-1], n), -1, axis)
+
+
+def execute_pruned_rfft(
+    x: np.ndarray, part: int, axis: int, caches: PlanCaches | None = None
+) -> np.ndarray:
+    """Plan-backed truncated ``rfft`` along ``axis`` (validation
+    upstream)."""
+    plans = caches if caches is not None else current_plan_caches()
+    n = x.shape[axis]
+    plan = plans.pruned_rfft(n, part, x.dtype)
+    moved = np.moveaxis(x, axis, -1)
+    flat = np.ascontiguousarray(moved, dtype=plan.real_dtype).reshape(-1, n)
+    out = plan.execute(flat)
+    return np.moveaxis(out.reshape(*moved.shape[:-1], part), -1, axis)
+
+
+def execute_pruned_irfft(
+    xk: np.ndarray, n: int, axis: int, caches: PlanCaches | None = None
+) -> np.ndarray:
+    """Plan-backed truncated-half-spectrum ``irfft`` along ``axis``
+    (validation upstream)."""
+    plans = caches if caches is not None else current_plan_caches()
+    moved = np.moveaxis(xk, axis, -1)
+    part = moved.shape[-1]
+    plan = plans.pruned_irfft(n, part, xk.dtype)
+    flat = np.ascontiguousarray(moved, dtype=plan.dtype).reshape(-1, part)
     out = plan.execute(flat)
     return np.moveaxis(out.reshape(*moved.shape[:-1], n), -1, axis)

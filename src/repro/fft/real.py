@@ -29,10 +29,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.fft.compiled import execute_irfft, execute_rfft
+from repro.fft.compiled import (
+    execute_irfft,
+    execute_pruned_irfft,
+    execute_pruned_rfft,
+    execute_rfft,
+)
 from repro.fft.stockham import _check_length, is_power_of_two
 
-__all__ = ["rfft", "irfft", "hermitian_pad"]
+__all__ = ["rfft", "irfft", "hermitian_pad", "truncated_rfft",
+           "padded_irfft"]
 
 
 def rfft(x: np.ndarray, axis: int = -1) -> np.ndarray:
@@ -85,3 +91,51 @@ def irfft(xk_half: np.ndarray, n: int | None = None, axis: int = -1) -> np.ndarr
             f"got {xk_half.shape[axis]}"
         )
     return execute_irfft(xk_half, n, axis)
+
+
+def truncated_rfft(x: np.ndarray, modes: int, axis: int = -1) -> np.ndarray:
+    """First ``modes`` half-spectrum bins of a real signal.
+
+    Equal to ``rfft(x, axis)`` sliced to its first ``modes`` bins (to
+    working precision — the truncation is fused into the packed-real
+    decomposition, which reassociates), through the cached
+    :class:`~repro.fft.compiled.CompiledPrunedRFFTPlan` family: only
+    the kept bins are ever recombined.  ``modes == n//2 + 1`` is the
+    degenerate prune and aliases :func:`rfft` bit-exactly.  The result
+    is C-contiguous for every ``axis``.
+    """
+    x = np.asarray(x)
+    if np.iscomplexobj(x):
+        raise ValueError(
+            "truncated_rfft expects real input; use truncated_fft for "
+            "complex data"
+        )
+    n = x.shape[axis]
+    _check_length(n)
+    if not 1 <= modes <= n // 2 + 1:
+        raise ValueError(
+            f"modes must be in [1, {n // 2 + 1}], got {modes}"
+        )
+    return np.ascontiguousarray(execute_pruned_rfft(x, modes, axis))
+
+
+def padded_irfft(yk: np.ndarray, n: int, axis: int = -1) -> np.ndarray:
+    """Real length-``n`` signal from a *truncated* half spectrum.
+
+    ``yk`` supplies the first bins of the ``n//2 + 1`` half spectrum
+    (the rest implicitly zero).  Equal to zero-padding and calling
+    :func:`irfft` (to working precision), through the cached
+    :class:`~repro.fft.compiled.CompiledPrunedIRFFTPlan` family: the
+    full Hermitian half is never materialised and the inverse
+    butterflies prune to the live bins.
+    """
+    yk = np.asarray(yk)
+    if not is_power_of_two(n):
+        raise ValueError(f"n must be a power of two, got {n}")
+    bins = yk.shape[axis]
+    if not 1 <= bins <= n // 2 + 1:
+        raise ValueError(
+            f"expected at most {n // 2 + 1} truncated half-spectrum bins "
+            f"along axis {axis}, got {bins}"
+        )
+    return execute_pruned_irfft(yk, n, axis)

@@ -23,7 +23,7 @@ import numpy as np
 from repro.core.fused import fused_fft_gemm_ifft_1d, fused_fft_gemm_ifft_2d
 from repro.fft.pruned import padded_ifft_auto as _pad_ifft
 from repro.fft.pruned import truncated_fft_auto as _trunc_fft
-from repro.fft.real import irfft, rfft
+from repro.fft.real import irfft, padded_irfft, rfft, truncated_rfft
 from repro.fft.stockham import is_power_of_two
 
 __all__ = ["Parameter", "Module", "Dense", "GELU", "SpectralConv1d", "SpectralConv2d"]
@@ -37,7 +37,18 @@ def _prunable(n: int, modes: int) -> bool:
 
 
 def _trunc_rfft(x: np.ndarray, modes: int, axis: int) -> np.ndarray:
-    """First ``modes`` bins of the half spectrum (compiled R2C plan)."""
+    """First ``modes`` bins of the half spectrum.
+
+    Routed through the pruned-R2C plan family
+    (:func:`repro.fft.real.truncated_rfft`) whenever the truncation is
+    genuine (``modes < n//2 + 1``): truncation is fused into the
+    packed-real decomposition, so the discarded bins are never
+    recombined.  Otherwise the full compiled R2C plan runs (and at
+    ``modes == n//2 + 1`` the pruned plan *is* that plan, bit-exactly).
+    """
+    n = x.shape[axis]
+    if is_power_of_two(n) and modes <= n // 2 + 1:
+        return truncated_rfft(x, modes, axis=axis)
     sl = [slice(None)] * x.ndim
     sl[axis] = slice(0, modes)
     return rfft(x, axis=axis)[tuple(sl)]
@@ -45,8 +56,12 @@ def _trunc_rfft(x: np.ndarray, modes: int, axis: int) -> np.ndarray:
 
 def _pad_irfft(yk: np.ndarray, n_out: int, axis: int) -> np.ndarray:
     """Real signal from a truncated half spectrum: ``yk`` supplies the
-    first bins of the ``n_out//2 + 1`` half spectrum, the compiled C2R
-    plan inverts it without ever building the Hermitian completion."""
+    first bins of the ``n_out//2 + 1`` half spectrum.  The pruned C2R
+    plan (:func:`repro.fft.real.padded_irfft`) synthesises straight
+    from the kept bins — neither the Hermitian completion nor the
+    zero-padded half spectrum is ever built."""
+    if is_power_of_two(n_out) and yk.shape[axis] <= n_out // 2 + 1:
+        return padded_irfft(yk, n_out, axis=axis)
     shape = list(yk.shape)
     shape[axis] = n_out // 2 + 1
     padded = np.zeros(shape, dtype=yk.dtype)

@@ -166,12 +166,44 @@ class TestFuzzFused2D:
         )
 
 
+def _sym_oracle_1d(x, w, modes):
+    """The symmetric filter via numpy.fft in double precision."""
+    n = x.shape[-1]
+    xk = np.fft.rfft(x.astype(np.float64), axis=-1)[..., :modes]
+    yk = np.einsum("bim,io->bom", xk, w.astype(np.complex128))
+    out_ft = np.zeros((x.shape[0], w.shape[1], n // 2 + 1), dtype=complex)
+    out_ft[..., :modes] = yk
+    return np.fft.irfft(out_ft, n=n, axis=-1)
+
+
+def _sym_oracle_2d(x, w, mx, my):
+    b, _, dim_x, dim_y = x.shape
+    xk = np.fft.rfft(x.astype(np.float64), axis=3)[..., :my]
+    xk = np.fft.fft(xk, axis=2)[:, :, :mx]
+    yk = np.einsum("bimn,io->bomn", xk, w.astype(np.complex128))
+    out_ft = np.zeros((b, w.shape[1], dim_x, dim_y // 2 + 1), dtype=complex)
+    out_ft[:, :, :mx, :my] = yk
+    return np.fft.irfft(np.fft.ifft(out_ft, axis=2), n=dim_y, axis=3)
+
+
+#: oracle tolerance per working precision for the symmetric fuzz
+_SYM_ATOL = {np.dtype(np.float32): 1e-3, np.dtype(np.float64): 1e-9}
+
+
 class TestFuzzSymmetric:
-    @pytest.mark.parametrize("trial", range(8))
+    """Symmetric executors fuzz the *pruned* R2C/C2R plan family: modes
+    draws cover the whole legal range [1, X/2] — non-powers of two and
+    the decomposition/slice/pad strategy boundaries included — and every
+    trial is checked against the numpy.fft oracle on top of the tiled
+    byte-identity."""
+
+    @pytest.mark.parametrize("trial", range(14))
     def test_randomized_batch_tiles_match_untiled_1d(self, backend, trial):
         rng = np.random.default_rng(3000 + trial)
-        dim_x = int(rng.choice([8, 16, 32, 64]))
-        modes = max(1, dim_x // int(rng.choice([2, 4, 8])))
+        dim_x = int(rng.choice([8, 16, 32, 64, 128]))
+        # any legal truncation, not just power-of-two divisors: odd
+        # parts, Nyquist-adjacent parts and the degenerate full prune
+        modes = int(rng.integers(1, dim_x // 2 + 1))
         batch = int(rng.integers(1, 33))
         c_in = int(rng.integers(1, 13))
         c_out = int(rng.integers(1, 9))
@@ -181,6 +213,12 @@ class TestFuzzSymmetric:
         w = _weight(rng, c_in, c_out, wdtype)
         x = _signal(rng, (batch, c_in, dim_x), dtype, "contiguous")
         ref = CompiledSpectralConv1D(w, modes, symmetric=True)(x)
+        np.testing.assert_allclose(
+            ref, _sym_oracle_1d(x, w, modes),
+            atol=_SYM_ATOL[np.dtype(dtype)] * dim_x,
+            err_msg=f"oracle mismatch for B={batch} C={c_in} X={dim_x} "
+                    f"m={modes} [{backend}]",
+        )
         tiled = CompiledSpectralConv1D(
             w, modes, symmetric=True, tiles=(tile, 8)
         )(x)
@@ -189,11 +227,12 @@ class TestFuzzSymmetric:
             f"X={dim_x} m={modes} [{backend}]"
         )
 
-    @pytest.mark.parametrize("trial", range(4))
+    @pytest.mark.parametrize("trial", range(8))
     def test_randomized_batch_tiles_match_untiled_2d(self, backend, trial):
         rng = np.random.default_rng(4000 + trial)
-        dim_x, dim_y = 16, int(rng.choice([16, 32]))
-        mx, my = int(rng.choice([4, 8])), dim_y // 4
+        dim_x, dim_y = int(rng.choice([8, 16])), int(rng.choice([16, 32, 64]))
+        mx = int(rng.integers(1, dim_x + 1))
+        my = int(rng.integers(1, dim_y // 2 + 1))
         batch = int(rng.integers(1, 17))
         c_in = int(rng.integers(1, 9))
         tile = int(rng.integers(0, 21))
@@ -201,6 +240,12 @@ class TestFuzzSymmetric:
         x = _signal(rng, (batch, c_in, dim_x, dim_y), np.float32,
                     "contiguous")
         ref = CompiledSpectralConv2D(w, mx, my, symmetric=True)(x)
+        np.testing.assert_allclose(
+            ref, _sym_oracle_2d(x, w, mx, my),
+            atol=_SYM_ATOL[np.dtype(np.float32)] * dim_y,
+            err_msg=f"oracle mismatch for B={batch} C={c_in} "
+                    f"grid={dim_x}x{dim_y} m={mx}x{my} [{backend}]",
+        )
         tiled = CompiledSpectralConv2D(
             w, mx, my, symmetric=True, tiles=(tile, 8)
         )(x)

@@ -16,7 +16,7 @@ import pytest
 
 from repro.fft import compiled, legacy
 from repro.fft._ckernels import kernels_available
-from repro.fft.real import irfft, rfft
+from repro.fft.real import irfft, padded_irfft, rfft, truncated_rfft
 
 REAL_DTYPES = (np.float32, np.float64)
 
@@ -287,8 +287,12 @@ def test_cache_info_reports_rfft_plans():
     compiled.get_rfft_plan(16, np.float32)
     compiled.get_irfft_plan(16, np.float32)
     info = compiled.fft_plan_cache_info()
-    assert len(info) == 3
+    assert len(info) == 4  # fft, pruned, r2c/c2r, pruned r2c/c2r
     assert info[2].currsize == 2
+    assert info[3].currsize == 0
+    compiled.get_pruned_rfft_plan(16, 3, np.float32)
+    compiled.get_pruned_irfft_plan(16, 3, np.float32)
+    assert compiled.fft_plan_cache_info()[3].currsize == 2
 
 
 def test_plan_tables_are_readonly_and_precast():
@@ -405,3 +409,449 @@ def test_plan_execute_validates_geometry():
         q.execute(np.zeros((2, 16), dtype=np.complex64))  # wrong bin count
     with pytest.raises(ValueError):
         q.execute(np.zeros((2, 9), dtype=np.complex128))  # wrong precision
+
+
+# ---------------------------------------------------------------------------
+# pruned (truncated) R2C / padded C2R — oracle and property harness
+# ---------------------------------------------------------------------------
+
+def _slice_spectrum(xk, modes, axis):
+    index = [slice(None)] * xk.ndim
+    index[axis] = slice(0, modes)
+    return xk[tuple(index)]
+
+
+def _pad_spectrum(yk, n, axis):
+    bins = n // 2 + 1
+    widths = [(0, 0)] * yk.ndim
+    widths[axis] = (0, bins - yk.shape[axis])
+    return np.pad(yk, widths)
+
+
+def _trunc_spectrum(shape_lead, modes, dtype, rng):
+    """A random truncated half spectrum (real DC, as a real signal has)."""
+    yk = (rng.standard_normal((*shape_lead, modes))
+          + 1j * rng.standard_normal((*shape_lead, modes))).astype(dtype)
+    yk[..., 0] = yk[..., 0].real
+    return yk
+
+
+@pytest.mark.parametrize("dtype", REAL_DTYPES)
+@pytest.mark.parametrize("n,modes", [(8, 1), (8, 2), (32, 3), (64, 8),
+                                     (128, 5), (256, 16), (256, 32)])
+def test_truncated_rfft_matches_legacy_slice(backend, dtype, n, modes):
+    """The fused prune equals the legacy full transform plus a slice."""
+    rng = np.random.default_rng(30)
+    x = _real_data((4, n), dtype, rng)
+    got = truncated_rfft(x, modes)
+    assert got.shape == (4, modes)
+    assert got.flags.c_contiguous
+    np.testing.assert_allclose(
+        got, legacy.rfft(x)[:, :modes], atol=ATOL[np.dtype(dtype)] * n
+    )
+
+
+@pytest.mark.parametrize("dtype", REAL_DTYPES)
+@pytest.mark.parametrize("n,modes", [(16, 2), (64, 4), (256, 12), (512, 64)])
+def test_truncated_rfft_matches_numpy(backend, dtype, n, modes):
+    rng = np.random.default_rng(31)
+    x = _real_data((3, n), dtype, rng)
+    np.testing.assert_allclose(
+        truncated_rfft(x, modes),
+        np.fft.rfft(x.astype(np.float64))[:, :modes],
+        atol=ATOL[np.dtype(dtype)] * n,
+    )
+
+
+@pytest.mark.parametrize("dtype", (np.complex64, np.complex128))
+@pytest.mark.parametrize("n,modes", [(8, 2), (32, 3), (64, 8), (256, 16)])
+def test_padded_irfft_matches_legacy_pad(backend, dtype, n, modes):
+    """The input-pruned synthesis equals zero-pad plus the legacy C2R."""
+    rng = np.random.default_rng(32)
+    yk = _trunc_spectrum((4,), modes, dtype, rng)
+    got = padded_irfft(yk, n)
+    assert got.shape == (4, n)
+    assert got.dtype == np.finfo(dtype).dtype
+    np.testing.assert_allclose(
+        got,
+        legacy.irfft(_pad_spectrum(yk.astype(np.complex128), n, -1), n),
+        atol=ATOL[np.dtype(dtype)] * n,
+    )
+
+
+@pytest.mark.parametrize("n,modes", [(16, 3), (64, 8), (512, 17)])
+def test_padded_irfft_matches_numpy(backend, n, modes):
+    rng = np.random.default_rng(33)
+    yk = _trunc_spectrum((2, 3), modes, np.complex128, rng)
+    np.testing.assert_allclose(
+        padded_irfft(yk, n),
+        np.fft.irfft(_pad_spectrum(yk, n, -1), n),
+        atol=1e-10 * n,
+    )
+
+
+@pytest.mark.parametrize("dtype", REAL_DTYPES)
+@pytest.mark.parametrize("n,modes", [(32, 4), (128, 9), (256, 32)])
+def test_pruned_roundtrip_is_low_pass(backend, dtype, n, modes):
+    """trunc -> pad round trip acts as the ideal low-pass projector."""
+    rng = np.random.default_rng(34)
+    x = _real_data((3, n), dtype, rng)
+    got = padded_irfft(truncated_rfft(x, modes), n)
+    expected = np.fft.irfft(
+        _pad_spectrum(np.fft.rfft(x.astype(np.float64))[:, :modes], n, -1), n
+    )
+    np.testing.assert_allclose(got, expected, atol=ATOL[np.dtype(dtype)] * n)
+
+
+@pytest.mark.parametrize("shape,axis", [((2, 4, 64), 1), ((64, 5), 0),
+                                        ((3, 128), -1), ((2, 64, 3), -2)])
+def test_pruned_any_axis(backend, shape, axis):
+    rng = np.random.default_rng(35)
+    x = _real_data(shape, np.float64, rng)
+    n = x.shape[axis]
+    modes = max(1, n // 8)
+    got = truncated_rfft(x, modes, axis=axis)
+    assert got.flags.c_contiguous
+    full = np.fft.rfft(x, axis=axis)
+    np.testing.assert_allclose(
+        got, _slice_spectrum(full, modes, axis % x.ndim), atol=1e-10 * n
+    )
+    yk = _slice_spectrum(full, modes, axis % x.ndim)
+    np.testing.assert_allclose(
+        padded_irfft(yk, n, axis=axis),
+        np.fft.irfft(_pad_spectrum(yk, n, axis % x.ndim), n, axis=axis),
+        atol=1e-10 * n,
+    )
+
+
+@pytest.mark.parametrize("dtype", REAL_DTYPES)
+@pytest.mark.parametrize("contiguity", ["sliced", "F"])
+def test_pruned_non_contiguous_inputs(backend, dtype, contiguity):
+    rng = np.random.default_rng(36)
+    x = _real_data((6, 64), dtype, rng, contiguity)
+    np.testing.assert_allclose(
+        truncated_rfft(x, 5),
+        np.fft.rfft(x.astype(np.float64))[:, :5],
+        atol=ATOL[np.dtype(dtype)] * 64,
+    )
+    yk = np.fft.rfft(np.asarray(x, dtype=np.float64))[:, :5]
+    yk = np.asfortranarray(yk) if contiguity == "F" \
+        else np.repeat(yk, 2, axis=0)[::2]
+    np.testing.assert_allclose(
+        padded_irfft(yk, 64),
+        np.fft.irfft(_pad_spectrum(yk, 64, -1), 64),
+        atol=1e-10 * 64,
+    )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_pruned_randomized_property(backend, seed):
+    """Seeded fuzz over lengths, parts, batch shapes, axes and dtypes."""
+    rng = np.random.default_rng(2000 + seed)
+    n = 2 ** int(rng.integers(1, 10))
+    modes = int(rng.integers(1, n // 2 + 2))
+    dtype = [np.float32, np.float64][seed % 2]
+    lead = tuple(int(rng.integers(1, 4))
+                 for _ in range(int(rng.integers(0, 3))))
+    axis = int(rng.integers(0, len(lead) + 1))
+    shape = list(lead)
+    shape.insert(axis, n)
+    x = _real_data(tuple(shape), dtype, rng)
+    got = truncated_rfft(x, modes, axis=axis)
+    full = np.fft.rfft(x.astype(np.float64), axis=axis)
+    np.testing.assert_allclose(
+        got, _slice_spectrum(full, modes, axis),
+        atol=ATOL[np.dtype(dtype)] * n,
+    )
+    back = padded_irfft(got, n, axis=axis)
+    expected = np.fft.irfft(
+        _pad_spectrum(_slice_spectrum(full, modes, axis), n, axis),
+        n, axis=axis,
+    )
+    np.testing.assert_allclose(
+        back, expected, atol=ATOL[np.dtype(dtype)] * n
+    )
+
+
+# ---------------------------------------------------------------------------
+# pruned plans: bit-identity within the family
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("dtype", REAL_DTYPES)
+def test_pruned_repeated_executions_bit_identical(backend, dtype):
+    rng = np.random.default_rng(40)
+    x = _real_data((5, 128), dtype, rng)
+    first = truncated_rfft(x, 8)
+    for _ in range(3):
+        assert _bit_equal(truncated_rfft(x, 8), first)
+    yk = _trunc_spectrum(
+        (5,), 8, np.complex64 if dtype == np.float32 else np.complex128, rng
+    )
+    firsti = padded_irfft(yk, 128)
+    for _ in range(3):
+        assert _bit_equal(padded_irfft(yk, 128), firsti)
+
+
+@pytest.mark.skipif(not kernels_available(), reason="needs the C kernels")
+@pytest.mark.parametrize("dtype", REAL_DTYPES)
+@pytest.mark.parametrize("n,modes", [(64, 4), (128, 8), (256, 3), (256, 32)])
+def test_pruned_backends_bit_identical(dtype, n, modes, monkeypatch):
+    """C-kernel and NumPy executors produce the same bytes for every
+    pruned strategy (the C contractions replay the NumPy recurrences)."""
+    from repro.fft import _ckernels
+
+    rng = np.random.default_rng(41)
+    x = _real_data((4, n), dtype, rng)
+    yk = _trunc_spectrum(
+        (4,), modes,
+        np.complex64 if dtype == np.float32 else np.complex128, rng,
+    )
+    compiled.clear_fft_plan_cache()
+    with_kernels = (truncated_rfft(x, modes), padded_irfft(yk, n))
+    monkeypatch.setitem(_ckernels._state, "kernels", None)
+    monkeypatch.setitem(_ckernels._state, "tried", True)
+    compiled.clear_fft_plan_cache()
+    without = (truncated_rfft(x, modes), padded_irfft(yk, n))
+    assert _bit_equal(with_kernels[0], without[0])
+    assert _bit_equal(with_kernels[1], without[1])
+    compiled.clear_fft_plan_cache()
+
+
+@pytest.mark.skipif(not kernels_available(), reason="needs the C kernels")
+def test_pruned_scoped_numpy_caches_bit_identical():
+    """A numpy-pinned PlanCaches set installed via plan_cache_scope
+    reproduces the default (C-kernel) bytes exactly."""
+    rng = np.random.default_rng(42)
+    x = _real_data((3, 256), np.float64, rng)
+    yk = _trunc_spectrum((3,), 16, np.complex128, rng)
+    compiled.clear_fft_plan_cache()
+    default = (truncated_rfft(x, 16), padded_irfft(yk, 256))
+    with compiled.plan_cache_scope(compiled.PlanCaches(backend="numpy")):
+        scoped = (truncated_rfft(x, 16), padded_irfft(yk, 256))
+    assert _bit_equal(default[0], scoped[0])
+    assert _bit_equal(default[1], scoped[1])
+    compiled.clear_fft_plan_cache()
+
+
+def test_pruned_interleaved_workspace_safety(backend):
+    """Interleaved calls with different batch shapes and parts through
+    the same cached pruned plans must not corrupt workspaces."""
+    rng = np.random.default_rng(43)
+    xs = [
+        _real_data((3, 64), np.float64, rng),
+        _real_data((2, 5, 64), np.float64, rng),
+        _real_data((1, 64), np.float64, rng),
+        _real_data((4, 2, 64), np.float64, rng),
+    ]
+    parts = [4, 8, 4, 8]
+    expected = [np.fft.rfft(x, axis=-1)[..., :m] for x, m in zip(xs, parts)]
+    first = [truncated_rfft(x, m) for x, m in zip(xs, parts)]
+    second = [truncated_rfft(x, m)
+              for x, m in reversed(list(zip(xs, parts)))][::-1]
+    for e, g1, g2 in zip(expected, first, second):
+        np.testing.assert_allclose(g1, e, atol=1e-10 * 64)
+        assert _bit_equal(g1, g2)
+    iexpected = [np.fft.irfft(_pad_spectrum(k, 64, k.ndim - 1), 64, axis=-1)
+                 for k in expected]
+    ifirst = [padded_irfft(k, 64) for k in expected]
+    isecond = [padded_irfft(k, 64) for k in reversed(expected)][::-1]
+    for e, g1, g2 in zip(iexpected, ifirst, isecond):
+        np.testing.assert_allclose(g1, e, atol=1e-10 * 64)
+        assert _bit_equal(g1, g2)
+
+
+def test_pruned_execution_does_not_mutate_input(backend):
+    rng = np.random.default_rng(44)
+    x = _real_data((4, 64), np.float64, rng)
+    kept = x.copy()
+    truncated_rfft(x, 5)
+    assert np.array_equal(x, kept)
+    yk = _trunc_spectrum((4,), 5, np.complex128, rng)
+    kept_k = yk.copy()
+    padded_irfft(yk, 64)
+    assert np.array_equal(yk, kept_k)
+
+
+# ---------------------------------------------------------------------------
+# pruned plans: cache semantics and scope isolation
+# ---------------------------------------------------------------------------
+
+def test_pruned_same_key_returns_same_plan_object():
+    p1 = compiled.get_pruned_rfft_plan(128, 8, np.float32)
+    assert compiled.get_pruned_rfft_plan(128, 8, np.float32) is p1
+    # dtype normalisation: float32 and complex64 share one plan
+    assert compiled.get_pruned_rfft_plan(128, 8, np.complex64) is p1
+    # part, direction, precision and length are all distinct keys
+    assert compiled.get_pruned_rfft_plan(128, 16, np.float32) is not p1
+    assert compiled.get_pruned_irfft_plan(128, 8, np.float32) is not p1
+    assert compiled.get_pruned_rfft_plan(128, 8, np.float64) is not p1
+    assert compiled.get_pruned_rfft_plan(256, 8, np.float32) is not p1
+
+
+def test_pruned_plans_share_the_cached_sub_plans():
+    """Decomposition sub-transforms resolve from the owning cache set:
+    the length-q sub-plan *is* the cached C2C plan object."""
+    compiled.clear_fft_plan_cache()
+    p = compiled.get_pruned_rfft_plan(256, 8, np.float32)
+    assert p._strategy == "decomp"
+    assert p._sub is compiled.get_fft_plan(8, np.complex64, inverse=False)
+    q = compiled.get_pruned_irfft_plan(256, 8, np.float32)
+    assert q._strategy == "decomp"
+    assert q._sub is compiled.get_fft_plan(8, np.complex64, inverse=True)
+
+
+def test_pruned_plan_cache_scope_isolation():
+    """Plans requested under plan_cache_scope come from the scoped set —
+    including their sub-plans — and never leak into the default set."""
+    compiled.clear_fft_plan_cache()
+    own = compiled.PlanCaches()
+    default_plan = compiled.get_pruned_rfft_plan(128, 8, np.float32)
+    with compiled.plan_cache_scope(own):
+        scoped_plan = compiled.get_pruned_rfft_plan(128, 8, np.float32)
+        assert scoped_plan is not default_plan
+        assert scoped_plan is own.pruned_rfft(128, 8, np.float32)
+        # the scoped plan's sub-transform lives in the scoped set too
+        assert scoped_plan._sub is own.fft(8, np.complex64, inverse=False)
+        assert scoped_plan._sub is not compiled.default_plan_caches().fft(
+            8, np.complex64, inverse=False
+        )
+    # leaving the scope restores the default set
+    assert compiled.get_pruned_rfft_plan(128, 8, np.float32) is default_plan
+    compiled.clear_fft_plan_cache()
+
+
+def test_pruned_degenerate_full_plan_resolves_in_owning_set():
+    own = compiled.PlanCaches()
+    plan = own.pruned_rfft(32, 17, np.float64)
+    assert plan._strategy == "full"
+    assert plan._full is own.rfft(32, np.float64)
+    assert plan._full is not compiled.get_rfft_plan(32, np.float64)
+
+
+def test_pruned_clear_plan_cache_resets_objects():
+    p1 = compiled.get_pruned_rfft_plan(64, 4, np.float32)
+    compiled.clear_fft_plan_cache()
+    assert compiled.get_pruned_rfft_plan(64, 4, np.float32) is not p1
+
+
+def test_pruned_plan_tables_are_readonly_and_precast():
+    p = compiled.get_pruned_rfft_plan(256, 8, np.float32)
+    for table in (p._u, p._v):
+        assert table.dtype == np.complex64
+        assert not table.flags.writeable
+    q = compiled.get_pruned_irfft_plan(256, 8, np.float64)
+    for table in (q._ch, q._ct, q._wdh, q._wdt):
+        assert table.dtype == np.complex128
+        assert not table.flags.writeable
+
+
+# ---------------------------------------------------------------------------
+# pruned plans: edge cases and degenerate strategies
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("n", [2, 16, 128])
+def test_pruned_degenerate_aliases_full_plan_bit_exactly(backend, n):
+    """modes == n//2 + 1 is the degenerate prune: it delegates to the
+    plain R2C/C2R plans and is bit-exact against them."""
+    rng = np.random.default_rng(50)
+    bins = n // 2 + 1
+    x = _real_data((3, n), np.float64, rng)
+    assert compiled.get_pruned_rfft_plan(n, bins, np.float64)._strategy \
+        == "full"
+    assert _bit_equal(truncated_rfft(x, bins), rfft(x))
+    xk = _half_spectrum((3,), n, np.complex128, rng)
+    assert _bit_equal(padded_irfft(xk, n), irfft(xk, n))
+
+
+@pytest.mark.parametrize("n", [16, 64])
+def test_pruned_slice_strategy_bit_exact_vs_full_plus_slice(backend, n):
+    """Large parts with no whole stage to drop fall back to
+    transform-then-slice, bit-exact versus that composition."""
+    part = n // 2  # q = next_pow2(part) = h > h/2 -> "slice"
+    plan = compiled.get_pruned_rfft_plan(n, part, np.float64)
+    assert plan._strategy == "slice"
+    rng = np.random.default_rng(51)
+    x = _real_data((4, n), np.float64, rng)
+    assert _bit_equal(truncated_rfft(x, part), rfft(x)[:, :part])
+
+
+@pytest.mark.parametrize("n", [16, 64])
+def test_pruned_pad_strategy_bit_exact_vs_pad_plus_full(backend, n):
+    part = n // 2
+    plan = compiled.get_pruned_irfft_plan(n, part, np.complex128)
+    assert plan._strategy == "pad"
+    rng = np.random.default_rng(52)
+    yk = _trunc_spectrum((4,), part, np.complex128, rng)
+    assert _bit_equal(padded_irfft(yk, n), irfft(_pad_spectrum(yk, n, -1), n))
+
+
+@pytest.mark.parametrize("n", [8, 64, 256])
+def test_pruned_dc_only(backend, n):
+    """modes == 1 keeps just the DC bin; the synthesis is the mean."""
+    rng = np.random.default_rng(53)
+    x = _real_data((3, n), np.float64, rng)
+    got = truncated_rfft(x, 1)
+    np.testing.assert_allclose(got, np.fft.rfft(x)[:, :1], atol=1e-10 * n)
+    back = padded_irfft(got, n)
+    np.testing.assert_allclose(
+        back, np.broadcast_to(x.mean(axis=-1, keepdims=True), x.shape),
+        atol=1e-10 * n,
+    )
+
+
+def test_pruned_nyquist_boundary(backend):
+    """Parts straddling the Nyquist bin (h vs h+1 for even n) stay
+    consistent with the full-transform slice."""
+    n = 32
+    h = n // 2
+    rng = np.random.default_rng(54)
+    x = _real_data((4, n), np.float64, rng)
+    full = np.fft.rfft(x)
+    for part in (h - 1, h, h + 1):
+        np.testing.assert_allclose(
+            truncated_rfft(x, part), full[:, :part], atol=1e-10 * n
+        )
+        yk = np.ascontiguousarray(full[:, :part])
+        np.testing.assert_allclose(
+            padded_irfft(yk, n),
+            np.fft.irfft(_pad_spectrum(yk, n, -1), n),
+            atol=1e-10 * n,
+        )
+
+
+def test_pruned_rejects_bad_geometry():
+    with pytest.raises(ValueError):
+        truncated_rfft(np.zeros((2, 12)), 3)  # not a power of two
+    with pytest.raises(ValueError):
+        truncated_rfft(np.zeros((2, 16)), 0)  # part below range
+    with pytest.raises(ValueError):
+        truncated_rfft(np.zeros((2, 16)), 10)  # part above n//2 + 1
+    with pytest.raises(ValueError):
+        truncated_rfft(np.zeros((2, 16), dtype=complex), 3)  # complex input
+    with pytest.raises(ValueError):
+        padded_irfft(np.zeros((2, 3), dtype=complex), 12)  # non-pow2 n
+    with pytest.raises(ValueError):
+        padded_irfft(np.zeros((2, 10), dtype=complex), 16)  # too many bins
+    with pytest.raises(ValueError):
+        compiled.get_pruned_rfft_plan(24, 3, np.float32)
+    with pytest.raises(ValueError):
+        compiled.get_pruned_irfft_plan(16, 0, np.complex64)
+
+
+def test_pruned_part_mismatch_is_typed(backend):
+    """Wrong bin counts raise PrunedPartMismatchError (a ValueError)."""
+    plan = compiled.get_pruned_irfft_plan(64, 4, np.complex128)
+    with pytest.raises(compiled.PrunedPartMismatchError):
+        plan.execute(np.zeros((2, 5), dtype=np.complex128))
+    assert issubclass(compiled.PrunedPartMismatchError, ValueError)
+    # wrong precision is a plain ValueError, not a part mismatch
+    with pytest.raises(ValueError):
+        plan.execute(np.zeros((2, 4), dtype=np.complex64))
+
+
+def test_pruned_rfft_plan_execute_validates_geometry(backend):
+    plan = compiled.get_pruned_rfft_plan(64, 4, np.float64)
+    with pytest.raises(ValueError):
+        plan.execute(np.zeros((2, 32)))  # wrong length
+    with pytest.raises(ValueError):
+        plan.execute(np.zeros((2, 64), dtype=np.float32))  # wrong precision

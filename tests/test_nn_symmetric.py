@@ -319,3 +319,112 @@ class TestSymmetric2dBackward:
             m.backward(grad)
             opt.step()
         assert loss < 0.1 * first
+
+
+class TestPrunedPlanRouting:
+    """The symmetric layers consume the cached pruned-R2C/C2R plan
+    family end-to-end: the spectrum a layer caches *is* the pruned
+    plan's output, the executor accepts that spectrum back bit-exactly,
+    and width disagreements raise the typed mismatch error instead of
+    mis-slicing silently."""
+
+    def test_cached_spectrum_is_the_pruned_plan_output(self, rng):
+        from repro.fft import compiled
+
+        m = SpectralConv1d(2, 2, 6, rng, symmetric=True)
+        x = rng.standard_normal((3, 2, 32))
+        m(x)
+        plan = compiled.get_pruned_rfft_plan(32, 6, np.float64)
+        expected = plan.execute(
+            np.ascontiguousarray(x.reshape(-1, 32))
+        ).reshape(3, 2, 6)
+        assert m._xk.dtype == expected.dtype
+        assert np.array_equal(
+            m._xk.view(np.float64), expected.view(np.float64)
+        )
+
+    def test_forward_bit_identical_to_explicit_pruned_replay(self, rng):
+        """The per-mode symmetric forward is exactly the pruned-plan
+        composition truncated_rfft -> einsum -> padded_irfft."""
+        from repro.fft.real import padded_irfft, truncated_rfft
+
+        m = SpectralConv1d(3, 4, 8, rng, per_mode=True, symmetric=True)
+        x = rng.standard_normal((2, 3, 32))
+        got = m(x)
+        xk = np.ascontiguousarray(truncated_rfft(x, 8, axis=-1))
+        yk = np.einsum("bim,iom->bom", xk, m.weight.value)
+        ref = padded_irfft(yk, 32, axis=-1)
+        assert got.dtype == ref.dtype
+        assert np.array_equal(got, ref)
+
+    def test_executor_internal_vs_precomputed_spectrum_bit_identical(
+            self, rng):
+        """CompiledSpectralConv1D produces the same bytes whether it
+        computes the truncated spectrum itself or receives it — both
+        sides of the rewire route through one cached pruned plan."""
+        from repro.core.compiled import CompiledSpectralConv1D
+        from repro.fft.real import truncated_rfft
+
+        w = (rng.standard_normal((5, 3))
+             + 1j * rng.standard_normal((5, 3))).astype(np.complex64)
+        x = rng.standard_normal((4, 5, 64)).astype(np.float32)
+        conv = CompiledSpectralConv1D(w, 8, symmetric=True)
+        internal = conv(x)
+        passed = conv(x, xk_trunc=truncated_rfft(x, 8, axis=-1))
+        assert internal.dtype == passed.dtype
+        assert np.array_equal(
+            internal.view(np.float32), passed.view(np.float32)
+        )
+
+    def test_width_disagreement_raises_typed_error(self, rng):
+        from repro.core.compiled import CompiledSpectralConv1D
+        from repro.fft.compiled import PrunedPartMismatchError
+
+        w = (rng.standard_normal((5, 3))
+             + 1j * rng.standard_normal((5, 3))).astype(np.complex64)
+        x = rng.standard_normal((4, 5, 64)).astype(np.float32)
+        conv = CompiledSpectralConv1D(w, 8, symmetric=True)
+        bad = np.zeros((4, 5, 9), dtype=np.complex64)
+        with pytest.raises(PrunedPartMismatchError):
+            conv(x, xk_trunc=bad)
+        # the typed error is still a ValueError for legacy handlers
+        assert issubclass(PrunedPartMismatchError, ValueError)
+
+    @pytest.mark.parametrize("modes", [3, 5, 7])
+    @pytest.mark.parametrize("per_mode", [True, False])
+    def test_non_pow2_modes_match_rfft_oracle(self, rng, modes, per_mode):
+        """Non-power-of-two mode counts exercise the decomposition
+        strategy (part < q) inside the layer."""
+        m = SpectralConv1d(2, 3, modes, rng, per_mode=per_mode,
+                           symmetric=True)
+        x = rng.standard_normal((2, 2, 64))
+        assert np.allclose(
+            m(x), _rfft_oracle(x, m.weight.value, modes, per_mode),
+            atol=1e-9,
+        )
+
+    @pytest.mark.parametrize("modes_y", [3, 5])
+    def test_2d_non_pow2_modes_match_rfft2_oracle(self, rng, modes_y):
+        m = SpectralConv2d(2, 3, 4, modes_y, rng, per_mode=True,
+                           symmetric=True)
+        x = rng.standard_normal((2, 2, 16, 32))
+        ref = _rfft2_oracle(x, m.weight.value, 4, modes_y, True)
+        assert np.allclose(m(x), ref, atol=1e-9)
+
+    def test_backward_consistent_after_rewire(self, rng):
+        """The pruned-plan backward still matches finite differences at
+        a non-power-of-two mode count."""
+        m = SpectralConv1d(2, 2, 5, rng, per_mode=True, symmetric=True)
+        x = rng.standard_normal((2, 2, 32))
+        y = m(x)
+        g = rng.standard_normal(y.shape)
+        gx = m.backward(g.copy())
+        eps = 1e-6
+        for _ in range(4):
+            idx = tuple(int(rng.integers(0, s)) for s in x.shape)
+            xp = x.copy(); xp[idx] += eps
+            xm = x.copy(); xm[idx] -= eps
+            fd = (np.sum(m.forward(xp) * g) - np.sum(m.forward(xm) * g)) / (
+                2 * eps
+            )
+            assert abs(fd - gx[idx]) / max(abs(fd), 1.0) < 1e-5
